@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Multi-modal fusion: imagery + elevation + weather in one query.
+
+The paper stresses that its scenarios are multi-modal — "this model is
+multi-modal, as it consists of data from images and weather pattern"
+(Figure 3). This example fuses:
+
+* the published HPS linear risk model over TM bands + DEM (raster
+  modality), with
+* the "unusual raining season followed by a dry season" rule evaluated
+  per weather-station region (series modality),
+
+into one per-location score, and shows how the fused top-K differs from
+either modality alone.
+
+Run:  python examples/multimodal_fusion.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import epidemiology
+from repro.apps.epidemiology import multimodal_risk_query, wet_then_dry_degree
+from repro.metrics.counters import CostCounter
+from repro.synth.weather import WeatherParams, generate_station_grid
+
+
+def main() -> None:
+    scenario = epidemiology.build_scenario(shape=(128, 128), seed=42)
+    station_shape = (4, 4)
+    stations = generate_station_grid(
+        *station_shape,
+        n_days=365,
+        seed=43,
+        params=WeatherParams(wet_to_dry=0.3, dry_to_wet=0.15),
+    )
+    print(f"study area {scenario.shape}, {len(stations)} weather regions")
+
+    print("\nper-region wet-then-dry degrees:")
+    for row in range(station_shape[0]):
+        degrees = [
+            wet_then_dry_degree(stations[(row, col)])
+            for col in range(station_shape[1])
+        ]
+        print("  " + "  ".join(f"{degree:4.2f}" for degree in degrees))
+
+    counter = CostCounter()
+    query = multimodal_risk_query(scenario, stations, station_shape)
+    fused_top = query.top_k(10, counter=counter)
+
+    # Single-modality rankings for contrast.
+    raster_only = multimodal_risk_query(
+        scenario, stations, station_shape, weather_weight=0.0001
+    ).top_k(10)
+    weather_only = multimodal_risk_query(
+        scenario, stations, station_shape, risk_weight=0.0001
+    ).top_k(10)
+
+    print("\ntop-10 locations (fused vs single-modality):")
+    print("  rank | fused           | imagery-only    | weather-only")
+    for rank in range(10):
+        print(
+            f"  {rank + 1:4d} | {str(fused_top[rank][0]):15s} | "
+            f"{str(raster_only[rank][0]):15s} | "
+            f"{str(weather_only[rank][0]):15s}"
+        )
+
+    fused_cells = {cell for cell, _ in fused_top}
+    raster_cells = {cell for cell, _ in raster_only}
+    moved = len(fused_cells - raster_cells)
+    print(f"\nweather evidence moved {moved}/10 of the imagery-only answers")
+    print(f"data points touched: {counter.data_points:,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Precision agriculture: stressed zones + harvest windows (Section 1).
+
+Two model-based retrievals over one crop field:
+
+* progressive feature extraction finds the most stressed field blocks —
+  cheap statistics screen everywhere, expensive texture features run only
+  on candidates (the strategy behind the paper's 4-8x quote);
+* a finite state model over daily weather forecasts harvest windows
+  (mature crop + two consecutive dry days).
+
+Run:  python examples/precision_agriculture.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import agriculture
+from repro.metrics.counters import CostCounter
+
+
+def main() -> None:
+    scenario = agriculture.build_scenario(
+        shape=(256, 256), n_days=240, seed=17
+    )
+    print(f"field: {scenario.vigor.shape} vigor map, "
+          f"{len(scenario.weather)}-day season")
+
+    # --- stressed-zone detection -------------------------------------------
+    progressive_counter, exhaustive_counter = CostCounter(), CostCounter()
+    zones = agriculture.find_stressed_zones(
+        scenario, k=8, vigor_threshold=100.0, progressive=True,
+        counter=progressive_counter,
+    )
+    exhaustive = agriculture.find_stressed_zones(
+        scenario, k=8, vigor_threshold=100.0, progressive=False,
+        counter=exhaustive_counter,
+    )
+    assert [z.block for z in zones] == [z.block for z in exhaustive]
+
+    print("\ntop stressed blocks (16x16 cells each):")
+    print("  block    | mean vigor | gradient energy | stress score")
+    for zone in zones[:5]:
+        print(
+            f"  {str(zone.block):8s} | {zone.features.mean:10.1f} | "
+            f"{zone.features.gradient_energy:15.2f} | "
+            f"{zone.stress_score:10.1f}"
+        )
+    ratio = exhaustive_counter.total_work / progressive_counter.total_work
+    print(f"\nprogressive feature extraction: identical ranking, "
+          f"{ratio:.1f}x less counted work "
+          f"(paper's [12] quotes 4-8x)")
+
+    # --- harvest-window forecast ---------------------------------------------
+    run = agriculture.harvest_windows(scenario)
+    symbols = agriculture.harvest_symbols(scenario.weather)
+    maturity_day = next(
+        (i for i, s in enumerate(symbols) if s != "growing"), None
+    )
+    print(f"\nharvest forecast: crop matures on day {maturity_day}")
+    if run.accepted:
+        print(f"  harvest windows open on days {list(run.acceptance_times[:8])}")
+        print(f"  total workable days: {run.accepting_days}")
+    else:
+        print("  no harvest window this season (too wet)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setup shim for offline editable installs.
+
+Metadata lives in pyproject.toml; this file exists so ``pip install -e .``
+works without network access (PEP 517 build isolation would try to
+download setuptools/wheel).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Model-based multi-modal information retrieval from large archives "
+        "(reproduction of Li et al., ICDCS 2000)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

@@ -1,0 +1,46 @@
+"""repro — model-based multi-modal information retrieval from large archives.
+
+A from-scratch reproduction of Li, Chang, Bergman and Smith, "Model-Based
+Multi-modal Information Retrieval from Large Archives" (ICDCS 2000).
+
+Public surface (see README for the tour):
+
+* :mod:`repro.core` — the progressive retrieval framework (engine,
+  planner, workflow);
+* :mod:`repro.models` — the three model families (linear, finite state,
+  Bayesian/knowledge);
+* :mod:`repro.index` — model-specific indexes (Onion, R*-tree, grid
+  file, sequential scan);
+* :mod:`repro.sproc` — fuzzy Cartesian composite-object retrieval;
+* :mod:`repro.data` / :mod:`repro.pyramid` / :mod:`repro.abstraction` —
+  the archive substrate and progressive data representations;
+* :mod:`repro.synth` — synthetic data generators standing in for the
+  paper's proprietary sources;
+* :mod:`repro.metrics` — the Section 4 accuracy and efficiency metrics;
+* :mod:`repro.apps` — the paper's application scenarios, packaged.
+"""
+
+from repro.core.engine import RasterRetrievalEngine
+from repro.core.query import TopKQuery
+from repro.core.results import RetrievalResult
+from repro.core.workflow import ModelingWorkflow
+from repro.data.archive import Archive
+from repro.index.onion import OnionIndex
+from repro.metrics.counters import CostCounter
+from repro.models.linear import LinearModel, fit_linear_model, hps_risk_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Archive",
+    "CostCounter",
+    "LinearModel",
+    "ModelingWorkflow",
+    "OnionIndex",
+    "RasterRetrievalEngine",
+    "RetrievalResult",
+    "TopKQuery",
+    "fit_linear_model",
+    "hps_risk_model",
+    "__version__",
+]

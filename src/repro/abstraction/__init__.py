@@ -1,0 +1,51 @@
+"""Multiple abstraction levels (paper Section 3.1).
+
+"Multiple abstraction level representations rely on the fact that raw
+information can be processed into alternate formulations such as features
+(texture, color, shape, etc.) and semantics that require lower data
+volumes at the expense of fidelity."
+
+* :mod:`repro.abstraction.features` — block feature extraction (moments,
+  histograms, texture energy, gradients), with cheap and expensive tiers
+  for the progressive-extraction speedup of [12] (experiment E3);
+* :mod:`repro.abstraction.contours` — threshold-region/contour
+  extraction ("very rapid identification of areas with low or high
+  parameter values, but with a loss of accuracy");
+* :mod:`repro.abstraction.semantics` — block classifiers over pyramid
+  levels, the progressive classification of [13] (experiment E2);
+* :mod:`repro.abstraction.levels` — the raw → feature → semantics →
+  metadata ladder as an explicit pipeline.
+"""
+
+from repro.abstraction.compressed import (
+    CompressedClassification,
+    classify_compressed,
+)
+from repro.abstraction.contours import threshold_regions
+from repro.abstraction.features import (
+    BlockFeatures,
+    cheap_features,
+    expensive_features,
+    extract_block_features,
+)
+from repro.abstraction.levels import AbstractionLevel, AbstractionLadder
+from repro.abstraction.semantics import (
+    BlockClassifier,
+    ProgressiveClassifier,
+    ThresholdClassifier,
+)
+
+__all__ = [
+    "AbstractionLadder",
+    "AbstractionLevel",
+    "BlockClassifier",
+    "BlockFeatures",
+    "CompressedClassification",
+    "classify_compressed",
+    "ProgressiveClassifier",
+    "ThresholdClassifier",
+    "cheap_features",
+    "expensive_features",
+    "extract_block_features",
+    "threshold_regions",
+]

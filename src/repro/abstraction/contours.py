@@ -1,0 +1,122 @@
+"""Threshold-region (contour) extraction.
+
+"Contours can be computed from a data array, allowing for very rapid
+identification of areas with low or high parameter values, but with a
+loss of accuracy." :func:`threshold_regions` extracts the connected
+regions above (or below) a threshold — the semantic abstraction a query
+can consult instead of raw pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.counters import CostCounter
+
+
+@dataclass(frozen=True)
+class Region:
+    """One connected component of a thresholded grid."""
+
+    label: int
+    cells: frozenset[tuple[int, int]]
+    bounding_box: tuple[int, int, int, int]
+
+    @property
+    def size(self) -> int:
+        """Number of member cells."""
+        return len(self.cells)
+
+    @property
+    def centroid(self) -> tuple[float, float]:
+        """Mean (row, col) of member cells."""
+        rows = [cell[0] for cell in self.cells]
+        cols = [cell[1] for cell in self.cells]
+        return (sum(rows) / len(rows), sum(cols) / len(cols))
+
+
+def threshold_regions(
+    values: np.ndarray,
+    threshold: float,
+    above: bool = True,
+    connectivity: int = 4,
+    counter: CostCounter | None = None,
+) -> list[Region]:
+    """Connected regions of cells above (or below) a threshold.
+
+    Parameters
+    ----------
+    values:
+        2-D grid.
+    threshold:
+        Cut value; strict comparison (``>`` or ``<``).
+    above:
+        Direction of the cut.
+    connectivity:
+        4 (edges) or 8 (edges + diagonals).
+
+    Returns regions ordered by decreasing size (largest first), each with
+    a half-open bounding box. One pass over the grid, charged as
+    ``values.size`` data points.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError("values must be 2-D")
+    if connectivity not in (4, 8):
+        raise ValueError("connectivity must be 4 or 8")
+    if counter is not None:
+        counter.add_data_points(values.size)
+
+    mask = values > threshold if above else values < threshold
+    rows, cols = mask.shape
+    labels = np.zeros(mask.shape, dtype=int)
+    if connectivity == 4:
+        offsets = ((-1, 0), (1, 0), (0, -1), (0, 1))
+    else:
+        offsets = (
+            (-1, -1), (-1, 0), (-1, 1),
+            (0, -1), (0, 1),
+            (1, -1), (1, 0), (1, 1),
+        )
+
+    regions: list[Region] = []
+    next_label = 0
+    for seed_row in range(rows):
+        for seed_col in range(cols):
+            if not mask[seed_row, seed_col] or labels[seed_row, seed_col]:
+                continue
+            next_label += 1
+            stack = [(seed_row, seed_col)]
+            labels[seed_row, seed_col] = next_label
+            members: list[tuple[int, int]] = []
+            while stack:
+                row, col = stack.pop()
+                members.append((row, col))
+                for d_row, d_col in offsets:
+                    n_row, n_col = row + d_row, col + d_col
+                    if (
+                        0 <= n_row < rows
+                        and 0 <= n_col < cols
+                        and mask[n_row, n_col]
+                        and not labels[n_row, n_col]
+                    ):
+                        labels[n_row, n_col] = next_label
+                        stack.append((n_row, n_col))
+            member_rows = [cell[0] for cell in members]
+            member_cols = [cell[1] for cell in members]
+            regions.append(
+                Region(
+                    label=next_label,
+                    cells=frozenset(members),
+                    bounding_box=(
+                        min(member_rows),
+                        min(member_cols),
+                        max(member_rows) + 1,
+                        max(member_cols) + 1,
+                    ),
+                )
+            )
+    regions.sort(key=lambda region: (-region.size, region.label))
+    return regions

@@ -1,0 +1,132 @@
+"""The raw → feature → semantics → metadata abstraction ladder.
+
+The paper's progressive data representation has two orthogonal axes:
+resolution (handled by :mod:`repro.pyramid`) and *abstraction level* —
+"raw data, features, semantics and metadata". :class:`AbstractionLadder`
+materializes the three derived levels for a raster layer and reports the
+data volume of each, making the "lower data volumes at the expense of
+fidelity" trade measurable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.abstraction.features import BlockFeatures, extract_block_features
+from repro.abstraction.semantics import BlockClassifier
+from repro.data.raster import RasterLayer
+from repro.metrics.counters import CostCounter
+
+
+class AbstractionLevel(enum.IntEnum):
+    """Abstraction levels ordered from most to least voluminous."""
+
+    RAW = 0
+    FEATURE = 1
+    SEMANTIC = 2
+    METADATA = 3
+
+
+@dataclass(frozen=True)
+class LayerMetadata:
+    """Metadata-level summary of a layer: a handful of scalars."""
+
+    name: str
+    shape: tuple[int, int]
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+
+    @property
+    def n_values(self) -> int:
+        """Data volume of this representation (scalar count)."""
+        return 4
+
+
+class AbstractionLadder:
+    """Derived representations of one raster layer.
+
+    Parameters
+    ----------
+    layer:
+        Source raster.
+    classifier:
+        Labeller used for the semantic level.
+    block_size:
+        Feature/semantic block granularity.
+    """
+
+    def __init__(
+        self,
+        layer: RasterLayer,
+        classifier: BlockClassifier,
+        block_size: int = 8,
+    ) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.layer = layer
+        self.classifier = classifier
+        self.block_size = block_size
+        self._features: dict[tuple[int, int], BlockFeatures] | None = None
+        self._semantic: np.ndarray | None = None
+        self._metadata: LayerMetadata | None = None
+
+    def raw(self, counter: CostCounter | None = None) -> np.ndarray:
+        """The raw level (full data volume)."""
+        return self.layer.read_all(counter)
+
+    def features(
+        self, counter: CostCounter | None = None
+    ) -> dict[tuple[int, int], BlockFeatures]:
+        """Block feature level (computed once, cached)."""
+        if self._features is None:
+            self._features = extract_block_features(
+                self.layer.values,
+                self.block_size,
+                expensive=True,
+                counter=counter,
+            )
+        return self._features
+
+    def semantics(self, counter: CostCounter | None = None) -> np.ndarray:
+        """Block label grid (one label per block, from block means)."""
+        if self._semantic is None:
+            features = self.features(counter)
+            block_rows = max(key[0] for key in features) + 1
+            block_cols = max(key[1] for key in features) + 1
+            labels = np.zeros((block_rows, block_cols), dtype=int)
+            for (block_row, block_col), block_features in features.items():
+                labels[block_row, block_col] = self.classifier.classify_value(
+                    block_features.mean
+                )
+            self._semantic = labels
+        return self._semantic
+
+    def metadata(self) -> LayerMetadata:
+        """Metadata level: four scalars describing the whole layer."""
+        if self._metadata is None:
+            values = self.layer.values
+            self._metadata = LayerMetadata(
+                name=self.layer.name,
+                shape=self.layer.shape,
+                minimum=float(values.min()),
+                maximum=float(values.max()),
+                mean=float(values.mean()),
+                std=float(values.std()),
+            )
+        return self._metadata
+
+    def data_volume(self, level: AbstractionLevel) -> int:
+        """Value count of a representation level (the paper's "data
+        volume" axis; strictly decreasing up the ladder)."""
+        if level is AbstractionLevel.RAW:
+            return self.layer.size
+        if level is AbstractionLevel.FEATURE:
+            return len(self.features()) * 8
+        if level is AbstractionLevel.SEMANTIC:
+            return int(self.semantics().size)
+        return self.metadata().n_values

@@ -1,0 +1,59 @@
+"""The model-based retrieval framework (paper Section 3).
+
+This package is the paper's primary contribution: top-K model-based
+retrieval that beats sequential model application by combining
+
+1. **progressive model execution** — contribution-ordered model levels
+   whose partial evaluations yield sound score intervals,
+2. **progressive data representation** — tile-level aggregate envelopes
+   (quadtrees over the raster stack) screened before any cell is read,
+3. **model-specific pruning** — branch-and-bound against the running
+   top-K, exact because every bound is sound.
+
+* :mod:`repro.core.query` — query descriptions,
+* :mod:`repro.core.screening` — multi-attribute tile screens,
+* :mod:`repro.core.engine` — the retrieval engine (exhaustive baseline +
+  the four-way progressive ablation the Section 4.2 model predicts),
+* :mod:`repro.core.planner` — progressive plan construction and the
+  contribution-vs-selectivity ordering the paper contrasts,
+* :mod:`repro.core.results` — ranked results with pruning audit trails,
+* :mod:`repro.core.workflow` — the Figure 5 hypothesize → fit → retrieve
+  → revise → apply loop.
+"""
+
+from repro.core.engine import RasterRetrievalEngine
+from repro.core.multimodal import (
+    MultiModalQuery,
+    RasterFactor,
+    RegionFactor,
+)
+from repro.core.planner import ExecutionPlan, plan_query
+from repro.core.query import TopKQuery
+from repro.core.results import RetrievalResult, ScoredLocation
+from repro.core.screening import TileScreen
+from repro.core.series_engine import (
+    SeriesModel,
+    SeriesRetrievalEngine,
+    SpellCountModel,
+    ThresholdCountModel,
+)
+from repro.core.workflow import ModelingWorkflow, WorkflowIteration
+
+__all__ = [
+    "ExecutionPlan",
+    "ModelingWorkflow",
+    "MultiModalQuery",
+    "RasterFactor",
+    "RasterRetrievalEngine",
+    "RegionFactor",
+    "RetrievalResult",
+    "ScoredLocation",
+    "SeriesModel",
+    "SeriesRetrievalEngine",
+    "SpellCountModel",
+    "ThresholdCountModel",
+    "TileScreen",
+    "TopKQuery",
+    "WorkflowIteration",
+    "plan_query",
+]

@@ -1,0 +1,469 @@
+"""The progressive retrieval engine (paper Sections 3.1-3.2, 4.2).
+
+:class:`RasterRetrievalEngine` answers top-K model queries over a raster
+stack four ways — the ablation grid of the Section 4.2 efficiency model:
+
+====================  ======================  =========================
+strategy              data representation     model execution
+====================  ======================  =========================
+``exhaustive``        every cell read         full model everywhere
+``data-progressive``  tile envelopes first    full model on survivors
+``model-progressive`` every cell read*        level cascade with bounds
+``both``              tile envelopes first    level cascade on survivors
+====================  ======================  =========================
+
+(*) model-progressive reads only the attributes each level needs, which
+is already a data saving; the *tile* axis is what the table's first
+column refers to.
+
+All four strategies return the same exact top-K score multiset (bounds
+are sound, pruning is strict), so the comparison isolates work, not
+quality. Work is tallied per strategy on a fresh
+:class:`~repro.metrics.counters.CostCounter`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.core.query import TopKQuery
+from repro.core.results import PruningAudit, RetrievalResult, ScoredLocation
+from repro.core.screening import ScreenNode, TileScreen
+from repro.data.raster import RasterStack
+from repro.exceptions import PlanError, QueryError
+from repro.metrics.counters import CostCounter
+from repro.models.base import Model
+from repro.models.linear import LinearModel
+from repro.models.progressive_linear import (
+    ProgressiveLinearModel,
+    TermContribution,
+    analyze_contributions,
+)
+
+
+class _TopKHeap:
+    """Running top-K of (signed score, cell) with a threshold view."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self._heap: list[tuple[float, tuple[int, int]]] = []
+
+    def offer(self, score: float, cell: tuple[int, int]) -> None:
+        entry = (score, cell)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+        elif entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.k
+
+    @property
+    def threshold(self) -> float:
+        """K-th best signed score so far (-inf until full)."""
+        return self._heap[0][0] if self.full else float("-inf")
+
+    def ranked(self) -> list[tuple[float, tuple[int, int]]]:
+        """Entries best-first with deterministic tie-break."""
+        return sorted(self._heap, key=lambda item: (-item[0], item[1]))
+
+
+class RasterRetrievalEngine:
+    """Top-K model retrieval over an aligned raster stack.
+
+    Parameters
+    ----------
+    stack:
+        Attribute layers (e.g. TM bands + DEM).
+    leaf_size:
+        Tile-screen leaf window; the unit of exact evaluation.
+
+    Notes
+    -----
+    The tile screen (quadtree aggregates) is built once at construction
+    and excluded from query counters, mirroring the paper's treatment of
+    index construction as amortized.
+    """
+
+    def __init__(self, stack: RasterStack, leaf_size: int = 16) -> None:
+        if not stack.names:
+            raise PlanError("engine needs a non-empty stack")
+        self.stack = stack
+        self.screen = TileScreen(stack, leaf_size=leaf_size)
+
+    # -- baseline ----------------------------------------------------------
+
+    def exhaustive_top_k(self, query: TopKQuery) -> RetrievalResult:
+        """Sequential-scan baseline: full model on every cell."""
+        counter = CostCounter()
+        model = query.model
+        row0, col0, row1, col1 = query.clip_region(self.stack.shape)
+
+        columns = {}
+        for name in model.attributes:
+            layer = self.stack[name]
+            columns[name] = layer.read_window(row0, col0, row1, col1, counter)
+        scores = model.evaluate_batch(columns)
+        n_cells = scores.size
+        counter.add_model_evals(n_cells, flops_each=model.complexity)
+
+        sign = 1.0 if query.maximize else -1.0
+        heap = _TopKHeap(query.k)
+        flat = (sign * scores).reshape(-1)
+        window_cols = col1 - col0
+        # Seed with the k largest, then offer the rest (heap semantics keep
+        # the answer identical to offering everything; argpartition keeps
+        # the Python-level loop short).
+        order = np.argsort(-flat, kind="stable")[: query.k]
+        for flat_index in order:
+            row, col = divmod(int(flat_index), window_cols)
+            heap.offer(float(flat[flat_index]), (row0 + row, col0 + col))
+
+        answers = [
+            ScoredLocation(row=cell[0], col=cell[1], score=sign * signed)
+            for signed, cell in heap.ranked()
+        ]
+        return RetrievalResult(
+            answers=answers, counter=counter, strategy="exhaustive"
+        )
+
+    # -- progressive -------------------------------------------------------
+
+    def progressive_top_k(
+        self,
+        query: TopKQuery,
+        use_tiles: bool = True,
+        use_model_levels: bool = True,
+        term_order: tuple[str, ...] | None = None,
+        pruning: str = "sound",
+        heuristic_margin: float = 0.7,
+        work_budget: int | None = None,
+    ) -> RetrievalResult:
+        """Progressive retrieval with either/both pruning mechanisms.
+
+        ``term_order`` overrides the level cascade's attribute order
+        (normally contribution-ordered); the planner ablation uses it to
+        compare orderings. With both flags false this degenerates to the
+        exhaustive scan (kept callable so the ablation grid is uniform).
+
+        ``pruning`` selects the tile screen's bound source: ``"sound"``
+        (min/max envelopes — exact results, the default) or
+        ``"heuristic"`` (mean +/- ``heuristic_margin`` half-spreads —
+        faster, may *miss answers*; the DESIGN.md pruning-rule ablation).
+
+        ``work_budget`` makes the retrieval *anytime* (Section 3.1's
+        "incremental generation of model predictions"): once counted
+        work passes the budget, tile-level search stops and the result
+        carries a sound ``regret_bound`` — how much better any
+        unexamined location could still score. Requires ``use_tiles``.
+        """
+        if pruning not in ("sound", "heuristic"):
+            raise QueryError(f"unknown pruning mode {pruning!r}")
+        if work_budget is not None:
+            if work_budget <= 0:
+                raise QueryError("work_budget must be positive")
+            if not use_tiles:
+                raise QueryError(
+                    "anytime retrieval needs the tile frontier; run with "
+                    "use_tiles=True"
+                )
+        if not use_tiles and not use_model_levels:
+            result = self.exhaustive_top_k(query)
+            result.strategy = "none"
+            return result
+
+        counter = CostCounter()
+        audit = PruningAudit()
+        model = query.model
+        sign = 1.0 if query.maximize else -1.0
+        heap = _TopKHeap(query.k)
+        region = query.clip_region(self.stack.shape)
+
+        progressive = (
+            self._build_progressive(model, term_order)
+            if use_model_levels
+            else None
+        )
+        if use_model_levels and progressive is None:
+            raise QueryError(
+                f"model {type(model).__name__} does not support progressive "
+                "levels; run with use_model_levels=False"
+            )
+        if use_tiles and not model.supports_intervals:
+            raise QueryError(
+                f"model {type(model).__name__} cannot bound intervals; "
+                "run with use_tiles=False"
+            )
+
+        regret_bound: float | None = None
+        if use_tiles:
+            regret_bound = self._tile_search(
+                query, progressive, heap, sign, region, counter, audit,
+                pruning=pruning, heuristic_margin=heuristic_margin,
+                work_budget=work_budget,
+            )
+        else:
+            self._evaluate_window(
+                query, progressive, heap, sign, region, counter, audit
+            )
+
+        answers = [
+            ScoredLocation(row=cell[0], col=cell[1], score=sign * signed)
+            for signed, cell in heap.ranked()
+        ]
+        strategy = {
+            (True, True): "both",
+            (True, False): "data-progressive",
+            (False, True): "model-progressive",
+        }[(use_tiles, use_model_levels)]
+        if pruning == "heuristic" and use_tiles:
+            strategy += "-heuristic"
+        if work_budget is not None:
+            strategy += "-anytime"
+        return RetrievalResult(
+            answers=answers, counter=counter, audit=audit, strategy=strategy,
+            regret_bound=regret_bound,
+        )
+
+    def _build_progressive(
+        self, model: Model, term_order: tuple[str, ...] | None = None
+    ) -> ProgressiveLinearModel | None:
+        """Contribution-ordered levels for linear models, None otherwise.
+
+        ``term_order`` forces an explicit cascade order instead of the
+        default contribution ranking.
+        """
+        if not isinstance(model, LinearModel):
+            return None
+        ranges = self.screen.attribute_ranges()
+        missing = [a for a in model.attributes if a not in ranges]
+        if missing:
+            raise QueryError(f"stack lacks model attributes {missing}")
+        spreads = {
+            name: high - low
+            for name, (low, high) in ranges.items()
+            if name in model.attributes
+        }
+        if term_order is not None:
+            if sorted(term_order) != sorted(model.attributes):
+                raise QueryError(
+                    f"term_order {term_order} does not cover the model's "
+                    f"attributes {model.attributes}"
+                )
+            contributions = [
+                TermContribution(
+                    attribute=name,
+                    coefficient=model.coefficients[name],
+                    spread=spreads[name],
+                )
+                for name in term_order
+            ]
+        else:
+            contributions = analyze_contributions(model, spreads=spreads)
+        return ProgressiveLinearModel(
+            model,
+            contributions,
+            {name: ranges[name] for name in model.attributes},
+        )
+
+    def _signed_upper(
+        self, model: Model, envelopes: dict[str, tuple[float, float]], sign: float
+    ) -> float:
+        low, high = model.evaluate_interval(envelopes)
+        return high if sign > 0 else -low
+
+    def _tile_search(
+        self,
+        query: TopKQuery,
+        progressive: ProgressiveLinearModel | None,
+        heap: _TopKHeap,
+        sign: float,
+        region: tuple[int, int, int, int],
+        counter: CostCounter,
+        audit: PruningAudit,
+        pruning: str = "sound",
+        heuristic_margin: float = 0.7,
+        work_budget: int | None = None,
+    ) -> float | None:
+        """Best-first branch-and-bound over the tile screen.
+
+        Returns the anytime regret bound when a ``work_budget`` was set
+        (0.0 when the search finished within budget), else None.
+        """
+        model = query.model
+        tiebreak = itertools.count()
+
+        def node_envelopes(node: ScreenNode) -> dict[str, tuple[float, float]]:
+            if pruning == "heuristic":
+                return self.screen.heuristic_envelopes(
+                    node, heuristic_margin, counter
+                )
+            return self.screen.envelopes(node, counter)
+
+        root = self.screen.root()
+        root_env = node_envelopes(root)
+        counter.add_partial_evals(1, flops_each=model.complexity)
+        frontier = [
+            (-self._signed_upper(model, root_env, sign), next(tiebreak), root)
+        ]
+
+        region_row0, region_col0, region_row1, region_col1 = region
+
+        def intersects_region(node: ScreenNode) -> bool:
+            row0, col0, row1, col1 = node.window
+            return (
+                row0 < region_row1
+                and region_row0 < row1
+                and col0 < region_col1
+                and region_col0 < col1
+            )
+
+        while frontier:
+            if (
+                work_budget is not None
+                and counter.total_work >= work_budget
+            ):
+                # Anytime stop: the best remaining frontier bound caps how
+                # much any unexamined location can beat the K-th best.
+                best_remaining = -frontier[0][0]
+                return max(0.0, best_remaining - heap.threshold)
+            neg_upper, _, node = heapq.heappop(frontier)
+            upper = -neg_upper
+            if heap.full and upper < heap.threshold:
+                break  # every remaining node is bounded below the K-th best
+            if node.is_leaf:
+                row0, col0, row1, col1 = node.window
+                window = (
+                    max(row0, region_row0),
+                    max(col0, region_col0),
+                    min(row1, region_row1),
+                    min(col1, region_col1),
+                )
+                self._evaluate_window(
+                    query, progressive, heap, sign, window, counter, audit
+                )
+                continue
+            for child in self.screen.children(node):
+                if not intersects_region(child):
+                    continue
+                envelopes = node_envelopes(child)
+                counter.add_partial_evals(1, flops_each=model.complexity)
+                child_upper = self._signed_upper(model, envelopes, sign)
+                audit.tiles_screened += 1
+                if heap.full and child_upper < heap.threshold:
+                    audit.tiles_pruned += 1
+                    continue
+                heapq.heappush(
+                    frontier, (-child_upper, next(tiebreak), child)
+                )
+        return 0.0 if work_budget is not None else None
+
+    def _evaluate_window(
+        self,
+        query: TopKQuery,
+        progressive: ProgressiveLinearModel | None,
+        heap: _TopKHeap,
+        sign: float,
+        window: tuple[int, int, int, int],
+        counter: CostCounter,
+        audit: PruningAudit,
+    ) -> None:
+        """Exact evaluation of a window, with optional level cascade."""
+        row0, col0, row1, col1 = window
+        if row0 >= row1 or col0 >= col1:
+            return
+        model = query.model
+
+        rows, cols = np.meshgrid(
+            np.arange(row0, row1), np.arange(col0, col1), indexing="ij"
+        )
+        rows = rows.reshape(-1)
+        cols = cols.reshape(-1)
+
+        if progressive is None:
+            columns = {}
+            for name in model.attributes:
+                layer = self.stack[name]
+                columns[name] = layer.read_window(row0, col0, row1, col1, counter)
+            scores = sign * model.evaluate_batch(columns).reshape(-1)
+            counter.add_model_evals(scores.size, flops_each=model.complexity)
+            for score, row, col in zip(scores, rows, cols):
+                heap.offer(float(score), (int(row), int(col)))
+            return
+
+        # Level cascade: evaluate one contribution-ordered term at a time,
+        # pruning candidates whose best completion cannot reach the K-th
+        # best signed score. After level 1, candidates are processed in
+        # descending partial-score order ("more complete model on the
+        # regions predicted high risk sooner", Section 3.1): the heap
+        # fills with strong scores early, so later candidates prune after
+        # reading only the first attribute.
+        coefficients = progressive.model.coefficients
+        ordered = [term.attribute for term in progressive.contributions]
+        n_levels = len(ordered)
+
+        first_attribute = ordered[0]
+        audit.enter_level(1, rows.size)
+        values = self.stack[first_attribute].values[rows, cols]
+        counter.add_data_points(values.size)
+        partial = progressive.model.intercept + (
+            coefficients[first_attribute] * values
+        )
+        counter.add_partial_evals(values.size, flops_each=2)
+
+        if n_levels == 1:
+            scores = sign * partial
+            for score, row, col in zip(scores, rows, cols):
+                heap.offer(float(score), (int(row), int(col)))
+            return
+
+        signed_partial = sign * partial
+        order = np.argsort(-signed_partial, kind="stable")
+        tail_low_1, tail_high_1 = progressive._tail_bounds(1)
+        signed_tail_1 = max(sign * tail_low_1, sign * tail_high_1)
+
+        block_size = max(4 * query.k, 256)
+        for start in range(0, order.size, block_size):
+            block = order[start: start + block_size]
+            # Every remaining candidate's bound is at most the block
+            # leader's; once that falls below the K-th best, stop.
+            if heap.full and (
+                signed_partial[block[0]] + signed_tail_1 < heap.threshold
+            ):
+                audit.prune_at_level(1, int(order.size - start))
+                break
+
+            block_rows = rows[block]
+            block_cols = cols[block]
+            block_partial = partial[block]
+            for level, attribute in enumerate(ordered[1:], start=2):
+                if heap.full:
+                    tail_low, tail_high = progressive._tail_bounds(level - 1)
+                    signed_tail = max(sign * tail_low, sign * tail_high)
+                    upper = sign * block_partial + signed_tail
+                    keep = upper >= heap.threshold
+                    pruned = int(np.count_nonzero(~keep))
+                    if pruned:
+                        audit.prune_at_level(level - 1, pruned)
+                        block_rows = block_rows[keep]
+                        block_cols = block_cols[keep]
+                        block_partial = block_partial[keep]
+                        if block_rows.size == 0:
+                            break
+                audit.enter_level(level, block_rows.size)
+                layer_values = self.stack[attribute].values[
+                    block_rows, block_cols
+                ]
+                counter.add_data_points(layer_values.size)
+                block_partial = block_partial + (
+                    coefficients[attribute] * layer_values
+                )
+                counter.add_partial_evals(layer_values.size, flops_each=2)
+            else:
+                scores = sign * block_partial
+                for score, row, col in zip(scores, block_rows, block_cols):
+                    heap.offer(float(score), (int(row), int(col)))

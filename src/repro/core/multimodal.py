@@ -1,0 +1,166 @@
+"""Multi-modal fusion retrieval.
+
+Section 1's scenarios are explicitly multi-modal: the HPS model fuses
+"remotely sensed images, weather information, GIS and demographic
+information"; Figure 3's note reads "this model is multi-modal, as it
+consists of data from images and weather pattern."
+
+:class:`MultiModalQuery` fuses per-location evidence from heterogeneous
+sources into one [0, 1] score:
+
+* **raster factors** — a model over aligned raster layers, min-max
+  normalized to a degree;
+* **region factors** — a constant degree per station region, computed
+  from that region's time series (e.g. an FSM score or a wet-then-dry
+  detector) and broadcast over the cells it covers;
+* fusion by weighted average or fuzzy AND.
+
+Retrieval stays cheap because raster factors run through the progressive
+engine's exhaustive/batch path and region factors are O(#regions); the
+fusion itself is a per-cell combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.raster import RasterStack
+from repro.data.series import TimeSeries
+from repro.exceptions import QueryError
+from repro.metrics.counters import CostCounter
+from repro.models.base import Model
+
+
+@dataclass(frozen=True)
+class RasterFactor:
+    """A raster-model factor: scores normalized to [0, 1] over the grid."""
+
+    name: str
+    model: Model
+    weight: float = 1.0
+
+    def degrees(
+        self, stack: RasterStack, counter: CostCounter | None = None
+    ) -> np.ndarray:
+        """Min-max-normalized model scores over the whole grid."""
+        columns = {}
+        for attribute in self.model.attributes:
+            layer = stack[attribute]
+            columns[attribute] = layer.read_all(counter)
+        scores = self.model.evaluate_batch(columns)
+        if counter is not None:
+            counter.add_model_evals(
+                scores.size, flops_each=self.model.complexity
+            )
+        low, high = scores.min(), scores.max()
+        if high == low:
+            return np.full(scores.shape, 0.5)
+        return (scores - low) / (high - low)
+
+
+@dataclass(frozen=True)
+class RegionFactor:
+    """A per-region factor from station series.
+
+    ``regions`` maps a region key to the half-open grid window it covers;
+    ``series`` maps the same keys to that region's time series;
+    ``score`` turns one series into a [0, 1] degree.
+    """
+
+    name: str
+    regions: dict[tuple[int, int], tuple[int, int, int, int]]
+    series: dict[tuple[int, int], TimeSeries]
+    score: Callable[[TimeSeries, CostCounter | None], float]
+    weight: float = 1.0
+
+    def degrees(
+        self, shape: tuple[int, int], counter: CostCounter | None = None
+    ) -> np.ndarray:
+        """Broadcast each region's degree over its window."""
+        if set(self.regions) != set(self.series):
+            raise QueryError(
+                f"factor {self.name!r}: regions and series keys differ"
+            )
+        grid = np.zeros(shape)
+        covered = np.zeros(shape, dtype=bool)
+        for key, (row0, col0, row1, col1) in self.regions.items():
+            degree = float(self.score(self.series[key], counter))
+            if not 0.0 <= degree <= 1.0:
+                raise QueryError(
+                    f"factor {self.name!r}: degree {degree} outside [0, 1]"
+                )
+            grid[row0:row1, col0:col1] = degree
+            covered[row0:row1, col0:col1] = True
+        if not covered.all():
+            raise QueryError(
+                f"factor {self.name!r}: regions do not tile the grid"
+            )
+        return grid
+
+
+class MultiModalQuery:
+    """Fused multi-modal top-K retrieval over one study area.
+
+    Parameters
+    ----------
+    stack:
+        Aligned raster layers (the imagery/elevation modality).
+    raster_factors, region_factors:
+        The evidence sources; at least one factor total.
+    fusion:
+        ``"weighted"`` (weight-normalized average) or ``"and"``
+        (minimum — the conjunctive knowledge-model reading).
+    """
+
+    def __init__(
+        self,
+        stack: RasterStack,
+        raster_factors: Sequence[RasterFactor] = (),
+        region_factors: Sequence[RegionFactor] = (),
+        fusion: str = "weighted",
+    ) -> None:
+        if not raster_factors and not region_factors:
+            raise QueryError("need at least one factor")
+        if fusion not in ("weighted", "and"):
+            raise QueryError(f"unknown fusion {fusion!r}")
+        self.stack = stack
+        self.raster_factors = tuple(raster_factors)
+        self.region_factors = tuple(region_factors)
+        self.fusion = fusion
+
+    def fused_degrees(self, counter: CostCounter | None = None) -> np.ndarray:
+        """The fused per-cell score surface in [0, 1]."""
+        shape = self.stack.shape
+        layers: list[tuple[float, np.ndarray]] = []
+        for factor in self.raster_factors:
+            layers.append((factor.weight, factor.degrees(self.stack, counter)))
+        for factor in self.region_factors:
+            layers.append((factor.weight, factor.degrees(shape, counter)))
+
+        if self.fusion == "and":
+            fused = layers[0][1]
+            for _, degrees in layers[1:]:
+                fused = np.minimum(fused, degrees)
+            return fused
+        total_weight = sum(weight for weight, _ in layers)
+        fused = np.zeros(shape)
+        for weight, degrees in layers:
+            fused = fused + weight * degrees
+        return fused / total_weight
+
+    def top_k(
+        self, k: int, counter: CostCounter | None = None
+    ) -> list[tuple[tuple[int, int], float]]:
+        """The K highest fused-score cells, best first (ties row-major)."""
+        if k <= 0:
+            raise QueryError("k must be positive")
+        fused = self.fused_degrees(counter)
+        flat_order = np.argsort(-fused, axis=None, kind="stable")[:k]
+        rows, cols = np.unravel_index(flat_order, fused.shape)
+        return [
+            ((int(row), int(col)), float(fused[row, col]))
+            for row, col in zip(rows, cols)
+        ]

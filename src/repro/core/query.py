@@ -1,0 +1,59 @@
+"""Retrieval query descriptions.
+
+A :class:`TopKQuery` captures what the applications in Section 1 ask for:
+the K locations that maximize (or minimize) a model over an archive
+region, plus execution preferences the planner consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import QueryError
+from repro.models.base import Model
+
+
+@dataclass(frozen=True)
+class TopKQuery:
+    """A top-K model-based retrieval request.
+
+    Attributes
+    ----------
+    model:
+        The scoring model (any of the paper's three families, wrapped in
+        the common :class:`~repro.models.base.Model` interface).
+    k:
+        Number of answers requested.
+    maximize:
+        True for highest-scoring locations (risk), False for lowest.
+    region:
+        Optional half-open window ``(row0, col0, row1, col1)`` restricting
+        the query to part of the grid; ``None`` means the whole grid.
+    """
+
+    model: Model
+    k: int
+    maximize: bool = True
+    region: tuple[int, int, int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise QueryError(f"k must be positive, got {self.k}")
+        if self.region is not None:
+            row0, col0, row1, col1 = self.region
+            if row0 >= row1 or col0 >= col1:
+                raise QueryError(f"empty query region {self.region}")
+
+    def clip_region(self, shape: tuple[int, int]) -> tuple[int, int, int, int]:
+        """The effective window for a grid of the given shape."""
+        rows, cols = shape
+        if self.region is None:
+            return (0, 0, rows, cols)
+        row0, col0, row1, col1 = self.region
+        row0, col0 = max(0, row0), max(0, col0)
+        row1, col1 = min(rows, row1), min(cols, col1)
+        if row0 >= row1 or col0 >= col1:
+            raise QueryError(
+                f"query region {self.region} does not intersect grid {shape}"
+            )
+        return (row0, col0, row1, col1)

@@ -1,0 +1,91 @@
+"""Retrieval results with pruning audit trails.
+
+A :class:`RetrievalResult` carries the ranked answers, the work counter
+of the strategy that produced them, and an audit of what progressive
+execution pruned where — the numbers behind the ``pm``/``pd`` factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.counters import CostCounter
+
+
+@dataclass(frozen=True)
+class ScoredLocation:
+    """One ranked answer: a grid cell and its model score."""
+
+    row: int
+    col: int
+    score: float
+
+    @property
+    def location(self) -> tuple[int, int]:
+        """The ``(row, col)`` cell."""
+        return (self.row, self.col)
+
+
+@dataclass
+class PruningAudit:
+    """Tallies of what each progressive mechanism discarded.
+
+    ``tiles_screened``/``tiles_pruned`` count tile-level decisions from
+    data envelopes; ``cells_entered_level[k]`` / ``cells_pruned_at_level[k]``
+    count per-cell survivors of each progressive model level (1-based).
+    """
+
+    tiles_screened: int = 0
+    tiles_pruned: int = 0
+    cells_entered_level: dict[int, int] = field(default_factory=dict)
+    cells_pruned_at_level: dict[int, int] = field(default_factory=dict)
+
+    def enter_level(self, level: int, n_cells: int) -> None:
+        """Record ``n_cells`` candidates entering a model level."""
+        self.cells_entered_level[level] = (
+            self.cells_entered_level.get(level, 0) + n_cells
+        )
+
+    def prune_at_level(self, level: int, n_cells: int) -> None:
+        """Record ``n_cells`` candidates discarded by a level's bound."""
+        self.cells_pruned_at_level[level] = (
+            self.cells_pruned_at_level.get(level, 0) + n_cells
+        )
+
+    @property
+    def tile_prune_fraction(self) -> float:
+        """Fraction of screened tiles pruned without reading cells."""
+        if self.tiles_screened == 0:
+            return 0.0
+        return self.tiles_pruned / self.tiles_screened
+
+
+@dataclass
+class RetrievalResult:
+    """Ranked top-K answers plus the work and pruning record.
+
+    ``regret_bound`` is set by anytime (work-budgeted) runs: a sound
+    upper bound on how much better any unexamined location could score
+    than the current K-th best. ``0.0`` means the answers are provably
+    exact despite the early stop; ``None`` means the run completed
+    normally (exact by construction).
+    """
+
+    answers: list[ScoredLocation]
+    counter: CostCounter
+    audit: PruningAudit = field(default_factory=PruningAudit)
+    strategy: str = ""
+    regret_bound: float | None = None
+
+    @property
+    def locations(self) -> list[tuple[int, int]]:
+        """Ranked ``(row, col)`` cells, best first."""
+        return [answer.location for answer in self.answers]
+
+    @property
+    def scores(self) -> list[float]:
+        """Ranked scores, best first."""
+        return [answer.score for answer in self.answers]
+
+    def __len__(self) -> int:
+        return len(self.answers)

@@ -1,0 +1,161 @@
+"""Multi-attribute tile screening (the data side of progressive pruning).
+
+A :class:`TileScreen` maintains one quadtree of min/max aggregates per
+attribute layer of a raster stack. Because quadtree structure depends
+only on grid shape and leaf size, the per-layer trees are node-for-node
+aligned, so any tree node corresponds to one spatial window with a
+(min, max) envelope *per attribute* — exactly the input
+``Model.evaluate_interval`` needs to bound scores over the window.
+
+Screen nodes are the branch-and-bound frontier of the retrieval engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.raster import RasterStack
+from repro.exceptions import PlanError
+from repro.metrics.counters import CostCounter
+from repro.pyramid.quadtree import QuadTree, QuadTreeNode
+
+
+@dataclass(frozen=True)
+class ScreenNode:
+    """One spatial window with per-attribute envelopes.
+
+    ``nodes`` holds the aligned per-attribute quadtree nodes (same window
+    in every tree, one per attribute in the screen's attribute order).
+    """
+
+    nodes: tuple[QuadTreeNode, ...]
+
+    @property
+    def window(self) -> tuple[int, int, int, int]:
+        """Covered half-open window ``(row0, col0, row1, col1)``."""
+        return self.nodes[0].window()
+
+    @property
+    def size(self) -> int:
+        """Number of cells covered."""
+        return self.nodes[0].size
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the underlying quadtree nodes are leaves."""
+        return self.nodes[0].is_leaf
+
+
+class TileScreen:
+    """Aligned per-attribute quadtrees over a raster stack.
+
+    Parameters
+    ----------
+    stack:
+        The attribute layers (shared shape enforced by the stack).
+    attributes:
+        Which layers to screen (defaults to all in the stack).
+    leaf_size:
+        Quadtree leaf window size; leaves are the unit of exact
+        evaluation, so smaller leaves prune more but bound more often.
+    """
+
+    def __init__(
+        self,
+        stack: RasterStack,
+        attributes: list[str] | None = None,
+        leaf_size: int = 16,
+    ) -> None:
+        self.attributes = list(attributes or stack.names)
+        if not self.attributes:
+            raise PlanError("tile screen needs at least one attribute")
+        missing = [name for name in self.attributes if name not in stack]
+        if missing:
+            raise PlanError(f"stack lacks screened attributes {missing}")
+        self.stack = stack
+        self.leaf_size = leaf_size
+        self._trees = {
+            name: QuadTree(stack[name], leaf_size=leaf_size)
+            for name in self.attributes
+        }
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Grid shape."""
+        return self.stack.shape
+
+    def root(self) -> ScreenNode:
+        """The whole-grid screen node."""
+        return ScreenNode(
+            tuple(self._trees[name].root for name in self.attributes)
+        )
+
+    def children(self, node: ScreenNode) -> list[ScreenNode]:
+        """Aligned children of a screen node (empty for leaves).
+
+        Children are matched by window across the per-attribute trees;
+        alignment is guaranteed by identical construction, and verified.
+        """
+        first_children = node.nodes[0].children
+        if not first_children:
+            return []
+        result = []
+        for child_position, first_child in enumerate(first_children):
+            aligned = [first_child]
+            for tree_node in node.nodes[1:]:
+                sibling = tree_node.children[child_position]
+                if sibling.window() != first_child.window():
+                    raise PlanError(
+                        "per-attribute quadtrees lost alignment at "
+                        f"window {first_child.window()}"
+                    )
+                aligned.append(sibling)
+            result.append(ScreenNode(tuple(aligned)))
+        return result
+
+    def envelopes(
+        self, node: ScreenNode, counter: CostCounter | None = None
+    ) -> dict[str, tuple[float, float]]:
+        """Per-attribute (min, max) over the node's window.
+
+        Tallied as one aggregate-node visit per attribute — envelopes are
+        precomputed constants, not data reads.
+        """
+        if counter is not None:
+            counter.add_nodes(len(node.nodes))
+        return {
+            name: (tree_node.minimum, tree_node.maximum)
+            for name, tree_node in zip(self.attributes, node.nodes)
+        }
+
+    def heuristic_envelopes(
+        self,
+        node: ScreenNode,
+        margin: float,
+        counter: CostCounter | None = None,
+    ) -> dict[str, tuple[float, float]]:
+        """Mean +/- margin*(spread) pseudo-envelopes (UNSOUND on purpose).
+
+        The DESIGN.md pruning-rule ablation: instead of the true (min,
+        max), pretend each attribute stays within ``margin`` of the
+        node's half-spread around its mean. ``margin = 1`` recovers the
+        sound envelope; smaller margins prune more aggressively and can
+        *miss answers* — the recall/work trade the ablation benchmark
+        quantifies.
+        """
+        if margin < 0:
+            raise PlanError("margin must be non-negative")
+        if counter is not None:
+            counter.add_nodes(len(node.nodes))
+        result = {}
+        for name, tree_node in zip(self.attributes, node.nodes):
+            half_spread = (tree_node.maximum - tree_node.minimum) / 2.0
+            result[name] = (
+                tree_node.mean - margin * half_spread,
+                tree_node.mean + margin * half_spread,
+            )
+        return result
+
+    def attribute_ranges(self) -> dict[str, tuple[float, float]]:
+        """Whole-grid (min, max) per attribute (root envelopes)."""
+        return self.envelopes(self.root())

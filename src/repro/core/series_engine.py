@@ -1,0 +1,408 @@
+"""Progressive top-K retrieval over collections of series.
+
+The station-grid scenarios (fire ants, weather rules) ask: *which K of
+these hundreds of stations best satisfy the model?* Exhaustively, every
+station's full record is read and scored. Progressively, each station
+carries a refinable **bound state** over its resolution pyramid
+(:mod:`repro.pyramid.series_pyramid`): windows that are decisively above
+or below the model's threshold are settled from two aggregate values;
+only *straddling* windows split into finer windows — the 1-D analogue of
+the raster engine's quadtree descent. Stations refine lazily, best-bound
+first, and stop the moment the running K-th best score exceeds their
+ceiling.
+
+Series models implement :class:`SeriesModel`:
+
+* :class:`ThresholdCountModel` — "days with temperature >= 25 C",
+  "samples with gamma ray > 45". Fully refinable: when every window is
+  decided the bound collapses to the exact count, so top-K retrieval may
+  finish without reading a single raw sample of most stations.
+* :class:`SpellCountModel` — "days inside a dry spell of length >= L".
+  Sequential, so envelopes only bound it from above (every spell day is
+  a sub-threshold day); undecidable stations fall back to one exact scan.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.data.series import _Series
+from repro.exceptions import QueryError
+from repro.metrics.counters import CostCounter
+from repro.pyramid.series_pyramid import SeriesPyramid
+
+
+class BoundState(abc.ABC):
+    """A refinable score interval for one station."""
+
+    @property
+    @abc.abstractmethod
+    def low(self) -> float:
+        """Sound lower bound on the station's score."""
+
+    @property
+    @abc.abstractmethod
+    def high(self) -> float:
+        """Sound upper bound on the station's score."""
+
+    @abc.abstractmethod
+    def refine(self, counter: CostCounter | None = None) -> bool:
+        """Tighten the bound one step; False when nothing more can move."""
+
+    @property
+    def exact(self) -> bool:
+        """Whether the interval has collapsed to the true score."""
+        return self.low == self.high
+
+
+class SeriesModel(abc.ABC):
+    """A scored model over one series."""
+
+    @property
+    @abc.abstractmethod
+    def attribute(self) -> str:
+        """The series attribute the model reads."""
+
+    @abc.abstractmethod
+    def evaluate(
+        self, series: _Series, counter: CostCounter | None = None
+    ) -> float:
+        """Exact score of a full record."""
+
+    @abc.abstractmethod
+    def bound_state(
+        self, pyramid: SeriesPyramid, counter: CostCounter | None = None
+    ) -> BoundState:
+        """Initial (coarsest-level) refinable bound for one station."""
+
+    def bound(
+        self, pyramid: SeriesPyramid, counter: CostCounter | None = None
+    ) -> tuple[float, float]:
+        """One-shot coarse (low, high) bound — the unrefined state."""
+        state = self.bound_state(pyramid, counter)
+        return (state.low, state.high)
+
+
+class _ThresholdBoundState(BoundState):
+    """Window-splitting bound for :class:`ThresholdCountModel`.
+
+    Maintains ``certain`` (samples guaranteed to match) plus a list of
+    undecided windows; each refinement splits every undecided window into
+    its two children one level finer and reclassifies them. Level-0
+    windows are single samples (min == max), so they always decide —
+    refinement terminates with an exact count.
+    """
+
+    def __init__(
+        self,
+        model: "ThresholdCountModel",
+        pyramid: SeriesPyramid,
+        counter: CostCounter | None,
+    ) -> None:
+        self._model = model
+        self._pyramid = pyramid
+        self._certain = 0
+        self._undecided: list[tuple[int, int, int]] = []  # (level, window, width)
+        top = pyramid.n_levels - 1
+        level = pyramid.level(top)
+        n_samples = len(pyramid.series)
+        for window_index in range(level.n_windows):
+            start, stop = level.sample_range(window_index)
+            width = min(stop, n_samples) - start
+            if width > 0:
+                self._classify(top, window_index, width, counter)
+
+    def _classify(
+        self,
+        level_index: int,
+        window_index: int,
+        width: int,
+        counter: CostCounter | None,
+    ) -> None:
+        level = self._pyramid.level(level_index)
+        minimum = float(level.minimum[window_index])
+        maximum = float(level.maximum[window_index])
+        if counter is not None:
+            counter.add_data_points(2)
+            counter.add_partial_evals(1, flops_each=2)
+        if self._model.above:
+            certain = minimum >= self._model.threshold
+            impossible = maximum < self._model.threshold
+        else:
+            certain = maximum < self._model.threshold
+            impossible = minimum >= self._model.threshold
+        if certain:
+            self._certain += width
+        elif not impossible:
+            self._undecided.append((level_index, window_index, width))
+
+    @property
+    def low(self) -> float:
+        return float(self._certain)
+
+    @property
+    def high(self) -> float:
+        return float(
+            self._certain + sum(width for _, _, width in self._undecided)
+        )
+
+    def refine(self, counter: CostCounter | None = None) -> bool:
+        if not self._undecided:
+            return False
+        pending = self._undecided
+        self._undecided = []
+        n_samples = len(self._pyramid.series)
+        for level_index, window_index, _ in pending:
+            # Level 0 windows are single samples and always classify as
+            # certain or impossible, so only level > 0 reaches here.
+            child_level = level_index - 1
+            child_scale = self._pyramid.level(child_level).scale
+            for child in (2 * window_index, 2 * window_index + 1):
+                start = child * child_scale
+                stop = min(n_samples, start + child_scale)
+                width = stop - start
+                if width > 0:
+                    self._classify(child_level, child, width, counter)
+        return True
+
+
+@dataclass(frozen=True)
+class ThresholdCountModel(SeriesModel):
+    """Count of samples on one side of a threshold.
+
+    ``above=True`` counts samples ``>= threshold`` (hot days, hot
+    gamma); ``above=False`` counts samples ``< threshold`` (dry days
+    when used on rain with a small threshold).
+    """
+
+    attribute_name: str
+    threshold: float
+    above: bool = True
+
+    @property
+    def attribute(self) -> str:
+        return self.attribute_name
+
+    def _matches(self, values: np.ndarray) -> np.ndarray:
+        if self.above:
+            return values >= self.threshold
+        return values < self.threshold
+
+    def evaluate(
+        self, series: _Series, counter: CostCounter | None = None
+    ) -> float:
+        values = series.read_range(
+            self.attribute_name, 0, len(series), counter
+        )
+        if counter is not None:
+            counter.add_model_evals(1, flops_each=values.size)
+        return float(np.count_nonzero(self._matches(values)))
+
+    def bound_state(
+        self, pyramid: SeriesPyramid, counter: CostCounter | None = None
+    ) -> BoundState:
+        return _ThresholdBoundState(self, pyramid, counter)
+
+
+class _SpellBoundState(BoundState):
+    """Upper-bound-only state for :class:`SpellCountModel`.
+
+    Delegates to a threshold state on the sub-threshold count: every
+    spell day is a sub-threshold day, so that count's ceiling bounds the
+    spell count; the floor stays 0 because sequentiality is invisible to
+    unordered window envelopes.
+    """
+
+    def __init__(self, inner: _ThresholdBoundState) -> None:
+        self._inner = inner
+
+    @property
+    def low(self) -> float:
+        return 0.0
+
+    @property
+    def high(self) -> float:
+        return self._inner.high
+
+    def refine(self, counter: CostCounter | None = None) -> bool:
+        return self._inner.refine(counter)
+
+    @property
+    def exact(self) -> bool:
+        # Exact only in the degenerate all-pruned case (high == 0).
+        return self.high == 0.0
+
+
+@dataclass(frozen=True)
+class SpellCountModel(SeriesModel):
+    """Samples belonging to runs of length >= ``min_run`` below a threshold.
+
+    The "dry spell" primitive of the fire-ants scenario: a day counts
+    when it sits inside an unbroken sub-threshold run of at least
+    ``min_run`` days.
+    """
+
+    attribute_name: str
+    threshold: float
+    min_run: int = 3
+
+    def __post_init__(self) -> None:
+        if self.min_run < 1:
+            raise QueryError("min_run must be at least 1")
+
+    @property
+    def attribute(self) -> str:
+        return self.attribute_name
+
+    def evaluate(
+        self, series: _Series, counter: CostCounter | None = None
+    ) -> float:
+        values = series.read_range(
+            self.attribute_name, 0, len(series), counter
+        )
+        if counter is not None:
+            counter.add_model_evals(1, flops_each=values.size)
+        below = values < self.threshold
+        total = 0
+        run = 0
+        for flag in below:
+            if flag:
+                run += 1
+            else:
+                if run >= self.min_run:
+                    total += run
+                run = 0
+        if run >= self.min_run:
+            total += run
+        return float(total)
+
+    def bound_state(
+        self, pyramid: SeriesPyramid, counter: CostCounter | None = None
+    ) -> BoundState:
+        helper = ThresholdCountModel(
+            self.attribute_name, self.threshold, above=False
+        )
+        return _SpellBoundState(
+            _ThresholdBoundState(helper, pyramid, counter)
+        )
+
+
+class SeriesRetrievalEngine:
+    """Top-K stations by a series model, exhaustive or progressive.
+
+    Parameters
+    ----------
+    collection:
+        Mapping from station key to its series.
+    n_levels:
+        Pyramid depth used for screening (built lazily per attribute,
+        excluded from query counters like every other index build).
+    """
+
+    def __init__(
+        self,
+        collection: Mapping[Hashable, _Series],
+        n_levels: int = 6,
+    ) -> None:
+        if not collection:
+            raise QueryError("need at least one series")
+        self.collection = dict(collection)
+        self.n_levels = n_levels
+        self._pyramids: dict[tuple[Hashable, str], SeriesPyramid] = {}
+
+    def _pyramid(self, key: Hashable, attribute: str) -> SeriesPyramid:
+        cache_key = (key, attribute)
+        if cache_key not in self._pyramids:
+            self._pyramids[cache_key] = SeriesPyramid(
+                self.collection[key], attribute, n_levels=self.n_levels
+            )
+        return self._pyramids[cache_key]
+
+    def exhaustive_top_k(
+        self,
+        model: SeriesModel,
+        k: int,
+        counter: CostCounter | None = None,
+    ) -> list[tuple[Hashable, float]]:
+        """Score every station fully; return the K best (ties by key)."""
+        if k <= 0:
+            raise QueryError("k must be positive")
+        scored = [
+            (key, model.evaluate(series, counter))
+            for key, series in self.collection.items()
+        ]
+        scored.sort(key=lambda item: (-item[1], str(item[0])))
+        return scored[:k]
+
+    def progressive_top_k(
+        self,
+        model: SeriesModel,
+        k: int,
+        counter: CostCounter | None = None,
+    ) -> list[tuple[Hashable, float]]:
+        """Bound-and-refine retrieval: exact same answers, less reading.
+
+        Stations refine best-bound-first; one whose interval collapses is
+        scored without a raw scan, one whose refinement stalls (sequential
+        models) gets a single exact scan, and everything bounded below
+        the K-th best is never touched again.
+        """
+        if k <= 0:
+            raise QueryError("k must be positive")
+
+        tiebreak = itertools.count()
+        frontier = []  # (-high, tiebreak, key, state)
+        for key in self.collection:
+            pyramid = self._pyramid(key, model.attribute)
+            state = model.bound_state(pyramid, counter)
+            if state.low > state.high:
+                raise QueryError(
+                    f"model bound inverted for station {key!r}"
+                )
+            frontier.append((-state.high, next(tiebreak), key, state))
+        heapq.heapify(frontier)
+
+        evaluated: list[tuple[Hashable, float]] = []
+        kth_score = float("-inf")
+
+        def note_score(key: Hashable, score: float) -> None:
+            nonlocal kth_score
+            evaluated.append((key, score))
+            if len(evaluated) >= k:
+                kth_score = sorted(
+                    (item_score for _, item_score in evaluated),
+                    reverse=True,
+                )[k - 1]
+
+        while frontier:
+            neg_high, _, key, state = heapq.heappop(frontier)
+            # Strict prune: ties with the K-th best may still win the
+            # deterministic tie-break, so they keep going.
+            if len(evaluated) >= k and -neg_high < kth_score:
+                break
+            if state.exact:
+                note_score(key, state.low)
+                continue
+            if not state.refine(counter):
+                # Bound exhausted without collapsing (sequential model):
+                # one exact scan settles the station.
+                note_score(key, model.evaluate(self.collection[key], counter))
+                continue
+            heapq.heappush(
+                frontier, (-state.high, next(tiebreak), key, state)
+            )
+
+        evaluated.sort(key=lambda item: (-item[1], str(item[0])))
+        return evaluated[:k]
+
+    def __repr__(self) -> str:
+        return (
+            f"SeriesRetrievalEngine(stations={len(self.collection)}, "
+            f"levels={self.n_levels})"
+        )

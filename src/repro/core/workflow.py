@@ -1,0 +1,192 @@
+"""The Figure 5 model-revision workflow.
+
+The paper's workflow for utilizing model-based retrieval:
+
+1. develop a hypothetical decision model,
+2. fit the model coefficients on available (training) data,
+3. retrieve the data subsets that satisfy/maximize the model,
+4. revise the model using the retrieved data,
+5. apply the revised model to a much bigger data set,
+6. repeat 3-4 as necessary.
+
+The paper's complaint about the status quo is step 5: "substantial
+re-computation on the entire data set is required even when there is a
+small revision of the model," which makes revision loops impractically
+expensive. :class:`ModelingWorkflow` runs the loop with a pluggable
+retrieval strategy so the benchmark can price revision iterations with
+and without progressive execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import RasterRetrievalEngine
+from repro.core.query import TopKQuery
+from repro.core.results import RetrievalResult
+from repro.exceptions import ModelError
+from repro.metrics.counters import CostCounter
+from repro.models.linear import LinearModel, fit_linear_model
+
+
+@dataclass(frozen=True)
+class WorkflowIteration:
+    """Record of one hypothesize/fit/retrieve/revise cycle."""
+
+    iteration: int
+    model: LinearModel
+    result: RetrievalResult
+    training_rows: int
+    coefficient_delta: float
+
+    @property
+    def cost(self) -> CostCounter:
+        """Retrieval work spent this iteration."""
+        return self.result.counter
+
+
+class ModelingWorkflow:
+    """Iterative model revision over an archive (Figure 5).
+
+    Parameters
+    ----------
+    engine:
+        Retrieval engine over the target archive's raster stack.
+    target_layer_name:
+        Name of the (training) response layer in the engine's stack —
+        e.g. historical incident counts the risk model is fit against.
+    progressive:
+        Whether retrieval runs progressively (the paper's framework) or
+        exhaustively (the status quo being replaced).
+    """
+
+    def __init__(
+        self,
+        engine: RasterRetrievalEngine,
+        target_layer_name: str,
+        progressive: bool = True,
+    ) -> None:
+        if target_layer_name not in engine.stack:
+            raise ModelError(
+                f"stack has no training target layer {target_layer_name!r}"
+            )
+        self.engine = engine
+        self.target_layer_name = target_layer_name
+        self.progressive = progressive
+        self.iterations: list[WorkflowIteration] = []
+
+    def _fit(
+        self,
+        attribute_names: tuple[str, ...],
+        sample_cells: list[tuple[int, int]],
+    ) -> LinearModel:
+        """Fit a linear model on the given training cells."""
+        if len(sample_cells) < len(attribute_names) + 1:
+            raise ModelError(
+                f"{len(sample_cells)} training cells cannot fit "
+                f"{len(attribute_names)} coefficients"
+            )
+        rows = np.array([cell[0] for cell in sample_cells])
+        cols = np.array([cell[1] for cell in sample_cells])
+        columns = {
+            name: self.engine.stack[name].values[rows, cols]
+            for name in attribute_names
+        }
+        target = self.engine.stack[self.target_layer_name].values[rows, cols]
+        return fit_linear_model(columns, target, name="workflow_fit")
+
+    def _retrieve(self, model: LinearModel, k: int) -> RetrievalResult:
+        query = TopKQuery(model=model, k=k)
+        if self.progressive:
+            return self.engine.progressive_top_k(query)
+        return self.engine.exhaustive_top_k(query)
+
+    @staticmethod
+    def _coefficient_delta(
+        previous: LinearModel | None, current: LinearModel
+    ) -> float:
+        if previous is None:
+            return float("inf")
+        keys = set(previous.coefficients) | set(current.coefficients)
+        return float(
+            np.sqrt(
+                sum(
+                    (
+                        previous.coefficients.get(key, 0.0)
+                        - current.coefficients.get(key, 0.0)
+                    )
+                    ** 2
+                    for key in keys
+                )
+            )
+        )
+
+    def run(
+        self,
+        attribute_names: tuple[str, ...],
+        initial_cells: list[tuple[int, int]],
+        k: int = 25,
+        max_iterations: int = 5,
+        tolerance: float = 1e-3,
+        seed: int = 0,
+    ) -> list[WorkflowIteration]:
+        """Run the revision loop to convergence or ``max_iterations``.
+
+        Each cycle fits on the accumulated training cells, retrieves the
+        current top-K, adds those cells (plus a few random probes so the
+        training set stays diverse) to the training pool, and stops when
+        successive coefficient vectors move less than ``tolerance``.
+        """
+        if max_iterations <= 0:
+            raise ModelError("max_iterations must be positive")
+        rng = np.random.default_rng(seed)
+        rows_total, cols_total = self.engine.stack.shape
+        training: list[tuple[int, int]] = list(initial_cells)
+        previous: LinearModel | None = None
+        self.iterations = []
+
+        for iteration in range(max_iterations):
+            model = self._fit(attribute_names, training)
+            result = self._retrieve(model, k)
+            delta = self._coefficient_delta(previous, model)
+            self.iterations.append(
+                WorkflowIteration(
+                    iteration=iteration,
+                    model=model,
+                    result=result,
+                    training_rows=len(training),
+                    coefficient_delta=delta,
+                )
+            )
+            if delta < tolerance:
+                break
+            previous = model
+
+            # Revise: retrieved cells join the training pool (relevance
+            # feedback), plus random probes to avoid collapse onto the
+            # current model's favourites.
+            seen = set(training)
+            for location in result.locations:
+                if location not in seen:
+                    training.append(location)
+                    seen.add(location)
+            for _ in range(max(1, k // 5)):
+                probe = (
+                    int(rng.integers(0, rows_total)),
+                    int(rng.integers(0, cols_total)),
+                )
+                if probe not in seen:
+                    training.append(probe)
+                    seen.add(probe)
+
+        return self.iterations
+
+    @property
+    def total_cost(self) -> CostCounter:
+        """Summed retrieval work across all iterations run."""
+        total = CostCounter()
+        for iteration in self.iterations:
+            total = total + iteration.cost
+        return total

@@ -1,0 +1,37 @@
+"""Multi-modal archive substrate.
+
+The paper's archives hold imagery (Landsat bands, DEMs), station time
+series (weather), depth series (well logs) and tabular records. This
+package provides in-memory equivalents with an explicit, instrumented
+access layer so "data points touched" is measurable:
+
+* :mod:`repro.data.raster` — 2-D gridded layers and aligned stacks,
+* :mod:`repro.data.series` — time series and depth series,
+* :mod:`repro.data.tiles` — fixed-size tiling of rasters,
+* :mod:`repro.data.table` — tabular record sets (credit records, tuples),
+* :mod:`repro.data.catalog` — metadata catalog (modalities, provenance),
+* :mod:`repro.data.archive` — the named collection tying it together.
+"""
+
+from repro.data.archive import Archive
+from repro.data.catalog import CatalogEntry, Modality
+from repro.data.io import load_archive, save_archive
+from repro.data.raster import RasterLayer, RasterStack
+from repro.data.series import DepthSeries, TimeSeries
+from repro.data.table import Table
+from repro.data.tiles import Tile, TileGrid
+
+__all__ = [
+    "Archive",
+    "CatalogEntry",
+    "DepthSeries",
+    "Modality",
+    "RasterLayer",
+    "RasterStack",
+    "Table",
+    "Tile",
+    "TileGrid",
+    "TimeSeries",
+    "load_archive",
+    "save_archive",
+]

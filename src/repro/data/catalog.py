@@ -1,0 +1,64 @@
+"""Metadata catalog for archive items.
+
+The paper's progressive data representation includes a *metadata* level:
+before touching any pixels, a query can rule items in or out from catalog
+facts alone (modality, spatial/temporal coverage, provenance). The catalog
+is deliberately simple — a typed entry per archive item.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Modality(enum.Enum):
+    """Data modality tags used for multi-modal query scoping."""
+
+    IMAGERY = "imagery"
+    ELEVATION = "elevation"
+    WEATHER = "weather"
+    WELL_LOG = "well_log"
+    TABULAR = "tabular"
+    SEMANTIC = "semantic"
+    DERIVED = "derived"
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """Metadata describing one archive item.
+
+    Attributes
+    ----------
+    name:
+        Archive key of the item.
+    modality:
+        Which kind of data the item holds.
+    description:
+        Human-readable provenance (sensor, simulation parameters, …).
+    tags:
+        Free-form key/value facts usable for metadata-level filtering
+        (e.g. ``{"region": "four_corners", "season": "1998"}``).
+    units:
+        Physical units of the values, if any.
+    """
+
+    name: str
+    modality: Modality
+    description: str = ""
+    tags: dict[str, str] = field(default_factory=dict)
+    units: str = ""
+
+    def matches(self, **criteria: str) -> bool:
+        """Whether every criterion matches this entry's tags.
+
+        ``modality`` is accepted as a criterion and compared against the
+        enum value; all other keys are looked up in :attr:`tags`.
+        """
+        for key, expected in criteria.items():
+            if key == "modality":
+                if self.modality.value != expected:
+                    return False
+            elif self.tags.get(key) != expected:
+                return False
+        return True

@@ -1,0 +1,127 @@
+"""Archive persistence (single-file .npz snapshots).
+
+A "large archive" needs to live somewhere between sessions. This module
+serializes an :class:`~repro.data.archive.Archive` — rasters, time/depth
+series, tables, and the metadata catalog — into one numpy ``.npz`` file
+with no dependencies beyond numpy itself.
+
+Layout: each item contributes arrays under ``<kind>/<name>/<part>`` keys;
+catalog entries are stored as JSON strings in a side array. Loading
+reconstructs typed items and catalog entries exactly (value-equal
+round trip, tested).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.archive import Archive
+from repro.data.catalog import CatalogEntry, Modality
+from repro.data.raster import RasterLayer
+from repro.data.series import DepthSeries, TimeSeries
+from repro.data.table import Table
+from repro.exceptions import ArchiveError
+
+_FORMAT_VERSION = 1
+
+
+def save_archive(archive: Archive, path: str | Path) -> None:
+    """Serialize an archive to ``path`` (a ``.npz`` file)."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    manifest: list[dict] = []
+
+    for name in archive.names():
+        entry = archive.entry(name)
+        record = {
+            "name": name,
+            "modality": entry.modality.value,
+            "description": entry.description,
+            "tags": entry.tags,
+            "units": entry.units,
+        }
+        item = archive._require(name)
+        if isinstance(item, RasterLayer):
+            record["kind"] = "raster"
+            arrays[f"raster/{name}/values"] = item.values
+        elif isinstance(item, (TimeSeries, DepthSeries)):
+            record["kind"] = (
+                "time_series" if isinstance(item, TimeSeries) else "depth_series"
+            )
+            record["attributes"] = item.attribute_names
+            arrays[f"series/{name}/axis"] = item.axis
+            for attribute in item.attribute_names:
+                arrays[f"series/{name}/attr/{attribute}"] = item.values(attribute)
+        elif isinstance(item, Table):
+            record["kind"] = "table"
+            record["columns"] = item.column_names
+            for column in item.column_names:
+                arrays[f"table/{name}/col/{column}"] = item.column(column)
+        else:  # pragma: no cover - archive enforces its item types
+            raise ArchiveError(f"unserializable item type {type(item).__name__}")
+        manifest.append(record)
+
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "archive_name": archive.name,
+        "items": manifest,
+    }
+    arrays["__manifest__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_archive(path: str | Path) -> Archive:
+    """Reconstruct an archive saved by :func:`save_archive`."""
+    path = Path(path)
+    if not path.exists():
+        raise ArchiveError(f"no archive file at {path}")
+    with np.load(path) as bundle:
+        try:
+            header = json.loads(bytes(bundle["__manifest__"]).decode("utf-8"))
+        except KeyError:
+            raise ArchiveError(f"{path} is not a repro archive") from None
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ArchiveError(
+                f"unsupported archive format {header.get('format_version')}"
+            )
+
+        archive = Archive(header["archive_name"])
+        for record in header["items"]:
+            name = record["name"]
+            entry = CatalogEntry(
+                name=name,
+                modality=Modality(record["modality"]),
+                description=record["description"],
+                tags=dict(record["tags"]),
+                units=record["units"],
+            )
+            kind = record["kind"]
+            if kind == "raster":
+                item = RasterLayer(name, bundle[f"raster/{name}/values"])
+            elif kind in ("time_series", "depth_series"):
+                axis = bundle[f"series/{name}/axis"]
+                attributes = {
+                    attribute: bundle[f"series/{name}/attr/{attribute}"]
+                    for attribute in record["attributes"]
+                }
+                series_type = (
+                    TimeSeries if kind == "time_series" else DepthSeries
+                )
+                item = series_type(name, axis, attributes)
+            elif kind == "table":
+                item = Table(
+                    name,
+                    {
+                        column: bundle[f"table/{name}/col/{column}"]
+                        for column in record["columns"]
+                    },
+                )
+            else:
+                raise ArchiveError(f"unknown item kind {kind!r} in {path}")
+            archive.add(item, entry)
+    return archive

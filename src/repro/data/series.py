@@ -1,0 +1,146 @@
+"""One-dimensional series: station time series and well-log depth series.
+
+The paper's multi-modal models consume daily weather records (fire-ants
+FSM, HPS wet/dry-season rule) and well-log traces (geology knowledge
+model). Both are ordered sequences of sampled attributes; the two classes
+differ only in the meaning of the axis (day index vs. depth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ArchiveError
+from repro.metrics.counters import CostCounter
+
+
+class _Series:
+    """Shared implementation: named, multi-attribute, instrumented reads."""
+
+    axis_name = "index"
+
+    def __init__(
+        self,
+        name: str,
+        axis: np.ndarray,
+        attributes: dict[str, np.ndarray],
+    ) -> None:
+        axis_array = np.array(axis, dtype=float)
+        if axis_array.ndim != 1:
+            raise ArchiveError(f"series {name!r} axis must be 1-D")
+        if axis_array.size == 0:
+            raise ArchiveError(f"series {name!r} must be non-empty")
+        if np.any(np.diff(axis_array) <= 0):
+            raise ArchiveError(f"series {name!r} axis must be strictly increasing")
+        if not attributes:
+            raise ArchiveError(f"series {name!r} needs at least one attribute")
+
+        self.name = name
+        self._axis = axis_array
+        self._attributes: dict[str, np.ndarray] = {}
+        for attr_name, values in attributes.items():
+            array = np.array(values, dtype=float)
+            if array.shape != axis_array.shape:
+                raise ArchiveError(
+                    f"attribute {attr_name!r} of series {name!r} has shape "
+                    f"{array.shape}, expected {axis_array.shape}"
+                )
+            if not np.isfinite(array).all():
+                raise ArchiveError(
+                    f"attribute {attr_name!r} of series {name!r} contains "
+                    "non-finite values"
+                )
+            array.setflags(write=False)
+            self._attributes[attr_name] = array
+        axis_array.setflags(write=False)
+
+    @property
+    def axis(self) -> np.ndarray:
+        """The (read-only) sample axis."""
+        return self._axis
+
+    @property
+    def attribute_names(self) -> list[str]:
+        """Attribute names in insertion order."""
+        return list(self._attributes)
+
+    def __len__(self) -> int:
+        return self._axis.size
+
+    def values(self, attribute: str) -> np.ndarray:
+        """Uninstrumented full view of one attribute."""
+        try:
+            return self._attributes[attribute]
+        except KeyError:
+            raise ArchiveError(
+                f"series {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def read(
+        self, attribute: str, index: int, counter: CostCounter | None = None
+    ) -> float:
+        """Read one sample of one attribute (tallied)."""
+        value = float(self.values(attribute)[index])
+        if counter is not None:
+            counter.add_data_points(1)
+        return value
+
+    def read_range(
+        self,
+        attribute: str,
+        start: int,
+        stop: int,
+        counter: CostCounter | None = None,
+    ) -> np.ndarray:
+        """Read samples ``[start:stop]`` of one attribute (tallied)."""
+        window = self.values(attribute)[start:stop]
+        if counter is not None:
+            counter.add_data_points(window.size)
+        return window
+
+    def read_record(
+        self, index: int, counter: CostCounter | None = None
+    ) -> dict[str, float]:
+        """Read all attributes at one sample → attribute dict (tallied)."""
+        return {
+            attr: self.read(attr, index, counter) for attr in self._attributes
+        }
+
+    def window(self, start: int, stop: int) -> "_Series":
+        """A new series restricted to samples ``[start:stop]``."""
+        if not 0 <= start < stop <= len(self):
+            raise ArchiveError(
+                f"invalid window [{start}:{stop}] on series of length {len(self)}"
+            )
+        return type(self)(
+            self.name,
+            self._axis[start:stop],
+            {attr: arr[start:stop] for attr, arr in self._attributes.items()},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, n={len(self)}, "
+            f"attributes={self.attribute_names})"
+        )
+
+
+class TimeSeries(_Series):
+    """A station time series: axis is the day (or timestep) index."""
+
+    axis_name = "time"
+
+
+class DepthSeries(_Series):
+    """A well-log depth series: axis is depth, increasing downward.
+
+    The geology knowledge model reads ``(lithology, gamma_ray)`` samples
+    ordered by depth; lithology codes are stored as floats holding small
+    integer codes (see :mod:`repro.synth.welllog` for the code table).
+    """
+
+    axis_name = "depth"
+
+    def depth_at(self, index: int) -> float:
+        """Depth of sample ``index`` (uninstrumented; axis is metadata)."""
+        return float(self._axis[index])

@@ -1,0 +1,100 @@
+"""Tabular record sets.
+
+The linear-model examples (FICO scorecard; Onion's Gaussian tuples) operate
+over plain tuple tables: N rows of named numeric attributes. ``Table`` is a
+column-oriented store with instrumented row access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ArchiveError
+from repro.metrics.counters import CostCounter
+
+
+class Table:
+    """Column-oriented table of numeric attributes.
+
+    Parameters
+    ----------
+    name:
+        Table identifier.
+    columns:
+        Mapping from attribute name to a 1-D array; all columns must share
+        one length. Arrays are copied to float64 and made read-only.
+    """
+
+    def __init__(self, name: str, columns: dict[str, np.ndarray]) -> None:
+        if not columns:
+            raise ArchiveError(f"table {name!r} needs at least one column")
+        self.name = name
+        self._columns: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for col_name, values in columns.items():
+            array = np.array(values, dtype=float)
+            if array.ndim != 1:
+                raise ArchiveError(
+                    f"column {col_name!r} of table {name!r} must be 1-D"
+                )
+            if length is None:
+                length = array.size
+            elif array.size != length:
+                raise ArchiveError(
+                    f"column {col_name!r} of table {name!r} has length "
+                    f"{array.size}, expected {length}"
+                )
+            if not np.isfinite(array).all():
+                raise ArchiveError(
+                    f"column {col_name!r} of table {name!r} contains "
+                    "non-finite values"
+                )
+            array.setflags(write=False)
+            self._columns[col_name] = array
+        if length == 0:
+            raise ArchiveError(f"table {name!r} must be non-empty")
+        self._length = int(length or 0)
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in insertion order."""
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def column(self, name: str) -> np.ndarray:
+        """Uninstrumented full view of one column."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ArchiveError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def row(self, index: int, counter: CostCounter | None = None) -> dict[str, float]:
+        """Read one row as an attribute dict (tallied as one tuple)."""
+        if not 0 <= index < self._length:
+            raise ArchiveError(
+                f"row {index} outside table {self.name!r} of length {self._length}"
+            )
+        if counter is not None:
+            counter.add_tuples(1)
+            counter.add_data_points(len(self._columns))
+        return {name: float(col[index]) for name, col in self._columns.items()}
+
+    def matrix(self, names: list[str] | None = None) -> np.ndarray:
+        """Columns stacked as an ``(n_rows, n_attrs)`` matrix.
+
+        Uninstrumented: used for index *construction*, which the paper's
+        speedups exclude (indexes are built once, queried many times).
+        """
+        names = names or self.column_names
+        return np.column_stack([self.column(name) for name in names])
+
+    def subset(self, names: list[str]) -> "Table":
+        """A table containing only the named columns."""
+        return Table(self.name, {name: self.column(name) for name in names})
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={len(self)}, columns={self.column_names})"

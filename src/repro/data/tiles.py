@@ -1,0 +1,120 @@
+"""Fixed-size tiling of raster grids.
+
+Progressive engines work tile-at-a-time: screen a tile using cheap bounds,
+then either discard it or descend into its cells. :class:`TileGrid` carves
+a raster shape into tiles of a given size (edge tiles may be smaller) and
+provides deterministic iteration and addressing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import ArchiveError
+
+
+@dataclass(frozen=True)
+class Tile:
+    """A half-open window ``[row0:row1, col0:col1]`` of a raster grid."""
+
+    tile_row: int
+    tile_col: int
+    row0: int
+    col0: int
+    row1: int
+    col1: int
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Window shape ``(rows, cols)``."""
+        return (self.row1 - self.row0, self.col1 - self.col0)
+
+    @property
+    def size(self) -> int:
+        """Number of cells covered."""
+        rows, cols = self.shape
+        return rows * cols
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Tile address ``(tile_row, tile_col)``."""
+        return (self.tile_row, self.tile_col)
+
+    def cells(self) -> Iterator[tuple[int, int]]:
+        """Iterate the covered ``(row, col)`` cells in row-major order."""
+        for row in range(self.row0, self.row1):
+            for col in range(self.col0, self.col1):
+                yield (row, col)
+
+    def contains(self, row: int, col: int) -> bool:
+        """Whether the cell lies inside this tile."""
+        return self.row0 <= row < self.row1 and self.col0 <= col < self.col1
+
+
+class TileGrid:
+    """Partition of a raster shape into fixed-size tiles.
+
+    Parameters
+    ----------
+    shape:
+        Raster shape ``(rows, cols)``.
+    tile_size:
+        Edge length of the (square) tiles; edge tiles are clipped.
+    """
+
+    def __init__(self, shape: tuple[int, int], tile_size: int) -> None:
+        rows, cols = shape
+        if rows <= 0 or cols <= 0:
+            raise ArchiveError(f"invalid raster shape {shape}")
+        if tile_size <= 0:
+            raise ArchiveError(f"tile_size must be positive, got {tile_size}")
+        self.shape = (rows, cols)
+        self.tile_size = tile_size
+        self.n_tile_rows = -(-rows // tile_size)
+        self.n_tile_cols = -(-cols // tile_size)
+
+    @property
+    def n_tiles(self) -> int:
+        """Total number of tiles."""
+        return self.n_tile_rows * self.n_tile_cols
+
+    def tile(self, tile_row: int, tile_col: int) -> Tile:
+        """The tile at address ``(tile_row, tile_col)``."""
+        if not (0 <= tile_row < self.n_tile_rows and 0 <= tile_col < self.n_tile_cols):
+            raise ArchiveError(
+                f"tile address ({tile_row}, {tile_col}) outside "
+                f"{self.n_tile_rows}x{self.n_tile_cols} grid"
+            )
+        rows, cols = self.shape
+        row0 = tile_row * self.tile_size
+        col0 = tile_col * self.tile_size
+        return Tile(
+            tile_row=tile_row,
+            tile_col=tile_col,
+            row0=row0,
+            col0=col0,
+            row1=min(rows, row0 + self.tile_size),
+            col1=min(cols, col0 + self.tile_size),
+        )
+
+    def tile_of_cell(self, row: int, col: int) -> Tile:
+        """The tile containing grid cell ``(row, col)``."""
+        rows, cols = self.shape
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise ArchiveError(f"cell ({row}, {col}) outside raster {self.shape}")
+        return self.tile(row // self.tile_size, col // self.tile_size)
+
+    def __iter__(self) -> Iterator[Tile]:
+        for tile_row in range(self.n_tile_rows):
+            for tile_col in range(self.n_tile_cols):
+                yield self.tile(tile_row, tile_col)
+
+    def __len__(self) -> int:
+        return self.n_tiles
+
+    def __repr__(self) -> str:
+        return (
+            f"TileGrid(shape={self.shape}, tile_size={self.tile_size}, "
+            f"tiles={self.n_tile_rows}x{self.n_tile_cols})"
+        )

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class. Subclasses mark which subsystem raised the error.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ArchiveError(ReproError):
+    """Raised for archive catalog problems (missing layers, name clashes)."""
+
+
+class LayerMismatchError(ArchiveError):
+    """Raised when layers that must share a grid have different shapes."""
+
+
+class ModelError(ReproError):
+    """Raised for malformed models (bad coefficients, unknown attributes)."""
+
+
+class FSMError(ModelError):
+    """Raised for malformed finite state machines."""
+
+
+class NonDeterministicFSMError(FSMError):
+    """Raised when an FSM declared deterministic has ambiguous transitions."""
+
+
+class BayesNetError(ModelError):
+    """Raised for malformed Bayesian networks (cycles, bad CPT shapes)."""
+
+
+class IndexError_(ReproError):
+    """Raised for index construction/query problems.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class QueryError(ReproError):
+    """Raised for malformed retrieval queries."""
+
+
+class PlanError(ReproError):
+    """Raised when a progressive execution plan cannot be constructed."""

@@ -1,0 +1,132 @@
+"""A grid-file index over numeric tuples (secondary range-query baseline).
+
+Partitions the data space into a uniform grid of buckets; range queries
+visit only intersecting buckets. Simpler than the R*-tree and often
+competitive on uniform data, it rounds out the Section 3.2 comparison of
+spatial indexes that are effective for range queries yet unhelpful for
+locating model-maximizing tuples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.exceptions import IndexError_
+from repro.metrics.counters import CostCounter
+
+
+class GridFileIndex:
+    """Uniform grid index over selected table columns.
+
+    Parameters
+    ----------
+    table:
+        Source tuples.
+    attributes:
+        Columns to index; defaults to all.
+    cells_per_dim:
+        Grid resolution per dimension.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        attributes: list[str] | None = None,
+        cells_per_dim: int = 16,
+    ) -> None:
+        if cells_per_dim <= 0:
+            raise IndexError_("cells_per_dim must be positive")
+        self.table = table
+        self.attributes = (
+            list(attributes) if attributes is not None else table.column_names
+        )
+        if not self.attributes:
+            raise IndexError_("need at least one attribute to index")
+        self.cells_per_dim = cells_per_dim
+
+        self._points = table.matrix(self.attributes)
+        self._low = self._points.min(axis=0)
+        self._high = self._points.max(axis=0)
+        spans = self._high - self._low
+        spans[spans == 0] = 1.0  # constant dimensions collapse to one cell
+        self._spans = spans
+
+        self._buckets: dict[tuple[int, ...], list[int]] = {}
+        for row_index, point in enumerate(self._points):
+            self._buckets.setdefault(self._cell_of(point), []).append(row_index)
+
+    @property
+    def n_dims(self) -> int:
+        """Indexed dimensionality."""
+        return len(self.attributes)
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of non-empty buckets."""
+        return len(self._buckets)
+
+    def _cell_of(self, point: np.ndarray) -> tuple[int, ...]:
+        normalized = (point - self._low) / self._spans
+        cell = np.clip(
+            (normalized * self.cells_per_dim).astype(int),
+            0,
+            self.cells_per_dim - 1,
+        )
+        return tuple(int(c) for c in cell)
+
+    def range_query(
+        self,
+        low: tuple[float, ...],
+        high: tuple[float, ...],
+        counter: CostCounter | None = None,
+    ) -> list[int]:
+        """Row ids of points in the closed box ``[low, high]``.
+
+        Visits each intersecting bucket (tallied as a node) and filters
+        its points exactly (tallied as tuples examined).
+        """
+        low_array = np.asarray(low, dtype=float)
+        high_array = np.asarray(high, dtype=float)
+        if low_array.size != self.n_dims or high_array.size != self.n_dims:
+            raise IndexError_("query box dimensionality mismatch")
+        if np.any(low_array > high_array):
+            raise IndexError_("inverted query box")
+
+        low_cell = self._cell_of(np.maximum(low_array, self._low))
+        high_cell = self._cell_of(np.minimum(high_array, self._high))
+
+        results: list[int] = []
+        ranges = [
+            range(low_cell[d], high_cell[d] + 1) for d in range(self.n_dims)
+        ]
+
+        def visit(cell: tuple[int, ...]) -> None:
+            bucket = self._buckets.get(cell)
+            if counter is not None:
+                counter.add_nodes(1)
+            if not bucket:
+                return
+            for row_index in bucket:
+                if counter is not None:
+                    counter.add_tuples(1)
+                point = self._points[row_index]
+                if np.all(point >= low_array) and np.all(point <= high_array):
+                    results.append(row_index)
+
+        def recurse(prefix: tuple[int, ...], depth: int) -> None:
+            if depth == self.n_dims:
+                visit(prefix)
+                return
+            for coordinate in ranges[depth]:
+                recurse(prefix + (coordinate,), depth + 1)
+
+        recurse((), 0)
+        results.sort()
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"GridFileIndex({self.table.name!r}, attributes={self.attributes}, "
+            f"buckets={self.n_buckets})"
+        )

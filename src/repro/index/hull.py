@@ -1,0 +1,112 @@
+"""Convex-hull peeling utilities for the Onion index.
+
+:func:`hull_vertices` returns the indices of points on the convex hull of
+a point set, handling every degeneracy scipy's Qhull refuses: one point,
+collinear/coplanar sets, duplicated points, and d = 1. :func:`hull_layers`
+peels a point set into onion layers (hull, hull of the remainder, ...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import ConvexHull, QhullError
+
+from repro.exceptions import IndexError_
+
+
+def _affine_rank(points: np.ndarray) -> int:
+    """Dimension of the affine span of the points."""
+    if points.shape[0] <= 1:
+        return 0
+    centered = points - points[0]
+    return int(np.linalg.matrix_rank(centered, tol=1e-10))
+
+
+def hull_vertices(points: np.ndarray) -> np.ndarray:
+    """Indices of the convex-hull vertices of ``points``.
+
+    Falls back gracefully on degenerate inputs:
+
+    * 0/1/2 points, or points whose affine span is lower-dimensional than
+      the ambient space, are projected onto their span and the hull is
+      taken there (1-D span → the two extremes; 0-D → the single point).
+    * Exact duplicates are collapsed before the hull and re-expanded after
+      (only one representative of each duplicate group is returned).
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise IndexError_("points must be a 2-D array (n_points, n_dims)")
+    n_points = points.shape[0]
+    if n_points == 0:
+        return np.array([], dtype=int)
+
+    unique, representative_index = np.unique(points, axis=0, return_index=True)
+    if unique.shape[0] == 1:
+        return np.array([int(representative_index[0])])
+
+    rank = _affine_rank(unique)
+    if rank == 0:
+        return np.array([int(representative_index[0])])
+    if rank == 1:
+        # Project onto the principal direction; extremes are the hull.
+        direction = unique[-1] - unique[0]
+        norm = np.linalg.norm(direction)
+        projections = (unique - unique[0]) @ (direction / norm)
+        extremes = {int(np.argmin(projections)), int(np.argmax(projections))}
+        return np.sort(representative_index[list(extremes)])
+    if rank < unique.shape[1]:
+        # Lower-dimensional flat: project onto an orthonormal basis of the
+        # span and take the hull in that subspace.
+        centered = unique - unique[0]
+        _, _, v_transpose = np.linalg.svd(centered, full_matrices=False)
+        projected = centered @ v_transpose[:rank].T
+        sub_vertices = hull_vertices(projected)
+        return np.sort(representative_index[sub_vertices])
+
+    try:
+        hull = ConvexHull(unique)
+        return np.sort(representative_index[hull.vertices])
+    except QhullError:
+        # Rare residual degeneracies: joggle the input.
+        try:
+            hull = ConvexHull(unique, qhull_options="QJ")
+            return np.sort(representative_index[hull.vertices])
+        except QhullError as error:
+            raise IndexError_(f"convex hull failed: {error}") from error
+
+
+def hull_layers(
+    points: np.ndarray, max_layers: int | None = None
+) -> list[np.ndarray]:
+    """Peel a point set into convex-hull layers.
+
+    Returns a list of index arrays into ``points``; layer 0 is the outer
+    hull, layer 1 the hull of what remains, and so on until all points
+    are assigned (or ``max_layers`` is reached, in which case the final
+    entry contains all remaining point indices as one interior bucket).
+
+    Duplicate points land in the layer where their representative is
+    peeled.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise IndexError_("points must be a 2-D array (n_points, n_dims)")
+
+    remaining = np.arange(points.shape[0])
+    layers: list[np.ndarray] = []
+    while remaining.size:
+        if max_layers is not None and len(layers) == max_layers - 1:
+            layers.append(remaining.copy())
+            break
+        local_vertices = hull_vertices(points[remaining])
+        representatives = remaining[local_vertices]
+
+        # Duplicates of peeled points leave with their representative
+        # (and join its layer), otherwise identical points recur forever.
+        peeled_set = {tuple(points[i]) for i in representatives}
+        peeled_mask = np.array(
+            [tuple(points[i]) in peeled_set for i in remaining]
+        )
+        layers.append(np.sort(remaining[peeled_mask]))
+        remaining = remaining[~peeled_mask]
+    return layers

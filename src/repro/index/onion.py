@@ -1,0 +1,199 @@
+"""The Onion index for linear-optimization top-K queries.
+
+Reimplements the technique of Chang, Bergman, Castelli, Li, Lo and Smith,
+"The Onion Technique: Indexing for Linear Optimization Queries" (SIGMOD
+2000) — reference [11] of the reproduced paper, which quotes its result:
+13,000x speedup for top-1 and 1,400x for top-10 over sequential scan on
+three-attribute Gaussian data.
+
+**Construction.** Partition the tuples into convex-hull layers by repeated
+peeling (:func:`repro.index.hull.hull_layers`). Layer 1 is the outer hull,
+layer 2 the hull of the interior, and so on.
+
+**Query.** A linear objective ``w . x`` attains its maximum over any point
+set at a vertex of the set's convex hull, so the best tuple is on layer 1;
+inductively, the i-th best tuple lies within the first i layers. A top-K
+query therefore evaluates only the tuples on the outermost K layers —
+for Gaussian data a vanishing fraction of N — instead of all N tuples.
+
+The optimal-layer containment gives an *exact* answer set; no
+approximation is involved.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.exceptions import IndexError_
+from repro.index.hull import hull_layers
+from repro.metrics.counters import CostCounter
+
+
+class OnionIndex:
+    """Convex-hull-layer index over a numeric table.
+
+    Parameters
+    ----------
+    table:
+        Source tuples.
+    attributes:
+        Columns to index (the model's attribute space); defaults to all.
+    max_layers:
+        Optional cap on peeling depth; remaining interior tuples form one
+        final bucket. ``None`` peels fully (exact for any K). A cap
+        trades build time for exactness only when K exceeds the cap.
+
+    Notes
+    -----
+    Index construction cost is excluded from query counters (the paper's
+    speedups compare query work; the index is built once and amortized).
+    Build statistics are exposed via :attr:`n_layers` and
+    :meth:`layer_sizes`.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        attributes: list[str] | None = None,
+        max_layers: int | None = None,
+    ) -> None:
+        self.table = table
+        self.attributes = (
+            list(attributes) if attributes is not None else table.column_names
+        )
+        if not self.attributes:
+            raise IndexError_("need at least one attribute to index")
+        if max_layers is not None and max_layers <= 0:
+            raise IndexError_("max_layers must be positive")
+        self._points = table.matrix(self.attributes)
+        self._layers = hull_layers(self._points, max_layers=max_layers)
+        self._capped = max_layers is not None
+        self._max_layers = max_layers
+        self._pending: list[np.ndarray] = []
+        self._next_row = len(table)
+
+    @property
+    def n_layers(self) -> int:
+        """Number of onion layers."""
+        return len(self._layers)
+
+    def layer_sizes(self) -> list[int]:
+        """Tuple count per layer, outermost first."""
+        return [int(layer.size) for layer in self._layers]
+
+    def layer(self, index: int) -> np.ndarray:
+        """Row indices on the given layer (0 = outermost)."""
+        if not 0 <= index < len(self._layers):
+            raise IndexError_(
+                f"layer {index} outside 0..{len(self._layers) - 1}"
+            )
+        return self._layers[index]
+
+    @property
+    def n_pending(self) -> int:
+        """Appended tuples not yet merged into the layers."""
+        return len(self._pending)
+
+    def insert(self, values: dict[str, float]) -> int:
+        """Append a tuple (returns its new row id).
+
+        Appends go to a delta buffer that queries scan alongside the
+        layers — the standard maintenance scheme for peeled indexes
+        (re-peeling on every insert would cost a full rebuild). Call
+        :meth:`rebuild` once the buffer grows past a few percent of the
+        data to restore full pruning power; queries stay *exact* either
+        way.
+        """
+        missing = [a for a in self.attributes if a not in values]
+        if missing:
+            raise IndexError_(f"insert missing attributes {missing}")
+        point = np.array([float(values[a]) for a in self.attributes])
+        self._pending.append(point)
+        row = self._next_row
+        self._next_row += 1
+        return row
+
+    def rebuild(self) -> None:
+        """Merge pending tuples and re-peel the layers."""
+        if not self._pending:
+            return
+        self._points = np.vstack([self._points] + self._pending)
+        self._pending = []
+        self._layers = hull_layers(self._points, max_layers=self._max_layers)
+
+    def _weights(self, model_weights: dict[str, float]) -> np.ndarray:
+        missing = [a for a in self.attributes if a not in model_weights]
+        if missing:
+            raise IndexError_(f"query missing weights for {missing}")
+        extra = [a for a in model_weights if a not in self.attributes]
+        if extra:
+            raise IndexError_(f"query has weights for unindexed attributes {extra}")
+        return np.array([model_weights[a] for a in self.attributes])
+
+    def top_k(
+        self,
+        model_weights: dict[str, float],
+        k: int,
+        maximize: bool = True,
+        counter: CostCounter | None = None,
+    ) -> list[tuple[int, float]]:
+        """Exact top-K rows for the linear objective ``w . x``.
+
+        Evaluates the outermost layers until K layers have been examined
+        (the containment theorem guarantees the i-th best lies in the
+        first i layers), plus any additional capped interior bucket if K
+        exceeds the peeled depth. Returns ``(row_index, score)`` pairs,
+        best first; work is tallied on ``counter``.
+        """
+        if k <= 0:
+            raise IndexError_("k must be positive")
+        weights = self._weights(model_weights)
+        sign = 1.0 if maximize else -1.0
+
+        heap: list[tuple[float, int]] = []  # min-heap of (signed score, row)
+        layers_needed = min(k, len(self._layers))
+        if self._capped and k > len(self._layers) - 1:
+            layers_needed = len(self._layers)  # include the interior bucket
+
+        for layer_index in range(layers_needed):
+            rows = self._layers[layer_index]
+            scores = sign * (self._points[rows] @ weights)
+            if counter is not None:
+                counter.add_nodes(1)  # one layer visited
+                counter.add_tuples(rows.size)
+                counter.add_model_evals(
+                    rows.size, flops_each=2 * len(self.attributes)
+                )
+            for row, score in zip(rows, scores):
+                if len(heap) < k:
+                    heapq.heappush(heap, (float(score), int(row)))
+                elif score > heap[0][0]:
+                    heapq.heapreplace(heap, (float(score), int(row)))
+
+        # Appended tuples live outside the layers until rebuild(): scan
+        # the delta buffer so queries stay exact.
+        base_rows = self._points.shape[0]
+        for offset, point in enumerate(self._pending):
+            score = sign * float(point @ weights)
+            if counter is not None:
+                counter.add_tuples(1)
+                counter.add_model_evals(
+                    1, flops_each=2 * len(self.attributes)
+                )
+            row = base_rows + offset
+            if len(heap) < k:
+                heapq.heappush(heap, (score, row))
+            elif score > heap[0][0]:
+                heapq.heapreplace(heap, (score, row))
+
+        ranked = sorted(heap, key=lambda item: (-item[0], item[1]))
+        return [(row, sign * score) for score, row in ranked]
+
+    def __repr__(self) -> str:
+        return (
+            f"OnionIndex({self.table.name!r}, attributes={self.attributes}, "
+            f"layers={self.n_layers})"
+        )

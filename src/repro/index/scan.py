@@ -1,0 +1,50 @@
+"""Sequential-scan baseline (the denominator of every paper speedup).
+
+"Almost all existing methods require applying the model sequentially over
+the entire region of the data." :func:`scan_top_k` does exactly that —
+evaluate the model on every tuple, keep a K-heap — with full cost
+instrumentation.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.data.table import Table
+from repro.exceptions import QueryError
+from repro.metrics.counters import CostCounter
+from repro.models.base import Model
+
+
+def scan_top_k(
+    table: Table,
+    model: Model,
+    k: int,
+    maximize: bool = True,
+    counter: CostCounter | None = None,
+) -> list[tuple[int, float]]:
+    """Exact top-K rows by exhaustive model evaluation.
+
+    Returns ``(row_index, score)`` pairs, best first (ties broken by row
+    index). Every row is read through the instrumented table API and
+    scored with ``model.evaluate``, so ``counter`` records the full
+    O(n*N) work the paper ascribes to unindexed retrieval.
+    """
+    if k <= 0:
+        raise QueryError("k must be positive")
+    sign = 1.0 if maximize else -1.0
+
+    heap: list[tuple[float, int]] = []  # min-heap of (signed score, -row)
+    for row_index in range(len(table)):
+        attributes = table.row(row_index, counter)
+        score = sign * model.evaluate(attributes)
+        if counter is not None:
+            counter.add_model_evals(1, flops_each=model.complexity)
+        entry = (float(score), -row_index)
+        if len(heap) < k:
+            heapq.heappush(heap, entry)
+        elif entry > heap[0]:
+            heapq.heapreplace(heap, entry)
+
+    ranked = sorted(heap, key=lambda item: (-item[0], -item[1]))
+    return [(-neg_row, sign * score) for score, neg_row in ranked]

@@ -1,0 +1,53 @@
+"""Performance metrics for model-based retrieval (paper Section 4).
+
+Three concerns:
+
+* :mod:`repro.metrics.counters` — work instrumentation (`CostCounter`),
+  the substrate every speedup measurement is built on.
+* :mod:`repro.metrics.accuracy` — the Section 4.1 miss/false-alarm cost
+  model and the weighted total cost ``CT``.
+* :mod:`repro.metrics.topk` — precision/recall at K against ground-truth
+  occurrences.
+* :mod:`repro.metrics.efficiency` — the Section 4.2 efficiency model
+  ``O(nN)`` vs ``O(nN/(pm*pd))`` and speedup bookkeeping.
+"""
+
+from repro.metrics.accuracy import (
+    AccuracyReport,
+    CostModel,
+    cost_curve,
+    evaluate_cost,
+    optimal_threshold,
+)
+from repro.metrics.counters import CostCounter, counted, merge_counters
+from repro.metrics.efficiency import (
+    EfficiencyModel,
+    SpeedupReport,
+    speedup,
+)
+from repro.metrics.roc import RocCurve, auc_score, roc_curve
+from repro.metrics.topk import (
+    PrecisionRecall,
+    precision_recall_at_k,
+    precision_recall_curve,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "CostCounter",
+    "CostModel",
+    "EfficiencyModel",
+    "PrecisionRecall",
+    "RocCurve",
+    "SpeedupReport",
+    "auc_score",
+    "cost_curve",
+    "counted",
+    "evaluate_cost",
+    "merge_counters",
+    "optimal_threshold",
+    "precision_recall_at_k",
+    "precision_recall_curve",
+    "roc_curve",
+    "speedup",
+]

@@ -1,0 +1,130 @@
+"""Model efficiency accounting (paper Section 4.2).
+
+The paper models exhaustive evaluation as ``O(n * N)`` — model complexity
+``n`` (additions/multiplications per location) times ``N`` locations — and
+progressive execution as ``O(n * N / (pm * pd))`` where ``pm`` and ``pd``
+are the effective complexity-reduction ratios from progressive *model*
+execution and progressive *data* representation respectively.
+
+This module turns measured :class:`~repro.metrics.counters.CostCounter`
+pairs into speedup reports and fits the ``pm``/``pd`` factors from ablation
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.counters import CostCounter
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Speedup of a candidate strategy against a baseline.
+
+    Ratios are baseline / candidate, so values > 1 mean the candidate wins.
+    Work ratios are the primary measurement (robust to interpreter noise);
+    the wall-clock ratio is reported alongside when both sides were timed.
+    """
+
+    work_ratio: float
+    data_ratio: float
+    eval_ratio: float
+    wall_ratio: float | None
+    baseline: CostCounter
+    candidate: CostCounter
+
+    def as_row(self) -> dict[str, float]:
+        """Flat-dict view for report tables."""
+        row = {
+            "work_ratio": self.work_ratio,
+            "data_ratio": self.data_ratio,
+            "eval_ratio": self.eval_ratio,
+        }
+        if self.wall_ratio is not None:
+            row["wall_ratio"] = self.wall_ratio
+        return row
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    """Baseline/candidate ratio; infinite when the candidate did no work."""
+    if denominator == 0:
+        return float("inf") if numerator > 0 else 1.0
+    return numerator / denominator
+
+
+def speedup(baseline: CostCounter, candidate: CostCounter) -> SpeedupReport:
+    """Compare two measured strategies.
+
+    ``work_ratio`` compares :attr:`CostCounter.total_work`; ``data_ratio``
+    compares raw data points touched; ``eval_ratio`` compares full+partial
+    model evaluations (a partial evaluation counts as one evaluation — the
+    per-evaluation cost difference is already captured by ``flops``).
+    """
+    wall = None
+    if baseline.wall_seconds > 0 and candidate.wall_seconds > 0:
+        wall = _ratio(baseline.wall_seconds, candidate.wall_seconds)
+    return SpeedupReport(
+        work_ratio=_ratio(baseline.total_work, candidate.total_work),
+        data_ratio=_ratio(baseline.data_points, candidate.data_points),
+        eval_ratio=_ratio(
+            baseline.model_evals + baseline.partial_evals,
+            candidate.model_evals + candidate.partial_evals,
+        ),
+        wall_ratio=wall,
+        baseline=baseline,
+        candidate=candidate,
+    )
+
+
+@dataclass(frozen=True)
+class EfficiencyModel:
+    """The Section 4.2 efficiency decomposition.
+
+    ``pm`` — complexity reduction from progressive model execution alone;
+    ``pd`` — reduction from progressive data representation alone;
+    ``combined`` — measured reduction with both enabled. The paper predicts
+    ``combined ~ pm * pd``; :attr:`synergy` measures the deviation
+    (1.0 = perfectly multiplicative).
+    """
+
+    pm: float
+    pd: float
+    combined: float
+
+    @property
+    def predicted_combined(self) -> float:
+        """The paper's multiplicative prediction ``pm * pd``."""
+        return self.pm * self.pd
+
+    @property
+    def synergy(self) -> float:
+        """Measured / predicted combined reduction (1.0 = multiplicative)."""
+        if self.predicted_combined == 0:
+            return float("inf") if self.combined > 0 else 1.0
+        return self.combined / self.predicted_combined
+
+    @classmethod
+    def from_ablation(
+        cls,
+        exhaustive: CostCounter,
+        model_only: CostCounter,
+        data_only: CostCounter,
+        both: CostCounter,
+    ) -> "EfficiencyModel":
+        """Fit pm/pd/combined from a four-way ablation measurement."""
+        return cls(
+            pm=_ratio(exhaustive.total_work, model_only.total_work),
+            pd=_ratio(exhaustive.total_work, data_only.total_work),
+            combined=_ratio(exhaustive.total_work, both.total_work),
+        )
+
+    def as_row(self) -> dict[str, float]:
+        """Flat-dict view for report tables."""
+        return {
+            "pm": self.pm,
+            "pd": self.pd,
+            "combined": self.combined,
+            "predicted_combined": self.predicted_combined,
+            "synergy": self.synergy,
+        }

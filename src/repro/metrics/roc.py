@@ -1,0 +1,85 @@
+"""ROC analysis for risk models (extends the Section 4.1 metrics).
+
+The paper's miss/false-alarm pair at a single threshold T is one point
+on the model's ROC curve; sweeping T traces the whole curve, and the
+area under it summarizes the model's ranking quality independent of any
+threshold choice. This module computes both from a risk surface and a
+ground-truth occurrence surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """An ROC curve: parallel false-positive / true-positive rate arrays,
+    ordered from threshold +inf (origin) to -inf ((1, 1))."""
+
+    false_positive_rates: np.ndarray
+    true_positive_rates: np.ndarray
+    thresholds: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        """Area under the curve by trapezoidal integration."""
+        return float(
+            np.trapezoid(self.true_positive_rates, self.false_positive_rates)
+        )
+
+    def operating_point(self, threshold: float) -> tuple[float, float]:
+        """(FPR, TPR) of the decision rule "declare high when R > T".
+
+        Picks the curve point whose declared-positive set is exactly the
+        scores strictly above ``threshold`` (the Section 4.1 decision
+        rule); T at or above the maximum score maps to the origin.
+        """
+        usable = np.where(self.thresholds > threshold)[0]
+        index = int(usable[-1]) if usable.size else 0
+        return (
+            float(self.false_positive_rates[index]),
+            float(self.true_positive_rates[index]),
+        )
+
+
+def roc_curve(risk: np.ndarray, occurrences: np.ndarray) -> RocCurve:
+    """ROC of a risk surface against event occurrences.
+
+    Positives are locations with ``O > 0``; the score is ``R``. Both
+    classes must be non-empty.
+    """
+    risk = np.asarray(risk, dtype=float).reshape(-1)
+    positives = (np.asarray(occurrences).reshape(-1) > 0)
+    if risk.shape != positives.shape:
+        raise ValueError("risk and occurrences must have equal size")
+    n_positive = int(positives.sum())
+    n_negative = positives.size - n_positive
+    if n_positive == 0 or n_negative == 0:
+        raise ValueError("need at least one positive and one negative")
+
+    order = np.argsort(-risk, kind="stable")
+    sorted_positives = positives[order]
+    true_positive_counts = np.cumsum(sorted_positives)
+    false_positive_counts = np.cumsum(~sorted_positives)
+
+    # Collapse threshold ties: keep the last index of each distinct score.
+    sorted_scores = risk[order]
+    distinct = np.append(np.diff(sorted_scores) != 0, True)
+    keep = np.where(distinct)[0]
+
+    tpr = np.concatenate([[0.0], true_positive_counts[keep] / n_positive])
+    fpr = np.concatenate([[0.0], false_positive_counts[keep] / n_negative])
+    thresholds = np.concatenate([[np.inf], sorted_scores[keep]])
+    return RocCurve(
+        false_positive_rates=fpr,
+        true_positive_rates=tpr,
+        thresholds=thresholds,
+    )
+
+
+def auc_score(risk: np.ndarray, occurrences: np.ndarray) -> float:
+    """Area under the ROC curve (0.5 = chance, 1.0 = perfect ranking)."""
+    return roc_curve(risk, occurrences).auc

@@ -1,0 +1,79 @@
+"""The paper's three model families (Section 2).
+
+* **Linear time-invariant models** (:mod:`repro.models.linear`,
+  :mod:`repro.models.progressive_linear`) — weighted sums of multi-modal
+  attributes, with least-squares fitting and the Section 3.1 progressive
+  (contribution-ordered) decomposition.
+* **Finite state models** (:mod:`repro.models.fsm`,
+  :mod:`repro.models.fsm_runner`, :mod:`repro.models.fsm_distance`) —
+  guarded state machines over event streams, with the Figure 1 fire-ants
+  machine as the canonical instance and a behavioural FSM distance for
+  "slightly different machine" matching.
+* **Bayesian network / knowledge models** (:mod:`repro.models.bayes`,
+  :mod:`repro.models.bayes_infer`, :mod:`repro.models.bayes_learn`,
+  :mod:`repro.models.fuzzy`, :mod:`repro.models.knowledge`) — discrete
+  belief networks with variable-elimination inference and CPT learning,
+  plus fuzzy rule models for the Figure 3/Figure 4 scenarios.
+"""
+
+from repro.models.base import AttributeVector, Model
+from repro.models.bayes import BayesianNetwork, Variable
+from repro.models.bayes_infer import VariableElimination
+from repro.models.bayes_learn import fit_cpts
+from repro.models.bayes_mpe import most_probable_explanations
+from repro.models.fsm import FiniteStateMachine, State, Transition
+from repro.models.fsm_distance import behavioural_distance, structural_distance
+from repro.models.fsm_learn import learn_fsm, runs_from_machine
+from repro.models.fsm_runner import FSMRun, fire_ants_model, run_fsm
+from repro.models.fuzzy import (
+    FuzzyAnd,
+    FuzzyOr,
+    MembershipFunction,
+    gaussian_membership,
+    sigmoid_membership,
+    trapezoid_membership,
+    triangle_membership,
+)
+from repro.models.knowledge import FuzzyRule, KnowledgeModel, RulePredicate
+from repro.models.linear import LinearModel, fit_linear_model, hps_risk_model
+from repro.models.progressive_linear import (
+    ProgressiveLinearModel,
+    TermContribution,
+    analyze_contributions,
+)
+
+__all__ = [
+    "AttributeVector",
+    "BayesianNetwork",
+    "FSMRun",
+    "FiniteStateMachine",
+    "FuzzyAnd",
+    "FuzzyOr",
+    "FuzzyRule",
+    "KnowledgeModel",
+    "LinearModel",
+    "MembershipFunction",
+    "Model",
+    "ProgressiveLinearModel",
+    "RulePredicate",
+    "State",
+    "TermContribution",
+    "Transition",
+    "Variable",
+    "VariableElimination",
+    "analyze_contributions",
+    "behavioural_distance",
+    "fire_ants_model",
+    "fit_cpts",
+    "fit_linear_model",
+    "gaussian_membership",
+    "hps_risk_model",
+    "learn_fsm",
+    "most_probable_explanations",
+    "run_fsm",
+    "runs_from_machine",
+    "sigmoid_membership",
+    "structural_distance",
+    "trapezoid_membership",
+    "triangle_membership",
+]

@@ -1,0 +1,192 @@
+"""Discrete Bayesian networks (paper Section 2.3).
+
+"A Bayesian network is a graphical model for probabilistic relationships
+among a set of variables ... a popular representation for encoding expert
+knowledge in expert systems."
+
+:class:`BayesianNetwork` holds a DAG of discrete :class:`Variable` nodes
+with conditional probability tables (CPTs). Construction validates
+acyclicity, CPT shapes and normalization. Inference lives in
+:mod:`repro.models.bayes_infer`, learning in
+:mod:`repro.models.bayes_learn`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import BayesNetError
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A discrete random variable with named states."""
+
+    name: str
+    states: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.states:
+            raise BayesNetError(f"variable {self.name!r} needs at least one state")
+        if len(set(self.states)) != len(self.states):
+            raise BayesNetError(f"variable {self.name!r} has duplicate states")
+
+    @property
+    def cardinality(self) -> int:
+        """Number of states."""
+        return len(self.states)
+
+    def index_of(self, state: str) -> int:
+        """Index of a named state."""
+        try:
+            return self.states.index(state)
+        except ValueError:
+            raise BayesNetError(
+                f"variable {self.name!r} has no state {state!r}"
+            ) from None
+
+
+class BayesianNetwork:
+    """A DAG of discrete variables with CPTs.
+
+    Build incrementally: :meth:`add_variable` then :meth:`set_cpt` for each
+    variable. A CPT for variable V with parents P1..Pk is an array of shape
+    ``(card(P1), ..., card(Pk), card(V))`` whose last axis sums to 1.
+    """
+
+    def __init__(self, name: str = "bayes_net") -> None:
+        self.name = name
+        self._variables: dict[str, Variable] = {}
+        self._parents: dict[str, tuple[str, ...]] = {}
+        self._cpts: dict[str, np.ndarray] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_variable(self, variable: Variable, parents: tuple[str, ...] = ()) -> None:
+        """Declare a variable and its parents (which must already exist).
+
+        Requiring parents to pre-exist makes cycles unrepresentable and
+        gives a ready topological order (declaration order).
+        """
+        if variable.name in self._variables:
+            raise BayesNetError(f"duplicate variable {variable.name!r}")
+        for parent in parents:
+            if parent not in self._variables:
+                raise BayesNetError(
+                    f"parent {parent!r} of {variable.name!r} not declared yet"
+                )
+        if len(set(parents)) != len(parents):
+            raise BayesNetError(f"duplicate parents for {variable.name!r}")
+        self._variables[variable.name] = variable
+        self._parents[variable.name] = tuple(parents)
+
+    def set_cpt(self, name: str, table: np.ndarray) -> None:
+        """Attach the CPT for a declared variable; validates shape and
+        per-row normalization."""
+        variable = self.variable(name)
+        expected_shape = tuple(
+            self._variables[parent].cardinality for parent in self._parents[name]
+        ) + (variable.cardinality,)
+        table = np.asarray(table, dtype=float)
+        if table.shape != expected_shape:
+            raise BayesNetError(
+                f"CPT for {name!r} has shape {table.shape}, expected {expected_shape}"
+            )
+        if np.any(table < 0):
+            raise BayesNetError(f"CPT for {name!r} has negative entries")
+        sums = table.sum(axis=-1)
+        if not np.allclose(sums, 1.0, atol=1e-9):
+            raise BayesNetError(f"CPT rows for {name!r} do not sum to 1")
+        table = table.copy()
+        table.setflags(write=False)
+        self._cpts[name] = table
+
+    def validate(self) -> None:
+        """Check every declared variable has a CPT."""
+        missing = [name for name in self._variables if name not in self._cpts]
+        if missing:
+            raise BayesNetError(f"variables without CPTs: {missing}")
+
+    # -- introspection -----------------------------------------------------
+
+    def variable(self, name: str) -> Variable:
+        """Look up a declared variable."""
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise BayesNetError(f"unknown variable {name!r}") from None
+
+    def parents(self, name: str) -> tuple[str, ...]:
+        """Parents of a variable."""
+        self.variable(name)
+        return self._parents[name]
+
+    def children(self, name: str) -> tuple[str, ...]:
+        """Children of a variable."""
+        self.variable(name)
+        return tuple(
+            child
+            for child, parents in self._parents.items()
+            if name in parents
+        )
+
+    def cpt(self, name: str) -> np.ndarray:
+        """The CPT of a variable (read-only array)."""
+        self.variable(name)
+        try:
+            return self._cpts[name]
+        except KeyError:
+            raise BayesNetError(f"variable {name!r} has no CPT yet") from None
+
+    @property
+    def variable_names(self) -> tuple[str, ...]:
+        """Variables in (topological) declaration order."""
+        return tuple(self._variables)
+
+    def topological_order(self) -> tuple[str, ...]:
+        """A topological order (declaration order, by construction)."""
+        return self.variable_names
+
+    # -- semantics ---------------------------------------------------------
+
+    def joint_probability(self, assignment: dict[str, str]) -> float:
+        """Probability of one full assignment (product of CPT entries)."""
+        self.validate()
+        if set(assignment) != set(self._variables):
+            raise BayesNetError("assignment must cover every variable exactly")
+        probability = 1.0
+        for name, variable in self._variables.items():
+            index = tuple(
+                self._variables[parent].index_of(assignment[parent])
+                for parent in self._parents[name]
+            ) + (variable.index_of(assignment[name]),)
+            probability *= float(self._cpts[name][index])
+        return probability
+
+    def sample(self, n: int, seed: int) -> list[dict[str, str]]:
+        """Ancestral sampling of ``n`` full assignments."""
+        self.validate()
+        if n <= 0:
+            raise BayesNetError("n must be positive")
+        rng = np.random.default_rng(seed)
+        samples: list[dict[str, str]] = []
+        for _ in range(n):
+            assignment: dict[str, str] = {}
+            for name in self.topological_order():
+                variable = self._variables[name]
+                index = tuple(
+                    self._variables[parent].index_of(assignment[parent])
+                    for parent in self._parents[name]
+                )
+                distribution = self._cpts[name][index]
+                choice = rng.choice(variable.cardinality, p=distribution)
+                assignment[name] = variable.states[int(choice)]
+            samples.append(assignment)
+        return samples
+
+    def __repr__(self) -> str:
+        return (
+            f"BayesianNetwork({self.name!r}, variables={len(self._variables)})"
+        )

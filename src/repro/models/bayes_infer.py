@@ -1,0 +1,189 @@
+"""Exact inference on discrete Bayesian networks by variable elimination.
+
+Provides posterior marginals ``P(query | evidence)`` — the quantity the
+Figure 3 retrieval ranks locations by (posterior probability of
+``high_risk_house = yes`` given per-location evidence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import BayesNetError
+from repro.metrics.counters import CostCounter
+from repro.models.bayes import BayesianNetwork
+
+
+@dataclass
+class _Factor:
+    """A factor over named variables: axis order == ``variables``."""
+
+    variables: tuple[str, ...]
+    table: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.table.ndim != len(self.variables):
+            raise BayesNetError(
+                f"factor table rank {self.table.ndim} != "
+                f"{len(self.variables)} variables"
+            )
+
+
+def _multiply(first: _Factor, second: _Factor) -> _Factor:
+    """Pointwise factor product with broadcast alignment."""
+    variables = list(first.variables)
+    for name in second.variables:
+        if name not in variables:
+            variables.append(name)
+
+    def aligned(factor: _Factor) -> np.ndarray:
+        # Transpose the factor's axes into the unified variable order, then
+        # insert singleton axes for variables the factor does not mention so
+        # numpy broadcasting does the product.
+        unified_positions = [variables.index(v) for v in factor.variables]
+        axis_order = sorted(
+            range(len(unified_positions)), key=lambda i: unified_positions[i]
+        )
+        permuted = np.transpose(factor.table, axis_order)
+        shape = [1] * len(variables)
+        for axis, variable_index in enumerate(sorted(unified_positions)):
+            shape[variable_index] = permuted.shape[axis]
+        return permuted.reshape(shape)
+
+    return _Factor(tuple(variables), aligned(first) * aligned(second))
+
+
+def _marginalize(factor: _Factor, name: str) -> _Factor:
+    """Sum out one variable."""
+    if name not in factor.variables:
+        return factor
+    axis = factor.variables.index(name)
+    remaining = tuple(v for v in factor.variables if v != name)
+    return _Factor(remaining, factor.table.sum(axis=axis))
+
+
+def _reduce(factor: _Factor, name: str, index: int) -> _Factor:
+    """Condition on ``name = index`` (drops the axis)."""
+    if name not in factor.variables:
+        return factor
+    axis = factor.variables.index(name)
+    remaining = tuple(v for v in factor.variables if v != name)
+    return _Factor(remaining, np.take(factor.table, index, axis=axis))
+
+
+class VariableElimination:
+    """Exact posterior queries on a validated Bayesian network.
+
+    Elimination order is min-degree over the factor graph by default;
+    callers may pass an explicit order for reproducible ablation.
+    """
+
+    def __init__(self, network: BayesianNetwork) -> None:
+        network.validate()
+        self.network = network
+
+    def _initial_factors(self, evidence: dict[str, str]) -> list[_Factor]:
+        factors = []
+        for name in self.network.variable_names:
+            variables = self.network.parents(name) + (name,)
+            factor = _Factor(variables, np.asarray(self.network.cpt(name), float))
+            for ev_name, ev_state in evidence.items():
+                if ev_name in factor.variables:
+                    index = self.network.variable(ev_name).index_of(ev_state)
+                    factor = _reduce(factor, ev_name, index)
+            factors.append(factor)
+        return factors
+
+    def _elimination_order(
+        self, keep: set[str], factors: list[_Factor]
+    ) -> list[str]:
+        """Greedy min-degree ordering over variables to eliminate."""
+        to_eliminate = {
+            v for factor in factors for v in factor.variables
+        } - keep
+        neighbours: dict[str, set[str]] = {v: set() for v in to_eliminate}
+        for factor in factors:
+            for v in factor.variables:
+                if v in to_eliminate:
+                    neighbours[v].update(set(factor.variables) - {v})
+        order = []
+        remaining = set(to_eliminate)
+        while remaining:
+            best = min(remaining, key=lambda v: (len(neighbours[v] & remaining), v))
+            order.append(best)
+            remaining.discard(best)
+        return order
+
+    def query(
+        self,
+        target: str,
+        evidence: dict[str, str] | None = None,
+        counter: CostCounter | None = None,
+    ) -> dict[str, float]:
+        """Posterior ``P(target | evidence)`` as state → probability.
+
+        Raises if the evidence has probability zero. Work is tallied as
+        one model evaluation whose flops count the factor-table entries
+        produced during elimination.
+        """
+        evidence = dict(evidence or {})
+        variable = self.network.variable(target)
+        if target in evidence:
+            raise BayesNetError(f"target {target!r} cannot also be evidence")
+        for ev_name, ev_state in evidence.items():
+            self.network.variable(ev_name).index_of(ev_state)  # validate
+
+        factors = self._initial_factors(evidence)
+        flops = sum(factor.table.size for factor in factors)
+
+        for name in self._elimination_order({target}, factors):
+            related = [f for f in factors if name in f.variables]
+            others = [f for f in factors if name not in f.variables]
+            if not related:
+                continue
+            product = related[0]
+            for factor in related[1:]:
+                product = _multiply(product, factor)
+                flops += product.table.size
+            summed = _marginalize(product, name)
+            flops += product.table.size
+            factors = others + [summed]
+
+        result = factors[0]
+        for factor in factors[1:]:
+            result = _multiply(result, factor)
+            flops += result.table.size
+
+        # Sum out any stray variables (evidence-reduced empties etc.).
+        for name in result.variables:
+            if name != target:
+                result = _marginalize(result, name)
+
+        if result.variables != (target,):
+            raise BayesNetError(
+                f"elimination left variables {result.variables}, expected ({target!r},)"
+            )
+        total = float(result.table.sum())
+        if total <= 0:
+            raise BayesNetError("evidence has probability zero")
+        if counter is not None:
+            counter.add_model_evals(1, flops_each=flops)
+        distribution = result.table / total
+        return {
+            state: float(distribution[i]) for i, state in enumerate(variable.states)
+        }
+
+    def probability(
+        self,
+        target: str,
+        state: str,
+        evidence: dict[str, str] | None = None,
+        counter: CostCounter | None = None,
+    ) -> float:
+        """Convenience scalar: ``P(target = state | evidence)``."""
+        posterior = self.query(target, evidence, counter)
+        variable = self.network.variable(target)
+        variable.index_of(state)  # validate
+        return posterior[state]

@@ -1,0 +1,201 @@
+"""Finite state models (paper Section 2.2).
+
+A :class:`FiniteStateMachine` here is a deterministic machine whose
+transitions are *guarded* by predicates over arbitrary event objects
+(daily weather records, symbol streams, ...). Guards carry labels so
+machines can be compared structurally and rendered back into the paper's
+Figure 1 form.
+
+Determinism is enforced at step time: if more than one guard fires for an
+event the machine raises :class:`NonDeterministicFSMError` (unless it was
+built with ``first_match=True``, in which case declaration order breaks
+ties — useful for the common "otherwise" idiom). A missing transition
+either keeps the machine in place (``missing="stay"``) or raises
+(``missing="error"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.exceptions import FSMError, NonDeterministicFSMError
+
+Guard = Callable[[Any], bool]
+
+
+@dataclass(frozen=True)
+class State:
+    """A named state; ``accepting`` marks goal states (e.g. "Fire Ants Fly")."""
+
+    name: str
+    accepting: bool = False
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A guarded edge ``source --guard--> target``.
+
+    ``label`` is the human-readable guard description used in structural
+    comparisons and rendering (e.g. ``"no rain & T>25"``).
+    """
+
+    source: str
+    target: str
+    guard: Guard = field(compare=False)
+    label: str = ""
+
+
+class FiniteStateMachine:
+    """A deterministic guarded finite state machine.
+
+    Parameters
+    ----------
+    states:
+        All states; names must be unique.
+    initial:
+        Name of the start state.
+    transitions:
+        Guarded edges between declared states.
+    missing:
+        Behaviour when no guard fires: ``"stay"`` (self-loop, the Figure 1
+        reading where unlabeled conditions keep the current state) or
+        ``"error"``.
+    first_match:
+        If true, the first (declaration-order) enabled transition wins and
+        overlapping guards are allowed; if false (default), overlapping
+        enabled guards raise :class:`NonDeterministicFSMError`.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        initial: str,
+        transitions: Iterable[Transition],
+        missing: str = "stay",
+        first_match: bool = False,
+        name: str = "fsm",
+    ) -> None:
+        self.name = name
+        self._states: dict[str, State] = {}
+        for state in states:
+            if state.name in self._states:
+                raise FSMError(f"duplicate state {state.name!r}")
+            self._states[state.name] = state
+        if initial not in self._states:
+            raise FSMError(f"initial state {initial!r} not declared")
+        if missing not in ("stay", "error"):
+            raise FSMError(f"missing must be 'stay' or 'error', got {missing!r}")
+
+        self.initial = initial
+        self.missing = missing
+        self.first_match = first_match
+        self._transitions: dict[str, list[Transition]] = {
+            state_name: [] for state_name in self._states
+        }
+        for transition in transitions:
+            if transition.source not in self._states:
+                raise FSMError(f"unknown source state {transition.source!r}")
+            if transition.target not in self._states:
+                raise FSMError(f"unknown target state {transition.target!r}")
+            self._transitions[transition.source].append(transition)
+
+    @property
+    def states(self) -> dict[str, State]:
+        """Name → state mapping (copy)."""
+        return dict(self._states)
+
+    @property
+    def state_names(self) -> tuple[str, ...]:
+        """State names in declaration order."""
+        return tuple(self._states)
+
+    @property
+    def accepting_states(self) -> frozenset[str]:
+        """Names of accepting states."""
+        return frozenset(
+            name for name, state in self._states.items() if state.accepting
+        )
+
+    def transitions_from(self, state: str) -> tuple[Transition, ...]:
+        """Outgoing transitions of a state, in declaration order."""
+        try:
+            return tuple(self._transitions[state])
+        except KeyError:
+            raise FSMError(f"unknown state {state!r}") from None
+
+    @property
+    def n_transitions(self) -> int:
+        """Total number of declared transitions."""
+        return sum(len(edges) for edges in self._transitions.values())
+
+    def step(self, state: str, event: Any) -> str:
+        """Advance one event from ``state``; returns the next state name."""
+        enabled = [t for t in self.transitions_from(state) if t.guard(event)]
+        if not enabled:
+            if self.missing == "stay":
+                return state
+            raise FSMError(
+                f"no transition from {state!r} enabled for event {event!r}"
+            )
+        if len(enabled) > 1 and not self.first_match:
+            labels = [t.label or "<unlabeled>" for t in enabled]
+            raise NonDeterministicFSMError(
+                f"{len(enabled)} transitions enabled from {state!r}: {labels}"
+            )
+        return enabled[0].target
+
+    def is_accepting(self, state: str) -> bool:
+        """Whether the named state is accepting."""
+        try:
+            return self._states[state].accepting
+        except KeyError:
+            raise FSMError(f"unknown state {state!r}") from None
+
+    def check_deterministic(self, alphabet: Iterable[Hashable]) -> None:
+        """Exhaustively verify determinism over a finite event alphabet.
+
+        For every (state, symbol) pair, at most one guard may fire. Raises
+        :class:`NonDeterministicFSMError` on the first violation. Only
+        meaningful for machines whose guards consume plain symbols.
+        """
+        symbols = list(alphabet)
+        for state_name in self._states:
+            for symbol in symbols:
+                enabled = [
+                    t for t in self._transitions[state_name] if t.guard(symbol)
+                ]
+                if len(enabled) > 1:
+                    labels = [t.label or "<unlabeled>" for t in enabled]
+                    raise NonDeterministicFSMError(
+                        f"state {state_name!r}, symbol {symbol!r}: {labels}"
+                    )
+
+    def transition_table(self, alphabet: Iterable[Hashable]) -> dict[tuple[str, Hashable], str]:
+        """Materialize ``(state, symbol) -> next state`` over an alphabet.
+
+        Uses :meth:`step`, so ``missing="stay"`` machines produce complete
+        tables. The table is what structural FSM distance compares.
+        """
+        table: dict[tuple[str, Hashable], str] = {}
+        for state_name in self._states:
+            for symbol in alphabet:
+                table[(state_name, symbol)] = self.step(state_name, symbol)
+        return table
+
+    def render(self) -> str:
+        """Multi-line textual rendering (states, then edges with labels)."""
+        lines = [f"FSM {self.name!r} (initial: {self.initial})"]
+        for state_name, state in self._states.items():
+            marker = " [accepting]" if state.accepting else ""
+            lines.append(f"  state {state_name}{marker}")
+            for transition in self._transitions[state_name]:
+                label = transition.label or "<unlabeled>"
+                lines.append(f"    --[{label}]--> {transition.target}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"FiniteStateMachine({self.name!r}, states={len(self._states)}, "
+            f"transitions={self.n_transitions})"
+        )

@@ -1,0 +1,191 @@
+"""Extracting finite state machines from data (paper Section 3).
+
+"When the finite state machine extracted from the data is slightly
+different from the target finite state machine, it is also possible to
+define a distance between these two finite state machines based on their
+similarities."
+
+This module supplies the *extraction* half with a history-window
+construction plus Moore minimization:
+
+1. **window automaton** — states are the distinct length-<=h recent
+   symbol histories observed in the training runs; consuming symbol ``s``
+   in history ``w`` moves to ``suffix(w + s, h)``. Any system whose
+   condition is a function of its last ``h`` observations (the Figure 1
+   fire-ants machine has h = 4) is represented *exactly*.
+2. **acceptance labeling** — each window state takes the majority
+   acceptance vote of the observations made in it, so noisy labels are
+   tolerated.
+3. **Moore minimization** — partition refinement starting from the
+   accept/reject split, merging histories the data cannot distinguish,
+   typically collapsing thousands of windows to the target machine's
+   handful of states.
+
+The result is a deterministic :class:`~repro.models.fsm.FiniteStateMachine`
+comparable to a target machine with :mod:`repro.models.fsm_distance` —
+enabling "retrieve the stations whose extracted dynamics are closest to
+the target model" queries.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.exceptions import FSMError
+from repro.models.fsm import FiniteStateMachine, State, Transition
+
+Window = tuple
+
+
+def _suffix(window: Window, symbol: Hashable, history: int) -> Window:
+    extended = window + (symbol,)
+    return extended[-history:] if history > 0 else ()
+
+
+def learn_fsm(
+    runs: Sequence[tuple[Sequence[Hashable], Sequence[bool]]],
+    history: int = 4,
+    name: str = "learned",
+) -> FiniteStateMachine:
+    """Learn a deterministic FSM from labeled runs.
+
+    Parameters
+    ----------
+    runs:
+        Observed executions: each a (symbol sequence, per-step accepting
+        flag sequence) pair, the flag describing the system *after*
+        consuming each symbol.
+    history:
+        Window length ``h``. The learner is exact for any target whose
+        acceptance is a function of the last ``h`` symbols and whose
+        behaviour the runs cover; longer histories fit more complex
+        targets but need more data.
+    name:
+        Name of the returned machine.
+
+    Returns a machine with ``missing="stay"`` semantics (symbols never
+    observed in a state keep it), states named ``q0, q1, ...`` with
+    ``q0`` the empty-history initial state.
+    """
+    if not runs:
+        raise FSMError("need at least one run to learn from")
+    if history < 1:
+        raise FSMError("history must be at least 1")
+
+    # --- pass 1: collect windows, votes, and transitions ------------------
+    accept_votes: dict[Window, list[int]] = {(): [0, 0]}
+    edges: dict[Window, dict[Hashable, Window]] = {(): {}}
+    alphabet: set[Hashable] = set()
+
+    for symbols, accepting in runs:
+        if len(symbols) != len(accepting):
+            raise FSMError("symbols and acceptance flags must align")
+        window: Window = ()
+        for symbol, is_accepting in zip(symbols, accepting):
+            alphabet.add(symbol)
+            next_window = _suffix(window, symbol, history)
+            edges.setdefault(window, {})[symbol] = next_window
+            votes = accept_votes.setdefault(next_window, [0, 0])
+            votes[1] += 1
+            if is_accepting:
+                votes[0] += 1
+            window = next_window
+
+    windows = sorted(accept_votes, key=lambda w: (len(w), tuple(map(str, w))))
+    accepting_of = {
+        window: votes[1] > 0 and votes[0] * 2 > votes[1]
+        for window, votes in accept_votes.items()
+    }
+
+    # --- pass 2: Moore minimization ---------------------------------------
+    # Missing transitions behave as self-loops ("stay"), matching the
+    # produced machine's missing="stay" semantics.
+    ordered_alphabet = sorted(alphabet, key=str)
+
+    def step_window(window: Window, symbol: Hashable) -> Window:
+        return edges.get(window, {}).get(symbol, window)
+
+    block_of = {
+        window: (1 if accepting_of[window] else 0) for window in windows
+    }
+    while True:
+        signatures: dict[tuple, int] = {}
+        new_block_of: dict[Window, int] = {}
+        for window in windows:
+            signature = (
+                block_of[window],
+                tuple(
+                    block_of[step_window(window, symbol)]
+                    for symbol in ordered_alphabet
+                ),
+            )
+            if signature not in signatures:
+                signatures[signature] = len(signatures)
+            new_block_of[window] = signatures[signature]
+        if new_block_of == block_of:
+            break
+        block_of = new_block_of
+
+    # --- pass 3: emit the quotient machine --------------------------------
+    initial_block = block_of[()]
+    # Relabel so the initial state is q0 (stable ordering otherwise).
+    relabel = {initial_block: 0}
+    for window in windows:
+        block = block_of[window]
+        if block not in relabel:
+            relabel[block] = len(relabel)
+
+    n_states = len(relabel)
+    accepting_blocks = {
+        relabel[block_of[window]]
+        for window in windows
+        if accepting_of[window]
+    }
+    states = [
+        State(f"q{index}", accepting=index in accepting_blocks)
+        for index in range(n_states)
+    ]
+
+    def make_guard(expected: Hashable):
+        return lambda symbol: symbol == expected
+
+    seen_edges: set[tuple[int, Hashable, int]] = set()
+    transitions: list[Transition] = []
+    for window in windows:
+        source = relabel[block_of[window]]
+        for symbol, target_window in edges.get(window, {}).items():
+            target = relabel[block_of[target_window]]
+            key = (source, symbol, target)
+            if key in seen_edges:
+                continue
+            seen_edges.add(key)
+            transitions.append(
+                Transition(
+                    f"q{source}", f"q{target}", make_guard(symbol), str(symbol)
+                )
+            )
+
+    return FiniteStateMachine(
+        states, "q0", transitions, missing="stay", first_match=True, name=name
+    )
+
+
+def runs_from_machine(
+    machine: FiniteStateMachine,
+    symbol_streams: Sequence[Sequence[Hashable]],
+) -> list[tuple[Sequence[Hashable], list[bool]]]:
+    """Label symbol streams with a reference machine's acceptance trace.
+
+    Convenience for tests and benchmarks: drive ``machine`` over each
+    stream and record per-step acceptance, producing the training input
+    :func:`learn_fsm` expects.
+    """
+    runs = []
+    for symbols in symbol_streams:
+        state = machine.initial
+        accepting = []
+        for symbol in symbols:
+            state = machine.step(state, symbol)
+            accepting.append(machine.is_accepting(state))
+        runs.append((symbols, accepting))
+    return runs

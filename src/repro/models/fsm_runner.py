@@ -1,0 +1,232 @@
+"""Running finite state models over event streams (paper Figure 1).
+
+:func:`run_fsm` drives a machine across a time series and records the
+state trajectory plus every entry into an accepting state. The returned
+:class:`FSMRun` exposes the scores top-K retrieval ranks stations by
+(days spent accepting, earliest acceptance).
+
+:func:`fire_ants_model` builds the paper's Figure 1 machine: fire ants fly
+in a region that had rain, then stayed dry for at least three days, with
+the temperature reaching 25 °C or higher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.data.series import TimeSeries
+from repro.metrics.counters import CostCounter
+from repro.models.fsm import FiniteStateMachine, State, Transition
+
+EventExtractor = Callable[[dict[str, float]], Any]
+
+
+@dataclass(frozen=True)
+class FSMRun:
+    """Result of driving an FSM over an event stream.
+
+    ``trajectory[i]`` is the state *after* consuming event ``i``;
+    ``acceptance_times`` are the indices where the machine *entered* an
+    accepting state (an uninterrupted stay counts once).
+    """
+
+    machine_name: str
+    trajectory: tuple[str, ...]
+    acceptance_times: tuple[int, ...]
+    accepting_days: int
+
+    @property
+    def accepted(self) -> bool:
+        """Whether the machine ever reached an accepting state."""
+        return bool(self.acceptance_times)
+
+    @property
+    def first_acceptance(self) -> int | None:
+        """Index of the first acceptance, or None."""
+        return self.acceptance_times[0] if self.acceptance_times else None
+
+    def score(self) -> float:
+        """Ranking score for top-K retrieval.
+
+        Primary: days spent in accepting states (more swarming days ranks
+        higher). Ties broken by earlier first acceptance via a small bonus.
+        Non-accepting runs score 0.
+        """
+        if not self.accepted:
+            return 0.0
+        earliness = 1.0 / (1.0 + (self.first_acceptance or 0))
+        return self.accepting_days + earliness
+
+
+def run_fsm(
+    machine: FiniteStateMachine,
+    events: Sequence[Any],
+    counter: CostCounter | None = None,
+) -> FSMRun:
+    """Drive ``machine`` across ``events`` from its initial state.
+
+    Each event is one model evaluation of ``O(outgoing transitions)``
+    guard checks, tallied on ``counter``.
+    """
+    state = machine.initial
+    trajectory: list[str] = []
+    acceptance_times: list[int] = []
+    accepting_days = 0
+    previously_accepting = machine.is_accepting(state)
+
+    for index, event in enumerate(events):
+        if counter is not None:
+            guards = len(machine.transitions_from(state))
+            counter.add_model_evals(1, flops_each=max(1, guards))
+        state = machine.step(state, event)
+        trajectory.append(state)
+        now_accepting = machine.is_accepting(state)
+        if now_accepting:
+            accepting_days += 1
+            if not previously_accepting:
+                acceptance_times.append(index)
+        previously_accepting = now_accepting
+
+    return FSMRun(
+        machine_name=machine.name,
+        trajectory=tuple(trajectory),
+        acceptance_times=tuple(acceptance_times),
+        accepting_days=accepting_days,
+    )
+
+
+def run_fsm_over_series(
+    machine: FiniteStateMachine,
+    series: TimeSeries,
+    counter: CostCounter | None = None,
+) -> FSMRun:
+    """Drive a machine over a weather time series.
+
+    Events are per-day attribute dicts read through the instrumented
+    series API, so ``counter`` tallies both data points and guard work.
+    """
+    events = (
+        series.read_record(index, counter) for index in range(len(series))
+    )
+    return run_fsm(machine, list(events), counter)
+
+
+# --- Figure 1: the fire-ants machine -------------------------------------
+
+RAIN_THRESHOLD_MM = 0.1
+FLIGHT_TEMPERATURE_C = 25.0
+
+
+def _raining(event: dict[str, float]) -> bool:
+    return event["rain_mm"] > RAIN_THRESHOLD_MM
+
+
+def _dry(event: dict[str, float]) -> bool:
+    return not _raining(event)
+
+
+def _dry_and_hot(event: dict[str, float]) -> bool:
+    return _dry(event) and event["temperature_c"] >= FLIGHT_TEMPERATURE_C
+
+
+def _dry_and_cool(event: dict[str, float]) -> bool:
+    return _dry(event) and event["temperature_c"] < FLIGHT_TEMPERATURE_C
+
+
+def fire_ants_model(name: str = "fire_ants") -> FiniteStateMachine:
+    """The paper's Figure 1 fire-ants finite state model.
+
+    States: Rain → Dry-1 → Dry-2 → Dry-3+ → Fire-Ants-Fly. Rain on any day
+    resets to Rain. From Dry-3+ the ants fly on the first dry day reaching
+    25 °C; cooler dry days stay in Dry-3+. While flying, continued hot dry
+    days keep the state; a cool dry day drops back to Dry-3+ (the region
+    is still primed), rain resets.
+    """
+    states = [
+        State("rain"),
+        State("dry_1"),
+        State("dry_2"),
+        State("dry_3_plus"),
+        State("fire_ants_fly", accepting=True),
+    ]
+    transitions = [
+        Transition("rain", "rain", _raining, "rains"),
+        Transition("rain", "dry_1", _dry, "rain stops"),
+        Transition("dry_1", "rain", _raining, "rains"),
+        Transition("dry_1", "dry_2", _dry, "no rain"),
+        Transition("dry_2", "rain", _raining, "rains"),
+        Transition("dry_2", "dry_3_plus", _dry, "no rain"),
+        Transition("dry_3_plus", "rain", _raining, "rains"),
+        Transition("dry_3_plus", "fire_ants_fly", _dry_and_hot, "no rain & T>=25"),
+        Transition("dry_3_plus", "dry_3_plus", _dry_and_cool, "no rain & T<25"),
+        Transition("fire_ants_fly", "rain", _raining, "rains"),
+        Transition("fire_ants_fly", "fire_ants_fly", _dry_and_hot, "no rain & T>=25"),
+        Transition("fire_ants_fly", "dry_3_plus", _dry_and_cool, "no rain & T<25"),
+    ]
+    return FiniteStateMachine(states, "rain", transitions, missing="error", name=name)
+
+
+def naive_window_match(
+    series: TimeSeries,
+    dry_days_required: int = 3,
+    flight_temperature_c: float = FLIGHT_TEMPERATURE_C,
+    counter: CostCounter | None = None,
+) -> list[int]:
+    """Baseline fire-ants detector: re-scan history at every day.
+
+    For each day, re-reads backwards to count the consecutive dry days
+    before it (stopping at the most recent rain, or the series start,
+    which — like the FSM's initial state — is treated as following
+    rain). The machine and this scan decide "flying" identically, but
+    the scan re-does O(dry-spell length) reads per day — the "apply the
+    model sequentially over the entire region of the data" strategy the
+    paper contrasts with. Returns swarm-onset day indices.
+    """
+    onsets: list[int] = []
+    previously_flying = False
+    for day in range(len(series)):
+        today_rain = series.read("rain_mm", day, counter)
+        today_temp = series.read("temperature_c", day, counter)
+        if counter is not None:
+            counter.add_model_evals(1, flops_each=2)
+        flying = False
+        if today_rain <= RAIN_THRESHOLD_MM and today_temp >= flight_temperature_c:
+            dry_run = 0
+            for back_day in range(day - 1, -1, -1):
+                rain = series.read("rain_mm", back_day, counter)
+                if counter is not None:
+                    counter.add_model_evals(1, flops_each=1)
+                if rain > RAIN_THRESHOLD_MM:
+                    break
+                dry_run += 1
+            else:
+                # Reached the series start without rain: the record is
+                # assumed to begin just after rain (the FSM's initial
+                # state), so the whole prefix counts as the dry spell.
+                pass
+            flying = dry_run >= dry_days_required
+        if flying and not previously_flying:
+            onsets.append(day)
+        previously_flying = flying
+    return onsets
+
+
+def symbolize_weather(
+    events: Iterable[dict[str, float]],
+    flight_temperature_c: float = FLIGHT_TEMPERATURE_C,
+) -> list[str]:
+    """Map weather records to the 3-symbol alphabet {rain, dry_hot, dry_cool}.
+
+    The alphabet over which the Figure 1 machine's determinism is checked
+    exhaustively and over which FSM distances are computed.
+    """
+    symbols = []
+    for event in events:
+        if event["rain_mm"] > RAIN_THRESHOLD_MM:
+            symbols.append("rain")
+        elif event["temperature_c"] >= flight_temperature_c:
+            symbols.append("dry_hot")
+        else:
+            symbols.append("dry_cool")
+    return symbols

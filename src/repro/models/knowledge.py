@@ -1,0 +1,214 @@
+"""Rule-based knowledge models (paper Sections 2.3 and 3, Figures 3-4).
+
+A knowledge model here is a set of fuzzy rules over named attributes:
+each :class:`RulePredicate` maps one attribute through a membership
+function, a :class:`FuzzyRule` conjoins predicates, and a
+:class:`KnowledgeModel` combines rule degrees (disjunction or weighted
+average) into one [0, 1] score — "the fuzzy and/or probabilistic rules
+specified within the model" that top-K retrieval ranks by.
+
+The Figure 3 HPS house rule and the Figure 4 geology rule are provided as
+factories by the application modules (:mod:`repro.apps.epidemiology`,
+:mod:`repro.apps.geology`); composite *sequence* matching for the geology
+rule is handled by :mod:`repro.sproc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.models.base import AttributeVector, Model
+from repro.models.fuzzy import FuzzyAnd, FuzzyOr, MembershipFunction
+
+
+@dataclass(frozen=True)
+class RulePredicate:
+    """One fuzzy predicate: attribute value → membership degree."""
+
+    attribute: str
+    membership: MembershipFunction
+    name: str = ""
+
+    def degree(self, attributes: AttributeVector) -> float:
+        """Membership degree of the predicate for an attribute vector."""
+        try:
+            value = float(attributes[self.attribute])
+        except KeyError:
+            raise ModelError(
+                f"predicate {self.name or self.attribute!r} needs "
+                f"attribute {self.attribute!r}"
+            ) from None
+        return self.membership(value)
+
+    def degree_interval(
+        self, intervals: Mapping[str, tuple[float, float]]
+    ) -> tuple[float, float]:
+        """Sound (min, max) degree over an attribute box."""
+        try:
+            low, high = intervals[self.attribute]
+        except KeyError:
+            raise ModelError(
+                f"interval for attribute {self.attribute!r} missing"
+            ) from None
+        return self.membership.interval(low, high)
+
+
+@dataclass(frozen=True)
+class FuzzyRule:
+    """A conjunction of predicates with an importance weight."""
+
+    name: str
+    predicates: tuple[RulePredicate, ...]
+    weight: float = 1.0
+    conjunction: FuzzyAnd = FuzzyAnd("min")
+
+    def __post_init__(self) -> None:
+        if not self.predicates:
+            raise ModelError(f"rule {self.name!r} needs at least one predicate")
+        if self.weight <= 0:
+            raise ModelError(f"rule {self.name!r} weight must be positive")
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attributes the rule reads (deduplicated, stable order)."""
+        seen: list[str] = []
+        for predicate in self.predicates:
+            if predicate.attribute not in seen:
+                seen.append(predicate.attribute)
+        return tuple(seen)
+
+    def degree(self, attributes: AttributeVector) -> float:
+        """Conjoined membership degree of all predicates."""
+        return self.conjunction(
+            [predicate.degree(attributes) for predicate in self.predicates]
+        )
+
+    def degree_interval(
+        self, intervals: Mapping[str, tuple[float, float]]
+    ) -> tuple[float, float]:
+        """Sound (min, max) rule degree over an attribute box.
+
+        Both supported t-norms (min, product) are monotone in every
+        argument, so combining the per-predicate lows/highs bounds the
+        rule degree; for independent attribute boxes the bound is tight.
+        """
+        lows = []
+        highs = []
+        for predicate in self.predicates:
+            low, high = predicate.degree_interval(intervals)
+            lows.append(low)
+            highs.append(high)
+        return (self.conjunction(lows), self.conjunction(highs))
+
+
+class KnowledgeModel(Model):
+    """A scored set of fuzzy rules.
+
+    ``combination`` selects how rule degrees merge:
+
+    * ``"or"`` — fuzzy disjunction (any rule firing suffices),
+    * ``"weighted"`` — weight-normalized average (rules vote).
+
+    Scores are always in [0, 1].
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[FuzzyRule],
+        combination: str = "weighted",
+        disjunction: FuzzyOr | None = None,
+        name: str = "knowledge",
+    ) -> None:
+        if not rules:
+            raise ModelError("knowledge model needs at least one rule")
+        if combination not in ("or", "weighted"):
+            raise ModelError(f"unknown combination {combination!r}")
+        self.rules = tuple(rules)
+        self.combination = combination
+        self.disjunction = disjunction or FuzzyOr("max")
+        self.name = name
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for rule in self.rules:
+            for attribute in rule.attributes:
+                if attribute not in seen:
+                    seen.append(attribute)
+        return tuple(seen)
+
+    @property
+    def complexity(self) -> int:
+        """One membership evaluation + one combine op per predicate."""
+        return 2 * sum(len(rule.predicates) for rule in self.rules)
+
+    def evaluate(self, attributes: AttributeVector) -> float:
+        degrees = [rule.degree(attributes) for rule in self.rules]
+        if self.combination == "or":
+            return self.disjunction(degrees)
+        total_weight = sum(rule.weight for rule in self.rules)
+        return (
+            sum(rule.weight * degree for rule, degree in zip(self.rules, degrees))
+            / total_weight
+        )
+
+    def rule_degrees(self, attributes: AttributeVector) -> dict[str, float]:
+        """Per-rule degrees (explanation/debugging surface)."""
+        return {rule.name: rule.degree(attributes) for rule in self.rules}
+
+    def evaluate_interval(
+        self, intervals: Mapping[str, tuple[float, float]]
+    ) -> tuple[float, float]:
+        """Sound (min, max) score over an attribute box.
+
+        Both combination modes are monotone in every rule degree (maximum
+        for "or"; a positive-weight average for "weighted"), so combining
+        the per-rule interval endpoints bounds the model score. This is
+        what lets knowledge models run through the progressive engine's
+        tile screening.
+        """
+        lows = []
+        highs = []
+        for rule in self.rules:
+            low, high = rule.degree_interval(intervals)
+            lows.append(low)
+            highs.append(high)
+        if self.combination == "or":
+            return (self.disjunction(lows), self.disjunction(highs))
+        total_weight = sum(rule.weight for rule in self.rules)
+        low_score = (
+            sum(rule.weight * low for rule, low in zip(self.rules, lows))
+            / total_weight
+        )
+        high_score = (
+            sum(rule.weight * high for rule, high in zip(self.rules, highs))
+            / total_weight
+        )
+        return (low_score, high_score)
+
+    def evaluate_batch(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:
+        names = self.attributes
+        arrays = {
+            attr_name: np.asarray(columns[attr_name], dtype=float)
+            for attr_name in names
+        }
+        shape = next(iter(arrays.values())).shape
+        flat = {attr_name: array.reshape(-1) for attr_name, array in arrays.items()}
+        size = next(iter(flat.values())).size
+        scores = np.empty(size)
+        for i in range(size):
+            scores[i] = self.evaluate(
+                {attr_name: float(column[i]) for attr_name, column in flat.items()}
+            )
+        return scores.reshape(shape)
+
+    def __repr__(self) -> str:
+        rule_names = [rule.name for rule in self.rules]
+        return (
+            f"KnowledgeModel({self.name!r}, rules={rule_names}, "
+            f"combination={self.combination!r})"
+        )

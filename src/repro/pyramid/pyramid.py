@@ -1,0 +1,172 @@
+"""Resolution pyramids over raster layers.
+
+A :class:`ResolutionPyramid` stores a raster at dyadic resolutions: level 0
+is the original grid; each coarser level halves both dimensions. Every
+coarse cell carries the **mean, min and max** of the fine cells it covers,
+so a model evaluated on a coarse cell's min/max envelope gives *sound*
+bounds on every underlying fine value — the property progressive screening
+relies on for zero-miss pruning.
+
+Reading a coarse level is charged at the coarse level's size, which is how
+progressive data representation earns its ``pd`` factor in Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.raster import RasterLayer
+from repro.metrics.counters import CostCounter
+
+
+def _pad_to_even(values: np.ndarray) -> np.ndarray:
+    """Edge-pad an array so both dimensions are even."""
+    rows, cols = values.shape
+    pad_rows = rows % 2
+    pad_cols = cols % 2
+    if pad_rows or pad_cols:
+        values = np.pad(values, ((0, pad_rows), (0, pad_cols)), mode="edge")
+    return values
+
+
+def _downsample(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One 2x reduction returning (mean, min, max) of each 2x2 block."""
+    padded = _pad_to_even(values)
+    rows, cols = padded.shape
+    blocks = padded.reshape(rows // 2, 2, cols // 2, 2)
+    return (
+        blocks.mean(axis=(1, 3)),
+        blocks.min(axis=(1, 3)),
+        blocks.max(axis=(1, 3)),
+    )
+
+
+@dataclass
+class PyramidLevel:
+    """One resolution level: mean/min/max grids plus bookkeeping.
+
+    ``scale`` is the fine-cells-per-coarse-cell edge factor (``2**level``).
+    The min/max grids at level L bound all original values under each
+    coarse cell; the mean grid is the approximation used for coarse
+    model evaluation.
+    """
+
+    level: int
+    scale: int
+    mean: np.ndarray
+    minimum: np.ndarray
+    maximum: np.ndarray
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Grid shape at this level."""
+        return self.mean.shape  # type: ignore[return-value]
+
+    @property
+    def size(self) -> int:
+        """Cell count at this level."""
+        return self.mean.size
+
+    def read_mean(self, counter: CostCounter | None = None) -> np.ndarray:
+        """Read the full mean grid (tallied at this level's size)."""
+        if counter is not None:
+            counter.add_data_points(self.size)
+        return self.mean
+
+    def read_envelope(
+        self, counter: CostCounter | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Read (min, max) grids; tallied as 2x this level's size."""
+        if counter is not None:
+            counter.add_data_points(2 * self.size)
+        return self.minimum, self.maximum
+
+    def cell_of(self, row: int, col: int) -> tuple[int, int]:
+        """Coarse cell covering original cell ``(row, col)``."""
+        return (row // self.scale, col // self.scale)
+
+    def fine_window(self, coarse_row: int, coarse_col: int) -> tuple[int, int, int, int]:
+        """Original-grid window covered by a coarse cell.
+
+        Returns half-open ``(row0, col0, row1, col1)``; callers clip to the
+        original shape (edge cells may overhang padded area).
+        """
+        row0 = coarse_row * self.scale
+        col0 = coarse_col * self.scale
+        return (row0, col0, row0 + self.scale, col0 + self.scale)
+
+
+class ResolutionPyramid:
+    """Dyadic resolution pyramid over one raster layer.
+
+    Parameters
+    ----------
+    layer:
+        Source raster.
+    n_levels:
+        Number of coarse levels above level 0 (capped so the coarsest
+        level is at least 1x1).
+    """
+
+    def __init__(self, layer: RasterLayer, n_levels: int = 4) -> None:
+        if n_levels < 0:
+            raise ValueError(f"n_levels must be non-negative, got {n_levels}")
+        self.layer = layer
+        values = layer.values
+
+        max_levels = max(0, int(np.floor(np.log2(max(values.shape)))))
+        n_levels = min(n_levels, max_levels)
+
+        levels = [
+            PyramidLevel(
+                level=0, scale=1, mean=values, minimum=values, maximum=values
+            )
+        ]
+        mean, minimum, maximum = values, values, values
+        for level in range(1, n_levels + 1):
+            mean, _, _ = _downsample(mean)
+            _, minimum, _ = _downsample(minimum)
+            _, _, maximum = _downsample(maximum)
+            levels.append(
+                PyramidLevel(
+                    level=level,
+                    scale=2**level,
+                    mean=mean,
+                    minimum=minimum,
+                    maximum=maximum,
+                )
+            )
+        self._levels = levels
+
+    @property
+    def n_levels(self) -> int:
+        """Number of levels including level 0."""
+        return len(self._levels)
+
+    @property
+    def coarsest(self) -> PyramidLevel:
+        """The coarsest level."""
+        return self._levels[-1]
+
+    def level(self, index: int) -> PyramidLevel:
+        """Level ``index`` (0 = full resolution)."""
+        if not 0 <= index < len(self._levels):
+            raise ValueError(
+                f"level {index} outside pyramid of {len(self._levels)} levels"
+            )
+        return self._levels[index]
+
+    def __iter__(self):
+        return iter(self._levels)
+
+    def coarse_to_fine(self):
+        """Iterate levels from coarsest to finest (screening order)."""
+        return reversed(self._levels)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResolutionPyramid({self.layer.name!r}, levels={self.n_levels}, "
+            f"coarsest={self.coarsest.shape})"
+        )

@@ -1,0 +1,212 @@
+"""Quadtree aggregates over raster layers.
+
+A quadtree stores per-node min/max/mean/count for recursively quartered
+windows of a raster. It answers two queries the progressive engine needs:
+
+* :meth:`QuadTree.window_envelope` — sound (min, max) bounds over an
+  arbitrary window, assembled from O(log-area) nodes;
+* :meth:`QuadTree.nodes_at_depth` — the tiling of the raster at a given
+  granularity, used as the screening frontier.
+
+Unlike the dyadic pyramid, quadtree node visits are charged per node
+(``nodes_visited``), reflecting that aggregates are tiny relative to data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.raster import RasterLayer
+from repro.metrics.counters import CostCounter
+
+
+@dataclass
+class QuadTreeNode:
+    """One quadtree node covering window ``[row0:row1, col0:col1]``."""
+
+    row0: int
+    col0: int
+    row1: int
+    col1: int
+    depth: int
+    minimum: float
+    maximum: float
+    mean: float
+    count: int
+    children: list["QuadTreeNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this node has no children."""
+        return not self.children
+
+    @property
+    def size(self) -> int:
+        """Number of raster cells covered."""
+        return (self.row1 - self.row0) * (self.col1 - self.col0)
+
+    def window(self) -> tuple[int, int, int, int]:
+        """Covered half-open window ``(row0, col0, row1, col1)``."""
+        return (self.row0, self.col0, self.row1, self.col1)
+
+    def intersects(self, row0: int, col0: int, row1: int, col1: int) -> bool:
+        """Whether the node window intersects the given window."""
+        return (
+            self.row0 < row1
+            and row0 < self.row1
+            and self.col0 < col1
+            and col0 < self.col1
+        )
+
+    def contained_in(self, row0: int, col0: int, row1: int, col1: int) -> bool:
+        """Whether the node window lies fully inside the given window."""
+        return (
+            row0 <= self.row0
+            and self.row1 <= row1
+            and col0 <= self.col0
+            and self.col1 <= col1
+        )
+
+
+class QuadTree:
+    """Min/max/mean quadtree over a raster layer.
+
+    Parameters
+    ----------
+    layer:
+        Source raster.
+    leaf_size:
+        Stop subdividing when both window dimensions are <= this.
+    """
+
+    def __init__(self, layer: RasterLayer, leaf_size: int = 8) -> None:
+        if leaf_size <= 0:
+            raise ValueError(f"leaf_size must be positive, got {leaf_size}")
+        self.layer = layer
+        self.leaf_size = leaf_size
+        rows, cols = layer.shape
+        self.root = self._build(layer.values, 0, 0, rows, cols, depth=0)
+        self._n_nodes = self._count(self.root)
+
+    def _build(
+        self,
+        values: np.ndarray,
+        row0: int,
+        col0: int,
+        row1: int,
+        col1: int,
+        depth: int,
+    ) -> QuadTreeNode:
+        window = values[row0:row1, col0:col1]
+        node = QuadTreeNode(
+            row0=row0,
+            col0=col0,
+            row1=row1,
+            col1=col1,
+            depth=depth,
+            minimum=float(window.min()),
+            maximum=float(window.max()),
+            mean=float(window.mean()),
+            count=window.size,
+        )
+        rows = row1 - row0
+        cols = col1 - col0
+        if rows <= self.leaf_size and cols <= self.leaf_size:
+            return node
+
+        row_mid = row0 + rows // 2 if rows > self.leaf_size else row1
+        col_mid = col0 + cols // 2 if cols > self.leaf_size else col1
+        for child_row0, child_row1 in ((row0, row_mid), (row_mid, row1)):
+            if child_row0 >= child_row1:
+                continue
+            for child_col0, child_col1 in ((col0, col_mid), (col_mid, col1)):
+                if child_col0 >= child_col1:
+                    continue
+                node.children.append(
+                    self._build(
+                        values, child_row0, child_col0, child_row1, child_col1,
+                        depth + 1,
+                    )
+                )
+        return node
+
+    def _count(self, node: QuadTreeNode) -> int:
+        return 1 + sum(self._count(child) for child in node.children)
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count."""
+        return self._n_nodes
+
+    def window_envelope(
+        self,
+        row0: int,
+        col0: int,
+        row1: int,
+        col1: int,
+        counter: CostCounter | None = None,
+    ) -> tuple[float, float]:
+        """Sound (min, max) over window ``[row0:row1, col0:col1]``.
+
+        Assembled from aggregate nodes only — no raster cells are read.
+        Partially overlapping leaves contribute their whole-node bounds,
+        so the envelope is conservative (never too tight).
+        """
+        rows, cols = self.layer.shape
+        row0, row1 = max(0, row0), min(rows, row1)
+        col0, col1 = max(0, col0), min(cols, col1)
+        if row0 >= row1 or col0 >= col1:
+            raise ValueError("empty query window")
+
+        low = float("inf")
+        high = float("-inf")
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if counter is not None:
+                counter.add_nodes(1)
+            if not node.intersects(row0, col0, row1, col1):
+                continue
+            if node.contained_in(row0, col0, row1, col1) or node.is_leaf:
+                low = min(low, node.minimum)
+                high = max(high, node.maximum)
+                continue
+            stack.extend(node.children)
+        return (low, high)
+
+    def nodes_at_depth(self, depth: int) -> list[QuadTreeNode]:
+        """All nodes at the given depth (leaves shallower than ``depth``
+        are included, so the returned set always tiles the raster)."""
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        result: list[QuadTreeNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.depth == depth or (node.depth < depth and node.is_leaf):
+                result.append(node)
+            elif node.depth < depth:
+                stack.extend(node.children)
+        result.sort(key=lambda n: (n.row0, n.col0))
+        return result
+
+    def leaves(self) -> list[QuadTreeNode]:
+        """All leaf nodes, sorted by window origin."""
+        result: list[QuadTreeNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                result.append(node)
+            else:
+                stack.extend(node.children)
+        result.sort(key=lambda n: (n.row0, n.col0))
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"QuadTree({self.layer.name!r}, nodes={self.n_nodes}, "
+            f"leaf_size={self.leaf_size})"
+        )

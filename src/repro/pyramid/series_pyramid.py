@@ -1,0 +1,155 @@
+"""Dyadic resolution pyramids over 1-D series.
+
+The paper's multi-resolution axis applies to every modality — "well log
+traces (1D series)" included. :class:`SeriesPyramid` stores a series
+attribute at dyadic resolutions with per-window mean/min/max, giving
+sound envelopes over arbitrary sample ranges — the 1-D counterpart of
+:class:`~repro.pyramid.pyramid.ResolutionPyramid` that the series
+retrieval engine screens stations with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.series import _Series
+from repro.metrics.counters import CostCounter
+
+
+@dataclass
+class SeriesLevel:
+    """One resolution level of a series attribute.
+
+    ``scale`` samples per window; the min/max arrays bound every original
+    sample under each window.
+    """
+
+    level: int
+    scale: int
+    mean: np.ndarray
+    minimum: np.ndarray
+    maximum: np.ndarray
+
+    @property
+    def n_windows(self) -> int:
+        """Window count at this level."""
+        return self.mean.size
+
+    def window_of(self, sample_index: int) -> int:
+        """Window covering an original sample index."""
+        return sample_index // self.scale
+
+    def sample_range(self, window_index: int) -> tuple[int, int]:
+        """Half-open original-sample range of a window (unclipped)."""
+        return (
+            window_index * self.scale,
+            (window_index + 1) * self.scale,
+        )
+
+    def read_envelopes(
+        self, counter: CostCounter | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Read (min, max) arrays; tallied at 2x window count."""
+        if counter is not None:
+            counter.add_data_points(2 * self.n_windows)
+        return self.minimum, self.maximum
+
+
+def _pad_to_even_1d(values: np.ndarray) -> np.ndarray:
+    if values.size % 2:
+        return np.concatenate([values, values[-1:]])
+    return values
+
+
+class SeriesPyramid:
+    """Dyadic mean/min/max pyramid over one attribute of a series.
+
+    Parameters
+    ----------
+    series:
+        Source series (time or depth).
+    attribute:
+        Which attribute to summarize.
+    n_levels:
+        Number of coarse levels above level 0 (capped by length).
+    """
+
+    def __init__(self, series: _Series, attribute: str, n_levels: int = 4) -> None:
+        if n_levels < 0:
+            raise ValueError("n_levels must be non-negative")
+        self.series = series
+        self.attribute = attribute
+        values = series.values(attribute)
+
+        max_levels = max(0, int(np.floor(np.log2(max(values.size, 1)))))
+        n_levels = min(n_levels, max_levels)
+
+        levels = [
+            SeriesLevel(
+                level=0, scale=1, mean=values, minimum=values, maximum=values
+            )
+        ]
+        mean, minimum, maximum = values, values, values
+        for level in range(1, n_levels + 1):
+            mean = _pad_to_even_1d(mean).reshape(-1, 2).mean(axis=1)
+            minimum = _pad_to_even_1d(minimum).reshape(-1, 2).min(axis=1)
+            maximum = _pad_to_even_1d(maximum).reshape(-1, 2).max(axis=1)
+            levels.append(
+                SeriesLevel(
+                    level=level,
+                    scale=2**level,
+                    mean=mean,
+                    minimum=minimum,
+                    maximum=maximum,
+                )
+            )
+        self._levels = levels
+
+    @property
+    def n_levels(self) -> int:
+        """Level count including level 0."""
+        return len(self._levels)
+
+    @property
+    def coarsest(self) -> SeriesLevel:
+        """The coarsest level."""
+        return self._levels[-1]
+
+    def level(self, index: int) -> SeriesLevel:
+        """Level ``index`` (0 = full resolution)."""
+        if not 0 <= index < len(self._levels):
+            raise ValueError(
+                f"level {index} outside pyramid of {len(self._levels)} levels"
+            )
+        return self._levels[index]
+
+    def range_envelope(
+        self,
+        start: int,
+        stop: int,
+        level_index: int | None = None,
+        counter: CostCounter | None = None,
+    ) -> tuple[float, float]:
+        """Sound (min, max) over original samples ``[start:stop]``.
+
+        Uses the requested level's windows (coarsest by default);
+        partially covered windows contribute their whole-window bounds,
+        so the envelope is conservative.
+        """
+        if not 0 <= start < stop <= len(self.series):
+            raise ValueError(f"invalid sample range [{start}:{stop}]")
+        level = (
+            self._levels[-1]
+            if level_index is None
+            else self.level(level_index)
+        )
+        first = level.window_of(start)
+        last = level.window_of(stop - 1)
+        if counter is not None:
+            counter.add_data_points(2 * (last - first + 1))
+        return (
+            float(level.minimum[first: last + 1].min()),
+            float(level.maximum[first: last + 1].max()),
+        )

@@ -1,0 +1,127 @@
+"""Progressive (coarse-to-fine) data streaming.
+
+The multi-resolution axis of Section 3.1 exists so consumers can act on
+"rough approximations of information at low resolutions (low data
+volumes), with more detailed views at higher resolutions".
+:class:`ProgressiveStream` delivers exactly that contract for a raster:
+an iterator of refinements built from the Haar decomposition, each
+refinement reporting its cumulative data volume and its exact remaining
+L2 error — so a consumer can stop as soon as the approximation is good
+enough and know precisely what that early stop cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.raster import RasterLayer
+from repro.pyramid.wavelet import haar_decompose_2d, haar_reconstruct_2d
+
+
+@dataclass(frozen=True)
+class Refinement:
+    """One delivered resolution step.
+
+    ``approximation`` is the full-size reconstruction after this step;
+    ``values_delivered`` the cumulative coefficient count sent so far;
+    ``l2_error`` the exact remaining reconstruction error (orthonormality
+    makes it the norm of the undelivered detail coefficients).
+    """
+
+    step: int
+    resolution: tuple[int, int]
+    approximation: np.ndarray
+    values_delivered: int
+    l2_error: float
+
+    @property
+    def fraction_delivered(self) -> float:
+        """Delivered coefficients / full size."""
+        return self.values_delivered / self.approximation.size
+
+
+def _pad_to_pow2(values: np.ndarray) -> tuple[np.ndarray, tuple[int, int]]:
+    rows, cols = values.shape
+    padded_rows = 1 << max(0, int(np.ceil(np.log2(max(rows, 1)))))
+    padded_cols = 1 << max(0, int(np.ceil(np.log2(max(cols, 1)))))
+    if (padded_rows, padded_cols) == (rows, cols):
+        return values, (rows, cols)
+    padded = np.pad(
+        values, ((0, padded_rows - rows), (0, padded_cols - cols)),
+        mode="edge",
+    )
+    return padded, (rows, cols)
+
+
+class ProgressiveStream:
+    """Coarse-to-fine delivery of one raster layer.
+
+    Parameters
+    ----------
+    layer:
+        Source raster (padded internally to power-of-two extent).
+    n_levels:
+        Decomposition depth; the stream yields ``n_levels + 1``
+        refinements, from the coarsest approximation to the exact layer.
+    """
+
+    def __init__(self, layer: RasterLayer, n_levels: int = 4) -> None:
+        if n_levels < 0:
+            raise ValueError("n_levels must be non-negative")
+        self.layer = layer
+        padded, self._original_shape = _pad_to_pow2(layer.values)
+        max_levels = int(np.log2(min(padded.shape))) if min(padded.shape) > 1 else 0
+        self.n_levels = min(n_levels, max_levels)
+        self._approx, self._details = haar_decompose_2d(padded, self.n_levels)
+
+    def __iter__(self) -> Iterator[Refinement]:
+        """Yield refinements, coarsest first, exact layer last."""
+        rows, cols = self._original_shape
+        delivered = self._approx.size
+        total_steps = self.n_levels + 1
+
+        for step in range(total_steps):
+            # Details used so far: the coarsest `step` bands.
+            used = self._details[len(self._details) - step:]
+            zeroed = [
+                {name: np.zeros_like(band) for name, band in bands.items()}
+                for bands in self._details[: len(self._details) - step]
+            ]
+            reconstruction = haar_reconstruct_2d(self._approx, zeroed + used)
+            remaining_energy = sum(
+                float(np.sum(band**2))
+                for bands in self._details[: len(self._details) - step]
+                for band in bands.values()
+            )
+            yield Refinement(
+                step=step,
+                resolution=(
+                    rows // 2 ** (self.n_levels - step) or 1,
+                    cols // 2 ** (self.n_levels - step) or 1,
+                ),
+                approximation=reconstruction[:rows, :cols],
+                values_delivered=delivered,
+                l2_error=float(np.sqrt(remaining_energy)),
+            )
+            if step < self.n_levels:
+                delivered += sum(
+                    band.size
+                    for band in self._details[
+                        len(self._details) - step - 1
+                    ].values()
+                )
+
+    def refine_until(self, max_l2_error: float) -> Refinement:
+        """The cheapest refinement whose remaining error is acceptable."""
+        if max_l2_error < 0:
+            raise ValueError("max_l2_error must be non-negative")
+        last: Refinement | None = None
+        for refinement in self:
+            last = refinement
+            if refinement.l2_error <= max_l2_error:
+                return refinement
+        assert last is not None  # the final step always has zero error
+        return last

@@ -1,0 +1,155 @@
+"""Haar discrete wavelet transform (1-D and 2-D).
+
+The paper's multi-resolution axis cites wavelet decompositions [1-3]; the
+progressive-classification work [13] operates in the compressed (wavelet)
+domain. The orthonormal Haar transform here provides:
+
+* ``haar_decompose_*`` — multi-level decomposition into approximation +
+  detail coefficients,
+* ``haar_reconstruct_*`` — perfect reconstruction (tested to float
+  precision),
+* approximation coefficients at level L equal ``2**(L/2)``-scaled local
+  means, which is what lets coarse levels stand in for the data during
+  progressive screening.
+
+Inputs must have power-of-two extent along transformed axes; rasters are
+padded by callers (see :mod:`repro.pyramid.pyramid`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SQRT2 = np.sqrt(2.0)
+
+
+def _require_power_of_two(n: int, what: str) -> None:
+    if n <= 0 or (n & (n - 1)) != 0:
+        raise ValueError(f"{what} must be a positive power of two, got {n}")
+
+
+def haar_decompose_1d(signal: np.ndarray, levels: int) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Multi-level 1-D orthonormal Haar decomposition.
+
+    Returns ``(approximation, details)`` where ``details[0]`` is the finest
+    detail band. ``levels`` must satisfy ``2**levels <= len(signal)``.
+    """
+    data = np.asarray(signal, dtype=float).copy()
+    if data.ndim != 1:
+        raise ValueError("signal must be 1-D")
+    _require_power_of_two(data.size, "signal length")
+    if levels < 0 or 2**levels > data.size:
+        raise ValueError(
+            f"levels={levels} invalid for signal of length {data.size}"
+        )
+
+    details: list[np.ndarray] = []
+    approx = data
+    for _ in range(levels):
+        evens = approx[0::2]
+        odds = approx[1::2]
+        details.append((evens - odds) / _SQRT2)
+        approx = (evens + odds) / _SQRT2
+    return approx, details
+
+
+def haar_reconstruct_1d(approx: np.ndarray, details: list[np.ndarray]) -> np.ndarray:
+    """Invert :func:`haar_decompose_1d` exactly."""
+    signal = np.asarray(approx, dtype=float).copy()
+    for detail in reversed(details):
+        detail = np.asarray(detail, dtype=float)
+        if detail.size != signal.size:
+            raise ValueError(
+                f"detail band of size {detail.size} does not match "
+                f"approximation of size {signal.size}"
+            )
+        evens = (signal + detail) / _SQRT2
+        odds = (signal - detail) / _SQRT2
+        merged = np.empty(signal.size * 2, dtype=float)
+        merged[0::2] = evens
+        merged[1::2] = odds
+        signal = merged
+    return signal
+
+
+def haar_decompose_2d(
+    image: np.ndarray, levels: int
+) -> tuple[np.ndarray, list[dict[str, np.ndarray]]]:
+    """Multi-level 2-D Haar decomposition (separable, orthonormal).
+
+    Returns ``(approximation, details)``; each detail entry is a dict with
+    bands ``"horizontal"``, ``"vertical"``, ``"diagonal"``, finest first.
+    """
+    data = np.asarray(image, dtype=float).copy()
+    if data.ndim != 2:
+        raise ValueError("image must be 2-D")
+    rows, cols = data.shape
+    _require_power_of_two(rows, "row count")
+    _require_power_of_two(cols, "column count")
+    if levels < 0 or 2**levels > min(rows, cols):
+        raise ValueError(f"levels={levels} invalid for image {data.shape}")
+
+    details: list[dict[str, np.ndarray]] = []
+    approx = data
+    for _ in range(levels):
+        # Rows first.
+        evens = approx[:, 0::2]
+        odds = approx[:, 1::2]
+        low = (evens + odds) / _SQRT2
+        high = (evens - odds) / _SQRT2
+        # Then columns of each half.
+        low_evens, low_odds = low[0::2, :], low[1::2, :]
+        high_evens, high_odds = high[0::2, :], high[1::2, :]
+        details.append(
+            {
+                "horizontal": (low_evens - low_odds) / _SQRT2,
+                "vertical": (high_evens + high_odds) / _SQRT2,
+                "diagonal": (high_evens - high_odds) / _SQRT2,
+            }
+        )
+        approx = (low_evens + low_odds) / _SQRT2
+    return approx, details
+
+
+def haar_reconstruct_2d(
+    approx: np.ndarray, details: list[dict[str, np.ndarray]]
+) -> np.ndarray:
+    """Invert :func:`haar_decompose_2d` exactly."""
+    image = np.asarray(approx, dtype=float).copy()
+    for bands in reversed(details):
+        horizontal = np.asarray(bands["horizontal"], dtype=float)
+        vertical = np.asarray(bands["vertical"], dtype=float)
+        diagonal = np.asarray(bands["diagonal"], dtype=float)
+        if not (image.shape == horizontal.shape == vertical.shape == diagonal.shape):
+            raise ValueError("detail band shapes do not match approximation")
+
+        low_evens = (image + horizontal) / _SQRT2
+        low_odds = (image - horizontal) / _SQRT2
+        high_evens = (vertical + diagonal) / _SQRT2
+        high_odds = (vertical - diagonal) / _SQRT2
+
+        rows, cols = image.shape
+        low = np.empty((rows * 2, cols), dtype=float)
+        low[0::2, :] = low_evens
+        low[1::2, :] = low_odds
+        high = np.empty((rows * 2, cols), dtype=float)
+        high[0::2, :] = high_evens
+        high[1::2, :] = high_odds
+
+        evens = (low + high) / _SQRT2
+        odds = (low - high) / _SQRT2
+        merged = np.empty((rows * 2, cols * 2), dtype=float)
+        merged[:, 0::2] = evens
+        merged[:, 1::2] = odds
+        image = merged
+    return image
+
+
+def approximation_as_means(approx: np.ndarray, levels: int) -> np.ndarray:
+    """Rescale level-``levels`` 2-D approximation coefficients to local means.
+
+    Orthonormal Haar approximation coefficients at level L are local means
+    scaled by ``2**L`` (in 2-D); dividing restores the mean of each
+    ``2**L x 2**L`` block, which is the value progressive screening uses.
+    """
+    return np.asarray(approx, dtype=float) / (2.0**levels)

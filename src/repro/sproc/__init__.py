@@ -1,0 +1,44 @@
+"""SPROC: Sequential Processing of fuzzy Cartesian queries (Section 3.2).
+
+The paper quotes its companion work [15, 16]: composite-object queries —
+"locate the top-K data patterns that satisfy the fuzzy and/or
+probabilistic rules" — are fuzzy Cartesian products whose naive
+evaluation costs ``O(L^M)`` for L database objects and M query
+components. SPROC's dynamic program reduces this to ``O(M*K*L^2)``, and
+the improved algorithm of [16] to roughly
+``O(M*L*log L + sqrt(L*K) + K^2*log K)``.
+
+* :mod:`repro.sproc.query` — the query model: per-component fuzzy scores
+  plus pairwise compatibility between consecutive components.
+* :mod:`repro.sproc.naive` — exhaustive ``O(L^M)`` evaluation.
+* :mod:`repro.sproc.dp` — the SPROC dynamic program.
+* :mod:`repro.sproc.fast` — sorted best-first evaluation with admissible
+  score bounds (the [16] improvement's sorted-list/early-termination
+  idea).
+
+All three return identical top-K answer sets (tested); they differ only
+in counted work.
+"""
+
+from repro.sproc.dp import sproc_top_k
+from repro.sproc.fast import fast_top_k
+from repro.sproc.naive import naive_top_k
+from repro.sproc.query import Assignment, CompositeQuery
+from repro.sproc.spatial import (
+    CompositeMatch,
+    find_surrounded,
+    surrounded_by_query,
+    surroundedness,
+)
+
+__all__ = [
+    "Assignment",
+    "CompositeMatch",
+    "CompositeQuery",
+    "fast_top_k",
+    "find_surrounded",
+    "naive_top_k",
+    "sproc_top_k",
+    "surrounded_by_query",
+    "surroundedness",
+]

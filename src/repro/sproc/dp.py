@@ -1,0 +1,75 @@
+"""The SPROC dynamic program: O(M * K * L^2).
+
+The query's components form a chain, so top-K evaluation is a top-K-paths
+problem on a layered graph: layer i holds the L objects weighted by their
+unary scores, edges between consecutive layers carry compatibility
+scores. Because the combiner is monotone (product or min of [0, 1]
+factors), a partial assignment that scores below another partial ending
+at the *same object* can never overtake it under any common extension —
+so keeping the K best partials per (layer, object) is exact.
+
+Work per stage: for each of L next-objects, merge the K best partials of
+each of L predecessors → O(K * L^2) per stage, O(M * K * L^2) total,
+matching the complexity the paper quotes for SPROC [15].
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QueryError
+from repro.metrics.counters import CostCounter
+from repro.sproc.query import Assignment, CompositeQuery
+
+
+def sproc_top_k(
+    query: CompositeQuery,
+    k: int,
+    counter: CostCounter | None = None,
+) -> list[tuple[Assignment, float]]:
+    """Exact top-K assignments via the SPROC dynamic program.
+
+    Returns ``(assignment, score)`` pairs, best first. The score list is
+    always identical to :func:`repro.sproc.naive.naive_top_k`'s; when
+    several assignments tie exactly, the specific representatives may
+    differ (the DP keeps the best *partial* per object, and tied finals
+    can descend from different partials).
+    """
+    if k <= 0:
+        raise QueryError("k must be positive")
+
+    n_objects = query.n_objects
+    n_components = query.n_components
+
+    # partials[obj] = list of (score, assignment) — the K best partial
+    # assignments whose last component is obj, kept sorted best-first.
+    partials: list[list[tuple[float, Assignment]]] = []
+    for obj in range(n_objects):
+        score = float(query.unary_scores[0, obj])
+        if counter is not None:
+            counter.add_tuples(1)
+            counter.add_model_evals(1, flops_each=1)
+        partials.append([(score, (obj,))])
+
+    for stage in range(n_components - 1):
+        next_partials: list[list[tuple[float, Assignment]]] = []
+        for next_obj in range(n_objects):
+            unary = float(query.unary_scores[stage + 1, next_obj])
+            candidates: list[tuple[float, Assignment]] = []
+            for prev_obj in range(n_objects):
+                compat = query.compatibility(stage, prev_obj, next_obj)
+                if counter is not None:
+                    counter.add_tuples(1)
+                for partial_score, assignment in partials[prev_obj]:
+                    extended = query.extend(partial_score, compat, unary)
+                    if counter is not None:
+                        counter.add_model_evals(1, flops_each=2)
+                    candidates.append((extended, assignment + (next_obj,)))
+            # Keep the K best (deterministic tie-break on assignment).
+            candidates.sort(key=lambda item: (-item[0], item[1]))
+            next_partials.append(candidates[:k])
+        partials = next_partials
+
+    final: list[tuple[float, Assignment]] = []
+    for per_object in partials:
+        final.extend(per_object)
+    final.sort(key=lambda item: (-item[0], item[1]))
+    return [(assignment, score) for score, assignment in final[:k]]

@@ -1,0 +1,127 @@
+"""Sorted best-first fuzzy Cartesian evaluation (the [16] improvement).
+
+The improved algorithm the paper quotes — ``O(M*L*log L + sqrt(L*K) +
+K^2*log K)`` — rests on two ideas: *sort* the per-component candidate
+lists once (the ``M*L*log L`` term), then expand assignments best-first
+with an admissible bound so only candidates that can still reach the
+top-K are touched (the remaining sub-linear terms).
+
+This module implements that strategy as an A*-style search over partial
+assignments:
+
+* each partial assignment's priority is its score times the product of
+  the *maximum possible* unary scores of all remaining components (an
+  admissible, monotonically consistent bound, since compatibility is at
+  most 1);
+* completed assignments therefore pop from the frontier in exact score
+  order, and the search stops after K pops;
+* explicit per-stage successor lists (when the query supplies them)
+  confine expansion to non-zero-compatibility pairs — the sparsity that
+  makes composite spatial queries sub-quadratic in practice.
+
+Worst-case cost is still bounded by the DP's, but on realistic data
+(scores concentrated near 0, sparse adjacency) the counted work tracks
+the quoted quasi-linear complexity; the benchmark measures exactly this.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+
+from repro.exceptions import QueryError
+from repro.metrics.counters import CostCounter
+from repro.sproc.query import Assignment, CompositeQuery
+
+
+def fast_top_k(
+    query: CompositeQuery,
+    k: int,
+    counter: CostCounter | None = None,
+) -> list[tuple[Assignment, float]]:
+    """Exact top-K assignments via sorted best-first search.
+
+    Returns the same answer list as the naive and DP evaluators (ties
+    broken by assignment tuple).
+    """
+    if k <= 0:
+        raise QueryError("k must be positive")
+
+    n_components = query.n_components
+    n_objects = query.n_objects
+
+    # Sort stage-0 candidates by unary score (the M*L*log L term covers
+    # all stages conceptually; only stage 0 needs materializing here, the
+    # rest are bounded via suffix maxima).
+    order0 = sorted(
+        range(n_objects),
+        key=lambda obj: (-float(query.unary_scores[0, obj]), obj),
+    )
+    if counter is not None:
+        counter.add_tuples(n_objects)
+        counter.note("sort_ops", n_objects * max(1.0, np.log2(max(2, n_objects))))
+
+    # Admissible remaining-score bound: product (or min) of per-stage
+    # maximum unary scores for components i..M-1.
+    stage_max = query.unary_scores.max(axis=1)
+    suffix_bound = np.ones(n_components + 1)
+    if query.combiner == "product":
+        for i in range(n_components - 1, -1, -1):
+            suffix_bound[i] = suffix_bound[i + 1] * stage_max[i]
+    else:  # min-combiner: bound is min of remaining maxima (or 1 if none)
+        running = 1.0
+        for i in range(n_components - 1, -1, -1):
+            running = min(running, float(stage_max[i]))
+            suffix_bound[i] = running
+
+    def bound_with_remaining(partial_score: float, next_stage: int) -> float:
+        if next_stage >= n_components:
+            return partial_score
+        if query.combiner == "product":
+            return partial_score * float(suffix_bound[next_stage])
+        return min(partial_score, float(suffix_bound[next_stage]))
+
+    # Frontier entries: (-bound, tie, stage_filled, score, assignment).
+    tiebreak = itertools.count()
+    frontier: list[tuple[float, int, int, float, Assignment]] = []
+    for obj in order0:
+        unary = float(query.unary_scores[0, obj])
+        bound = bound_with_remaining(unary, 1)
+        heapq.heappush(
+            frontier, (-bound, next(tiebreak), 1, unary, (obj,))
+        )
+
+    results: list[tuple[Assignment, float]] = []
+    emitted: dict[float, list[Assignment]] = {}
+
+    while frontier and len(results) < k:
+        neg_bound, _, filled, score, assignment = heapq.heappop(frontier)
+        if counter is not None:
+            counter.add_nodes(1)
+        if filled == n_components:
+            results.append((assignment, score))
+            emitted.setdefault(score, []).append(assignment)
+            continue
+        stage = filled - 1  # edge linking component stage -> stage+1
+        prev_obj = assignment[-1]
+        for next_obj in query.successors_of(stage, prev_obj):
+            compat = query.compatibility(stage, prev_obj, next_obj)
+            if compat <= 0.0:
+                continue
+            unary = float(query.unary_scores[filled, next_obj])
+            extended = query.extend(score, compat, unary)
+            if counter is not None:
+                counter.add_tuples(1)
+                counter.add_model_evals(1, flops_each=2)
+            bound = bound_with_remaining(extended, filled + 1)
+            heapq.heappush(
+                frontier,
+                (-bound, next(tiebreak), filled + 1, extended, assignment + (next_obj,)),
+            )
+
+    # Best-first pop order guarantees score order but not the library's
+    # deterministic tie-break; normalize ties by assignment tuple.
+    results.sort(key=lambda item: (-item[1], item[0]))
+    return results

@@ -1,0 +1,54 @@
+"""Naive O(L^M) fuzzy Cartesian query evaluation.
+
+Enumerates every assignment in the full Cartesian product — the cost the
+paper's SPROC complexity reduction is measured against. Only usable for
+small L and M; the benchmark uses it both as the correctness oracle and
+as the baseline series in the complexity plot.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.exceptions import QueryError
+from repro.metrics.counters import CostCounter
+from repro.sproc.query import Assignment, CompositeQuery
+
+
+def naive_top_k(
+    query: CompositeQuery,
+    k: int,
+    counter: CostCounter | None = None,
+) -> list[tuple[Assignment, float]]:
+    """Exact top-K assignments by full enumeration.
+
+    Returns ``(assignment, score)`` pairs, best first; ties broken by
+    assignment tuple so the ranking is deterministic. Each enumerated
+    assignment is one model evaluation of ``2M - 1`` factor lookups.
+    """
+    if k <= 0:
+        raise QueryError("k must be positive")
+
+    heap: list[tuple[float, Assignment]] = []  # min-heap, keep K best
+    n_factors = 2 * query.n_components - 1
+    for assignment in itertools.product(
+        range(query.n_objects), repeat=query.n_components
+    ):
+        score = query.score(assignment)
+        if counter is not None:
+            counter.add_tuples(1)
+            counter.add_model_evals(1, flops_each=n_factors)
+        # Negate assignment for tie-break: smaller assignment should win,
+        # and the min-heap must therefore treat it as larger.
+        entry = (score, tuple(-index for index in assignment))
+        if len(heap) < k:
+            heapq.heappush(heap, entry)
+        elif entry > heap[0]:
+            heapq.heapreplace(heap, entry)
+
+    ranked = sorted(heap, key=lambda item: (-item[0], tuple(-i for i in item[1])))
+    return [
+        (tuple(-index for index in negated), score)
+        for score, negated in ranked
+    ]

@@ -1,0 +1,193 @@
+"""The fuzzy Cartesian (composite-object) query model.
+
+A :class:`CompositeQuery` asks for M components drawn from L database
+objects: component i assigns each object a fuzzy unary score in [0, 1]
+(how well the object plays role i), and consecutive components are linked
+by a pairwise *compatibility* score in [0, 1] (spatial adjacency,
+"within 10 ft", ordering). An :class:`Assignment` is one object per
+component; its score combines unary and pairwise factors with a monotone
+combiner (product by default, min optionally).
+
+The Figure 4 geology query is the running example: components
+(shale, sandstone, siltstone) with unary scores from lithology and
+gamma-ray membership, compatibility = "immediately below".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import QueryError
+
+Assignment = tuple[int, ...]
+
+PairScore = Callable[[int, int, int], float]
+"""(stage, previous_object, next_object) -> compatibility in [0, 1]."""
+
+
+@dataclass(frozen=True)
+class _DenseCompat:
+    """Compatibility backed by per-stage dense matrices."""
+
+    matrices: tuple[np.ndarray, ...]
+
+    def __call__(self, stage: int, prev_obj: int, next_obj: int) -> float:
+        return float(self.matrices[stage][prev_obj, next_obj])
+
+
+class CompositeQuery:
+    """An M-component fuzzy Cartesian query over L objects.
+
+    Parameters
+    ----------
+    component_names:
+        Names of the M components (roles), in sequence order.
+    unary_scores:
+        Array of shape (M, L): ``unary_scores[i, o]`` is the fuzzy degree
+        to which object ``o`` satisfies component ``i``. Values in [0, 1].
+    compatibility:
+        Either ``None`` (all pairs fully compatible), a callable
+        ``(stage, prev, next) -> [0, 1]`` where stage ``i`` links
+        component ``i`` to ``i+1``, or a sequence of M-1 dense (L, L)
+        matrices.
+    successors:
+        Optional per-stage adjacency: ``successors[i][o]`` lists the
+        objects with *non-zero* compatibility after object ``o`` at stage
+        ``i``. Required by the fast algorithm to exploit sparsity; when
+        omitted, all L objects are considered successors.
+    combiner:
+        ``"product"`` (default) or ``"min"`` — both monotone, which the
+        DP's correctness requires.
+    """
+
+    def __init__(
+        self,
+        component_names: Sequence[str],
+        unary_scores: np.ndarray,
+        compatibility: PairScore | Sequence[np.ndarray] | None = None,
+        successors: Sequence[Sequence[Sequence[int]]] | None = None,
+        combiner: str = "product",
+    ) -> None:
+        self.component_names = tuple(component_names)
+        scores = np.asarray(unary_scores, dtype=float)
+        if scores.ndim != 2:
+            raise QueryError("unary_scores must be (M, L)")
+        if scores.shape[0] != len(self.component_names):
+            raise QueryError(
+                f"{scores.shape[0]} score rows for "
+                f"{len(self.component_names)} components"
+            )
+        if scores.shape[0] == 0 or scores.shape[1] == 0:
+            raise QueryError("query needs at least one component and object")
+        if np.any(scores < 0) or np.any(scores > 1):
+            raise QueryError("unary scores must lie in [0, 1]")
+        if combiner not in ("product", "min"):
+            raise QueryError(f"unknown combiner {combiner!r}")
+
+        self.unary_scores = scores
+        self.combiner = combiner
+
+        if compatibility is None:
+            self._compat: PairScore | None = None
+        elif callable(compatibility):
+            self._compat = compatibility
+        else:
+            matrices = tuple(np.asarray(m, dtype=float) for m in compatibility)
+            if len(matrices) != self.n_components - 1:
+                raise QueryError(
+                    f"{len(matrices)} compatibility matrices for "
+                    f"{self.n_components} components (need M-1)"
+                )
+            for matrix in matrices:
+                if matrix.shape != (self.n_objects, self.n_objects):
+                    raise QueryError(
+                        f"compatibility matrix shape {matrix.shape}, "
+                        f"expected {(self.n_objects, self.n_objects)}"
+                    )
+                if np.any(matrix < 0) or np.any(matrix > 1):
+                    raise QueryError("compatibility must lie in [0, 1]")
+            self._compat = _DenseCompat(matrices)
+
+        if successors is not None:
+            if len(successors) != self.n_components - 1:
+                raise QueryError("successors must have M-1 stages")
+            self._successors = [
+                [list(objects) for objects in stage] for stage in successors
+            ]
+            for stage in self._successors:
+                if len(stage) != self.n_objects:
+                    raise QueryError("each successors stage needs L lists")
+        else:
+            self._successors = None
+
+    @property
+    def n_components(self) -> int:
+        """M — number of query components."""
+        return self.unary_scores.shape[0]
+
+    @property
+    def n_objects(self) -> int:
+        """L — number of database objects."""
+        return self.unary_scores.shape[1]
+
+    def compatibility(self, stage: int, prev_obj: int, next_obj: int) -> float:
+        """Pairwise score linking component ``stage`` to ``stage + 1``."""
+        if not 0 <= stage < self.n_components - 1:
+            raise QueryError(f"stage {stage} outside 0..{self.n_components - 2}")
+        if self._compat is None:
+            return 1.0
+        return self._compat(stage, prev_obj, next_obj)
+
+    def successors_of(self, stage: int, obj: int) -> list[int]:
+        """Objects worth considering after ``obj`` at ``stage``.
+
+        With explicit adjacency, only non-zero-compatibility successors;
+        otherwise all L objects.
+        """
+        if self._successors is not None:
+            return self._successors[stage][obj]
+        return list(range(self.n_objects))
+
+    def combine(self, factors: Sequence[float]) -> float:
+        """Combine unary/pairwise factors into one score."""
+        if not factors:
+            raise QueryError("cannot combine zero factors")
+        if self.combiner == "min":
+            return min(factors)
+        product = 1.0
+        for factor in factors:
+            product *= factor
+        return product
+
+    def extend(self, partial_score: float, *factors: float) -> float:
+        """Extend a partial score by additional factors (monotone)."""
+        if self.combiner == "min":
+            return min((partial_score,) + factors)
+        result = partial_score
+        for factor in factors:
+            result *= factor
+        return result
+
+    def score(self, assignment: Assignment) -> float:
+        """Full score of one assignment (unary + pairwise factors)."""
+        if len(assignment) != self.n_components:
+            raise QueryError(
+                f"assignment length {len(assignment)} != M={self.n_components}"
+            )
+        factors = [
+            float(self.unary_scores[i, obj]) for i, obj in enumerate(assignment)
+        ]
+        factors += [
+            self.compatibility(i, assignment[i], assignment[i + 1])
+            for i in range(self.n_components - 1)
+        ]
+        return self.combine(factors)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompositeQuery(components={list(self.component_names)}, "
+            f"objects={self.n_objects}, combiner={self.combiner!r})"
+        )

@@ -1,0 +1,44 @@
+"""Synthetic data generators.
+
+The paper's evaluation data (Landsat TM imagery, USGS DEMs, weather-station
+records, Schlumberger well logs, disease incident reports, FICO credit
+records) is proprietary or lost; each generator here produces the closest
+synthetic equivalent that exercises the same retrieval code path. The
+substitution rationale per source is recorded in DESIGN.md Section 2.
+
+All generators take an explicit ``seed`` and use ``numpy.random.Generator``;
+no global random state is touched.
+"""
+
+from repro.synth.credit import CreditPopulation, generate_credit_records
+from repro.synth.events import generate_occurrences, latent_risk_field
+from repro.synth.gaussian import generate_gaussian_table
+from repro.synth.landsat import generate_band, generate_scene
+from repro.synth.landuse import LanduseScene, generate_landuse
+from repro.synth.terrain import generate_dem
+from repro.synth.weather import WeatherParams, generate_weather
+from repro.synth.welllog import (
+    LITHOLOGY_CODES,
+    LITHOLOGY_NAMES,
+    WellLogParams,
+    generate_well_log,
+)
+
+__all__ = [
+    "CreditPopulation",
+    "LITHOLOGY_CODES",
+    "LITHOLOGY_NAMES",
+    "LanduseScene",
+    "WeatherParams",
+    "WellLogParams",
+    "generate_landuse",
+    "generate_band",
+    "generate_credit_records",
+    "generate_dem",
+    "generate_gaussian_table",
+    "generate_occurrences",
+    "generate_scene",
+    "generate_weather",
+    "generate_well_log",
+    "latent_risk_field",
+]

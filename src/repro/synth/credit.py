@@ -1,0 +1,118 @@
+"""Synthetic credit records for the FICO scorecard example (Section 2.1).
+
+The paper describes the FICO score as a linear model
+``FICO = 900 - a1*X1 - ... - aN*XN`` over attributes like late payments,
+credit history length, and utilization, calibrated so the foreclosure
+probability is below 2% above a score of 680 and around 8% below 620.
+
+This generator produces applicant attribute tables plus foreclosure
+outcomes whose dependence on the score reproduces that calibration, so the
+benchmark can verify the published band rates and the Onion index can be
+exercised on "find the K best applicants" scorecard queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.table import Table
+
+# Scorecard weights: attribute -> (penalty weight, generator spec).
+# Weights are chosen so scores land in the published 300-900 range with
+# realistic spread; they are the "published model" the examples query with.
+SCORECARD_WEIGHTS: dict[str, float] = {
+    "late_payments": 28.0,
+    "utilization_pct": 1.6,
+    "short_history_years": 9.0,
+    "short_residence_years": 4.0,
+    "employment_gaps": 14.0,
+    "derogatories": 55.0,
+}
+SCORECARD_BASE: float = 900.0
+
+
+@dataclass(frozen=True)
+class CreditPopulation:
+    """A generated applicant population.
+
+    ``table`` holds the raw attributes; ``scores`` the scorecard output;
+    ``foreclosed`` binary outcomes sampled from the score-conditional
+    foreclosure probability.
+    """
+
+    table: Table
+    scores: np.ndarray
+    foreclosed: np.ndarray
+
+    def band_rate(self, low: float, high: float) -> float:
+        """Empirical foreclosure rate for scores in ``[low, high)``."""
+        mask = (self.scores >= low) & (self.scores < high)
+        if not np.any(mask):
+            return float("nan")
+        return float(self.foreclosed[mask].mean())
+
+
+def compute_scores(table: Table) -> np.ndarray:
+    """Apply the scorecard to an attribute table, clamped to [300, 900]."""
+    scores = np.full(len(table), SCORECARD_BASE)
+    for attribute, weight in SCORECARD_WEIGHTS.items():
+        scores = scores - weight * table.column(attribute)
+    return np.clip(scores, 300.0, 900.0)
+
+
+def foreclosure_probability(scores: np.ndarray) -> np.ndarray:
+    """Score-conditional foreclosure probability.
+
+    A saturating logistic calibrated against the paper's two published
+    *band* rates: the foreclosure rate is below 2% for scores above 680
+    and around 8% for scores below 620. The curve saturates near 12%
+    for deeply subprime scores so the below-620 band *averages* ~8%
+    instead of blowing up at the tail (a plain logistic through the two
+    points gives a 25% band average, which contradicts the published
+    figure).
+    """
+    scores = np.asarray(scores, dtype=float)
+    floor = 0.001
+    amplitude = 0.12
+    midpoint = 620.0
+    width = 35.0
+    return floor + amplitude / (1.0 + np.exp((scores - midpoint) / width))
+
+
+def generate_credit_records(
+    n_applicants: int,
+    seed: int,
+    name: str = "applicants",
+) -> CreditPopulation:
+    """Generate an applicant population with outcomes.
+
+    Attribute marginals are chosen to give a broad score distribution
+    (most mass between 500 and 850, a delinquent tail below).
+    """
+    if n_applicants <= 0:
+        raise ValueError("n_applicants must be positive")
+    rng = np.random.default_rng(seed)
+
+    risk_factor = rng.beta(1.6, 4.0, size=n_applicants)  # latent riskiness
+    columns = {
+        "late_payments": rng.poisson(4.0 * risk_factor),
+        "utilization_pct": np.clip(
+            rng.normal(25.0 + 55.0 * risk_factor, 12.0), 0.0, 100.0
+        ),
+        "short_history_years": np.clip(
+            rng.normal(6.0 * risk_factor, 1.5), 0.0, 10.0
+        ),
+        "short_residence_years": np.clip(
+            rng.normal(5.0 * risk_factor, 2.0), 0.0, 10.0
+        ),
+        "employment_gaps": rng.poisson(1.5 * risk_factor),
+        "derogatories": rng.poisson(1.2 * risk_factor**2),
+    }
+    table = Table(name, {k: np.asarray(v, float) for k, v in columns.items()})
+
+    scores = compute_scores(table)
+    probabilities = foreclosure_probability(scores)
+    foreclosed = (rng.random(n_applicants) < probabilities).astype(float)
+    return CreditPopulation(table=table, scores=scores, foreclosed=foreclosed)

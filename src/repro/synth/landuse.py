@@ -1,0 +1,147 @@
+"""Synthetic land-use scenes: houses and bush cover (Figures 2-3).
+
+The HPS house rule needs imagery-derived semantic layers: where houses
+are, and where bushes are. This generator places rectangular houses and
+blobby bush patches on a grid and emits two score rasters (house-ness,
+bush-ness — semantic-abstraction layers with classifier-style noise)
+plus the ground truth needed to validate retrieval: each house's
+bounding box and the fraction of its surroundings covered by bushes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.raster import RasterLayer
+
+
+@dataclass(frozen=True)
+class House:
+    """One placed house: bounding box plus ground-truth surroundedness."""
+
+    house_id: int
+    box: tuple[int, int, int, int]  # half-open (row0, col0, row1, col1)
+    bush_surroundedness: float
+
+
+@dataclass
+class LanduseScene:
+    """A generated scene: score layers plus placement ground truth."""
+
+    house_score: RasterLayer
+    bush_score: RasterLayer
+    houses: list[House]
+    bush_mask: np.ndarray
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Scene grid shape."""
+        return self.house_score.shape
+
+
+def _ring_cells(
+    box: tuple[int, int, int, int], shape: tuple[int, int], width: int = 2
+) -> list[tuple[int, int]]:
+    """Cells in a ring of the given width around a box, clipped to grid."""
+    row0, col0, row1, col1 = box
+    rows, cols = shape
+    cells = []
+    for row in range(max(0, row0 - width), min(rows, row1 + width)):
+        for col in range(max(0, col0 - width), min(cols, col1 + width)):
+            inside = row0 <= row < row1 and col0 <= col < col1
+            if not inside:
+                cells.append((row, col))
+    return cells
+
+
+def generate_landuse(
+    shape: tuple[int, int] = (128, 128),
+    n_houses: int = 12,
+    n_bush_patches: int = 18,
+    surrounded_fraction: float = 0.5,
+    seed: int = 0,
+) -> LanduseScene:
+    """Generate a land-use scene.
+
+    Roughly ``surrounded_fraction`` of the houses get a bush patch
+    planted deliberately around them (the high-risk configuration); the
+    rest rely on chance overlap with the independently placed patches.
+
+    The score layers are 0.9/0.08-ish indicator rasters with Gaussian
+    classifier noise, clipped to [0, 1].
+    """
+    rows, cols = shape
+    if rows < 16 or cols < 16:
+        raise ValueError("scene must be at least 16x16")
+    if not 0.0 <= surrounded_fraction <= 1.0:
+        raise ValueError("surrounded_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+
+    house_mask = np.zeros(shape, dtype=bool)
+    bush_mask = np.zeros(shape, dtype=bool)
+    houses: list[House] = []
+
+    # Place houses on a jittered grid so they never overlap.
+    for house_id in range(n_houses):
+        for _ in range(50):  # placement attempts
+            height = int(rng.integers(4, 8))
+            width = int(rng.integers(4, 8))
+            row0 = int(rng.integers(2, rows - height - 2))
+            col0 = int(rng.integers(2, cols - width - 2))
+            box = (row0, col0, row0 + height, col0 + width)
+            region = house_mask[
+                max(0, row0 - 3): row0 + height + 3,
+                max(0, col0 - 3): col0 + width + 3,
+            ]
+            if not region.any():
+                house_mask[row0: row0 + height, col0: col0 + width] = True
+                houses.append(House(house_id, box, 0.0))
+                break
+
+    # Deliberately surround some houses with bushes.
+    n_surrounded = int(round(surrounded_fraction * len(houses)))
+    surrounded_ids = set(
+        rng.choice(len(houses), size=n_surrounded, replace=False).tolist()
+        if n_surrounded
+        else []
+    )
+    for index in surrounded_ids:
+        for row, col in _ring_cells(houses[index].box, shape, width=3):
+            if rng.random() < 0.9:
+                bush_mask[row, col] = True
+
+    # Independent bush patches elsewhere (ellipse blobs).
+    for _ in range(n_bush_patches):
+        center_row = rng.integers(0, rows)
+        center_col = rng.integers(0, cols)
+        radius_row = rng.integers(3, 9)
+        radius_col = rng.integers(3, 9)
+        grid_rows, grid_cols = np.ogrid[:rows, :cols]
+        blob = (
+            ((grid_rows - center_row) / radius_row) ** 2
+            + ((grid_cols - center_col) / radius_col) ** 2
+        ) <= 1.0
+        bush_mask |= blob
+    bush_mask &= ~house_mask  # bushes do not grow through roofs
+
+    # Ground-truth surroundedness per house.
+    final_houses = []
+    for house in houses:
+        ring = _ring_cells(house.box, shape, width=2)
+        covered = sum(1 for cell in ring if bush_mask[cell]) / len(ring)
+        final_houses.append(
+            House(house.house_id, house.box, float(covered))
+        )
+
+    def noisy_score(mask: np.ndarray) -> np.ndarray:
+        base = np.where(mask, 0.9, 0.08)
+        return np.clip(base + rng.normal(0.0, 0.05, shape), 0.0, 1.0)
+
+    return LanduseScene(
+        house_score=RasterLayer("house_score", noisy_score(house_mask)),
+        bush_score=RasterLayer("bush_score", noisy_score(bush_mask)),
+        houses=final_houses,
+        bush_mask=bush_mask,
+    )

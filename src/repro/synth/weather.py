@@ -1,0 +1,141 @@
+"""Synthetic weather-station records.
+
+Substitutes for the station data behind the fire-ants FSM (Figure 1) and
+the HPS "wet season followed by dry season" rule. Generates daily
+``(rain_mm, temperature_c)`` series with:
+
+* a seasonal temperature cycle plus AR(1) noise,
+* a two-state (wet/dry spell) Markov rain process whose persistence gives
+  realistic multi-day dry runs — the exact structure the fire-ants FSM
+  keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class WeatherParams:
+    """Parameters of the synthetic weather process.
+
+    ``wet_to_dry`` / ``dry_to_wet`` are daily Markov transition
+    probabilities; their reciprocals are mean spell lengths. Temperature
+    follows ``mean + amplitude * sin(2*pi*day/365 + phase)`` with AR(1)
+    deviations of standard deviation ``temp_noise_std``.
+    """
+
+    wet_to_dry: float = 0.35
+    dry_to_wet: float = 0.18
+    rain_mean_mm: float = 8.0
+    temp_mean_c: float = 22.0
+    temp_amplitude_c: float = 9.0
+    temp_phase: float = -1.5707963
+    temp_noise_std: float = 2.5
+    temp_ar_coefficient: float = 0.7
+
+    def __post_init__(self) -> None:
+        for prob_name in ("wet_to_dry", "dry_to_wet"):
+            prob = getattr(self, prob_name)
+            if not 0.0 < prob <= 1.0:
+                raise ValueError(f"{prob_name} must be in (0, 1], got {prob}")
+        if self.rain_mean_mm <= 0:
+            raise ValueError("rain_mean_mm must be positive")
+        if not 0.0 <= self.temp_ar_coefficient < 1.0:
+            raise ValueError("temp_ar_coefficient must be in [0, 1)")
+
+
+def generate_weather(
+    n_days: int,
+    seed: int,
+    params: WeatherParams | None = None,
+    name: str = "weather",
+) -> TimeSeries:
+    """Generate a daily weather series.
+
+    Returns a :class:`~repro.data.series.TimeSeries` with attributes
+    ``rain_mm`` and ``temperature_c`` over days ``0 .. n_days-1``.
+    """
+    if n_days <= 0:
+        raise ValueError(f"n_days must be positive, got {n_days}")
+    params = params or WeatherParams()
+    rng = np.random.default_rng(seed)
+
+    rain = np.zeros(n_days)
+    wet = bool(rng.random() < 0.5)
+    for day in range(n_days):
+        if wet:
+            rain[day] = rng.exponential(params.rain_mean_mm)
+            wet = not (rng.random() < params.wet_to_dry)
+        else:
+            rain[day] = 0.0
+            wet = rng.random() < params.dry_to_wet
+
+    days = np.arange(n_days, dtype=float)
+    seasonal = params.temp_mean_c + params.temp_amplitude_c * np.sin(
+        2.0 * np.pi * days / 365.0 + params.temp_phase
+    )
+    deviations = np.zeros(n_days)
+    innovation_std = params.temp_noise_std * np.sqrt(
+        1.0 - params.temp_ar_coefficient**2
+    )
+    for day in range(1, n_days):
+        deviations[day] = (
+            params.temp_ar_coefficient * deviations[day - 1]
+            + rng.normal(0.0, innovation_std)
+        )
+    temperature = seasonal + deviations
+
+    return TimeSeries(
+        name,
+        days,
+        {"rain_mm": rain, "temperature_c": temperature},
+    )
+
+
+def generate_station_grid(
+    n_stations_rows: int,
+    n_stations_cols: int,
+    n_days: int,
+    seed: int,
+    params: WeatherParams | None = None,
+    name_prefix: str = "station",
+) -> dict[tuple[int, int], TimeSeries]:
+    """Generate a grid of weather stations with spatially varying climate.
+
+    Stations get per-cell parameter perturbations (wetter north-west,
+    warmer south) so top-K "which regions will swarm" queries have real
+    spatial structure. Returns ``(row, col) -> TimeSeries``.
+    """
+    if n_stations_rows <= 0 or n_stations_cols <= 0:
+        raise ValueError("station grid dimensions must be positive")
+    params = params or WeatherParams()
+    rng = np.random.default_rng(seed)
+
+    stations: dict[tuple[int, int], TimeSeries] = {}
+    for row in range(n_stations_rows):
+        for col in range(n_stations_cols):
+            north = 1.0 - row / max(1, n_stations_rows - 1) if n_stations_rows > 1 else 0.5
+            west = 1.0 - col / max(1, n_stations_cols - 1) if n_stations_cols > 1 else 0.5
+            local = WeatherParams(
+                wet_to_dry=min(1.0, params.wet_to_dry * (1.0 + 0.3 * (1 - north * west))),
+                dry_to_wet=min(1.0, params.dry_to_wet * (0.7 + 0.6 * north * west)),
+                rain_mean_mm=params.rain_mean_mm,
+                temp_mean_c=params.temp_mean_c + 4.0 * (1.0 - north) - 1.0,
+                temp_amplitude_c=params.temp_amplitude_c,
+                temp_phase=params.temp_phase,
+                temp_noise_std=params.temp_noise_std,
+                temp_ar_coefficient=params.temp_ar_coefficient,
+            )
+            station_seed = int(rng.integers(0, 2**31 - 1))
+            stations[(row, col)] = generate_weather(
+                n_days,
+                seed=station_seed,
+                params=local,
+                name=f"{name_prefix}_{row}_{col}",
+            )
+    return stations

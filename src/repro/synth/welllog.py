@@ -1,0 +1,192 @@
+"""Synthetic well logs (lithology columns with gamma-ray traces).
+
+Substitutes for the Schlumberger well-log/FMI data behind the Figure 4
+geology knowledge model ("shale on top of sandstone on top of siltstone,
+gamma ray > 45"). A well is a stack of lithology layers sampled at uniform
+depth steps; each lithology has a characteristic gamma-ray distribution
+(shale is hot, clean sandstone is cold — the real petrophysical ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.series import DepthSeries
+
+# Integer lithology codes stored in the depth series (floats holding ints).
+LITHOLOGY_CODES: dict[str, int] = {
+    "shale": 0,
+    "sandstone": 1,
+    "siltstone": 2,
+    "limestone": 3,
+    "dolomite": 4,
+    "coal": 5,
+}
+LITHOLOGY_NAMES: dict[int, str] = {code: name for name, code in LITHOLOGY_CODES.items()}
+
+# Characteristic gamma-ray response (API units): mean, std per lithology.
+# Shale is radioactive (high GR); clean sandstone/limestone read low.
+GAMMA_RAY_RESPONSE: dict[str, tuple[float, float]] = {
+    "shale": (95.0, 15.0),
+    "sandstone": (30.0, 8.0),
+    "siltstone": (60.0, 10.0),
+    "limestone": (25.0, 6.0),
+    "dolomite": (28.0, 7.0),
+    "coal": (40.0, 12.0),
+}
+
+
+@dataclass(frozen=True)
+class WellLogParams:
+    """Parameters of the synthetic well generator.
+
+    ``lithologies`` is the pool layers are drawn from; ``mean_layer_m``
+    the mean layer thickness; ``sample_step_m`` the log sampling interval.
+    ``riverbed_probability`` is the chance of planting a textbook
+    shale/sandstone/siltstone riverbed sequence, so archives contain true
+    positives for the Figure 4 query at a controllable rate.
+    """
+
+    lithologies: tuple[str, ...] = (
+        "shale",
+        "sandstone",
+        "siltstone",
+        "limestone",
+        "dolomite",
+    )
+    mean_layer_m: float = 6.0
+    min_layer_m: float = 1.0
+    sample_step_m: float = 0.5
+    riverbed_probability: float = 0.25
+    extra: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = [l for l in self.lithologies if l not in LITHOLOGY_CODES]
+        if unknown:
+            raise ValueError(f"unknown lithologies: {unknown}")
+        if self.min_layer_m <= 0 or self.mean_layer_m < self.min_layer_m:
+            raise ValueError("need 0 < min_layer_m <= mean_layer_m")
+        if self.sample_step_m <= 0:
+            raise ValueError("sample_step_m must be positive")
+        if not 0.0 <= self.riverbed_probability <= 1.0:
+            raise ValueError("riverbed_probability must be in [0, 1]")
+
+
+def _draw_layers(
+    total_depth_m: float, params: WellLogParams, rng: np.random.Generator
+) -> list[tuple[str, float]]:
+    """Draw a lithology column as ``(lithology, thickness_m)`` from the top.
+
+    With probability ``riverbed_probability`` a shale→sandstone→siltstone
+    triplet is inserted at a random position (reading downward), giving the
+    Figure 4 query genuine matches.
+    """
+    layers: list[tuple[str, float]] = []
+    depth = 0.0
+    previous: str | None = None
+    while depth < total_depth_m:
+        choices = [l for l in params.lithologies if l != previous] or list(
+            params.lithologies
+        )
+        lith = str(rng.choice(choices))
+        thickness = max(
+            params.min_layer_m, rng.exponential(params.mean_layer_m)
+        )
+        layers.append((lith, thickness))
+        previous = lith
+        depth += thickness
+
+    if layers and rng.random() < params.riverbed_probability:
+        triplet = [
+            ("shale", max(params.min_layer_m, rng.exponential(params.mean_layer_m))),
+            ("sandstone", max(params.min_layer_m, rng.exponential(params.mean_layer_m))),
+            ("siltstone", max(params.min_layer_m, rng.exponential(params.mean_layer_m))),
+        ]
+        insert_at = int(rng.integers(0, len(layers) + 1))
+        layers[insert_at:insert_at] = triplet
+    return layers
+
+
+def generate_well_log(
+    total_depth_m: float,
+    seed: int,
+    params: WellLogParams | None = None,
+    name: str = "well",
+) -> DepthSeries:
+    """Generate one synthetic well log.
+
+    Returns a :class:`~repro.data.series.DepthSeries` with attributes
+    ``lithology`` (integer codes per :data:`LITHOLOGY_CODES`) and
+    ``gamma_ray`` (API units) sampled every ``sample_step_m`` from the
+    surface down to ``total_depth_m``.
+    """
+    if total_depth_m <= 0:
+        raise ValueError("total_depth_m must be positive")
+    params = params or WellLogParams()
+    rng = np.random.default_rng(seed)
+
+    layers = _draw_layers(total_depth_m, params, rng)
+    depths = np.arange(0.0, total_depth_m, params.sample_step_m)
+    lithology = np.zeros(depths.size)
+    gamma = np.zeros(depths.size)
+
+    boundaries: list[tuple[float, str]] = []
+    top = 0.0
+    for lith, thickness in layers:
+        boundaries.append((top, lith))
+        top += thickness
+
+    layer_index = 0
+    for i, depth in enumerate(depths):
+        while (
+            layer_index + 1 < len(boundaries)
+            and depth >= boundaries[layer_index + 1][0]
+        ):
+            layer_index += 1
+        lith = boundaries[layer_index][1]
+        mean, std = GAMMA_RAY_RESPONSE[lith]
+        lithology[i] = LITHOLOGY_CODES[lith]
+        gamma[i] = max(0.0, rng.normal(mean, std))
+
+    return DepthSeries(name, depths, {"lithology": lithology, "gamma_ray": gamma})
+
+
+def generate_well_field(
+    n_wells: int,
+    total_depth_m: float,
+    seed: int,
+    params: WellLogParams | None = None,
+    name_prefix: str = "well",
+) -> list[DepthSeries]:
+    """Generate a field of wells with derived per-well seeds."""
+    if n_wells <= 0:
+        raise ValueError("n_wells must be positive")
+    rng = np.random.default_rng(seed)
+    return [
+        generate_well_log(
+            total_depth_m,
+            seed=int(rng.integers(0, 2**31 - 1)),
+            params=params,
+            name=f"{name_prefix}_{i:04d}",
+        )
+        for i in range(n_wells)
+    ]
+
+
+def layer_runs(log: DepthSeries) -> list[tuple[int, int, int]]:
+    """Collapse a sampled log into layer runs.
+
+    Returns ``(lithology_code, start_index, stop_index)`` triples (half-open
+    sample ranges) reading downward — the unit the geology knowledge model
+    and SPROC operate on.
+    """
+    lithology = log.values("lithology").astype(int)
+    runs: list[tuple[int, int, int]] = []
+    start = 0
+    for i in range(1, lithology.size + 1):
+        if i == lithology.size or lithology[i] != lithology[start]:
+            runs.append((int(lithology[start]), start, i))
+            start = i
+    return runs

@@ -1,0 +1,43 @@
+"""Shared fixtures: small synthetic scenes reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.raster import RasterStack
+from repro.models.linear import LinearModel, hps_risk_model
+from repro.synth.landsat import generate_scene
+from repro.synth.terrain import generate_dem
+
+
+@pytest.fixture(scope="session")
+def small_shape() -> tuple[int, int]:
+    """Grid shape small enough for exhaustive cross-checks."""
+    return (48, 64)
+
+
+@pytest.fixture(scope="session")
+def dem(small_shape):
+    """A deterministic fractal DEM."""
+    return generate_dem(small_shape, seed=101)
+
+
+@pytest.fixture(scope="session")
+def scene_stack(small_shape, dem) -> RasterStack:
+    """TM bands + DEM, the HPS model's input stack."""
+    stack = generate_scene(small_shape, seed=202, terrain=dem)
+    stack.add(dem)
+    return stack
+
+
+@pytest.fixture(scope="session")
+def hps_model() -> LinearModel:
+    """The paper's published HPS risk model."""
+    return hps_risk_model()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,77 @@
+"""Tests for threshold-region extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abstraction.contours import threshold_regions
+from repro.metrics.counters import CostCounter
+
+
+class TestThresholdRegions:
+    def test_single_block(self):
+        values = np.zeros((5, 5))
+        values[1:3, 1:4] = 10.0
+        regions = threshold_regions(values, 5.0)
+        assert len(regions) == 1
+        assert regions[0].size == 6
+        assert regions[0].bounding_box == (1, 1, 3, 4)
+
+    def test_two_disconnected_blocks_ordered_by_size(self):
+        values = np.zeros((6, 6))
+        values[0:3, 0:3] = 10.0  # 9 cells
+        values[5, 5] = 10.0  # 1 cell
+        regions = threshold_regions(values, 5.0)
+        assert [region.size for region in regions] == [9, 1]
+
+    def test_diagonal_connectivity(self):
+        values = np.zeros((4, 4))
+        values[0, 0] = 10.0
+        values[1, 1] = 10.0
+        four = threshold_regions(values, 5.0, connectivity=4)
+        eight = threshold_regions(values, 5.0, connectivity=8)
+        assert len(four) == 2
+        assert len(eight) == 1
+
+    def test_below_threshold_direction(self):
+        values = np.full((4, 4), 10.0)
+        values[2, 2] = 0.0
+        regions = threshold_regions(values, 5.0, above=False)
+        assert len(regions) == 1
+        assert regions[0].cells == frozenset({(2, 2)})
+
+    def test_no_regions(self):
+        assert threshold_regions(np.zeros((3, 3)), 5.0) == []
+
+    def test_whole_grid_region(self):
+        regions = threshold_regions(np.full((3, 3), 9.0), 5.0)
+        assert len(regions) == 1
+        assert regions[0].size == 9
+
+    def test_centroid(self):
+        values = np.zeros((5, 5))
+        values[2, 1:4] = 10.0
+        region = threshold_regions(values, 5.0)[0]
+        assert region.centroid == (2.0, 2.0)
+
+    def test_counter_charges_one_pass(self):
+        counter = CostCounter()
+        threshold_regions(np.zeros((10, 10)), 1.0, counter=counter)
+        assert counter.data_points == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            threshold_regions(np.zeros(5), 1.0)
+        with pytest.raises(ValueError):
+            threshold_regions(np.zeros((3, 3)), 1.0, connectivity=6)
+
+    def test_labels_unique(self):
+        rng = np.random.default_rng(1)
+        values = rng.random((20, 20))
+        regions = threshold_regions(values, 0.7)
+        labels = [region.label for region in regions]
+        assert len(labels) == len(set(labels))
+        covered = [cell for region in regions for cell in region.cells]
+        assert len(covered) == len(set(covered))
+        assert len(covered) == int((values > 0.7).sum())

@@ -1,0 +1,97 @@
+"""Tests for block feature extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abstraction.features import (
+    cheap_features,
+    expensive_features,
+    extract_block_features,
+)
+from repro.metrics.counters import CostCounter
+
+
+class TestCheapFeatures:
+    def test_moments(self):
+        block = np.array([[1.0, 2.0], [3.0, 4.0]])
+        features = cheap_features(block)
+        assert features.mean == 2.5
+        assert features.minimum == 1.0
+        assert features.maximum == 4.0
+        assert features.variance == pytest.approx(block.var())
+        assert not features.has_expensive
+
+    def test_counter_charges_cheap_rate(self):
+        counter = CostCounter()
+        cheap_features(np.ones((8, 8)), counter)
+        assert counter.data_points == 64
+        assert counter.flops == 4 * 64
+
+
+class TestExpensiveFeatures:
+    def test_includes_texture_statistics(self):
+        rng = np.random.default_rng(1)
+        features = expensive_features(rng.random((16, 16)))
+        assert features.has_expensive
+        assert features.gradient_energy >= 0.0
+        assert 0.0 <= features.edge_density <= 1.0
+        assert features.glcm_contrast >= 0.0
+        assert 0.0 <= features.glcm_homogeneity <= 1.0
+
+    def test_flat_block_has_no_texture(self):
+        features = expensive_features(np.full((8, 8), 5.0))
+        assert features.gradient_energy == 0.0
+        assert features.glcm_contrast == 0.0
+        assert features.glcm_homogeneity == 1.0
+
+    def test_textured_blocks_score_higher_contrast(self):
+        rng = np.random.default_rng(2)
+        smooth = expensive_features(np.linspace(0, 1, 64).reshape(8, 8))
+        noisy = expensive_features(rng.random((8, 8)))
+        assert noisy.glcm_contrast > smooth.glcm_contrast
+
+    def test_reusing_cheap_tier_charges_less(self):
+        block = np.ones((8, 8))
+        fresh, reused = CostCounter(), CostCounter()
+        expensive_features(block, counter=fresh)
+        cheap = cheap_features(block)
+        expensive_features(block, cheap=cheap, counter=reused)
+        assert reused.flops < fresh.flops
+
+    def test_expensive_costs_dominate_cheap(self):
+        block = np.ones((8, 8))
+        cheap_counter, expensive_counter = CostCounter(), CostCounter()
+        cheap_features(block, cheap_counter)
+        expensive_features(block, counter=expensive_counter)
+        assert expensive_counter.flops > 5 * cheap_counter.flops
+
+    def test_vector_roundtrip(self):
+        rng = np.random.default_rng(3)
+        features = expensive_features(rng.random((8, 8)))
+        vector = features.as_vector()
+        assert vector.shape == (8,)
+        assert not np.any(np.isnan(vector))
+        partial = cheap_features(rng.random((8, 8))).as_vector()
+        assert np.isnan(partial[4:]).all()
+
+
+class TestExtractBlocks:
+    def test_covers_grid_with_clipped_edges(self):
+        values = np.zeros((20, 26))
+        features = extract_block_features(values, 8, expensive=False)
+        assert set(features) == {
+            (r, c) for r in range(3) for c in range(4)
+        }
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            extract_block_features(np.zeros((4, 4)), 0)
+
+    def test_cheap_vs_expensive_flag(self):
+        values = np.random.default_rng(4).random((16, 16))
+        cheap = extract_block_features(values, 8, expensive=False)
+        full = extract_block_features(values, 8, expensive=True)
+        assert not any(f.has_expensive for f in cheap.values())
+        assert all(f.has_expensive for f in full.values())

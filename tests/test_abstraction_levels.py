@@ -1,0 +1,56 @@
+"""Tests for the abstraction ladder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abstraction.levels import AbstractionLadder, AbstractionLevel
+from repro.abstraction.semantics import ThresholdClassifier
+from repro.data.raster import RasterLayer
+from repro.synth.landsat import generate_band
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    band = generate_band((40, 56), seed=7)
+    return AbstractionLadder(band, ThresholdClassifier([70.0, 90.0]), block_size=8)
+
+
+class TestAbstractionLadder:
+    def test_volumes_strictly_decrease_up_the_ladder(self, ladder):
+        """The paper's 'lower data volumes at the expense of fidelity'."""
+        volumes = [ladder.data_volume(level) for level in AbstractionLevel]
+        assert volumes == sorted(volumes, reverse=True)
+        assert len(set(volumes)) == len(volumes)
+
+    def test_raw_volume_is_layer_size(self, ladder):
+        assert ladder.data_volume(AbstractionLevel.RAW) == 40 * 56
+
+    def test_feature_blocks_cover_layer(self, ladder):
+        features = ladder.features()
+        assert set(features) == {(r, c) for r in range(5) for c in range(7)}
+
+    def test_semantics_labels_valid(self, ladder):
+        labels = ladder.semantics()
+        assert labels.shape == (5, 7)
+        assert labels.min() >= 0
+        assert labels.max() <= 2
+
+    def test_metadata_summarizes_layer(self, ladder):
+        metadata = ladder.metadata()
+        assert metadata.shape == (40, 56)
+        assert metadata.minimum <= metadata.mean <= metadata.maximum
+
+    def test_caching_returns_same_objects(self, ladder):
+        assert ladder.features() is ladder.features()
+        assert ladder.semantics() is ladder.semantics()
+
+    def test_block_size_validation(self):
+        layer = RasterLayer("x", np.zeros((8, 8)))
+        with pytest.raises(ValueError):
+            AbstractionLadder(layer, ThresholdClassifier([1.0]), block_size=0)
+
+    def test_levels_ordering(self):
+        assert AbstractionLevel.RAW < AbstractionLevel.FEATURE
+        assert AbstractionLevel.SEMANTIC < AbstractionLevel.METADATA

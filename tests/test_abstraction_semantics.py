@@ -1,0 +1,120 @@
+"""Tests for progressive classification (experiment E2's mechanism)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.abstraction.semantics import ProgressiveClassifier, ThresholdClassifier
+from repro.data.raster import RasterLayer
+from repro.metrics.counters import CostCounter
+from repro.pyramid.pyramid import ResolutionPyramid
+from repro.synth.landsat import generate_band
+
+
+class TestThresholdClassifier:
+    def test_binning(self):
+        classifier = ThresholdClassifier([10.0, 20.0])
+        assert classifier.classify_value(5.0) == 0
+        assert classifier.classify_value(15.0) == 1
+        assert classifier.classify_value(25.0) == 2
+        assert classifier.n_labels == 3
+
+    def test_interval_certainty(self):
+        classifier = ThresholdClassifier([10.0])
+        assert classifier.classify_interval(0.0, 5.0) == 0
+        assert classifier.classify_interval(11.0, 20.0) == 1
+        assert classifier.classify_interval(5.0, 15.0) is None
+
+    def test_array_matches_scalar(self):
+        classifier = ThresholdClassifier([10.0, 20.0])
+        values = np.array([[5.0, 15.0], [25.0, 10.0]])
+        labels = classifier.classify_array(values)
+        for index in np.ndindex(values.shape):
+            assert labels[index] == classifier.classify_value(values[index])
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdClassifier([])
+        with pytest.raises(ValueError):
+            ThresholdClassifier([5.0, 5.0])
+
+
+class TestProgressiveClassifier:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(4, 40), st.integers(4, 40)),
+            elements=st.floats(0, 100),
+        ),
+        st.lists(
+            st.floats(5, 95), min_size=1, max_size=3, unique=True
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_progressive_equals_full_classification(self, values, thresholds):
+        """The paper's progressive classification must be *exact* (the
+        min/max envelopes make coarse decisions sound)."""
+        classifier = ThresholdClassifier(sorted(thresholds))
+        pyramid = ResolutionPyramid(RasterLayer("x", values), n_levels=4)
+        progressive = ProgressiveClassifier(pyramid, classifier)
+        full = progressive.classify_full()
+        labels, _ = progressive.classify()
+        assert np.array_equal(labels, full)
+
+    def test_all_pixels_resolved(self):
+        band = generate_band((50, 70), seed=1)
+        pyramid = ResolutionPyramid(band, n_levels=4)
+        progressive = ProgressiveClassifier(
+            pyramid, ThresholdClassifier([80.0])
+        )
+        labels, audit = progressive.classify()
+        assert not np.any(labels == -1)
+        assert sum(audit.cells_resolved_at_level.values()) == band.size
+
+    def test_smooth_imagery_resolves_coarse(self):
+        band = generate_band((128, 128), seed=2, smoothness=3.5)
+        pyramid = ResolutionPyramid(band, n_levels=6)
+        progressive = ProgressiveClassifier(
+            pyramid, ThresholdClassifier([80.0])
+        )
+        _, audit = progressive.classify()
+        assert audit.coarse_fraction > 0.8
+
+    def test_work_reduction_on_smooth_imagery(self):
+        band = generate_band((128, 128), seed=3, smoothness=3.5)
+        pyramid = ResolutionPyramid(band, n_levels=6)
+        progressive = ProgressiveClassifier(
+            pyramid, ThresholdClassifier([80.0])
+        )
+        full_counter, progressive_counter = CostCounter(), CostCounter()
+        progressive.classify_full(full_counter)
+        progressive.classify(progressive_counter)
+        assert (
+            progressive_counter.total_work < full_counter.total_work / 3
+        )
+
+    def test_constant_field_resolves_at_top(self):
+        layer = RasterLayer("flat", np.full((32, 32), 5.0))
+        pyramid = ResolutionPyramid(layer, n_levels=5)
+        progressive = ProgressiveClassifier(
+            pyramid, ThresholdClassifier([10.0])
+        )
+        labels, audit = progressive.classify()
+        assert np.all(labels == 0)
+        assert audit.coarse_fraction == 1.0
+        assert audit.cells_resolved_at_level.get(0, 0) == 0
+
+    def test_adversarial_checkerboard_falls_to_level_zero(self):
+        rows, cols = np.indices((16, 16))
+        checkerboard = ((rows + cols) % 2) * 100.0
+        pyramid = ResolutionPyramid(RasterLayer("cb", checkerboard), n_levels=4)
+        progressive = ProgressiveClassifier(
+            pyramid, ThresholdClassifier([50.0])
+        )
+        labels, audit = progressive.classify()
+        assert np.array_equal(labels, progressive.classify_full())
+        assert audit.coarse_fraction == 0.0

@@ -1,0 +1,119 @@
+"""Tests for the credit-scorecard and precision-agriculture applications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import agriculture, credit
+from repro.metrics.counters import CostCounter
+
+
+@pytest.fixture(scope="module")
+def credit_scenario():
+    return credit.build_scenario(n_applicants=4000, seed=13)
+
+
+@pytest.fixture(scope="module")
+def field_scenario():
+    return agriculture.build_scenario(shape=(96, 96), n_days=240, seed=17)
+
+
+class TestCreditApp:
+    def test_band_calibration_matches_paper(self, credit_scenario):
+        calibration = credit.band_calibration(credit_scenario)
+        assert calibration["above_680"] < 0.02
+        assert 0.04 < calibration["below_620"] < 0.13
+
+    def test_index_matches_scan_best(self, credit_scenario):
+        indexed = credit.top_k_applicants(credit_scenario, 10, use_index=True)
+        scanned = credit.top_k_applicants(credit_scenario, 10, use_index=False)
+        assert [row for row, _ in indexed] == [row for row, _ in scanned]
+        for (_, a), (_, b) in zip(indexed, scanned):
+            assert a == pytest.approx(b)
+
+    def test_index_matches_scan_riskiest(self, credit_scenario):
+        indexed = credit.top_k_applicants(
+            credit_scenario, 10, best=False, use_index=True
+        )
+        scanned = credit.top_k_applicants(
+            credit_scenario, 10, best=False, use_index=False
+        )
+        assert [row for row, _ in indexed] == [row for row, _ in scanned]
+
+    def test_scores_include_intercept(self, credit_scenario):
+        top = credit.top_k_applicants(credit_scenario, 1)[0]
+        assert 300.0 <= top[1] <= 900.0
+
+    def test_index_examines_fewer_tuples(self, credit_scenario):
+        index_counter, scan_counter = CostCounter(), CostCounter()
+        credit.top_k_applicants(credit_scenario, 5, counter=index_counter)
+        credit.top_k_applicants(
+            credit_scenario, 5, use_index=False, counter=scan_counter
+        )
+        assert index_counter.tuples_examined < scan_counter.tuples_examined
+
+
+class TestAgricultureApp:
+    def test_progressive_and_exhaustive_agree(self, field_scenario):
+        progressive = agriculture.find_stressed_zones(
+            field_scenario, progressive=True
+        )
+        exhaustive = agriculture.find_stressed_zones(
+            field_scenario, progressive=False
+        )
+        assert [z.block for z in progressive] == [z.block for z in exhaustive]
+
+    def test_progressive_does_less_work(self, field_scenario):
+        progressive_counter, exhaustive_counter = CostCounter(), CostCounter()
+        agriculture.find_stressed_zones(
+            field_scenario, progressive=True, counter=progressive_counter
+        )
+        agriculture.find_stressed_zones(
+            field_scenario, progressive=False, counter=exhaustive_counter
+        )
+        assert (
+            progressive_counter.total_work
+            < exhaustive_counter.total_work
+        )
+
+    def test_zones_are_low_vigor(self, field_scenario):
+        zones = agriculture.find_stressed_zones(field_scenario, k=5)
+        for zone in zones:
+            assert zone.features.mean < 120.0
+            assert zone.features.has_expensive
+
+    def test_zones_sorted_by_stress(self, field_scenario):
+        zones = agriculture.find_stressed_zones(field_scenario, k=8)
+        scores = [zone.stress_score for zone in zones]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_harvest_symbols_progress(self, field_scenario):
+        symbols = agriculture.harvest_symbols(field_scenario.weather)
+        assert symbols[0] == "growing"
+        assert "mature_dry" in symbols or "mature_wet" in symbols
+        first_mature = next(
+            i for i, s in enumerate(symbols) if s != "growing"
+        )
+        assert all(s == "growing" for s in symbols[:first_mature])
+        assert all(s != "growing" for s in symbols[first_mature:])
+
+    def test_harvest_machine_needs_two_dry_days(self):
+        machine = agriculture.harvest_window_model()
+        from repro.models.fsm_runner import run_fsm
+
+        run = run_fsm(
+            machine,
+            ["growing", "mature_dry", "mature_dry", "mature_wet", "mature_dry",
+             "mature_dry"],
+        )
+        # Matures on the first dry day (-> drying), window opens on the 2nd
+        # dry day; rain closes it; two more dry days reopen.
+        assert run.acceptance_times == (2, 5)
+
+    def test_harvest_windows_over_scenario(self, field_scenario):
+        run = agriculture.harvest_windows(field_scenario)
+        assert run.machine_name == "harvest_window"
+        if run.accepted:
+            symbols = agriculture.harvest_symbols(field_scenario.weather)
+            for onset in run.acceptance_times:
+                assert symbols[onset] == "mature_dry"

@@ -1,0 +1,80 @@
+"""Tests for the fire-ants application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import fireants
+from repro.metrics.counters import CostCounter
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return fireants.build_scenario(4, 4, n_days=365, seed=9)
+
+
+class TestScenario:
+    def test_station_grid_complete(self, scenario):
+        assert len(scenario.stations) == 16
+        assert all(len(s) == 365 for s in scenario.stations.values())
+
+    def test_machine_is_figure_one(self, scenario):
+        assert scenario.machine.accepting_states == {"fire_ants_fly"}
+        assert scenario.machine.initial == "rain"
+        assert len(scenario.machine.states) == 5
+
+
+class TestRetrieval:
+    def test_run_all_stations(self, scenario):
+        runs = fireants.run_all_stations(scenario)
+        assert set(runs) == set(scenario.stations)
+
+    def test_top_k_ranked_by_score(self, scenario):
+        top = fireants.top_k_swarming_regions(scenario, k=5)
+        scores = [run.score() for _, run in top]
+        assert scores == sorted(scores, reverse=True)
+        assert len(top) == 5
+
+    def test_top_k_really_is_top(self, scenario):
+        all_runs = fireants.run_all_stations(scenario)
+        best_overall = max(run.score() for run in all_runs.values())
+        top = fireants.top_k_swarming_regions(scenario, k=1)
+        assert top[0][1].score() == best_overall
+
+    def test_counter_accumulates_across_stations(self, scenario):
+        counter = CostCounter()
+        fireants.run_all_stations(scenario, counter)
+        assert counter.data_points == 16 * 365 * 2
+
+
+class TestNaiveCrossCheck:
+    def test_every_station_agrees_with_naive(self, scenario):
+        for cell in scenario.stations:
+            fsm_onsets, naive_onsets = fireants.verify_against_naive(
+                scenario, cell
+            )
+            assert list(fsm_onsets) == naive_onsets
+
+    def test_fsm_cheaper_than_naive(self, scenario):
+        fsm_counter, naive_counter = CostCounter(), CostCounter()
+        for cell in scenario.stations:
+            fireants.verify_against_naive(
+                scenario, cell, fsm_counter, naive_counter
+            )
+        assert naive_counter.total_work > fsm_counter.total_work
+
+
+class TestDynamicsRetrieval:
+    def test_real_stations_are_near_the_target(self, scenario):
+        """Every station's weather was labeled BY the Figure 1 machine,
+        so extracted machines should all sit very close to the target."""
+        ranked = fireants.rank_stations_by_dynamics(scenario, k=5)
+        assert len(ranked) == 5
+        distances = [distance for _, distance in ranked]
+        assert distances == sorted(distances)
+        assert distances[0] < 0.05
+
+    def test_distance_in_unit_interval(self, scenario):
+        ranked = fireants.rank_stations_by_dynamics(scenario, k=3)
+        for _, distance in ranked:
+            assert 0.0 <= distance <= 1.0

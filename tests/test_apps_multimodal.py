@@ -1,0 +1,88 @@
+"""Tests for the multi-modal HPS fusion entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import epidemiology
+from repro.apps.epidemiology import multimodal_risk_query, wet_then_dry_degree
+from repro.synth.weather import generate_station_grid
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return epidemiology.build_scenario(shape=(64, 64), seed=7)
+
+
+@pytest.fixture(scope="module")
+def stations():
+    return generate_station_grid(2, 2, 200, seed=8)
+
+
+class TestWetThenDry:
+    def test_degree_in_unit_interval(self, stations):
+        for series in stations.values():
+            assert 0.0 <= wet_then_dry_degree(series) <= 1.0
+
+    def test_ideal_season_scores_one(self):
+        import numpy as np
+
+        from repro.data.series import TimeSeries
+
+        rain = np.concatenate([np.full(50, 5.0), np.zeros(50)])
+        series = TimeSeries(
+            "ideal", np.arange(100.0),
+            {"rain_mm": rain, "temperature_c": np.full(100, 20.0)},
+        )
+        assert wet_then_dry_degree(series) == 1.0
+
+    def test_all_dry_season_scores_zero(self):
+        import numpy as np
+
+        from repro.data.series import TimeSeries
+
+        series = TimeSeries(
+            "dry", np.arange(100.0),
+            {"rain_mm": np.zeros(100), "temperature_c": np.full(100, 20.0)},
+        )
+        assert wet_then_dry_degree(series) == 0.0
+
+
+class TestMultimodalRiskQuery:
+    def test_top_k_returns_valid_cells(self, scenario, stations):
+        query = multimodal_risk_query(scenario, stations, (2, 2))
+        top = query.top_k(5)
+        assert len(top) == 5
+        for (row, col), score in top:
+            assert 0 <= row < 64 and 0 <= col < 64
+            assert 0.0 <= score <= 1.0
+
+    def test_weather_weight_shifts_answers(self, scenario, stations):
+        raster_heavy = multimodal_risk_query(
+            scenario, stations, (2, 2), risk_weight=100.0
+        ).top_k(10)
+        weather_heavy = multimodal_risk_query(
+            scenario, stations, (2, 2), weather_weight=100.0
+        ).top_k(10)
+        raster_cells = {cell for cell, _ in raster_heavy}
+        weather_cells = {cell for cell, _ in weather_heavy}
+        assert raster_cells != weather_cells
+
+    def test_weather_heavy_answers_live_in_wettest_region(
+        self, scenario, stations
+    ):
+        degrees = {
+            key: wet_then_dry_degree(series)
+            for key, series in stations.items()
+        }
+        best_region = max(degrees, key=degrees.get)
+        top = multimodal_risk_query(
+            scenario, stations, (2, 2), weather_weight=1000.0
+        ).top_k(5)
+        for (row, col), _ in top:
+            region = (row // 32, col // 32)
+            assert region == best_region
+
+    def test_station_count_validated(self, scenario, stations):
+        with pytest.raises(ValueError):
+            multimodal_risk_query(scenario, stations, (3, 3))

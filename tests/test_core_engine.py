@@ -1,0 +1,319 @@
+"""Tests for the progressive retrieval engine — the paper's core claim:
+progressive execution returns the exact top-K for far less work."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import RasterRetrievalEngine
+from repro.core.query import TopKQuery
+from repro.data.raster import RasterLayer, RasterStack
+from repro.exceptions import QueryError
+from repro.metrics.efficiency import EfficiencyModel
+from repro.models.knowledge import KnowledgeModel
+from repro.models.linear import LinearModel
+
+
+@pytest.fixture(scope="module")
+def engine(request):
+    from repro.synth.landsat import generate_scene
+    from repro.synth.terrain import generate_dem
+
+    shape = (96, 96)
+    dem = generate_dem(shape, seed=11)
+    stack = generate_scene(shape, seed=12, terrain=dem)
+    stack.add(dem)
+    return RasterRetrievalEngine(stack, leaf_size=8)
+
+
+@pytest.fixture(scope="module")
+def model():
+    from repro.models.linear import hps_risk_model
+
+    return hps_risk_model()
+
+
+def _score_multiset(result):
+    return sorted(round(score, 9) for score in result.scores)
+
+
+class TestExactness:
+    @given(
+        k=st.integers(1, 40),
+        maximize=st.booleans(),
+        use_tiles=st.booleans(),
+        use_levels=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_strategies_return_exhaustive_answers(
+        self, engine, model, k, maximize, use_tiles, use_levels
+    ):
+        query = TopKQuery(model=model, k=k, maximize=maximize)
+        baseline = engine.exhaustive_top_k(query)
+        result = engine.progressive_top_k(
+            query, use_tiles=use_tiles, use_model_levels=use_levels
+        )
+        assert _score_multiset(result) == _score_multiset(baseline)
+
+    def test_answers_carry_true_scores(self, engine, model):
+        query = TopKQuery(model=model, k=5)
+        result = engine.progressive_top_k(query)
+        for answer in result.answers:
+            point = {
+                name: engine.stack[name].values[answer.row, answer.col]
+                for name in model.attributes
+            }
+            assert model.evaluate(point) == pytest.approx(answer.score)
+
+    def test_region_restricted_query(self, engine, model):
+        query = TopKQuery(model=model, k=7, region=(10, 10, 50, 60))
+        baseline = engine.exhaustive_top_k(query)
+        result = engine.progressive_top_k(query)
+        assert _score_multiset(result) == _score_multiset(baseline)
+        for row, col in result.locations:
+            assert 10 <= row < 50 and 10 <= col < 60
+
+    def test_region_outside_grid_rejected(self, engine, model):
+        query = TopKQuery(model=model, k=1, region=(500, 500, 600, 600))
+        with pytest.raises(QueryError):
+            engine.exhaustive_top_k(query)
+
+    def test_negative_coefficients(self, engine):
+        model = LinearModel(
+            {"tm_band4": -1.0, "elevation": 0.5}, name="negative"
+        )
+        query = TopKQuery(model=model, k=10)
+        baseline = engine.exhaustive_top_k(query)
+        result = engine.progressive_top_k(query)
+        assert _score_multiset(result) == _score_multiset(baseline)
+
+    def test_custom_term_order_still_exact(self, engine, model):
+        query = TopKQuery(model=model, k=10)
+        baseline = engine.exhaustive_top_k(query)
+        worst_order = ("elevation", "tm_band7", "tm_band5", "tm_band4")
+        result = engine.progressive_top_k(query, term_order=worst_order)
+        assert _score_multiset(result) == _score_multiset(baseline)
+
+    def test_bad_term_order_rejected(self, engine, model):
+        query = TopKQuery(model=model, k=1)
+        with pytest.raises(QueryError):
+            engine.progressive_top_k(query, term_order=("tm_band4",))
+
+
+class TestWorkReduction:
+    def test_both_mechanisms_beat_exhaustive(self, engine, model):
+        query = TopKQuery(model=model, k=10)
+        baseline = engine.exhaustive_top_k(query)
+        result = engine.progressive_top_k(query)
+        assert result.counter.total_work < baseline.counter.total_work / 3
+
+    def test_ablation_grid(self, engine, model):
+        """Section 4.2: combined beats either mechanism alone."""
+        query = TopKQuery(model=model, k=10)
+        exhaustive = engine.exhaustive_top_k(query)
+        model_only = engine.progressive_top_k(query, use_tiles=False)
+        data_only = engine.progressive_top_k(query, use_model_levels=False)
+        both = engine.progressive_top_k(query)
+        efficiency = EfficiencyModel.from_ablation(
+            exhaustive.counter, model_only.counter, data_only.counter,
+            both.counter,
+        )
+        assert efficiency.pm > 1.0
+        assert efficiency.pd > 1.0
+        assert efficiency.combined > max(efficiency.pm, efficiency.pd)
+
+    def test_audit_records_pruning(self, engine, model):
+        query = TopKQuery(model=model, k=5)
+        result = engine.progressive_top_k(query)
+        assert result.audit.tiles_screened > 0
+        assert result.audit.tiles_pruned > 0
+        assert result.audit.tile_prune_fraction > 0.0
+
+    def test_strategy_labels(self, engine, model):
+        query = TopKQuery(model=model, k=3)
+        assert engine.exhaustive_top_k(query).strategy == "exhaustive"
+        assert engine.progressive_top_k(query).strategy == "both"
+        assert (
+            engine.progressive_top_k(query, use_tiles=False).strategy
+            == "model-progressive"
+        )
+        assert (
+            engine.progressive_top_k(query, use_model_levels=False).strategy
+            == "data-progressive"
+        )
+        assert (
+            engine.progressive_top_k(
+                query, use_tiles=False, use_model_levels=False
+            ).strategy
+            == "none"
+        )
+
+
+class TestHeuristicPruning:
+    def test_unknown_pruning_mode_rejected(self, engine, model):
+        query = TopKQuery(model=model, k=1)
+        with pytest.raises(QueryError):
+            engine.progressive_top_k(query, pruning="magic")
+
+    def test_full_margin_behaves_like_sound(self, engine, model):
+        """margin covering the whole spread keeps every true answer on
+        this stack (symmetric enough envelopes)."""
+        query = TopKQuery(model=model, k=10)
+        baseline = engine.exhaustive_top_k(query)
+        result = engine.progressive_top_k(
+            query, pruning="heuristic", heuristic_margin=1.0
+        )
+        assert result.strategy == "both-heuristic"
+        # Heuristic results are not guaranteed exact, but at full margin
+        # on this data they should keep most of the answer set.
+        overlap = set(result.locations) & set(baseline.locations)
+        assert len(overlap) >= 8
+
+    def test_tight_margin_saves_work(self, engine, model):
+        query = TopKQuery(model=model, k=10)
+        sound = engine.progressive_top_k(query)
+        tight = engine.progressive_top_k(
+            query, pruning="heuristic", heuristic_margin=0.2
+        )
+        assert tight.counter.total_work < sound.counter.total_work
+
+    def test_negative_margin_rejected(self, engine, model):
+        from repro.exceptions import PlanError
+
+        query = TopKQuery(model=model, k=1)
+        with pytest.raises(PlanError):
+            engine.progressive_top_k(
+                query, pruning="heuristic", heuristic_margin=-0.5
+            )
+
+
+class TestModelCompatibility:
+    def _knowledge_model(self) -> KnowledgeModel:
+        from repro.models.fuzzy import sigmoid_membership
+        from repro.models.knowledge import FuzzyRule, RulePredicate
+
+        return KnowledgeModel(
+            [
+                FuzzyRule(
+                    "wet",
+                    (
+                        RulePredicate(
+                            "tm_band4", sigmoid_membership(80.0, 0.1)
+                        ),
+                    ),
+                )
+            ]
+        )
+
+    def test_knowledge_model_cannot_take_levels(self, engine):
+        """Knowledge models can't do progressive levels; requesting them
+        must fail loudly, not silently degrade."""
+        query = TopKQuery(model=self._knowledge_model(), k=3)
+        with pytest.raises(QueryError):
+            engine.progressive_top_k(query, use_tiles=False)
+
+    def test_knowledge_model_prunes_through_tiles(self, engine):
+        """Interval-capable knowledge models run the tile screen exactly
+        (the third model family joining the progressive framework)."""
+        query = TopKQuery(model=self._knowledge_model(), k=5)
+        baseline = engine.exhaustive_top_k(query)
+        result = engine.progressive_top_k(query, use_model_levels=False)
+        assert _score_multiset(result) == _score_multiset(baseline)
+        assert result.counter.total_work < baseline.counter.total_work
+
+    def test_model_attribute_missing_from_stack(self, engine):
+        model = LinearModel({"nonexistent": 1.0})
+        query = TopKQuery(model=model, k=1)
+        with pytest.raises(QueryError):
+            engine.progressive_top_k(query, use_tiles=False)
+
+
+class TestSmallGrids:
+    def test_single_cell_grid(self):
+        stack = RasterStack()
+        stack.add(RasterLayer("a", np.array([[5.0]])))
+        engine = RasterRetrievalEngine(stack, leaf_size=4)
+        query = TopKQuery(model=LinearModel({"a": 2.0}), k=1)
+        result = engine.progressive_top_k(query)
+        assert result.locations == [(0, 0)]
+        assert result.scores == [10.0]
+
+    def test_k_larger_than_grid(self):
+        stack = RasterStack()
+        stack.add(RasterLayer("a", np.arange(4.0).reshape(2, 2)))
+        engine = RasterRetrievalEngine(stack, leaf_size=2)
+        query = TopKQuery(model=LinearModel({"a": 1.0}), k=100)
+        result = engine.progressive_top_k(query)
+        assert len(result) == 4
+
+    def test_constant_layer_ties(self):
+        stack = RasterStack()
+        stack.add(RasterLayer("a", np.full((8, 8), 3.0)))
+        engine = RasterRetrievalEngine(stack, leaf_size=4)
+        query = TopKQuery(model=LinearModel({"a": 1.0}), k=5)
+        baseline = engine.exhaustive_top_k(query)
+        result = engine.progressive_top_k(query)
+        assert _score_multiset(result) == _score_multiset(baseline)
+
+
+class TestAnytimeRetrieval:
+    def test_unbudgeted_run_has_no_regret_field(self, engine, model):
+        result = engine.progressive_top_k(TopKQuery(model=model, k=5))
+        assert result.regret_bound is None
+
+    def test_huge_budget_is_provably_exact(self, engine, model):
+        query = TopKQuery(model=model, k=10)
+        result = engine.progressive_top_k(query, work_budget=10**9)
+        assert result.regret_bound == 0.0
+        assert result.strategy.endswith("-anytime")
+        baseline = engine.exhaustive_top_k(query)
+        assert _score_multiset(result) == _score_multiset(baseline)
+
+    def test_regret_shrinks_with_budget(self, engine, model):
+        query = TopKQuery(model=model, k=10)
+        regrets = []
+        for budget in (300, 3000, 10**9):
+            result = engine.progressive_top_k(query, work_budget=budget)
+            assert result.regret_bound is not None
+            assert result.regret_bound >= 0.0
+            regrets.append(result.regret_bound)
+        assert regrets[0] >= regrets[-1]
+        assert regrets[-1] == 0.0
+
+    def test_regret_bound_is_sound(self, engine, model):
+        """No location OUTSIDE the returned set may beat the returned
+        K-th best by more than the reported regret: unexamined cells are
+        capped by the frontier bound, and examined-but-evicted cells
+        scored below the K-th best by construction."""
+        query = TopKQuery(model=model, k=10)
+        scores = model.evaluate_batch(
+            {
+                name: engine.stack[name].values
+                for name in model.attributes
+            }
+        )
+        for budget in (300, 2000, 8000):
+            result = engine.progressive_top_k(query, work_budget=budget)
+            if not result.answers:
+                continue
+            kth = min(result.scores)
+            retrieved = set(result.locations)
+            best_outside = max(
+                float(scores[row, col])
+                for row in range(scores.shape[0])
+                for col in range(scores.shape[1])
+                if (row, col) not in retrieved
+            )
+            assert best_outside <= kth + result.regret_bound + 1e-6
+
+    def test_validation(self, engine, model):
+        query = TopKQuery(model=model, k=3)
+        with pytest.raises(QueryError):
+            engine.progressive_top_k(query, work_budget=0)
+        with pytest.raises(QueryError):
+            engine.progressive_top_k(
+                query, use_tiles=False, work_budget=100
+            )

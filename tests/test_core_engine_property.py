@@ -1,0 +1,126 @@
+"""Property-based stress test of the engine's central invariant.
+
+The whole framework rests on one promise: *every* progressive strategy
+returns the exact top-K score multiset of the exhaustive scan, for any
+stack, any linear model (any coefficient signs), any K, any direction,
+any leaf size. Hypothesis generates the lot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import RasterRetrievalEngine
+from repro.core.query import TopKQuery
+from repro.data.raster import RasterLayer, RasterStack
+from repro.models.linear import LinearModel
+
+
+@st.composite
+def _stack_and_model(draw):
+    rows = draw(st.integers(3, 28))
+    cols = draw(st.integers(3, 28))
+    n_layers = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+
+    stack = RasterStack()
+    names = []
+    for index in range(n_layers):
+        name = f"layer{index}"
+        names.append(name)
+        kind = draw(st.sampled_from(["smooth", "noise", "blocky", "constant"]))
+        if kind == "smooth":
+            base = rng.normal(size=(rows, cols))
+            values = np.cumsum(np.cumsum(base, axis=0), axis=1)
+        elif kind == "noise":
+            values = rng.normal(0, 10, (rows, cols))
+        elif kind == "blocky":
+            coarse = rng.uniform(-5, 5, (-(-rows // 4), -(-cols // 4)))
+            values = np.kron(coarse, np.ones((4, 4)))[:rows, :cols]
+        else:
+            values = np.full((rows, cols), float(draw(st.integers(-3, 3))))
+        stack.add(RasterLayer(name, values))
+
+    coefficients = {
+        name: draw(
+            st.floats(-5, 5).filter(lambda c: abs(c) > 1e-3)
+        )
+        for name in names
+    }
+    model = LinearModel(
+        coefficients, intercept=draw(st.floats(-10, 10))
+    )
+    k = draw(st.integers(1, rows * cols))
+    maximize = draw(st.booleans())
+    leaf_size = draw(st.sampled_from([2, 4, 8, 16]))
+    return stack, model, k, maximize, leaf_size
+
+
+class TestEngineInvariant:
+    @given(_stack_and_model())
+    @settings(max_examples=60, deadline=None)
+    def test_every_strategy_matches_exhaustive(self, case):
+        stack, model, k, maximize, leaf_size = case
+        engine = RasterRetrievalEngine(stack, leaf_size=leaf_size)
+        query = TopKQuery(model=model, k=k, maximize=maximize)
+        expected = sorted(
+            round(score, 6) for score in engine.exhaustive_top_k(query).scores
+        )
+        for use_tiles in (True, False):
+            for use_levels in (True, False):
+                result = engine.progressive_top_k(
+                    query, use_tiles=use_tiles, use_model_levels=use_levels
+                )
+                actual = sorted(round(score, 6) for score in result.scores)
+                assert actual == expected, (
+                    f"strategy ({use_tiles=}, {use_levels=}) diverged "
+                    f"for k={k}, maximize={maximize}, leaf={leaf_size}"
+                )
+
+    @given(_stack_and_model())
+    @settings(max_examples=30, deadline=None)
+    def test_region_restriction_preserves_invariant(self, case):
+        stack, model, k, maximize, leaf_size = case
+        rows, cols = stack.shape
+        if rows < 4 or cols < 4:
+            return
+        region = (1, 1, rows - 1, cols - 1)
+        engine = RasterRetrievalEngine(stack, leaf_size=leaf_size)
+        query = TopKQuery(
+            model=model,
+            k=min(k, (rows - 2) * (cols - 2)),
+            maximize=maximize,
+            region=region,
+        )
+        expected = sorted(
+            round(score, 6) for score in engine.exhaustive_top_k(query).scores
+        )
+        result = engine.progressive_top_k(query)
+        assert sorted(round(score, 6) for score in result.scores) == expected
+        for row, col in result.locations:
+            assert 1 <= row < rows - 1 and 1 <= col < cols - 1
+
+
+class TestHeuristicModeNeverCrashes:
+    @given(_stack_and_model(), st.floats(0.0, 1.5))
+    @settings(max_examples=25, deadline=None)
+    def test_heuristic_pruning_returns_valid_answers(self, case, margin):
+        """Heuristic pruning may miss answers but must stay well-formed:
+        k results (or grid size), scores achieved by their cells."""
+        stack, model, k, maximize, leaf_size = case
+        engine = RasterRetrievalEngine(stack, leaf_size=leaf_size)
+        query = TopKQuery(model=model, k=k, maximize=maximize)
+        result = engine.progressive_top_k(
+            query, pruning="heuristic", heuristic_margin=margin
+        )
+        rows, cols = stack.shape
+        assert len(result) <= min(k, rows * cols)
+        for answer in result.answers:
+            point = {
+                name: stack[name].values[answer.row, answer.col]
+                for name in model.attributes
+            }
+            assert abs(model.evaluate(point) - answer.score) < 1e-6

@@ -1,0 +1,164 @@
+"""Tests for multi-modal fusion retrieval."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multimodal import MultiModalQuery, RasterFactor, RegionFactor
+from repro.data.raster import RasterLayer, RasterStack
+from repro.data.series import TimeSeries
+from repro.exceptions import QueryError
+from repro.metrics.counters import CostCounter
+from repro.models.linear import LinearModel
+
+
+def _stack() -> RasterStack:
+    stack = RasterStack()
+    rows, cols = np.indices((16, 16)).astype(float)
+    stack.add(RasterLayer("gradient", rows + cols))
+    return stack
+
+
+def _series(name: str, rainy: bool) -> TimeSeries:
+    rain = np.full(10, 5.0 if rainy else 0.0)
+    return TimeSeries(
+        name, np.arange(10.0), {"rain_mm": rain}
+    )
+
+
+def _wetness(series: TimeSeries, counter: CostCounter | None = None) -> float:
+    rain = series.read_range("rain_mm", 0, len(series), counter)
+    return float((rain > 0).mean())
+
+
+def _region_factor(weight: float = 1.0) -> RegionFactor:
+    regions = {
+        (0, 0): (0, 0, 8, 16),
+        (1, 0): (8, 0, 16, 16),
+    }
+    series = {
+        (0, 0): _series("north", rainy=True),
+        (1, 0): _series("south", rainy=False),
+    }
+    return RegionFactor("wet", regions, series, _wetness, weight=weight)
+
+
+class TestFactors:
+    def test_raster_factor_normalized(self):
+        factor = RasterFactor("g", LinearModel({"gradient": 2.0}))
+        degrees = factor.degrees(_stack())
+        assert degrees.min() == 0.0
+        assert degrees.max() == 1.0
+
+    def test_constant_raster_gives_half(self):
+        stack = RasterStack()
+        stack.add(RasterLayer("flat", np.full((4, 4), 3.0)))
+        factor = RasterFactor("f", LinearModel({"flat": 1.0}))
+        assert np.all(factor.degrees(stack) == 0.5)
+
+    def test_region_factor_broadcasts(self):
+        degrees = _region_factor().degrees((16, 16))
+        assert np.all(degrees[:8, :] == 1.0)
+        assert np.all(degrees[8:, :] == 0.0)
+
+    def test_region_factor_must_tile(self):
+        factor = RegionFactor(
+            "partial",
+            {(0, 0): (0, 0, 8, 16)},
+            {(0, 0): _series("n", True)},
+            _wetness,
+        )
+        with pytest.raises(QueryError):
+            factor.degrees((16, 16))
+
+    def test_region_keys_must_match(self):
+        factor = RegionFactor(
+            "mismatch",
+            {(0, 0): (0, 0, 16, 16)},
+            {(9, 9): _series("n", True)},
+            _wetness,
+        )
+        with pytest.raises(QueryError):
+            factor.degrees((16, 16))
+
+    def test_degree_range_enforced(self):
+        factor = RegionFactor(
+            "bad",
+            {(0, 0): (0, 0, 16, 16)},
+            {(0, 0): _series("n", True)},
+            lambda series, counter=None: 2.0,
+        )
+        with pytest.raises(QueryError):
+            factor.degrees((16, 16))
+
+
+class TestFusion:
+    def test_weighted_fusion(self):
+        query = MultiModalQuery(
+            _stack(),
+            raster_factors=[RasterFactor("g", LinearModel({"gradient": 1.0}))],
+            region_factors=[_region_factor()],
+        )
+        fused = query.fused_degrees()
+        # North-east corner: gradient ~0.5, wet 1.0 -> 0.75-ish.
+        assert fused[0, 15] == pytest.approx(
+            (15.0 / 30.0 + 1.0) / 2.0
+        )
+
+    def test_weights_shift_the_answer(self):
+        heavy_wet = MultiModalQuery(
+            _stack(),
+            raster_factors=[RasterFactor("g", LinearModel({"gradient": 1.0}))],
+            region_factors=[_region_factor(weight=10.0)],
+        )
+        top = heavy_wet.top_k(1)[0][0]
+        assert top[0] < 8  # wet north dominates despite low gradient
+
+    def test_and_fusion_is_minimum(self):
+        query = MultiModalQuery(
+            _stack(),
+            raster_factors=[RasterFactor("g", LinearModel({"gradient": 1.0}))],
+            region_factors=[_region_factor()],
+            fusion="and",
+        )
+        fused = query.fused_degrees()
+        assert np.all(fused[8:, :] == 0.0)  # dry south is vetoed
+
+    def test_top_k_ordering_and_ties(self):
+        query = MultiModalQuery(
+            _stack(),
+            raster_factors=[RasterFactor("g", LinearModel({"gradient": 1.0}))],
+        )
+        top = query.top_k(3)
+        scores = [score for _, score in top]
+        assert scores == sorted(scores, reverse=True)
+        assert top[0][0] == (15, 15)
+
+    def test_counter_accumulates(self):
+        counter = CostCounter()
+        query = MultiModalQuery(
+            _stack(),
+            raster_factors=[RasterFactor("g", LinearModel({"gradient": 1.0}))],
+            region_factors=[_region_factor()],
+        )
+        query.top_k(2, counter=counter)
+        assert counter.data_points > 0
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            MultiModalQuery(_stack())
+        with pytest.raises(QueryError):
+            MultiModalQuery(
+                _stack(),
+                raster_factors=[
+                    RasterFactor("g", LinearModel({"gradient": 1.0}))
+                ],
+                fusion="xor",
+            )
+        query = MultiModalQuery(
+            _stack(),
+            raster_factors=[RasterFactor("g", LinearModel({"gradient": 1.0}))],
+        )
+        with pytest.raises(QueryError):
+            query.top_k(0)

@@ -1,0 +1,111 @@
+"""Tests for progressive query planning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.planner import plan_query
+from repro.core.query import TopKQuery
+from repro.core.screening import TileScreen
+from repro.data.raster import RasterLayer, RasterStack
+from repro.exceptions import PlanError
+from repro.models.fuzzy import sigmoid_membership
+from repro.models.knowledge import FuzzyRule, KnowledgeModel, RulePredicate
+from repro.models.linear import LinearModel
+
+
+@pytest.fixture(scope="module")
+def screen():
+    rng = np.random.default_rng(9)
+    stack = RasterStack()
+    # "wide" has 100x the spread of "narrow".
+    stack.add(RasterLayer("wide", rng.uniform(0, 100, (32, 32))))
+    stack.add(RasterLayer("narrow", rng.uniform(0, 1, (32, 32))))
+    # "blocky" is piecewise-constant: tiny envelopes per tile (selective).
+    blocky = np.repeat(np.repeat(rng.uniform(0, 100, (4, 4)), 8, 0), 8, 1)
+    stack.add(RasterLayer("blocky", blocky))
+    return TileScreen(stack, leaf_size=8)
+
+
+class TestContributionOrdering:
+    def test_spread_weighted_coefficients_order_terms(self, screen):
+        model = LinearModel({"wide": 0.1, "narrow": 5.0})
+        query = TopKQuery(model=model, k=1)
+        plan = plan_query(query, screen, ordering="contribution")
+        # 0.1 * 100 = 10 > 5.0 * 1 = 5 -> wide first.
+        assert plan.term_order[0] == "wide"
+
+    def test_uncertainty_shrinks_along_plan(self, screen):
+        model = LinearModel({"wide": 1.0, "narrow": 1.0, "blocky": 1.0})
+        plan = plan_query(TopKQuery(model=model, k=1), screen)
+        widths = list(plan.expected_level_uncertainty)
+        assert widths == sorted(widths, reverse=True)
+        assert widths[-1] == 0.0
+
+
+class TestSelectivityOrdering:
+    def test_blocky_attribute_ranked_most_selective(self, screen):
+        model = LinearModel({"wide": 1.0, "blocky": 1.0})
+        query = TopKQuery(model=model, k=1)
+        plan = plan_query(query, screen, ordering="selectivity")
+        assert plan.term_order[0] == "blocky"
+
+    def test_orderings_can_differ(self, screen):
+        """The paper's point: relevance order != filtering order."""
+        model = LinearModel({"wide": 10.0, "blocky": 0.5})
+        query = TopKQuery(model=model, k=1)
+        contribution = plan_query(query, screen, ordering="contribution")
+        selectivity = plan_query(query, screen, ordering="selectivity")
+        assert contribution.term_order[0] == "wide"
+        assert selectivity.term_order[0] == "blocky"
+
+
+class TestValidation:
+    def test_unknown_ordering(self, screen):
+        model = LinearModel({"wide": 1.0})
+        with pytest.raises(PlanError):
+            plan_query(TopKQuery(model=model, k=1), screen, ordering="magic")
+
+    def test_nonlinear_model_cannot_take_levels(self, screen):
+        knowledge = KnowledgeModel(
+            [
+                FuzzyRule(
+                    "r",
+                    (RulePredicate("wide", sigmoid_membership(50.0, 0.1)),),
+                )
+            ]
+        )
+        with pytest.raises(PlanError):
+            plan_query(TopKQuery(model=knowledge, k=1), screen)
+
+    def test_nonlinear_model_allowed_without_levels(self, screen):
+        knowledge = KnowledgeModel(
+            [
+                FuzzyRule(
+                    "r",
+                    (RulePredicate("wide", sigmoid_membership(50.0, 0.1)),),
+                )
+            ]
+        )
+        plan = plan_query(
+            TopKQuery(model=knowledge, k=1),
+            screen,
+            use_model_levels=False,
+        )
+        assert not plan.use_model_levels
+        assert plan.expected_level_uncertainty == ()
+
+    def test_missing_attribute(self, screen):
+        model = LinearModel({"unknown": 1.0})
+        with pytest.raises(PlanError):
+            plan_query(TopKQuery(model=model, k=1), screen)
+
+    def test_plan_records_configuration(self, screen):
+        model = LinearModel({"wide": 1.0})
+        plan = plan_query(
+            TopKQuery(model=model, k=1), screen, use_tiles=False
+        )
+        assert plan.leaf_size == 8
+        assert not plan.use_tiles
+        assert plan.ordering == "contribution"

@@ -1,0 +1,50 @@
+"""Tests for retrieval results and the pruning audit."""
+
+from __future__ import annotations
+
+from repro.core.results import PruningAudit, RetrievalResult, ScoredLocation
+from repro.metrics.counters import CostCounter
+
+
+class TestScoredLocation:
+    def test_location_tuple(self):
+        answer = ScoredLocation(row=3, col=7, score=1.5)
+        assert answer.location == (3, 7)
+
+
+class TestPruningAudit:
+    def test_tile_prune_fraction(self):
+        audit = PruningAudit(tiles_screened=10, tiles_pruned=4)
+        assert audit.tile_prune_fraction == 0.4
+
+    def test_empty_audit_fraction_zero(self):
+        assert PruningAudit().tile_prune_fraction == 0.0
+
+    def test_level_tallies_accumulate(self):
+        audit = PruningAudit()
+        audit.enter_level(1, 100)
+        audit.enter_level(1, 50)
+        audit.enter_level(2, 80)
+        audit.prune_at_level(1, 70)
+        assert audit.cells_entered_level == {1: 150, 2: 80}
+        assert audit.cells_pruned_at_level == {1: 70}
+
+
+class TestRetrievalResult:
+    def test_views(self):
+        result = RetrievalResult(
+            answers=[
+                ScoredLocation(0, 1, 9.0),
+                ScoredLocation(2, 3, 7.0),
+            ],
+            counter=CostCounter(),
+            strategy="test",
+        )
+        assert result.locations == [(0, 1), (2, 3)]
+        assert result.scores == [9.0, 7.0]
+        assert len(result) == 2
+
+    def test_default_audit(self):
+        result = RetrievalResult(answers=[], counter=CostCounter())
+        assert result.audit.tiles_screened == 0
+        assert len(result) == 0

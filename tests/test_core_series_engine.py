@@ -1,0 +1,180 @@
+"""Tests for the series retrieval engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.series_engine import (
+    SeriesRetrievalEngine,
+    SpellCountModel,
+    ThresholdCountModel,
+)
+from repro.data.series import TimeSeries
+from repro.exceptions import QueryError
+from repro.metrics.counters import CostCounter
+from repro.synth.weather import generate_station_grid
+
+
+def _make_series(name: str, values: np.ndarray) -> TimeSeries:
+    return TimeSeries(
+        name, np.arange(float(values.size)), {"x": np.asarray(values, float)}
+    )
+
+
+@pytest.fixture(scope="module")
+def stations():
+    return generate_station_grid(6, 6, 365, seed=5)
+
+
+class TestThresholdCountModel:
+    def test_evaluate_counts(self):
+        series = _make_series("s", np.array([1.0, 5.0, 3.0, 7.0]))
+        assert ThresholdCountModel("x", 4.0).evaluate(series) == 2.0
+        assert ThresholdCountModel("x", 4.0, above=False).evaluate(series) == 2.0
+
+    def test_bound_contains_truth(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(20, 5, 200)
+        series = _make_series("s", values)
+        from repro.pyramid.series_pyramid import SeriesPyramid
+
+        model = ThresholdCountModel("x", 22.0)
+        pyramid = SeriesPyramid(series, "x", n_levels=5)
+        low, high = model.bound(pyramid)
+        truth = model.evaluate(series)
+        assert low <= truth <= high
+
+    def test_bound_state_collapses_to_exact(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(20, 5, 100)
+        series = _make_series("s", values)
+        from repro.pyramid.series_pyramid import SeriesPyramid
+
+        model = ThresholdCountModel("x", 22.0)
+        state = model.bound_state(SeriesPyramid(series, "x", n_levels=6))
+        while state.refine():
+            pass
+        assert state.exact
+        assert state.low == model.evaluate(series)
+
+    def test_bound_tightens_monotonically(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(0, 1, 128)
+        series = _make_series("s", values)
+        from repro.pyramid.series_pyramid import SeriesPyramid
+
+        model = ThresholdCountModel("x", 0.3)
+        state = model.bound_state(SeriesPyramid(series, "x", n_levels=7))
+        previous = (state.low, state.high)
+        while state.refine():
+            assert state.low >= previous[0] - 1e-9
+            assert state.high <= previous[1] + 1e-9
+            previous = (state.low, state.high)
+
+
+class TestSpellCountModel:
+    def test_evaluate_counts_run_members(self):
+        values = np.array([0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 0.0])
+        series = _make_series("s", values)
+        model = SpellCountModel("x", 0.1, min_run=3)
+        # Runs: 3 (counts), 2 (too short), 4 (counts) -> 7.
+        assert model.evaluate(series) == 7.0
+
+    def test_trailing_run_counted(self):
+        values = np.array([5.0, 0.0, 0.0, 0.0])
+        assert SpellCountModel("x", 0.1, min_run=3).evaluate(
+            _make_series("s", values)
+        ) == 3.0
+
+    def test_bound_is_upper(self):
+        rng = np.random.default_rng(4)
+        values = np.where(rng.random(200) < 0.3, 5.0, 0.0)
+        series = _make_series("s", values)
+        from repro.pyramid.series_pyramid import SeriesPyramid
+
+        model = SpellCountModel("x", 0.1, min_run=3)
+        low, high = model.bound(SeriesPyramid(series, "x", n_levels=5))
+        truth = model.evaluate(series)
+        assert low == 0.0
+        assert truth <= high
+
+    def test_min_run_validation(self):
+        with pytest.raises(QueryError):
+            SpellCountModel("x", 0.1, min_run=0)
+
+
+class TestSeriesEngine:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            ThresholdCountModel("temperature_c", 25.0),
+            ThresholdCountModel("temperature_c", 18.0, above=False),
+            ThresholdCountModel("rain_mm", 0.1, above=False),
+            SpellCountModel("rain_mm", 0.1, min_run=3),
+        ],
+        ids=["hot_days", "cool_days", "dry_days", "dry_spells"],
+    )
+    @pytest.mark.parametrize("k", [1, 5, 36])
+    def test_progressive_matches_exhaustive(self, stations, model, k):
+        engine = SeriesRetrievalEngine(stations, n_levels=7)
+        exhaustive = engine.exhaustive_top_k(model, k)
+        progressive = engine.progressive_top_k(model, k)
+        assert progressive == exhaustive
+
+    def test_structured_signal_saves_work(self, stations):
+        """Seasonal temperature has multi-scale structure: whole summer
+        and winter windows decide coarsely."""
+        engine = SeriesRetrievalEngine(stations, n_levels=7)
+        model = ThresholdCountModel("temperature_c", 25.0)
+        exhaustive_counter, progressive_counter = CostCounter(), CostCounter()
+        engine.exhaustive_top_k(model, 3, exhaustive_counter)
+        engine.progressive_top_k(model, 3, progressive_counter)
+        assert (
+            progressive_counter.total_work < exhaustive_counter.total_work
+        )
+
+    def test_k_validation(self, stations):
+        engine = SeriesRetrievalEngine(stations)
+        model = ThresholdCountModel("temperature_c", 25.0)
+        with pytest.raises(QueryError):
+            engine.exhaustive_top_k(model, 0)
+        with pytest.raises(QueryError):
+            engine.progressive_top_k(model, 0)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(QueryError):
+            SeriesRetrievalEngine({})
+
+    def test_tie_break_matches_exhaustive(self):
+        flat = {
+            f"station_{i}": _make_series(f"s{i}", np.full(32, 10.0))
+            for i in range(6)
+        }
+        engine = SeriesRetrievalEngine(flat, n_levels=4)
+        model = ThresholdCountModel("x", 5.0)
+        assert engine.progressive_top_k(model, 3) == engine.exhaustive_top_k(
+            model, 3
+        )
+
+    @given(seed=st.integers(0, 30), k=st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_random_step_series_invariant(self, seed, k):
+        rng = np.random.default_rng(seed)
+        collection = {}
+        for index in range(8):
+            # Step-structured series (runs) of random lengths/levels.
+            pieces = [
+                np.full(int(rng.integers(3, 20)), float(rng.integers(0, 6)))
+                for _ in range(int(rng.integers(2, 8)))
+            ]
+            collection[f"s{index}"] = _make_series(
+                f"s{index}", np.concatenate(pieces)
+            )
+        engine = SeriesRetrievalEngine(collection, n_levels=6)
+        model = ThresholdCountModel("x", 2.5)
+        assert engine.progressive_top_k(model, k) == engine.exhaustive_top_k(
+            model, k
+        )

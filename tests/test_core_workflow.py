@@ -1,0 +1,122 @@
+"""Tests for the Figure 5 model-revision workflow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import RasterRetrievalEngine
+from repro.core.workflow import ModelingWorkflow
+from repro.data.raster import RasterLayer, RasterStack
+from repro.exceptions import ModelError
+
+
+@pytest.fixture(scope="module")
+def stack():
+    rng = np.random.default_rng(21)
+    built = RasterStack()
+    a = rng.uniform(0, 10, (64, 64))
+    b = rng.uniform(0, 10, (64, 64))
+    built.add(RasterLayer("a", a))
+    built.add(RasterLayer("b", b))
+    # The true process the workflow should converge toward.
+    built.add(
+        RasterLayer(
+            "target", 2.0 * a - 1.0 * b + rng.normal(0, 0.1, (64, 64))
+        )
+    )
+    return built
+
+
+@pytest.fixture()
+def engine(stack):
+    return RasterRetrievalEngine(stack, leaf_size=8)
+
+
+def _initial_cells(n=30, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        (int(row), int(col))
+        for row, col in zip(rng.integers(0, 64, n), rng.integers(0, 64, n))
+    ]
+
+
+class TestWorkflowRun:
+    def test_converges_to_generating_coefficients(self, engine):
+        workflow = ModelingWorkflow(engine, "target")
+        iterations = workflow.run(("a", "b"), _initial_cells(), k=15)
+        final = iterations[-1].model
+        assert final.coefficients["a"] == pytest.approx(2.0, abs=0.1)
+        assert final.coefficients["b"] == pytest.approx(-1.0, abs=0.1)
+
+    def test_coefficient_delta_shrinks(self, engine):
+        workflow = ModelingWorkflow(engine, "target")
+        iterations = workflow.run(
+            ("a", "b"), _initial_cells(), k=15, max_iterations=5,
+            tolerance=0.0,
+        )
+        deltas = [
+            it.coefficient_delta
+            for it in iterations
+            if it.coefficient_delta != float("inf")
+        ]
+        assert deltas[-1] < deltas[0] + 1e-9
+
+    def test_stops_on_tolerance(self, engine):
+        workflow = ModelingWorkflow(engine, "target")
+        iterations = workflow.run(
+            ("a", "b"), _initial_cells(), k=15, tolerance=1e9
+        )
+        # inf on iteration 0, tiny delta on iteration 1 -> stop at 2.
+        assert len(iterations) == 2
+
+    def test_training_pool_grows(self, engine):
+        workflow = ModelingWorkflow(engine, "target")
+        iterations = workflow.run(
+            ("a", "b"), _initial_cells(), k=15, max_iterations=4,
+            tolerance=0.0,
+        )
+        sizes = [it.training_rows for it in iterations]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > sizes[0]
+
+    def test_progressive_cheaper_than_exhaustive(self, engine):
+        progressive = ModelingWorkflow(engine, "target", progressive=True)
+        progressive.run(("a", "b"), _initial_cells(), k=15, max_iterations=3,
+                        tolerance=0.0)
+        exhaustive = ModelingWorkflow(engine, "target", progressive=False)
+        exhaustive.run(("a", "b"), _initial_cells(), k=15, max_iterations=3,
+                       tolerance=0.0)
+        assert (
+            progressive.total_cost.total_work
+            < exhaustive.total_cost.total_work
+        )
+
+    def test_results_are_exact_regardless_of_strategy(self, engine):
+        progressive = ModelingWorkflow(engine, "target", progressive=True)
+        iters_p = progressive.run(
+            ("a", "b"), _initial_cells(), k=10, max_iterations=1
+        )
+        exhaustive = ModelingWorkflow(engine, "target", progressive=False)
+        iters_e = exhaustive.run(
+            ("a", "b"), _initial_cells(), k=10, max_iterations=1
+        )
+        scores_p = sorted(round(s, 9) for s in iters_p[0].result.scores)
+        scores_e = sorted(round(s, 9) for s in iters_e[0].result.scores)
+        assert scores_p == scores_e
+
+
+class TestWorkflowValidation:
+    def test_unknown_target_layer(self, engine):
+        with pytest.raises(ModelError):
+            ModelingWorkflow(engine, "missing")
+
+    def test_too_few_training_cells(self, engine):
+        workflow = ModelingWorkflow(engine, "target")
+        with pytest.raises(ModelError):
+            workflow.run(("a", "b"), [(0, 0)], k=5)
+
+    def test_max_iterations_positive(self, engine):
+        workflow = ModelingWorkflow(engine, "target")
+        with pytest.raises(ModelError):
+            workflow.run(("a", "b"), _initial_cells(), max_iterations=0)

@@ -1,0 +1,109 @@
+"""Tests for the archive catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.archive import Archive
+from repro.data.catalog import CatalogEntry, Modality
+from repro.data.raster import RasterLayer
+from repro.data.series import DepthSeries, TimeSeries
+from repro.data.table import Table
+from repro.exceptions import ArchiveError
+
+
+def _archive() -> Archive:
+    archive = Archive("test")
+    archive.add(RasterLayer("band", np.zeros((4, 4))))
+    archive.add(
+        TimeSeries("station", np.arange(3.0), {"rain_mm": np.zeros(3)})
+    )
+    archive.add(
+        DepthSeries("well", np.arange(3.0), {"gamma_ray": np.zeros(3)})
+    )
+    archive.add(Table("tuples", {"x": np.zeros(2)}))
+    return archive
+
+
+class TestCatalogEntry:
+    def test_matches_tags(self):
+        entry = CatalogEntry("x", Modality.IMAGERY, tags={"region": "west"})
+        assert entry.matches(region="west")
+        assert not entry.matches(region="east")
+        assert not entry.matches(season="1998")
+
+    def test_matches_modality(self):
+        entry = CatalogEntry("x", Modality.WEATHER)
+        assert entry.matches(modality="weather")
+        assert not entry.matches(modality="imagery")
+
+
+class TestArchive:
+    def test_typed_accessors(self):
+        archive = _archive()
+        assert archive.raster("band").shape == (4, 4)
+        assert len(archive.series("station")) == 3
+        assert archive.depth_series("well").depth_at(1) == 1.0
+        assert len(archive.table("tuples")) == 2
+
+    def test_type_mismatch_raises(self):
+        archive = _archive()
+        with pytest.raises(ArchiveError):
+            archive.raster("station")
+        with pytest.raises(ArchiveError):
+            archive.series("band")
+
+    def test_missing_item_raises(self):
+        with pytest.raises(ArchiveError):
+            _archive().raster("nope")
+
+    def test_duplicate_name_rejected(self):
+        archive = _archive()
+        with pytest.raises(ArchiveError):
+            archive.add(RasterLayer("band", np.ones((2, 2))))
+
+    def test_default_catalog_entries(self):
+        archive = _archive()
+        assert archive.entry("band").modality is Modality.IMAGERY
+        assert archive.entry("station").modality is Modality.WEATHER
+        assert archive.entry("well").modality is Modality.WELL_LOG
+        assert archive.entry("tuples").modality is Modality.TABULAR
+
+    def test_explicit_entry_name_must_match(self):
+        archive = Archive()
+        layer = RasterLayer("dem", np.zeros((2, 2)))
+        bad_entry = CatalogEntry("other", Modality.ELEVATION)
+        with pytest.raises(ArchiveError):
+            archive.add(layer, bad_entry)
+
+    def test_find_by_metadata(self):
+        archive = Archive()
+        archive.add(
+            RasterLayer("scene1", np.zeros((2, 2))),
+            CatalogEntry("scene1", Modality.IMAGERY, tags={"season": "wet"}),
+        )
+        archive.add(
+            RasterLayer("scene2", np.zeros((2, 2))),
+            CatalogEntry("scene2", Modality.IMAGERY, tags={"season": "dry"}),
+        )
+        assert archive.find(season="wet") == ["scene1"]
+        assert archive.find(modality="imagery") == ["scene1", "scene2"]
+
+    def test_items_of_modality(self):
+        archive = _archive()
+        imagery = list(archive.items_of_modality(Modality.IMAGERY))
+        assert [item.name for item in imagery] == ["band"]
+
+    def test_stack_builds_from_layers(self):
+        archive = Archive()
+        archive.add(RasterLayer("a", np.zeros((3, 3))))
+        archive.add(RasterLayer("b", np.ones((3, 3))))
+        stack = archive.stack(["a", "b"])
+        assert stack.names == ["a", "b"]
+
+    def test_len_and_names(self):
+        archive = _archive()
+        assert len(archive) == 4
+        assert "band" in archive
+        assert archive.names() == ["band", "station", "well", "tuples"]

@@ -1,0 +1,188 @@
+"""Tests for archive persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.archive import Archive
+from repro.data.catalog import CatalogEntry, Modality
+from repro.data.io import load_archive, save_archive
+from repro.data.raster import RasterLayer
+from repro.data.series import DepthSeries, TimeSeries
+from repro.data.table import Table
+from repro.exceptions import ArchiveError
+
+
+@pytest.fixture()
+def archive() -> Archive:
+    built = Archive("roundtrip")
+    rng = np.random.default_rng(61)
+    built.add(
+        RasterLayer("band", rng.random((12, 17))),
+        CatalogEntry(
+            "band", Modality.IMAGERY,
+            description="synthetic band",
+            tags={"sensor": "tm", "season": "wet"},
+            units="DN",
+        ),
+    )
+    built.add(
+        TimeSeries(
+            "station",
+            np.arange(30.0),
+            {"rain_mm": rng.random(30), "temperature_c": rng.random(30) * 30},
+        )
+    )
+    built.add(
+        DepthSeries(
+            "well",
+            np.arange(0.0, 10.0, 0.5),
+            {"gamma_ray": rng.random(20) * 100, "lithology": np.zeros(20)},
+        )
+    )
+    built.add(Table("tuples", {"x": rng.random(7), "y": rng.random(7)}))
+    return built
+
+
+class TestRoundTrip:
+    def test_values_survive(self, archive, tmp_path):
+        path = tmp_path / "archive.npz"
+        save_archive(archive, path)
+        loaded = load_archive(path)
+
+        assert loaded.name == "roundtrip"
+        assert loaded.names() == archive.names()
+        assert np.array_equal(
+            loaded.raster("band").values, archive.raster("band").values
+        )
+        assert np.array_equal(
+            loaded.series("station").values("rain_mm"),
+            archive.series("station").values("rain_mm"),
+        )
+        assert np.array_equal(
+            loaded.depth_series("well").axis,
+            archive.depth_series("well").axis,
+        )
+        assert np.array_equal(
+            loaded.table("tuples").column("y"),
+            archive.table("tuples").column("y"),
+        )
+
+    def test_catalog_survives(self, archive, tmp_path):
+        path = tmp_path / "archive.npz"
+        save_archive(archive, path)
+        loaded = load_archive(path)
+        entry = loaded.entry("band")
+        assert entry.modality is Modality.IMAGERY
+        assert entry.tags == {"sensor": "tm", "season": "wet"}
+        assert entry.units == "DN"
+        assert loaded.entry("well").modality is Modality.WELL_LOG
+
+    def test_types_survive(self, archive, tmp_path):
+        path = tmp_path / "archive.npz"
+        save_archive(archive, path)
+        loaded = load_archive(path)
+        assert isinstance(loaded.series("station"), TimeSeries)
+        assert isinstance(loaded.depth_series("well"), DepthSeries)
+        with pytest.raises(ArchiveError):
+            loaded.series("well")  # depth series is not a time series
+
+    def test_loaded_archive_is_queryable(self, archive, tmp_path):
+        """The round trip must produce a fully functional archive."""
+        from repro.core.engine import RasterRetrievalEngine
+        from repro.core.query import TopKQuery
+        from repro.models.linear import LinearModel
+
+        path = tmp_path / "archive.npz"
+        save_archive(archive, path)
+        loaded = load_archive(path)
+        stack = loaded.stack(["band"])
+        engine = RasterRetrievalEngine(stack, leaf_size=4)
+        query = TopKQuery(model=LinearModel({"band": 1.0}), k=3)
+        result = engine.progressive_top_k(query)
+        baseline = engine.exhaustive_top_k(query)
+        assert sorted(round(s, 9) for s in result.scores) == sorted(
+            round(s, 9) for s in baseline.scores
+        )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArchiveError):
+            load_archive(tmp_path / "nope.npz")
+
+    def test_non_archive_npz_rejected(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, x=np.zeros(3))
+        with pytest.raises(ArchiveError):
+            load_archive(path)
+
+    def test_empty_archive_round_trips(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_archive(Archive("empty"), path)
+        loaded = load_archive(path)
+        assert len(loaded) == 0
+        assert loaded.name == "empty"
+
+
+class TestRoundTripProperty:
+    @given(seed=st.integers(0, 50), rows=st.integers(1, 12), cols=st.integers(1, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_arbitrary_rasters_round_trip(self, tmp_path_factory, seed, rows, cols):
+        rng = np.random.default_rng(seed)
+        archive = Archive("prop")
+        archive.add(RasterLayer("layer", rng.normal(size=(rows, cols))))
+        path = tmp_path_factory.mktemp("io") / "a.npz"
+        save_archive(archive, path)
+        loaded = load_archive(path)
+        assert np.array_equal(
+            loaded.raster("layer").values, archive.raster("layer").values
+        )
+
+
+class TestFailureInjection:
+    def test_truncated_file_fails_loudly(self, archive, tmp_path):
+        path = tmp_path / "archive.npz"
+        save_archive(archive, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 3])
+        with pytest.raises(Exception):  # zipfile/numpy error, never silence
+            load_archive(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        import json
+
+        header = {"format_version": 99, "archive_name": "future", "items": []}
+        manifest = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        path = tmp_path / "future.npz"
+        np.savez(path, __manifest__=manifest)
+        with pytest.raises(ArchiveError):
+            load_archive(path)
+
+    def test_unknown_item_kind_rejected(self, tmp_path):
+        import json
+
+        header = {
+            "format_version": 1,
+            "archive_name": "odd",
+            "items": [
+                {
+                    "name": "x",
+                    "kind": "hologram",
+                    "modality": "imagery",
+                    "description": "",
+                    "tags": {},
+                    "units": "",
+                }
+            ],
+        }
+        manifest = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        path = tmp_path / "odd.npz"
+        np.savez(path, __manifest__=manifest)
+        with pytest.raises(ArchiveError):
+            load_archive(path)

@@ -1,0 +1,111 @@
+"""Tests for time and depth series."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.series import DepthSeries, TimeSeries
+from repro.exceptions import ArchiveError
+from repro.metrics.counters import CostCounter
+
+
+def _weather(n=5) -> TimeSeries:
+    return TimeSeries(
+        "w",
+        np.arange(n, dtype=float),
+        {"rain_mm": np.arange(n, dtype=float), "temperature_c": np.full(n, 20.0)},
+    )
+
+
+class TestSeriesValidation:
+    def test_axis_must_increase(self):
+        with pytest.raises(ArchiveError):
+            TimeSeries("w", np.array([0.0, 0.0, 1.0]), {"x": np.zeros(3)})
+
+    def test_axis_must_be_1d(self):
+        with pytest.raises(ArchiveError):
+            TimeSeries("w", np.zeros((2, 2)), {"x": np.zeros((2, 2))})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ArchiveError):
+            TimeSeries("w", np.array([]), {"x": np.array([])})
+
+    def test_needs_attributes(self):
+        with pytest.raises(ArchiveError):
+            TimeSeries("w", np.arange(3.0), {})
+
+    def test_attribute_shape_must_match_axis(self):
+        with pytest.raises(ArchiveError):
+            TimeSeries("w", np.arange(3.0), {"x": np.zeros(4)})
+
+    def test_values_read_only(self):
+        series = _weather()
+        with pytest.raises(ValueError):
+            series.values("rain_mm")[0] = 9.0
+
+
+class TestSeriesAccess:
+    def test_read_tallies(self):
+        series = _weather()
+        counter = CostCounter()
+        assert series.read("rain_mm", 3, counter) == 3.0
+        assert counter.data_points == 1
+
+    def test_read_range_tallies(self):
+        series = _weather()
+        counter = CostCounter()
+        window = series.read_range("rain_mm", 1, 4, counter)
+        assert list(window) == [1.0, 2.0, 3.0]
+        assert counter.data_points == 3
+
+    def test_read_record_collects_attributes(self):
+        series = _weather()
+        record = series.read_record(2)
+        assert record == {"rain_mm": 2.0, "temperature_c": 20.0}
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(ArchiveError):
+            _weather().values("humidity")
+
+    def test_window_restricts(self):
+        series = _weather(6)
+        sub = series.window(2, 5)
+        assert len(sub) == 3
+        assert sub.values("rain_mm")[0] == 2.0
+        assert isinstance(sub, TimeSeries)
+
+    def test_window_bounds_checked(self):
+        with pytest.raises(ArchiveError):
+            _weather().window(3, 3)
+        with pytest.raises(ArchiveError):
+            _weather().window(-1, 2)
+
+    def test_len_and_names(self):
+        series = _weather(7)
+        assert len(series) == 7
+        assert series.attribute_names == ["rain_mm", "temperature_c"]
+
+
+class TestDepthSeries:
+    def test_depth_at(self):
+        log = DepthSeries(
+            "well", np.array([0.0, 0.5, 1.0]), {"gamma_ray": np.ones(3)}
+        )
+        assert log.depth_at(1) == 0.5
+
+    def test_window_preserves_type(self):
+        log = DepthSeries(
+            "well", np.array([0.0, 0.5, 1.0]), {"gamma_ray": np.ones(3)}
+        )
+        assert isinstance(log.window(0, 2), DepthSeries)
+
+
+class TestNonFiniteRejection:
+    def test_nan_attribute_rejected(self):
+        with pytest.raises(ArchiveError):
+            TimeSeries(
+                "bad",
+                np.arange(3.0),
+                {"x": np.array([1.0, np.nan, 3.0])},
+            )

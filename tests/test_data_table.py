@@ -1,0 +1,80 @@
+"""Tests for tabular record sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+from repro.exceptions import ArchiveError
+from repro.metrics.counters import CostCounter
+
+
+def _table() -> Table:
+    return Table("t", {"x": np.array([1.0, 2.0, 3.0]), "y": np.array([4.0, 5.0, 6.0])})
+
+
+class TestTableValidation:
+    def test_needs_columns(self):
+        with pytest.raises(ArchiveError):
+            Table("t", {})
+
+    def test_columns_share_length(self):
+        with pytest.raises(ArchiveError):
+            Table("t", {"x": np.zeros(3), "y": np.zeros(4)})
+
+    def test_columns_must_be_1d(self):
+        with pytest.raises(ArchiveError):
+            Table("t", {"x": np.zeros((2, 2))})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ArchiveError):
+            Table("t", {"x": np.array([])})
+
+    def test_columns_read_only(self):
+        table = _table()
+        with pytest.raises(ValueError):
+            table.column("x")[0] = 9.0
+
+
+class TestTableAccess:
+    def test_row_reads_and_tallies(self):
+        table = _table()
+        counter = CostCounter()
+        row = table.row(1, counter)
+        assert row == {"x": 2.0, "y": 5.0}
+        assert counter.tuples_examined == 1
+        assert counter.data_points == 2
+
+    def test_row_bounds(self):
+        with pytest.raises(ArchiveError):
+            _table().row(3)
+        with pytest.raises(ArchiveError):
+            _table().row(-1)
+
+    def test_unknown_column(self):
+        with pytest.raises(ArchiveError):
+            _table().column("z")
+
+    def test_matrix_orders_columns(self):
+        matrix = _table().matrix(["y", "x"])
+        assert matrix.shape == (3, 2)
+        assert list(matrix[0]) == [4.0, 1.0]
+
+    def test_matrix_defaults_to_all_columns(self):
+        assert _table().matrix().shape == (3, 2)
+
+    def test_subset(self):
+        subset = _table().subset(["y"])
+        assert subset.column_names == ["y"]
+        assert len(subset) == 3
+
+
+class TestNonFiniteRejection:
+    def test_nan_column_rejected(self):
+        with pytest.raises(ArchiveError):
+            Table("bad", {"x": np.array([1.0, np.nan])})
+
+    def test_inf_column_rejected(self):
+        with pytest.raises(ArchiveError):
+            Table("bad", {"x": np.array([np.inf, 1.0])})

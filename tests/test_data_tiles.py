@@ -1,0 +1,63 @@
+"""Tests for tile grids."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.tiles import TileGrid
+from repro.exceptions import ArchiveError
+
+
+class TestTileGrid:
+    def test_exact_division(self):
+        grid = TileGrid((8, 8), tile_size=4)
+        assert grid.n_tiles == 4
+        assert grid.tile(1, 1).shape == (4, 4)
+
+    def test_edge_tiles_clipped(self):
+        grid = TileGrid((10, 7), tile_size=4)
+        assert grid.n_tile_rows == 3
+        assert grid.n_tile_cols == 2
+        edge = grid.tile(2, 1)
+        assert edge.shape == (2, 3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ArchiveError):
+            TileGrid((0, 5), 2)
+        with pytest.raises(ArchiveError):
+            TileGrid((5, 5), 0)
+
+    def test_tile_address_bounds(self):
+        grid = TileGrid((8, 8), 4)
+        with pytest.raises(ArchiveError):
+            grid.tile(2, 0)
+
+    def test_tile_of_cell(self):
+        grid = TileGrid((10, 10), 4)
+        tile = grid.tile_of_cell(5, 9)
+        assert tile.key == (1, 2)
+        assert tile.contains(5, 9)
+
+    def test_tile_of_cell_bounds(self):
+        grid = TileGrid((4, 4), 2)
+        with pytest.raises(ArchiveError):
+            grid.tile_of_cell(4, 0)
+
+    def test_cells_iterate_row_major(self):
+        grid = TileGrid((4, 4), 2)
+        cells = list(grid.tile(0, 1).cells())
+        assert cells == [(0, 2), (0, 3), (1, 2), (1, 3)]
+
+    @given(st.integers(1, 40), st.integers(1, 40), st.integers(1, 17))
+    def test_tiles_partition_grid(self, rows, cols, tile_size):
+        """Every cell belongs to exactly one tile."""
+        grid = TileGrid((rows, cols), tile_size)
+        seen = {}
+        for tile in grid:
+            for cell in tile.cells():
+                assert cell not in seen, f"cell {cell} covered twice"
+                seen[cell] = tile.key
+        assert len(seen) == rows * cols
+        assert sum(tile.size for tile in grid) == rows * cols

@@ -1,0 +1,87 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        subclasses = [
+            exceptions.ArchiveError,
+            exceptions.LayerMismatchError,
+            exceptions.ModelError,
+            exceptions.FSMError,
+            exceptions.NonDeterministicFSMError,
+            exceptions.BayesNetError,
+            exceptions.IndexError_,
+            exceptions.QueryError,
+            exceptions.PlanError,
+        ]
+        for subclass in subclasses:
+            assert issubclass(subclass, exceptions.ReproError)
+
+    def test_specialization_chains(self):
+        assert issubclass(
+            exceptions.LayerMismatchError, exceptions.ArchiveError
+        )
+        assert issubclass(exceptions.FSMError, exceptions.ModelError)
+        assert issubclass(
+            exceptions.NonDeterministicFSMError, exceptions.FSMError
+        )
+        assert issubclass(exceptions.BayesNetError, exceptions.ModelError)
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert exceptions.IndexError_ is not IndexError
+        assert not issubclass(exceptions.IndexError_, IndexError)
+
+    def test_one_catch_all(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.QueryError("caught by the base class")
+
+
+class TestPublicApi:
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.core",
+            "repro.models",
+            "repro.index",
+            "repro.sproc",
+            "repro.data",
+            "repro.pyramid",
+            "repro.abstraction",
+            "repro.synth",
+            "repro.metrics",
+            "repro.apps",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        exported = getattr(module, "__all__", [])
+        assert exported, f"{module_name} must declare __all__"
+        for name in exported:
+            assert getattr(module, name, None) is not None, (
+                f"{module_name}.{name} in __all__ but missing"
+            )
+
+    def test_version_is_set(self):
+        assert repro.__version__
+
+    def test_every_public_module_has_docstring(self):
+        import pkgutil
+
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(module_info.name)
+            assert module.__doc__, f"{module_info.name} lacks a docstring"

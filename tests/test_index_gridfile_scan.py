@@ -1,0 +1,110 @@
+"""Tests for the grid-file index and the sequential-scan baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import IndexError_, QueryError
+from repro.index.gridfile import GridFileIndex
+from repro.index.scan import scan_top_k
+from repro.metrics.counters import CostCounter
+from repro.models.linear import LinearModel
+from repro.synth.gaussian import generate_gaussian_table
+
+
+def _brute_range(matrix, low, high):
+    mask = np.all(
+        (matrix >= np.asarray(low)) & (matrix <= np.asarray(high)), axis=1
+    )
+    return sorted(int(i) for i in np.where(mask)[0])
+
+
+class TestGridFile:
+    @given(st.integers(5, 200), st.integers(0, 5), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_range_matches_brute_force(self, n_points, seed, data):
+        table = generate_gaussian_table(n_points, 2, seed=seed)
+        index = GridFileIndex(table, cells_per_dim=5)
+        matrix = table.matrix()
+        low = tuple(data.draw(st.floats(-2, 1)) for _ in range(2))
+        high = tuple(l + data.draw(st.floats(0, 3)) for l in low)
+        assert index.range_query(low, high) == _brute_range(matrix, low, high)
+
+    def test_query_outside_data_extent(self):
+        table = generate_gaussian_table(50, 2, seed=1)
+        index = GridFileIndex(table)
+        assert index.range_query((100.0, 100.0), (200.0, 200.0)) == []
+
+    def test_constant_column_collapses(self):
+        from repro.data.table import Table
+
+        table = Table("t", {"x": np.ones(10), "y": np.arange(10.0)})
+        index = GridFileIndex(table, cells_per_dim=4)
+        assert index.range_query((1.0, 2.0), (1.0, 5.0)) == [2, 3, 4, 5]
+
+    def test_counter_tallies(self):
+        table = generate_gaussian_table(200, 2, seed=2)
+        index = GridFileIndex(table)
+        counter = CostCounter()
+        index.range_query((-0.5, -0.5), (0.5, 0.5), counter)
+        assert counter.nodes_visited > 0
+        assert counter.tuples_examined > 0
+
+    def test_validation(self):
+        table = generate_gaussian_table(10, 2, seed=3)
+        with pytest.raises(IndexError_):
+            GridFileIndex(table, cells_per_dim=0)
+        with pytest.raises(IndexError_):
+            GridFileIndex(table, attributes=[])
+        index = GridFileIndex(table)
+        with pytest.raises(IndexError_):
+            index.range_query((0.0,), (1.0,))
+        with pytest.raises(IndexError_):
+            index.range_query((1.0, 1.0), (0.0, 0.0))
+
+    def test_bucket_count_bounded(self):
+        table = generate_gaussian_table(100, 2, seed=4)
+        index = GridFileIndex(table, cells_per_dim=4)
+        assert index.n_buckets <= 16
+
+
+class TestScanTopK:
+    def test_orders_best_first(self):
+        table = generate_gaussian_table(100, 2, seed=5)
+        model = LinearModel({"x1": 1.0, "x2": 1.0})
+        result = scan_top_k(table, model, 5)
+        scores = [score for _, score in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_minimize(self):
+        table = generate_gaussian_table(100, 2, seed=6)
+        model = LinearModel({"x1": 1.0, "x2": 0.0})
+        best = scan_top_k(table, model, 1, maximize=False)[0]
+        assert best[1] == pytest.approx(float(table.column("x1").min()))
+
+    def test_ties_break_by_row_index(self):
+        from repro.data.table import Table
+
+        table = Table("t", {"x": np.array([1.0, 1.0, 1.0, 0.0])})
+        result = scan_top_k(table, LinearModel({"x": 1.0}), 2)
+        assert [row for row, _ in result] == [0, 1]
+
+    def test_counter_records_full_scan(self):
+        table = generate_gaussian_table(150, 2, seed=7)
+        counter = CostCounter()
+        scan_top_k(table, LinearModel({"x1": 1.0, "x2": 1.0}), 3, counter=counter)
+        assert counter.tuples_examined == 150
+        assert counter.model_evals == 150
+
+    def test_k_validation(self):
+        table = generate_gaussian_table(10, 2, seed=8)
+        with pytest.raises(QueryError):
+            scan_top_k(table, LinearModel({"x1": 1.0, "x2": 1.0}), 0)
+
+    def test_k_exceeding_table(self):
+        table = generate_gaussian_table(4, 1, seed=9)
+        result = scan_top_k(table, LinearModel({"x1": 1.0}), 10)
+        assert len(result) == 4

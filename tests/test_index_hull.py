@@ -1,0 +1,113 @@
+"""Tests for convex-hull peeling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import IndexError_
+from repro.index.hull import hull_layers, hull_vertices
+
+
+class TestHullVertices:
+    def test_square_hull(self):
+        points = np.array(
+            [[0, 0], [1, 0], [0, 1], [1, 1], [0.5, 0.5]], dtype=float
+        )
+        vertices = hull_vertices(points)
+        assert set(vertices) == {0, 1, 2, 3}
+
+    def test_single_point(self):
+        assert list(hull_vertices(np.array([[3.0, 4.0]]))) == [0]
+
+    def test_empty_input(self):
+        assert hull_vertices(np.zeros((0, 2))).size == 0
+
+    def test_two_points(self):
+        vertices = hull_vertices(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert set(vertices) == {0, 1}
+
+    def test_collinear_points_return_extremes(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        vertices = hull_vertices(points)
+        assert set(vertices) == {0, 3}
+
+    def test_coplanar_in_3d(self):
+        """Points on a 2-D plane embedded in 3-D (Qhull would choke)."""
+        rng = np.random.default_rng(1)
+        uv = rng.random((12, 2))
+        points = np.column_stack([uv[:, 0], uv[:, 1], uv[:, 0] + uv[:, 1]])
+        vertices = hull_vertices(points)
+        assert 3 <= len(vertices) <= 12
+        # Every point must be inside the 2-D hull of the projections.
+        from scipy.spatial import ConvexHull
+
+        expected = set(ConvexHull(uv).vertices)
+        assert set(vertices) == expected
+
+    def test_all_duplicates(self):
+        points = np.tile([[2.0, 3.0]], (5, 1))
+        assert len(hull_vertices(points)) == 1
+
+    def test_non_2d_array_rejected(self):
+        with pytest.raises(IndexError_):
+            hull_vertices(np.zeros(5))
+
+    def test_1d_points(self):
+        points = np.array([[3.0], [1.0], [7.0], [5.0]])
+        vertices = hull_vertices(points)
+        assert set(vertices) == {1, 2}
+
+    @given(st.integers(4, 60), st.integers(2, 4), st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_hull_contains_extreme_points(self, n_points, n_dims, seed):
+        """argmax/argmin of every coordinate must be hull vertices."""
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n_points, n_dims))
+        vertices = set(hull_vertices(points))
+        for dim in range(n_dims):
+            assert int(np.argmax(points[:, dim])) in vertices
+            assert int(np.argmin(points[:, dim])) in vertices
+
+
+class TestHullLayers:
+    def test_layers_partition_points(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(100, 2))
+        layers = hull_layers(points)
+        combined = np.concatenate(layers)
+        assert sorted(combined) == list(range(100))
+
+    def test_layers_are_nested(self):
+        """Each layer's hull must lie inside the previous layer's hull
+        (checked via linear scores: layer i's max w.x <= layer i-1's)."""
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(200, 3))
+        layers = hull_layers(points)
+        for _ in range(10):
+            weights = rng.normal(size=3)
+            maxima = [
+                (points[layer] @ weights).max() for layer in layers
+            ]
+            for outer, inner in zip(maxima, maxima[1:]):
+                assert inner <= outer + 1e-9
+
+    def test_max_layers_buckets_interior(self):
+        rng = np.random.default_rng(4)
+        points = rng.normal(size=(100, 2))
+        layers = hull_layers(points, max_layers=3)
+        assert len(layers) == 3
+        assert sum(layer.size for layer in layers) == 100
+
+    def test_duplicates_terminate(self):
+        points = np.array([[0.0, 0.0]] * 10 + [[1.0, 1.0]] * 10)
+        layers = hull_layers(points)
+        combined = np.concatenate(layers)
+        assert sorted(combined) == list(range(20))
+
+    def test_small_inputs(self):
+        assert hull_layers(np.zeros((0, 2))) == []
+        layers = hull_layers(np.array([[1.0, 2.0]]))
+        assert len(layers) == 1

@@ -1,0 +1,175 @@
+"""Tests for the Onion index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import IndexError_
+from repro.index.onion import OnionIndex
+from repro.index.scan import scan_top_k
+from repro.metrics.counters import CostCounter
+from repro.models.linear import LinearModel
+from repro.synth.gaussian import generate_gaussian_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_gaussian_table(800, 3, seed=1)
+
+
+@pytest.fixture(scope="module")
+def index(table):
+    return OnionIndex(table)
+
+
+class TestConstruction:
+    def test_layer_sizes_sum_to_n(self, index, table):
+        assert sum(index.layer_sizes()) == len(table)
+
+    def test_layer_access_bounds(self, index):
+        with pytest.raises(IndexError_):
+            index.layer(index.n_layers)
+
+    def test_needs_attributes(self, table):
+        with pytest.raises(IndexError_):
+            OnionIndex(table, attributes=[])
+
+    def test_max_layers_cap(self, table):
+        capped = OnionIndex(table, max_layers=4)
+        assert capped.n_layers == 4
+        assert sum(capped.layer_sizes()) == len(table)
+
+    def test_max_layers_validation(self, table):
+        with pytest.raises(IndexError_):
+            OnionIndex(table, max_layers=0)
+
+
+class TestQueries:
+    def test_top_1_matches_scan(self, index, table):
+        weights = {"x1": 0.5, "x2": 0.3, "x3": 0.2}
+        expected = scan_top_k(table, LinearModel(weights), 1)
+        actual = index.top_k(weights, 1)
+        assert actual[0][0] == expected[0][0]
+        assert actual[0][1] == pytest.approx(expected[0][1])
+
+    @given(
+        k=st.integers(1, 30),
+        raw_weights=st.tuples(
+            st.floats(-2, 2), st.floats(-2, 2), st.floats(-2, 2)
+        ),
+        maximize=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_top_k_matches_scan_for_random_queries(
+        self, index, table, k, raw_weights, maximize
+    ):
+        """Exactness: the Onion answer must equal sequential scan for any
+        weights, any K, both directions."""
+        if all(abs(w) < 1e-6 for w in raw_weights):
+            raw_weights = (1.0, 0.0, 0.0)
+        weights = dict(zip(("x1", "x2", "x3"), raw_weights))
+        expected = scan_top_k(table, LinearModel(weights), k, maximize=maximize)
+        actual = index.top_k(weights, k, maximize=maximize)
+        assert [row for row, _ in actual] == [row for row, _ in expected]
+        for (_, a), (_, b) in zip(actual, expected):
+            assert a == pytest.approx(b)
+
+    def test_capped_index_still_exact_beyond_cap(self, table):
+        capped = OnionIndex(table, max_layers=3)
+        weights = {"x1": 1.0, "x2": -0.5, "x3": 0.2}
+        expected = scan_top_k(table, LinearModel(weights), 10)
+        actual = capped.top_k(weights, 10)
+        assert [row for row, _ in actual] == [row for row, _ in expected]
+
+    def test_examines_fewer_tuples_than_scan(self, index, table):
+        weights = {"x1": 0.5, "x2": 0.3, "x3": 0.2}
+        onion_counter, scan_counter = CostCounter(), CostCounter()
+        index.top_k(weights, 1, counter=onion_counter)
+        scan_top_k(table, LinearModel(weights), 1, counter=scan_counter)
+        assert onion_counter.tuples_examined < scan_counter.tuples_examined / 5
+
+    def test_top_k_work_grows_with_k(self, index):
+        weights = {"x1": 0.5, "x2": 0.3, "x3": 0.2}
+        small, large = CostCounter(), CostCounter()
+        index.top_k(weights, 1, counter=small)
+        index.top_k(weights, 10, counter=large)
+        assert large.tuples_examined > small.tuples_examined
+
+    def test_missing_weight_rejected(self, index):
+        with pytest.raises(IndexError_):
+            index.top_k({"x1": 1.0}, 1)
+
+    def test_extra_weight_rejected(self, index):
+        with pytest.raises(IndexError_):
+            index.top_k({"x1": 1.0, "x2": 1.0, "x3": 1.0, "x9": 1.0}, 1)
+
+    def test_k_positive(self, index):
+        with pytest.raises(IndexError_):
+            index.top_k({"x1": 1.0, "x2": 1.0, "x3": 1.0}, 0)
+
+    def test_k_larger_than_table(self, table):
+        small = generate_gaussian_table(5, 2, seed=3)
+        index = OnionIndex(small)
+        result = index.top_k({"x1": 1.0, "x2": 0.0}, 10)
+        assert len(result) == 5
+
+
+class TestIncrementalInserts:
+    def test_inserted_extreme_point_is_found(self, table):
+        index = OnionIndex(table, max_layers=4)
+        weights = {"x1": 1.0, "x2": 0.0, "x3": 0.0}
+        row = index.insert({"x1": 99.0, "x2": 0.0, "x3": 0.0})
+        top = index.top_k(weights, 1)
+        assert top[0][0] == row
+        assert top[0][1] == pytest.approx(99.0)
+        assert index.n_pending == 1
+
+    def test_queries_match_oracle_with_pending_buffer(self, table):
+        rng = np.random.default_rng(5)
+        index = OnionIndex(table, max_layers=4)
+        matrix = table.matrix()
+        inserted = rng.normal(size=(20, 3))
+        for point in inserted:
+            index.insert({f"x{i + 1}": float(point[i]) for i in range(3)})
+        combined = np.vstack([matrix, inserted])
+        weights = np.array([0.5, -0.3, 0.2])
+        expected_rows = np.argsort(-(combined @ weights), kind="stable")[:10]
+        actual = index.top_k(
+            {"x1": 0.5, "x2": -0.3, "x3": 0.2}, 10
+        )
+        assert [row for row, _ in actual] == [int(r) for r in expected_rows]
+
+    def test_rebuild_clears_buffer_and_stays_exact(self, table):
+        rng = np.random.default_rng(6)
+        index = OnionIndex(table, max_layers=4)
+        inserted = rng.normal(size=(15, 3))
+        for point in inserted:
+            index.insert({f"x{i + 1}": float(point[i]) for i in range(3)})
+        before = index.top_k({"x1": 0.4, "x2": 0.4, "x3": 0.2}, 5)
+        index.rebuild()
+        assert index.n_pending == 0
+        after = index.top_k({"x1": 0.4, "x2": 0.4, "x3": 0.2}, 5)
+        assert [row for row, _ in before] == [row for row, _ in after]
+        for (_, a), (_, b) in zip(before, after):
+            assert a == pytest.approx(b)
+
+    def test_rebuild_restores_pruning(self, table):
+        index = OnionIndex(table, max_layers=4)
+        for _ in range(50):
+            index.insert({"x1": 0.0, "x2": 0.0, "x3": 0.0})
+        from repro.metrics.counters import CostCounter
+
+        buffered = CostCounter()
+        index.top_k({"x1": 1.0, "x2": 0.0, "x3": 0.0}, 1, counter=buffered)
+        index.rebuild()
+        rebuilt = CostCounter()
+        index.top_k({"x1": 1.0, "x2": 0.0, "x3": 0.0}, 1, counter=rebuilt)
+        assert rebuilt.tuples_examined < buffered.tuples_examined
+
+    def test_insert_validates_attributes(self, table):
+        index = OnionIndex(table, max_layers=2)
+        with pytest.raises(IndexError_):
+            index.insert({"x1": 1.0})

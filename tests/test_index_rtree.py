@@ -1,0 +1,211 @@
+"""Tests for the R*-tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import IndexError_
+from repro.index.rtree import RStarTree, Rect
+from repro.index.scan import scan_top_k
+from repro.metrics.counters import CostCounter
+from repro.models.linear import LinearModel
+from repro.synth.gaussian import generate_gaussian_table
+
+
+def _brute_range(matrix, low, high):
+    mask = np.all((matrix >= low) & (matrix <= high), axis=1)
+    return sorted(int(i) for i in np.where(mask)[0])
+
+
+class TestRect:
+    def test_validation(self):
+        with pytest.raises(IndexError_):
+            Rect((0.0, 0.0), (1.0,))
+        with pytest.raises(IndexError_):
+            Rect((1.0,), (0.0,))
+
+    def test_geometry(self):
+        rect = Rect((0.0, 0.0), (2.0, 3.0))
+        assert rect.area() == 6.0
+        assert rect.margin() == 5.0
+        assert rect.center() == (1.0, 1.5)
+
+    def test_union_and_enlargement(self):
+        first = Rect((0.0, 0.0), (1.0, 1.0))
+        second = Rect((2.0, 2.0), (3.0, 3.0))
+        union = first.union(second)
+        assert union.low == (0.0, 0.0)
+        assert union.high == (3.0, 3.0)
+        assert first.enlargement(second) == 9.0 - 1.0
+
+    def test_intersection_and_overlap(self):
+        first = Rect((0.0, 0.0), (2.0, 2.0))
+        second = Rect((1.0, 1.0), (3.0, 3.0))
+        third = Rect((5.0, 5.0), (6.0, 6.0))
+        assert first.intersects(second)
+        assert not first.intersects(third)
+        assert first.overlap_area(second) == 1.0
+        assert first.overlap_area(third) == 0.0
+
+    def test_touching_boxes_intersect(self):
+        first = Rect((0.0, 0.0), (1.0, 1.0))
+        second = Rect((1.0, 0.0), (2.0, 1.0))
+        assert first.intersects(second)
+        assert first.overlap_area(second) == 0.0
+
+    def test_linear_upper_bound(self):
+        rect = Rect((-1.0, 2.0), (3.0, 5.0))
+        assert rect.linear_upper_bound(np.array([1.0, -1.0])) == 3.0 - 2.0
+        assert rect.linear_upper_bound(np.array([-1.0, 1.0])) == 1.0 + 5.0
+
+
+class TestBuild:
+    def test_bulk_and_incremental_agree_on_queries(self):
+        table = generate_gaussian_table(300, 2, seed=1)
+        bulk = RStarTree.from_table(table, max_entries=8)
+        incremental = RStarTree.from_table(table, max_entries=8, bulk=False)
+        assert len(bulk) == len(incremental) == 300
+        query = Rect((-0.5, -0.5), (0.5, 0.5))
+        assert bulk.range_query(query) == incremental.range_query(query)
+
+    def test_parameter_validation(self):
+        with pytest.raises(IndexError_):
+            RStarTree(n_dims=0)
+        with pytest.raises(IndexError_):
+            RStarTree(n_dims=2, max_entries=2)
+
+    def test_insert_dimension_checked(self):
+        tree = RStarTree(n_dims=2)
+        with pytest.raises(IndexError_):
+            tree.insert((1.0, 2.0, 3.0), 0)
+
+    def test_height_grows_with_size(self):
+        table = generate_gaussian_table(2000, 2, seed=2)
+        tree = RStarTree.from_table(table, max_entries=8)
+        assert tree.height >= 3
+
+
+class TestRangeQuery:
+    @given(st.integers(10, 300), st.integers(0, 5), st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force(self, n_points, seed, data):
+        table = generate_gaussian_table(n_points, 2, seed=seed)
+        tree = RStarTree.from_table(table, max_entries=8)
+        matrix = table.matrix()
+        low = tuple(data.draw(st.floats(-2, 1)) for _ in range(2))
+        high = tuple(l + data.draw(st.floats(0, 3)) for l in low)
+        result = tree.range_query(Rect(low, high))
+        assert result == _brute_range(matrix, low, high)
+
+    def test_incremental_tree_matches_brute_force(self):
+        table = generate_gaussian_table(400, 3, seed=7)
+        tree = RStarTree.from_table(table, max_entries=8, bulk=False)
+        matrix = table.matrix()
+        low, high = (-0.8, -0.8, -0.8), (0.8, 0.8, 0.8)
+        assert tree.range_query(Rect(low, high)) == _brute_range(
+            matrix, low, high
+        )
+
+    def test_dimension_mismatch(self):
+        tree = RStarTree(n_dims=3)
+        with pytest.raises(IndexError_):
+            tree.range_query(Rect((0.0,), (1.0,)))
+
+    def test_counter_tallies_nodes_and_tuples(self):
+        table = generate_gaussian_table(500, 2, seed=3)
+        tree = RStarTree.from_table(table)
+        counter = CostCounter()
+        tree.range_query(Rect((-0.3, -0.3), (0.3, 0.3)), counter)
+        assert counter.nodes_visited > 0
+        assert counter.tuples_examined > 0
+
+
+class TestTopKLinear:
+    @given(
+        st.integers(1, 20),
+        st.tuples(st.floats(-2, 2), st.floats(-2, 2)),
+        st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_scan(self, k, raw_weights, maximize):
+        if all(abs(w) < 1e-6 for w in raw_weights):
+            raw_weights = (1.0, 0.0)
+        table = generate_gaussian_table(300, 2, seed=11)
+        tree = RStarTree.from_table(table, max_entries=8)
+        weights = dict(zip(("x1", "x2"), raw_weights))
+        expected = scan_top_k(table, LinearModel(weights), k, maximize=maximize)
+        actual = tree.top_k_linear(
+            np.array(raw_weights), k, maximize=maximize
+        )
+        assert sorted(round(s, 9) for _, s in actual) == sorted(
+            round(s, 9) for _, s in expected
+        )
+
+    def test_prunes_against_scan(self):
+        table = generate_gaussian_table(5000, 3, seed=4)
+        tree = RStarTree.from_table(table, max_entries=16)
+        counter = CostCounter()
+        tree.top_k_linear(np.array([0.5, 0.3, 0.2]), 5, counter=counter)
+        assert counter.tuples_examined < len(table) / 4
+
+    def test_empty_tree(self):
+        tree = RStarTree(n_dims=2)
+        assert tree.top_k_linear(np.array([1.0, 0.0]), 3) == []
+
+    def test_parameter_validation(self):
+        tree = RStarTree(n_dims=2)
+        with pytest.raises(IndexError_):
+            tree.top_k_linear(np.array([1.0, 0.0]), 0)
+        with pytest.raises(IndexError_):
+            tree.top_k_linear(np.array([1.0]), 1)
+
+
+class TestForcedReinsertion:
+    def test_clustered_incremental_inserts_stay_consistent(self):
+        """Heavily clustered insertion exercises the forced-reinsert and
+        split paths; the tree must stay exact for range queries."""
+        rng = np.random.default_rng(31)
+        tree = RStarTree(n_dims=2, max_entries=6)
+        points = []
+        for cluster in range(6):
+            center = rng.uniform(-10, 10, 2)
+            for _ in range(40):
+                point = center + rng.normal(0, 0.1, 2)
+                tree.insert((float(point[0]), float(point[1])), len(points))
+                points.append(point)
+        matrix = np.array(points)
+        assert len(tree) == 240
+        for _ in range(10):
+            low = rng.uniform(-11, 9, 2)
+            high = low + rng.uniform(0.5, 5.0, 2)
+            result = tree.range_query(Rect(tuple(low), tuple(high)))
+            assert result == _brute_range(matrix, low, high)
+
+    def test_duplicate_points_insertable(self):
+        tree = RStarTree(n_dims=2, max_entries=4)
+        for row in range(30):
+            tree.insert((1.0, 1.0), row)
+        assert len(tree) == 30
+        found = tree.range_query(Rect((1.0, 1.0), (1.0, 1.0)))
+        assert found == list(range(30))
+
+    def test_heights_consistent_after_inserts(self):
+        rng = np.random.default_rng(32)
+        tree = RStarTree(n_dims=3, max_entries=5)
+        for row in range(300):
+            tree.insert(tuple(rng.normal(size=3)), row)
+
+        def check(node, expected_leaf_height=1):
+            if node.leaf:
+                assert node.height == 1
+                return 1
+            child_heights = {check(entry.child) for entry in node.entries}
+            assert len(child_heights) == 1, "unbalanced subtree heights"
+            height = child_heights.pop() + 1
+            assert node.height == height
+            return height
+
+        check(tree._root)

@@ -1,0 +1,196 @@
+"""End-to-end integration tests across subsystems.
+
+Each test walks one full retrieval story from synthetic archive to ranked
+answers, crossing module boundaries the unit tests keep apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import epidemiology
+from repro.core.engine import RasterRetrievalEngine
+from repro.core.planner import plan_query
+from repro.core.query import TopKQuery
+from repro.core.screening import TileScreen
+from repro.core.workflow import ModelingWorkflow
+from repro.data.archive import Archive
+from repro.data.catalog import CatalogEntry, Modality
+from repro.data.raster import RasterLayer
+from repro.metrics.accuracy import CostModel, optimal_threshold
+from repro.metrics.counters import CostCounter
+from repro.metrics.efficiency import speedup
+from repro.metrics.topk import (
+    precision_recall_at_k,
+    rank_locations_by_risk,
+    relevant_locations,
+)
+from repro.models.linear import fit_linear_model, hps_risk_model
+from repro.synth.events import generate_occurrences, latent_risk_field
+from repro.synth.landsat import generate_scene
+from repro.synth.terrain import generate_dem
+
+
+class TestArchiveToAnswers:
+    """The paper's end-to-end story: archive -> model -> top-K."""
+
+    def test_full_hps_pipeline(self):
+        # 1. Build a cataloged multi-modal archive.
+        shape = (96, 96)
+        dem = generate_dem(shape, seed=31)
+        scene = generate_scene(shape, seed=32, terrain=dem)
+        archive = Archive("four_corners")
+        for name in scene.names:
+            archive.add(
+                scene[name],
+                CatalogEntry(name, Modality.IMAGERY, tags={"sensor": "tm"}),
+            )
+        archive.add(dem, CatalogEntry("elevation", Modality.ELEVATION))
+
+        # 2. Metadata-level scoping finds the imagery without touching data.
+        imagery_names = archive.find(modality="imagery")
+        assert sorted(imagery_names) == sorted(scene.names)
+
+        # 3. Assemble the model's stack and retrieve progressively.
+        model = hps_risk_model()
+        stack = archive.stack(list(model.attributes))
+        engine = RasterRetrievalEngine(stack, leaf_size=8)
+        query = TopKQuery(model=model, k=20)
+        progressive = engine.progressive_top_k(query)
+        exhaustive = engine.exhaustive_top_k(query)
+
+        # 4. Same answers, much less work.
+        assert sorted(round(s, 9) for s in progressive.scores) == sorted(
+            round(s, 9) for s in exhaustive.scores
+        )
+        report = speedup(exhaustive.counter, progressive.counter)
+        assert report.work_ratio > 3.0
+
+    def test_accuracy_metrics_close_the_loop(self):
+        """Fit on history, retrieve, score against ground truth (S4.1)."""
+        scenario = epidemiology.build_scenario(shape=(80, 80), seed=33)
+        risk = scenario.model.evaluate_batch(
+            {
+                name: scenario.stack[name].values
+                for name in scenario.model.attributes
+            }
+        )
+        occurrences = scenario.occurrences.values
+
+        # Threshold tuning via the cost model.
+        thresholds = np.quantile(risk, np.linspace(0.5, 0.99, 20))
+        best = optimal_threshold(
+            risk, occurrences, thresholds,
+            CostModel(miss_cost=5.0, false_alarm_cost=1.0),
+        )
+        assert best.total_cost <= min(
+            r.total_cost
+            for r in [
+                best,
+            ]
+        )
+
+        # Top-K precision beats chance.
+        ranked = rank_locations_by_risk(risk)
+        relevant = relevant_locations(occurrences)
+        report = precision_recall_at_k(ranked, relevant, k=50)
+        chance = len(relevant) / occurrences.size
+        assert report.precision > 2 * chance
+
+    def test_workflow_revision_loop_over_archive(self):
+        """Figure 5 loop on a synthetic truth the fit can recover."""
+        shape = (64, 64)
+        dem = generate_dem(shape, seed=34)
+        scene = generate_scene(shape, seed=35, terrain=dem)
+        scene.add(dem)
+        truth = latent_risk_field(
+            scene, hps_risk_model().coefficients, noise_std=0.1, seed=36
+        )
+        scene.add(RasterLayer("incidents", truth))
+        engine = RasterRetrievalEngine(scene, leaf_size=8)
+        workflow = ModelingWorkflow(engine, "incidents")
+        rng = np.random.default_rng(0)
+        cells = [
+            (int(r), int(c))
+            for r, c in zip(rng.integers(0, 64, 50), rng.integers(0, 64, 50))
+        ]
+        iterations = workflow.run(
+            tuple(hps_risk_model().attributes), cells, k=20, max_iterations=4
+        )
+        # The fitted model must rank locations like the truth.
+        final_model = iterations[-1].model
+        fitted_risk = final_model.evaluate_batch(
+            {
+                name: scene[name].values
+                for name in final_model.attributes
+            }
+        )
+        correlation = np.corrcoef(
+            fitted_risk.reshape(-1), truth.reshape(-1)
+        )[0, 1]
+        assert correlation > 0.95
+
+    def test_planner_feeds_engine(self):
+        shape = (64, 64)
+        dem = generate_dem(shape, seed=37)
+        scene = generate_scene(shape, seed=38, terrain=dem)
+        scene.add(dem)
+        model = hps_risk_model()
+        screen = TileScreen(scene, leaf_size=8)
+        query = TopKQuery(model=model, k=10)
+        engine = RasterRetrievalEngine(scene, leaf_size=8)
+
+        contribution_plan = plan_query(query, screen, ordering="contribution")
+        selectivity_plan = plan_query(query, screen, ordering="selectivity")
+        baseline = engine.exhaustive_top_k(query)
+        for plan in (contribution_plan, selectivity_plan):
+            result = engine.progressive_top_k(
+                query,
+                use_tiles=plan.use_tiles,
+                use_model_levels=plan.use_model_levels,
+                term_order=plan.term_order,
+            )
+            assert sorted(round(s, 9) for s in result.scores) == sorted(
+                round(s, 9) for s in baseline.scores
+            )
+
+
+class TestCrossValidatedFit:
+    def test_fit_then_index_then_query(self):
+        """Train a model on one region, retrieve on another (step 5 of the
+        paper's workflow: apply the revised model to a much bigger set)."""
+        shape = (48, 48)
+        dem = generate_dem(shape, seed=41)
+        scene = generate_scene(shape, seed=42, terrain=dem)
+        scene.add(dem)
+        truth = latent_risk_field(
+            scene, {"tm_band4": 0.6, "elevation": 0.4}, noise_std=0.05,
+            seed=43,
+        )
+
+        rng = np.random.default_rng(44)
+        rows = rng.integers(0, 48, 60)
+        cols = rng.integers(0, 48, 60)
+        columns = {
+            "tm_band4": scene["tm_band4"].values[rows, cols],
+            "elevation": scene["elevation"].values[rows, cols],
+        }
+        model = fit_linear_model(columns, truth[rows, cols])
+
+        bigger = generate_scene((96, 96), seed=45,
+                                terrain=generate_dem((96, 96), seed=46))
+        bigger.add(generate_dem((96, 96), seed=46, name="elevation2"))
+        # Rename for the model's attribute names.
+        stack = bigger.subset(["tm_band4"])
+        stack.add(RasterLayer("elevation", bigger["elevation2"].values))
+
+        engine = RasterRetrievalEngine(stack, leaf_size=8)
+        query = TopKQuery(model=model, k=10)
+        counter_check = CostCounter()
+        result = engine.progressive_top_k(query)
+        baseline = engine.exhaustive_top_k(query)
+        assert sorted(round(s, 9) for s in result.scores) == sorted(
+            round(s, 9) for s in baseline.scores
+        )
+        assert counter_check.total_work == 0  # nothing charged to outsiders

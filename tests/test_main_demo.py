@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` demo entry point."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+
+@pytest.mark.slow
+def test_fsm_demo_runs():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "fsm"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "fire ants" in completed.stdout.lower()
+
+
+@pytest.mark.slow
+def test_onion_demo_runs():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "onion"],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "tuples examined" in completed.stdout
+
+
+def test_unknown_demo_rejected():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "quantum"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode != 0

@@ -1,0 +1,136 @@
+"""Tests for the Section 4.1 accuracy cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.accuracy import (
+    CostModel,
+    cost_curve,
+    cost_surface,
+    evaluate_cost,
+    optimal_threshold,
+)
+
+
+def _toy_surfaces():
+    risk = np.array([[0.9, 0.1], [0.8, 0.2]])
+    occurrences = np.array([[1, 0], [0, 2]])
+    return risk, occurrences
+
+
+class TestCostModel:
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            CostModel(miss_cost=-1.0)
+
+    def test_defaults_to_unit_costs(self):
+        model = CostModel()
+        assert model.miss_cost == 1.0
+        assert model.false_alarm_cost == 1.0
+
+
+class TestEvaluateCost:
+    def test_counts_misses_and_false_alarms(self):
+        risk, occurrences = _toy_surfaces()
+        # T = 0.5: declared high = {(0,0), (1,0)}; events at {(0,0), (1,1)}.
+        report = evaluate_cost(risk, occurrences, threshold=0.5)
+        assert report.n_misses == 1  # (1,1): event but declared low
+        assert report.n_false_alarms == 1  # (1,0): no event, declared high
+        assert report.n_event_locations == 2
+        assert report.n_quiet_locations == 2
+        assert report.miss_rate == 0.5
+        assert report.false_alarm_rate == 0.5
+
+    def test_total_cost_weights_error_types(self):
+        risk, occurrences = _toy_surfaces()
+        expensive_misses = CostModel(miss_cost=10.0, false_alarm_cost=1.0)
+        report = evaluate_cost(
+            risk, occurrences, threshold=0.5, cost_model=expensive_misses
+        )
+        assert report.total_cost == 10.0 + 1.0
+
+    def test_importance_weights_scale_locations(self):
+        risk, occurrences = _toy_surfaces()
+        weights = np.array([[1.0, 1.0], [5.0, 5.0]])
+        report = evaluate_cost(risk, occurrences, 0.5, weights=weights)
+        # miss at (1,1) weighted 5, false alarm at (1,0) weighted 5.
+        assert report.total_cost == 10.0
+
+    def test_extreme_thresholds(self):
+        risk, occurrences = _toy_surfaces()
+        all_high = evaluate_cost(risk, occurrences, threshold=-1.0)
+        assert all_high.n_misses == 0
+        assert all_high.n_false_alarms == 2
+        all_low = evaluate_cost(risk, occurrences, threshold=2.0)
+        assert all_low.n_misses == 2
+        assert all_low.n_false_alarms == 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_cost(np.zeros((2, 2)), np.zeros((3, 3)), 0.5)
+
+    def test_negative_weights_raise(self):
+        risk, occurrences = _toy_surfaces()
+        with pytest.raises(ValueError):
+            evaluate_cost(
+                risk, occurrences, 0.5, weights=np.full((2, 2), -1.0)
+            )
+
+
+class TestCostSurface:
+    def test_surface_matches_report_total(self):
+        risk, occurrences = _toy_surfaces()
+        model = CostModel(miss_cost=3.0, false_alarm_cost=2.0)
+        surface = cost_surface(risk, occurrences, 0.5, model)
+        report = evaluate_cost(risk, occurrences, 0.5, model)
+        assert surface.sum() == pytest.approx(report.total_cost)
+
+    def test_correct_locations_cost_zero(self):
+        risk, occurrences = _toy_surfaces()
+        surface = cost_surface(risk, occurrences, 0.5)
+        assert surface[0, 0] == 0.0  # hit
+        assert surface[0, 1] == 0.0  # correct rejection
+
+
+class TestCurveAndOptimum:
+    def test_curve_length_matches_thresholds(self):
+        risk, occurrences = _toy_surfaces()
+        curve = cost_curve(risk, occurrences, np.linspace(0, 1, 11))
+        assert len(curve) == 11
+
+    def test_optimal_threshold_minimizes_cost(self):
+        rng = np.random.default_rng(3)
+        risk = rng.random((20, 20))
+        occurrences = (risk + rng.normal(0, 0.2, risk.shape) > 0.7).astype(int)
+        thresholds = np.linspace(0, 1, 21)
+        best = optimal_threshold(risk, occurrences, thresholds)
+        curve = cost_curve(risk, occurrences, thresholds)
+        assert best.total_cost == min(r.total_cost for r in curve)
+
+    def test_empty_thresholds_raise(self):
+        risk, occurrences = _toy_surfaces()
+        with pytest.raises(ValueError):
+            optimal_threshold(risk, occurrences, np.array([]))
+
+    @given(st.floats(0.05, 0.95))
+    def test_miss_and_false_alarm_rates_are_rates(self, threshold):
+        rng = np.random.default_rng(99)
+        risk = rng.random((15, 15))
+        occurrences = rng.integers(0, 2, (15, 15))
+        report = evaluate_cost(risk, occurrences, threshold)
+        assert 0.0 <= report.miss_rate <= 1.0
+        assert 0.0 <= report.false_alarm_rate <= 1.0
+
+    def test_raising_threshold_trades_false_alarms_for_misses(self):
+        rng = np.random.default_rng(7)
+        risk = rng.random((30, 30))
+        occurrences = (risk > 0.6).astype(int)
+        curve = cost_curve(risk, occurrences, np.linspace(0.1, 0.9, 9))
+        misses = [r.n_misses for r in curve]
+        false_alarms = [r.n_false_alarms for r in curve]
+        assert misses == sorted(misses)  # non-decreasing in T
+        assert false_alarms == sorted(false_alarms, reverse=True)

@@ -1,0 +1,85 @@
+"""Tests for the Section 4.2 efficiency model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.counters import CostCounter
+from repro.metrics.efficiency import EfficiencyModel, speedup
+
+
+def _counter(data=0, evals=0, flops_each=0, tuples=0, wall=0.0) -> CostCounter:
+    counter = CostCounter()
+    counter.add_data_points(data)
+    counter.add_model_evals(evals, flops_each=flops_each)
+    counter.add_tuples(tuples)
+    counter.wall_seconds = wall
+    return counter
+
+
+class TestSpeedup:
+    def test_work_ratio_is_baseline_over_candidate(self):
+        report = speedup(_counter(data=100), _counter(data=10))
+        assert report.work_ratio == 10.0
+        assert report.data_ratio == 10.0
+
+    def test_zero_candidate_work_is_infinite(self):
+        report = speedup(_counter(data=5), _counter())
+        assert report.work_ratio == float("inf")
+
+    def test_zero_both_is_one(self):
+        report = speedup(_counter(), _counter())
+        assert report.work_ratio == 1.0
+
+    def test_eval_ratio_counts_partials(self):
+        baseline = _counter(evals=100, flops_each=1)
+        candidate = CostCounter()
+        candidate.add_partial_evals(20, flops_each=1)
+        report = speedup(baseline, candidate)
+        assert report.eval_ratio == 5.0
+
+    def test_wall_ratio_requires_both_timed(self):
+        assert speedup(_counter(wall=1.0), _counter()).wall_ratio is None
+        report = speedup(_counter(wall=2.0), _counter(wall=1.0))
+        assert report.wall_ratio == 2.0
+
+    def test_as_row_shape(self):
+        row = speedup(_counter(data=4), _counter(data=2)).as_row()
+        assert set(row) >= {"work_ratio", "data_ratio", "eval_ratio"}
+
+
+class TestEfficiencyModel:
+    def test_from_ablation(self):
+        model = EfficiencyModel.from_ablation(
+            exhaustive=_counter(data=1000),
+            model_only=_counter(data=250),
+            data_only=_counter(data=100),
+            both=_counter(data=25),
+        )
+        assert model.pm == 4.0
+        assert model.pd == 10.0
+        assert model.combined == 40.0
+        assert model.predicted_combined == 40.0
+        assert model.synergy == 1.0
+
+    def test_sub_multiplicative_synergy_below_one(self):
+        model = EfficiencyModel(pm=4.0, pd=10.0, combined=20.0)
+        assert model.synergy == 0.5
+
+    def test_zero_prediction_edge(self):
+        model = EfficiencyModel(pm=0.0, pd=10.0, combined=5.0)
+        assert model.synergy == float("inf")
+
+    @given(
+        st.floats(1.0, 100.0),
+        st.floats(1.0, 100.0),
+        st.floats(1.0, 10000.0),
+    )
+    def test_as_row_round_trips(self, pm, pd, combined):
+        model = EfficiencyModel(pm=pm, pd=pd, combined=combined)
+        row = model.as_row()
+        assert row["pm"] == pm
+        assert row["predicted_combined"] == pytest.approx(pm * pd)
+        assert row["synergy"] == pytest.approx(combined / (pm * pd))

@@ -1,0 +1,96 @@
+"""Tests for ROC analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.roc import auc_score, roc_curve
+
+
+class TestRocCurve:
+    def test_perfect_ranking_auc_one(self):
+        risk = np.array([0.9, 0.8, 0.2, 0.1])
+        occurrences = np.array([1, 1, 0, 0])
+        assert auc_score(risk, occurrences) == 1.0
+
+    def test_inverted_ranking_auc_zero(self):
+        risk = np.array([0.1, 0.2, 0.8, 0.9])
+        occurrences = np.array([1, 1, 0, 0])
+        assert auc_score(risk, occurrences) == 0.0
+
+    def test_random_ranking_near_half(self):
+        rng = np.random.default_rng(1)
+        risk = rng.random(5000)
+        occurrences = rng.integers(0, 2, 5000)
+        assert auc_score(risk, occurrences) == pytest.approx(0.5, abs=0.03)
+
+    def test_curve_endpoints(self):
+        rng = np.random.default_rng(2)
+        risk = rng.random(100)
+        occurrences = (risk > 0.6).astype(int)
+        curve = roc_curve(risk, occurrences)
+        assert curve.false_positive_rates[0] == 0.0
+        assert curve.true_positive_rates[0] == 0.0
+        assert curve.false_positive_rates[-1] == 1.0
+        assert curve.true_positive_rates[-1] == 1.0
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(3)
+        risk = rng.random(200)
+        occurrences = rng.integers(0, 2, 200)
+        curve = roc_curve(risk, occurrences)
+        assert np.all(np.diff(curve.false_positive_rates) >= 0)
+        assert np.all(np.diff(curve.true_positive_rates) >= 0)
+
+    def test_tied_scores_collapse(self):
+        risk = np.array([0.5, 0.5, 0.5, 0.5])
+        occurrences = np.array([1, 0, 1, 0])
+        curve = roc_curve(risk, occurrences)
+        # One distinct score -> origin + one point + end only.
+        assert len(curve.thresholds) == 2
+        assert auc_score(risk, occurrences) == pytest.approx(0.5)
+
+    def test_auc_is_concordance_probability(self):
+        """AUC equals P(score_pos > score_neg) for distinct scores."""
+        rng = np.random.default_rng(4)
+        risk = rng.permutation(np.linspace(0, 1, 200))
+        occurrences = rng.integers(0, 2, 200)
+        if not occurrences.any() or occurrences.all():
+            occurrences[0], occurrences[1] = 0, 1
+        positives = risk[occurrences > 0]
+        negatives = risk[occurrences == 0]
+        concordance = np.mean(
+            positives[:, None] > negatives[None, :]
+        )
+        assert auc_score(risk, occurrences) == pytest.approx(
+            float(concordance), abs=1e-9
+        )
+
+    def test_operating_point(self):
+        risk = np.array([0.9, 0.7, 0.4, 0.1])
+        occurrences = np.array([1, 0, 1, 0])
+        curve = roc_curve(risk, occurrences)
+        fpr, tpr = curve.operating_point(0.5)
+        assert tpr == pytest.approx(0.5)
+        assert fpr == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            roc_curve(np.zeros(3), np.zeros(3))  # no positives
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_auc_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        risk = rng.random(100)
+        occurrences = rng.integers(0, 2, 100)
+        if not occurrences.any():
+            occurrences[0] = 1
+        if occurrences.all():
+            occurrences[0] = 0
+        assert 0.0 <= auc_score(risk, occurrences) <= 1.0

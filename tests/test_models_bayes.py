@@ -1,0 +1,215 @@
+"""Tests for Bayesian network representation and inference."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import BayesNetError
+from repro.metrics.counters import CostCounter
+from repro.models.bayes import BayesianNetwork, Variable
+from repro.models.bayes_infer import VariableElimination
+
+
+def _sprinkler() -> BayesianNetwork:
+    """The classic rain/sprinkler/wet-grass network."""
+    network = BayesianNetwork("sprinkler")
+    network.add_variable(Variable("rain", ("yes", "no")))
+    network.add_variable(Variable("sprinkler", ("on", "off")), parents=("rain",))
+    network.add_variable(
+        Variable("grass_wet", ("yes", "no")), parents=("sprinkler", "rain")
+    )
+    network.set_cpt("rain", np.array([0.2, 0.8]))
+    network.set_cpt("sprinkler", np.array([[0.01, 0.99], [0.4, 0.6]]))
+    network.set_cpt(
+        "grass_wet",
+        np.array(
+            [
+                [[0.99, 0.01], [0.9, 0.1]],   # sprinkler on, rain yes/no
+                [[0.8, 0.2], [0.0, 1.0]],     # sprinkler off
+            ]
+        ),
+    )
+    network.validate()
+    return network
+
+
+def _brute_force_posterior(
+    network: BayesianNetwork, target: str, evidence: dict[str, str]
+) -> dict[str, float]:
+    """Posterior by full joint enumeration (oracle)."""
+    names = network.variable_names
+    target_variable = network.variable(target)
+    totals = {state: 0.0 for state in target_variable.states}
+    state_spaces = [network.variable(name).states for name in names]
+    for combination in itertools.product(*state_spaces):
+        assignment = dict(zip(names, combination))
+        if any(assignment[k] != v for k, v in evidence.items()):
+            continue
+        totals[assignment[target]] += network.joint_probability(assignment)
+    normalizer = sum(totals.values())
+    return {state: value / normalizer for state, value in totals.items()}
+
+
+class TestVariable:
+    def test_needs_states(self):
+        with pytest.raises(BayesNetError):
+            Variable("x", ())
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(BayesNetError):
+            Variable("x", ("a", "a"))
+
+    def test_index_of(self):
+        variable = Variable("x", ("a", "b"))
+        assert variable.index_of("b") == 1
+        with pytest.raises(BayesNetError):
+            variable.index_of("c")
+
+
+class TestConstruction:
+    def test_parents_must_exist(self):
+        network = BayesianNetwork()
+        with pytest.raises(BayesNetError):
+            network.add_variable(Variable("b", ("x",)), parents=("a",))
+
+    def test_duplicate_variable_rejected(self):
+        network = BayesianNetwork()
+        network.add_variable(Variable("a", ("x",)))
+        with pytest.raises(BayesNetError):
+            network.add_variable(Variable("a", ("x",)))
+
+    def test_duplicate_parents_rejected(self):
+        network = BayesianNetwork()
+        network.add_variable(Variable("a", ("x", "y")))
+        with pytest.raises(BayesNetError):
+            network.add_variable(Variable("b", ("x",)), parents=("a", "a"))
+
+    def test_cpt_shape_validated(self):
+        network = BayesianNetwork()
+        network.add_variable(Variable("a", ("x", "y")))
+        with pytest.raises(BayesNetError):
+            network.set_cpt("a", np.array([[0.5, 0.5]]))
+
+    def test_cpt_normalization_validated(self):
+        network = BayesianNetwork()
+        network.add_variable(Variable("a", ("x", "y")))
+        with pytest.raises(BayesNetError):
+            network.set_cpt("a", np.array([0.5, 0.6]))
+
+    def test_cpt_negativity_rejected(self):
+        network = BayesianNetwork()
+        network.add_variable(Variable("a", ("x", "y")))
+        with pytest.raises(BayesNetError):
+            network.set_cpt("a", np.array([-0.1, 1.1]))
+
+    def test_validate_requires_all_cpts(self):
+        network = BayesianNetwork()
+        network.add_variable(Variable("a", ("x", "y")))
+        with pytest.raises(BayesNetError):
+            network.validate()
+
+    def test_children(self):
+        network = _sprinkler()
+        assert network.children("rain") == ("sprinkler", "grass_wet")
+        assert network.children("grass_wet") == ()
+
+
+class TestSemantics:
+    def test_joint_probability_chain_rule(self):
+        network = _sprinkler()
+        probability = network.joint_probability(
+            {"rain": "yes", "sprinkler": "on", "grass_wet": "yes"}
+        )
+        assert probability == pytest.approx(0.2 * 0.01 * 0.99)
+
+    def test_joint_probabilities_sum_to_one(self):
+        network = _sprinkler()
+        total = 0.0
+        for rain in ("yes", "no"):
+            for sprinkler in ("on", "off"):
+                for grass in ("yes", "no"):
+                    total += network.joint_probability(
+                        {"rain": rain, "sprinkler": sprinkler, "grass_wet": grass}
+                    )
+        assert total == pytest.approx(1.0)
+
+    def test_partial_assignment_rejected(self):
+        network = _sprinkler()
+        with pytest.raises(BayesNetError):
+            network.joint_probability({"rain": "yes"})
+
+    def test_sampling_frequencies(self):
+        network = _sprinkler()
+        samples = network.sample(20000, seed=1)
+        rain_fraction = sum(s["rain"] == "yes" for s in samples) / len(samples)
+        assert rain_fraction == pytest.approx(0.2, abs=0.02)
+
+    def test_sampling_deterministic(self):
+        network = _sprinkler()
+        assert network.sample(10, seed=3) == network.sample(10, seed=3)
+
+
+class TestVariableElimination:
+    def test_prior_marginal(self):
+        inference = VariableElimination(_sprinkler())
+        assert inference.query("rain")["yes"] == pytest.approx(0.2)
+
+    def test_matches_brute_force_on_explaining_away(self):
+        network = _sprinkler()
+        inference = VariableElimination(network)
+        evidence = {"grass_wet": "yes"}
+        expected = _brute_force_posterior(network, "rain", evidence)
+        actual = inference.query("rain", evidence)
+        for state in expected:
+            assert actual[state] == pytest.approx(expected[state])
+
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force_on_random_evidence(self, data):
+        network = _sprinkler()
+        inference = VariableElimination(network)
+        target = data.draw(st.sampled_from(network.variable_names))
+        evidence = {}
+        for name in network.variable_names:
+            if name == target:
+                continue
+            if data.draw(st.booleans()):
+                evidence[name] = data.draw(
+                    st.sampled_from(network.variable(name).states)
+                )
+        expected = _brute_force_posterior(network, target, evidence)
+        actual = inference.query(target, evidence)
+        for state in expected:
+            assert actual[state] == pytest.approx(expected[state])
+
+    def test_target_in_evidence_rejected(self):
+        inference = VariableElimination(_sprinkler())
+        with pytest.raises(BayesNetError):
+            inference.query("rain", {"rain": "yes"})
+
+    def test_zero_probability_evidence_detected(self):
+        network = BayesianNetwork()
+        network.add_variable(Variable("a", ("x", "y")))
+        network.add_variable(Variable("b", ("u", "v")), parents=("a",))
+        network.set_cpt("a", np.array([1.0, 0.0]))
+        network.set_cpt("b", np.array([[1.0, 0.0], [0.5, 0.5]]))
+        inference = VariableElimination(network)
+        with pytest.raises(BayesNetError):
+            inference.query("a", {"b": "v"})
+
+    def test_counter_tallies_inference_work(self):
+        counter = CostCounter()
+        VariableElimination(_sprinkler()).query("rain", counter=counter)
+        assert counter.model_evals == 1
+        assert counter.flops > 0
+
+    def test_probability_shortcut(self):
+        inference = VariableElimination(_sprinkler())
+        assert inference.probability("rain", "yes") == pytest.approx(0.2)
+        with pytest.raises(BayesNetError):
+            inference.probability("rain", "maybe")

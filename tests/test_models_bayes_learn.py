@@ -1,0 +1,90 @@
+"""Tests for CPT learning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BayesNetError
+from repro.models.bayes import BayesianNetwork, Variable
+from repro.models.bayes_learn import fit_cpts, log_likelihood
+
+
+def _structure() -> BayesianNetwork:
+    network = BayesianNetwork()
+    network.add_variable(Variable("a", ("x", "y")))
+    network.add_variable(Variable("b", ("u", "v")), parents=("a",))
+    return network
+
+
+def _generating_network() -> BayesianNetwork:
+    network = _structure()
+    network.set_cpt("a", np.array([0.7, 0.3]))
+    network.set_cpt("b", np.array([[0.9, 0.1], [0.2, 0.8]]))
+    return network
+
+
+class TestFitCpts:
+    def test_recovers_generating_parameters(self):
+        source = _generating_network()
+        records = source.sample(30000, seed=1)
+        learned = _structure()
+        fit_cpts(learned, records, alpha=0.0)
+        assert learned.cpt("a")[0] == pytest.approx(0.7, abs=0.02)
+        assert learned.cpt("b")[0, 0] == pytest.approx(0.9, abs=0.02)
+        assert learned.cpt("b")[1, 1] == pytest.approx(0.8, abs=0.02)
+
+    def test_smoothing_handles_unseen_configurations(self):
+        learned = _structure()
+        records = [{"a": "x", "b": "u"}] * 5  # a=y never observed
+        fit_cpts(learned, records, alpha=1.0)
+        row = learned.cpt("b")[1]
+        assert row.sum() == pytest.approx(1.0)
+        assert np.all(row > 0)
+
+    def test_mle_without_smoothing_rejects_unseen(self):
+        learned = _structure()
+        records = [{"a": "x", "b": "u"}] * 5
+        with pytest.raises(BayesNetError):
+            fit_cpts(learned, records, alpha=0.0)
+
+    def test_incomplete_records_rejected(self):
+        learned = _structure()
+        with pytest.raises(BayesNetError):
+            fit_cpts(learned, [{"a": "x"}])
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(BayesNetError):
+            fit_cpts(_structure(), [])
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(BayesNetError):
+            fit_cpts(_structure(), [{"a": "x", "b": "u"}], alpha=-1.0)
+
+    def test_resulting_cpts_valid(self):
+        learned = _structure()
+        source = _generating_network()
+        fit_cpts(learned, source.sample(100, seed=2))
+        learned.validate()  # shapes + normalization re-checked by set_cpt
+
+
+class TestLogLikelihood:
+    def test_fitted_beats_wrong_parameters(self):
+        source = _generating_network()
+        records = source.sample(5000, seed=3)
+        fitted = _structure()
+        fit_cpts(fitted, records)
+        wrong = _structure()
+        wrong.set_cpt("a", np.array([0.5, 0.5]))
+        wrong.set_cpt("b", np.array([[0.5, 0.5], [0.5, 0.5]]))
+        assert log_likelihood(fitted, records) > log_likelihood(wrong, records)
+
+    def test_impossible_record_is_minus_infinity(self):
+        network = _structure()
+        network.set_cpt("a", np.array([1.0, 0.0]))
+        network.set_cpt("b", np.array([[1.0, 0.0], [0.5, 0.5]]))
+        assert log_likelihood(network, [{"a": "y", "b": "u"}]) == float("-inf")
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(BayesNetError):
+            log_likelihood(_generating_network(), [])

@@ -1,0 +1,139 @@
+"""Tests for top-K most probable explanations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import BayesNetError
+from repro.metrics.counters import CostCounter
+from repro.models.bayes import BayesianNetwork, Variable
+from repro.models.bayes_mpe import (
+    enumerate_explanations,
+    most_probable_explanations,
+)
+
+
+def _sprinkler() -> BayesianNetwork:
+    network = BayesianNetwork("sprinkler")
+    network.add_variable(Variable("rain", ("yes", "no")))
+    network.add_variable(Variable("sprinkler", ("on", "off")), parents=("rain",))
+    network.add_variable(
+        Variable("grass_wet", ("yes", "no")), parents=("sprinkler", "rain")
+    )
+    network.set_cpt("rain", np.array([0.2, 0.8]))
+    network.set_cpt("sprinkler", np.array([[0.01, 0.99], [0.4, 0.6]]))
+    network.set_cpt(
+        "grass_wet",
+        np.array(
+            [
+                [[0.99, 0.01], [0.9, 0.1]],
+                [[0.8, 0.2], [0.0, 1.0]],
+            ]
+        ),
+    )
+    return network
+
+
+def _random_network(seed: int, n_variables: int = 6) -> BayesianNetwork:
+    rng = np.random.default_rng(seed)
+    network = BayesianNetwork(f"random_{seed}")
+    names = [f"v{i}" for i in range(n_variables)]
+    for index, name in enumerate(names):
+        cardinality = int(rng.integers(2, 4))
+        candidates = names[:index]
+        n_parents = int(rng.integers(0, min(2, len(candidates)) + 1))
+        parents = tuple(
+            rng.choice(candidates, size=n_parents, replace=False)
+        ) if n_parents else ()
+        network.add_variable(
+            Variable(name, tuple(f"s{j}" for j in range(cardinality))),
+            parents=parents,
+        )
+        shape = tuple(
+            network.variable(parent).cardinality for parent in parents
+        ) + (cardinality,)
+        raw = rng.random(shape) + 0.05
+        network.set_cpt(name, raw / raw.sum(axis=-1, keepdims=True))
+    return network
+
+
+class TestMpe:
+    def test_known_best_explanation(self):
+        network = _sprinkler()
+        (assignment, probability), = most_probable_explanations(network, k=1)
+        # no rain, sprinkler off, grass dry: 0.8 * 0.6 * 1.0.
+        assert assignment == {
+            "rain": "no", "sprinkler": "off", "grass_wet": "no",
+        }
+        assert probability == pytest.approx(0.48)
+
+    def test_evidence_constrains_explanations(self):
+        network = _sprinkler()
+        results = most_probable_explanations(
+            network, {"grass_wet": "yes"}, k=3
+        )
+        for assignment, _ in results:
+            assert assignment["grass_wet"] == "yes"
+        probabilities = [p for _, p in results]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    @given(seed=st.integers(0, 25), k=st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_enumeration_oracle(self, seed, k):
+        network = _random_network(seed)
+        rng = np.random.default_rng(seed + 1000)
+        evidence = {}
+        for name in network.variable_names:
+            if rng.random() < 0.3:
+                states = network.variable(name).states
+                evidence[name] = states[int(rng.integers(0, len(states)))]
+        expected = enumerate_explanations(network, evidence, k)
+        actual = most_probable_explanations(network, evidence, k)
+        assert [round(p, 12) for _, p in actual] == [
+            round(p, 12) for _, p in expected
+        ]
+        # With distinct probabilities the assignments are forced too.
+        probabilities = [round(p, 12) for _, p in expected]
+        if len(set(probabilities)) == len(probabilities):
+            assert [a for a, _ in actual] == [a for a, _ in expected]
+
+    def test_search_beats_enumeration_on_work(self):
+        network = _random_network(7, n_variables=10)
+        search_counter, enumeration_counter = CostCounter(), CostCounter()
+        search = most_probable_explanations(network, k=3, counter=search_counter)
+        oracle = enumerate_explanations(network, k=3, counter=enumeration_counter)
+        assert [round(p, 12) for _, p in search] == [
+            round(p, 12) for _, p in oracle
+        ]
+        assert (
+            search_counter.model_evals < enumeration_counter.model_evals / 10
+        )
+
+    def test_probabilities_are_joint(self):
+        network = _sprinkler()
+        results = most_probable_explanations(network, k=8)
+        assert sum(p for _, p in results) == pytest.approx(1.0)
+
+    def test_k_exceeding_space(self):
+        network = _sprinkler()
+        results = most_probable_explanations(network, k=100)
+        assert len(results) == 8
+
+    def test_validation(self):
+        network = _sprinkler()
+        with pytest.raises(BayesNetError):
+            most_probable_explanations(network, k=0)
+        with pytest.raises(BayesNetError):
+            most_probable_explanations(network, {"rain": "maybe"}, k=1)
+
+    def test_zero_probability_evidence_yields_zero_entries(self):
+        network = BayesianNetwork()
+        network.add_variable(Variable("a", ("x", "y")))
+        network.add_variable(Variable("b", ("u", "v")), parents=("a",))
+        network.set_cpt("a", np.array([1.0, 0.0]))
+        network.set_cpt("b", np.array([[1.0, 0.0], [0.5, 0.5]]))
+        results = most_probable_explanations(network, {"b": "v"}, k=2)
+        assert all(p == 0.0 for _, p in results) or results == []

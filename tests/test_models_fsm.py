@@ -1,0 +1,128 @@
+"""Tests for the finite state machine core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FSMError, NonDeterministicFSMError
+from repro.models.fsm import FiniteStateMachine, State, Transition
+
+
+def _symbol(expected: str):
+    return lambda symbol: symbol == expected
+
+
+def _toggle() -> FiniteStateMachine:
+    states = [State("off"), State("on", accepting=True)]
+    transitions = [
+        Transition("off", "on", _symbol("flip"), "flip"),
+        Transition("on", "off", _symbol("flip"), "flip"),
+    ]
+    return FiniteStateMachine(states, "off", transitions, missing="stay")
+
+
+class TestConstruction:
+    def test_duplicate_state_rejected(self):
+        with pytest.raises(FSMError):
+            FiniteStateMachine([State("a"), State("a")], "a", [])
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(FSMError):
+            FiniteStateMachine([State("a")], "b", [])
+
+    def test_unknown_transition_endpoints_rejected(self):
+        with pytest.raises(FSMError):
+            FiniteStateMachine(
+                [State("a")], "a",
+                [Transition("a", "b", _symbol("x"), "x")],
+            )
+        with pytest.raises(FSMError):
+            FiniteStateMachine(
+                [State("a")], "a",
+                [Transition("b", "a", _symbol("x"), "x")],
+            )
+
+    def test_invalid_missing_policy(self):
+        with pytest.raises(FSMError):
+            FiniteStateMachine([State("a")], "a", [], missing="ignore")
+
+    def test_accepting_states(self):
+        machine = _toggle()
+        assert machine.accepting_states == {"on"}
+        assert machine.is_accepting("on")
+        assert not machine.is_accepting("off")
+
+    def test_n_transitions(self):
+        assert _toggle().n_transitions == 2
+
+
+class TestStepping:
+    def test_step_follows_guard(self):
+        machine = _toggle()
+        assert machine.step("off", "flip") == "on"
+        assert machine.step("on", "flip") == "off"
+
+    def test_missing_stay(self):
+        machine = _toggle()
+        assert machine.step("off", "noop") == "off"
+
+    def test_missing_error(self):
+        states = [State("a")]
+        machine = FiniteStateMachine(states, "a", [], missing="error")
+        with pytest.raises(FSMError):
+            machine.step("a", "x")
+
+    def test_nondeterminism_detected_at_step(self):
+        states = [State("a"), State("b"), State("c")]
+        transitions = [
+            Transition("a", "b", lambda s: True, "always1"),
+            Transition("a", "c", lambda s: True, "always2"),
+        ]
+        machine = FiniteStateMachine(states, "a", transitions)
+        with pytest.raises(NonDeterministicFSMError):
+            machine.step("a", "x")
+
+    def test_first_match_resolves_overlap(self):
+        states = [State("a"), State("b"), State("c")]
+        transitions = [
+            Transition("a", "b", lambda s: True, "always1"),
+            Transition("a", "c", lambda s: True, "always2"),
+        ]
+        machine = FiniteStateMachine(states, "a", transitions, first_match=True)
+        assert machine.step("a", "x") == "b"
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(FSMError):
+            _toggle().step("broken", "flip")
+
+
+class TestAnalysis:
+    def test_check_deterministic_passes(self):
+        _toggle().check_deterministic(["flip", "noop"])
+
+    def test_check_deterministic_catches_overlap(self):
+        states = [State("a"), State("b")]
+        transitions = [
+            Transition("a", "b", _symbol("x"), "x1"),
+            Transition("a", "a", lambda s: s in ("x", "y"), "xy"),
+        ]
+        machine = FiniteStateMachine(states, "a", transitions)
+        with pytest.raises(NonDeterministicFSMError):
+            machine.check_deterministic(["x", "y"])
+
+    def test_transition_table_complete(self):
+        machine = _toggle()
+        table = machine.transition_table(["flip", "noop"])
+        assert table[("off", "flip")] == "on"
+        assert table[("off", "noop")] == "off"
+        assert len(table) == 4
+
+    def test_render_mentions_states_and_labels(self):
+        text = _toggle().render()
+        assert "off" in text
+        assert "[accepting]" in text
+        assert "flip" in text
+
+    def test_transitions_from_unknown_state(self):
+        with pytest.raises(FSMError):
+            _toggle().transitions_from("nope")

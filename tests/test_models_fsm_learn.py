@@ -1,0 +1,174 @@
+"""Tests for FSM extraction from data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FSMError
+from repro.models.fsm import FiniteStateMachine, State, Transition
+from repro.models.fsm_distance import behavioural_distance
+from repro.models.fsm_learn import learn_fsm, runs_from_machine
+
+ALPHABET = ["rain", "dry_hot", "dry_cool"]
+
+
+def _symbol_fire_ants() -> FiniteStateMachine:
+    """The Figure 1 machine over the 3-symbol weather alphabet."""
+
+    def eq(expected):
+        return lambda symbol: symbol == expected
+
+    def dry(symbol):
+        return symbol in ("dry_hot", "dry_cool")
+
+    states = [
+        State("rain"), State("dry_1"), State("dry_2"),
+        State("dry_3_plus"), State("fire_ants_fly", accepting=True),
+    ]
+    transitions = [
+        Transition("rain", "rain", eq("rain"), "rain"),
+        Transition("rain", "dry_1", dry, "dry"),
+        Transition("dry_1", "rain", eq("rain"), "rain"),
+        Transition("dry_1", "dry_2", dry, "dry"),
+        Transition("dry_2", "rain", eq("rain"), "rain"),
+        Transition("dry_2", "dry_3_plus", dry, "dry"),
+        Transition("dry_3_plus", "rain", eq("rain"), "rain"),
+        Transition("dry_3_plus", "fire_ants_fly", eq("dry_hot"), "hot"),
+        Transition("dry_3_plus", "dry_3_plus", eq("dry_cool"), "cool"),
+        Transition("fire_ants_fly", "rain", eq("rain"), "rain"),
+        Transition("fire_ants_fly", "fire_ants_fly", eq("dry_hot"), "hot"),
+        Transition("fire_ants_fly", "dry_3_plus", eq("dry_cool"), "cool"),
+    ]
+    return FiniteStateMachine(states, "rain", transitions, missing="error")
+
+
+def _random_streams(n_streams, length, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        [ALPHABET[i] for i in rng.integers(0, 3, length)]
+        for _ in range(n_streams)
+    ]
+
+
+class TestLearnFsm:
+    def test_recovers_fire_ants_behaviour(self):
+        target = _symbol_fire_ants()
+        runs = runs_from_machine(target, _random_streams(20, 300, seed=1))
+        learned = learn_fsm(runs, history=4)
+        distance = behavioural_distance(
+            target, learned, ALPHABET, n_steps=10000, seed=2
+        )
+        assert distance < 0.01
+
+    def test_noisy_labels_tolerated(self):
+        """5% flipped acceptance labels: majority voting absorbs them."""
+        target = _symbol_fire_ants()
+        runs = runs_from_machine(target, _random_streams(20, 300, seed=3))
+        rng = np.random.default_rng(4)
+        noisy = [
+            (
+                symbols,
+                [flag ^ bool(rng.random() < 0.05) for flag in accepting],
+            )
+            for symbols, accepting in runs
+        ]
+        learned = learn_fsm(noisy, history=4)
+        distance = behavioural_distance(
+            target, learned, ALPHABET, n_steps=10000, seed=5
+        )
+        assert distance < 0.02
+
+    def test_too_short_history_degrades_gracefully(self):
+        """h=1 cannot express the 3-day dry spell; the learned machine is
+        wrong but still a valid FSM with measurable distance."""
+        target = _symbol_fire_ants()
+        runs = runs_from_machine(target, _random_streams(10, 200, seed=6))
+        learned = learn_fsm(runs, history=1)
+        distance = behavioural_distance(
+            target, learned, ALPHABET, n_steps=5000, seed=7
+        )
+        assert 0.0 < distance < 0.5
+
+    def test_learns_last_symbol_machine(self):
+        def eq(expected):
+            return lambda symbol: symbol == expected
+
+        last_a = FiniteStateMachine(
+            [State("seen_b"), State("seen_a", accepting=True)],
+            "seen_b",
+            [
+                Transition("seen_b", "seen_a", eq("a"), "a"),
+                Transition("seen_b", "seen_b", eq("b"), "b"),
+                Transition("seen_a", "seen_a", eq("a"), "a"),
+                Transition("seen_a", "seen_b", eq("b"), "b"),
+            ],
+        )
+        runs = runs_from_machine(
+            last_a,
+            [["a", "b", "a", "a", "b", "a"] * 5, ["b", "a"] * 10],
+        )
+        learned = learn_fsm(runs, history=3)
+        assert (
+            behavioural_distance(last_a, learned, ["a", "b"], n_steps=2000)
+            == 0.0
+        )
+
+    def test_unbounded_history_machine_is_out_of_scope(self):
+        """A parity (toggle) machine is NOT a function of bounded history;
+        the window learner must degrade (positive distance), documenting
+        its scope rather than silently pretending to learn it."""
+
+        def eq(expected):
+            return lambda symbol: symbol == expected
+
+        toggle = FiniteStateMachine(
+            [State("off"), State("on", accepting=True)],
+            "off",
+            [
+                Transition("off", "on", eq("a"), "a"),
+                Transition("on", "off", eq("a"), "a"),
+                Transition("off", "off", eq("b"), "b"),
+                Transition("on", "on", eq("b"), "b"),
+            ],
+        )
+        runs = runs_from_machine(
+            toggle,
+            [["a", "b", "a", "a", "b", "a"] * 5, ["b", "a"] * 10],
+        )
+        learned = learn_fsm(runs, history=3)
+        distance = behavioural_distance(
+            toggle, learned, ["a", "b"], n_steps=2000
+        )
+        assert distance > 0.1
+
+    def test_minimization_collapses_states(self):
+        """The learned machine must be far smaller than the window count."""
+        target = _symbol_fire_ants()
+        runs = runs_from_machine(target, _random_streams(10, 300, seed=8))
+        learned = learn_fsm(runs, history=4)
+        # 3^4 = 81 possible windows; minimization must collapse hard.
+        assert len(learned.states) < 40
+
+    def test_validation(self):
+        with pytest.raises(FSMError):
+            learn_fsm([])
+        with pytest.raises(FSMError):
+            learn_fsm([(["a"], [True])], history=0)
+        with pytest.raises(FSMError):
+            learn_fsm([(["a", "b"], [True])])  # misaligned labels
+
+    def test_single_run_single_symbol(self):
+        learned = learn_fsm([(["a", "a", "a"], [True, True, True])], history=2)
+        state = learned.initial
+        state = learned.step(state, "a")
+        assert learned.is_accepting(state)
+
+
+class TestRunsFromMachine:
+    def test_labels_match_machine_trace(self):
+        target = _symbol_fire_ants()
+        stream = ["rain", "dry_cool", "dry_cool", "dry_cool", "dry_hot"]
+        (symbols, accepting), = runs_from_machine(target, [stream])
+        assert symbols == stream
+        assert accepting == [False, False, False, False, True]

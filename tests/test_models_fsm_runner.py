@@ -1,0 +1,154 @@
+"""Tests for FSM execution and the fire-ants model (Figure 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.series import TimeSeries
+from repro.metrics.counters import CostCounter
+from repro.models.fsm_runner import (
+    fire_ants_model,
+    naive_window_match,
+    run_fsm,
+    run_fsm_over_series,
+    symbolize_weather,
+)
+
+
+def _series(rain: list[float], temperature: list[float]) -> TimeSeries:
+    n = len(rain)
+    return TimeSeries(
+        "w",
+        np.arange(n, dtype=float),
+        {
+            "rain_mm": np.array(rain, dtype=float),
+            "temperature_c": np.array(temperature, dtype=float),
+        },
+    )
+
+
+def _events(rain: list[float], temperature: list[float]) -> list[dict[str, float]]:
+    return [
+        {"rain_mm": r, "temperature_c": t} for r, t in zip(rain, temperature)
+    ]
+
+
+class TestFireAntsModel:
+    def test_canonical_swarm_sequence(self):
+        """Rain, 3 dry days, then a hot dry day -> ants fly on day 4."""
+        rain = [5.0, 0.0, 0.0, 0.0, 0.0]
+        temperature = [20.0, 20.0, 20.0, 20.0, 28.0]
+        run = run_fsm(fire_ants_model(), _events(rain, temperature))
+        assert run.trajectory == (
+            "rain", "dry_1", "dry_2", "dry_3_plus", "fire_ants_fly"
+        )
+        assert run.acceptance_times == (4,)
+
+    def test_cool_days_delay_flight(self):
+        rain = [5.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        temperature = [20.0] * 6 + [30.0]
+        run = run_fsm(fire_ants_model(), _events(rain, temperature))
+        assert run.first_acceptance == 6
+        assert run.trajectory[4] == "dry_3_plus"
+
+    def test_rain_resets_the_spell(self):
+        rain = [5.0, 0.0, 0.0, 3.0, 0.0, 0.0, 0.0, 0.0]
+        temperature = [30.0] * 8
+        run = run_fsm(fire_ants_model(), _events(rain, temperature))
+        # Dry days 4,5,6 rebuild the spell; flight earliest day 7.
+        assert run.first_acceptance == 7
+
+    def test_hot_wet_day_does_not_trigger(self):
+        rain = [5.0, 0.0, 0.0, 0.0, 9.0]
+        temperature = [30.0] * 5
+        run = run_fsm(fire_ants_model(), _events(rain, temperature))
+        assert not run.accepted
+
+    def test_flight_persists_through_hot_dry_days(self):
+        rain = [5.0] + [0.0] * 6
+        temperature = [20.0, 20.0, 20.0, 20.0, 28.0, 29.0, 30.0]
+        run = run_fsm(fire_ants_model(), _events(rain, temperature))
+        assert run.accepting_days == 3
+        assert run.acceptance_times == (4,)
+
+    def test_cool_day_pauses_flight_without_reset(self):
+        rain = [5.0] + [0.0] * 7
+        temperature = [20.0, 20.0, 20.0, 20.0, 28.0, 20.0, 28.0, 28.0]
+        run = run_fsm(fire_ants_model(), _events(rain, temperature))
+        assert run.acceptance_times == (4, 6)
+
+    def test_determinism_over_weather_alphabet(self):
+        machine = fire_ants_model()
+        alphabet = [
+            {"rain_mm": 5.0, "temperature_c": 20.0},
+            {"rain_mm": 0.0, "temperature_c": 30.0},
+            {"rain_mm": 0.0, "temperature_c": 20.0},
+        ]
+        machine.check_deterministic(alphabet)
+
+
+class TestRunBookkeeping:
+    def test_counter_tallies_guard_work(self):
+        counter = CostCounter()
+        run_fsm(fire_ants_model(), _events([0.0] * 10, [20.0] * 10), counter)
+        assert counter.model_evals == 10
+        assert counter.flops > 0
+
+    def test_run_over_series_reads_data(self):
+        series = _series([0.0] * 5, [20.0] * 5)
+        counter = CostCounter()
+        run_fsm_over_series(fire_ants_model(), series, counter)
+        assert counter.data_points == 10  # 2 attributes x 5 days
+
+    def test_score_ranks_more_flight_days_higher(self):
+        short = run_fsm(
+            fire_ants_model(),
+            _events([5.0] + [0.0] * 4, [20.0] * 4 + [30.0]),
+        )
+        long = run_fsm(
+            fire_ants_model(),
+            _events([5.0] + [0.0] * 6, [20.0] * 4 + [30.0] * 3),
+        )
+        assert long.score() > short.score()
+
+    def test_no_acceptance_scores_zero(self):
+        run = run_fsm(fire_ants_model(), _events([5.0] * 5, [30.0] * 5))
+        assert run.score() == 0.0
+
+
+class TestNaiveEquivalence:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_fsm_matches_naive_rescan(self, data):
+        """The incremental FSM and the rescan baseline must agree on
+        every onset for random weather."""
+        n_days = data.draw(st.integers(1, 60))
+        rain = [
+            5.0 if data.draw(st.booleans()) else 0.0 for _ in range(n_days)
+        ]
+        temperature = [
+            data.draw(st.sampled_from([18.0, 26.0])) for _ in range(n_days)
+        ]
+        series = _series(rain, temperature)
+        fsm_run = run_fsm_over_series(fire_ants_model(), series)
+        naive = naive_window_match(series)
+        assert list(fsm_run.acceptance_times) == naive
+
+    def test_naive_does_more_work(self):
+        rng = np.random.default_rng(5)
+        rain = np.where(rng.random(200) < 0.15, 5.0, 0.0)
+        temperature = rng.uniform(20, 32, 200)
+        series = _series(list(rain), list(temperature))
+        fsm_counter, naive_counter = CostCounter(), CostCounter()
+        run_fsm_over_series(fire_ants_model(), series, fsm_counter)
+        naive_window_match(series, counter=naive_counter)
+        assert naive_counter.data_points > fsm_counter.data_points
+
+
+class TestSymbolize:
+    def test_three_symbols(self):
+        events = _events([5.0, 0.0, 0.0], [20.0, 30.0, 20.0])
+        assert symbolize_weather(events) == ["rain", "dry_hot", "dry_cool"]

@@ -1,0 +1,175 @@
+"""Tests for fuzzy knowledge models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.models.fuzzy import FuzzyAnd, sigmoid_membership, triangle_membership
+from repro.models.knowledge import FuzzyRule, KnowledgeModel, RulePredicate
+
+
+def _gamma_rule() -> FuzzyRule:
+    return FuzzyRule(
+        name="hot_gamma",
+        predicates=(
+            RulePredicate("gamma_ray", sigmoid_membership(45.0, 0.5), "gr>45"),
+        ),
+    )
+
+
+def _moisture_rule() -> FuzzyRule:
+    return FuzzyRule(
+        name="moist",
+        predicates=(
+            RulePredicate("moisture", triangle_membership(0, 50, 100), "moist"),
+            RulePredicate("gamma_ray", sigmoid_membership(45.0, 0.5), "gr>45"),
+        ),
+        weight=2.0,
+    )
+
+
+class TestRulePredicate:
+    def test_degree(self):
+        predicate = RulePredicate("x", triangle_membership(0, 5, 10))
+        assert predicate.degree({"x": 5.0}) == 1.0
+
+    def test_missing_attribute_raises(self):
+        predicate = RulePredicate("x", triangle_membership(0, 5, 10))
+        with pytest.raises(ModelError):
+            predicate.degree({"y": 5.0})
+
+
+class TestFuzzyRule:
+    def test_min_conjunction(self):
+        rule = _moisture_rule()
+        degree = rule.degree({"moisture": 50.0, "gamma_ray": 45.0})
+        assert degree == pytest.approx(0.5)  # min(1.0, 0.5)
+
+    def test_product_conjunction(self):
+        rule = FuzzyRule(
+            "r",
+            predicates=_moisture_rule().predicates,
+            conjunction=FuzzyAnd("product"),
+        )
+        degree = rule.degree({"moisture": 50.0, "gamma_ray": 45.0})
+        assert degree == pytest.approx(0.5)  # 1.0 * 0.5
+
+    def test_needs_predicates(self):
+        with pytest.raises(ModelError):
+            FuzzyRule("empty", predicates=())
+
+    def test_weight_positive(self):
+        with pytest.raises(ModelError):
+            FuzzyRule("w", predicates=_gamma_rule().predicates, weight=0.0)
+
+    def test_attributes_deduplicated(self):
+        assert _moisture_rule().attributes == ("moisture", "gamma_ray")
+
+
+class TestKnowledgeModel:
+    def test_weighted_combination(self):
+        model = KnowledgeModel([_gamma_rule(), _moisture_rule()])
+        point = {"gamma_ray": 100.0, "moisture": 0.0}
+        # gamma rule ~1.0 (weight 1), moisture rule min(0, ~1)=0 (weight 2).
+        assert model.evaluate(point) == pytest.approx(1.0 / 3.0, abs=0.01)
+
+    def test_or_combination(self):
+        model = KnowledgeModel(
+            [_gamma_rule(), _moisture_rule()], combination="or"
+        )
+        point = {"gamma_ray": 100.0, "moisture": 0.0}
+        assert model.evaluate(point) == pytest.approx(1.0, abs=0.01)
+
+    def test_scores_in_unit_interval(self):
+        model = KnowledgeModel([_gamma_rule(), _moisture_rule()])
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            point = {
+                "gamma_ray": rng.uniform(0, 150),
+                "moisture": rng.uniform(0, 100),
+            }
+            assert 0.0 <= model.evaluate(point) <= 1.0
+
+    def test_rule_degrees_exposed(self):
+        model = KnowledgeModel([_gamma_rule(), _moisture_rule()])
+        degrees = model.rule_degrees({"gamma_ray": 100.0, "moisture": 50.0})
+        assert set(degrees) == {"hot_gamma", "moist"}
+
+    def test_batch_matches_scalar(self):
+        model = KnowledgeModel([_moisture_rule()])
+        columns = {
+            "moisture": np.array([0.0, 50.0, 100.0]),
+            "gamma_ray": np.array([45.0, 45.0, 100.0]),
+        }
+        batch = model.evaluate_batch(columns)
+        for i in range(3):
+            point = {name: columns[name][i] for name in columns}
+            assert batch[i] == pytest.approx(model.evaluate(point))
+
+    def test_needs_rules(self):
+        with pytest.raises(ModelError):
+            KnowledgeModel([])
+
+    def test_unknown_combination(self):
+        with pytest.raises(ModelError):
+            KnowledgeModel([_gamma_rule()], combination="xor")
+
+    def test_attributes_and_complexity(self):
+        model = KnowledgeModel([_gamma_rule(), _moisture_rule()])
+        assert set(model.attributes) == {"gamma_ray", "moisture"}
+        assert model.complexity == 2 * 3
+
+    def test_supports_intervals(self):
+        assert KnowledgeModel([_gamma_rule()]).supports_intervals
+
+
+class TestIntervalSoundness:
+    def test_predicate_interval_bounds_samples(self):
+        predicate = RulePredicate("x", triangle_membership(0, 5, 10))
+        low, high = predicate.degree_interval({"x": (2.0, 8.0)})
+        for value in np.linspace(2.0, 8.0, 50):
+            degree = predicate.degree({"x": float(value)})
+            assert low - 1e-12 <= degree <= high + 1e-12
+        assert high == 1.0  # the peak at 5 is inside the box
+
+    def test_rule_interval_bounds_samples(self):
+        rule = _moisture_rule()
+        intervals = {"moisture": (20.0, 70.0), "gamma_ray": (30.0, 60.0)}
+        low, high = rule.degree_interval(intervals)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            point = {
+                "moisture": float(rng.uniform(20, 70)),
+                "gamma_ray": float(rng.uniform(30, 60)),
+            }
+            assert low - 1e-9 <= rule.degree(point) <= high + 1e-9
+
+    def test_model_interval_bounds_samples(self):
+        for combination in ("weighted", "or"):
+            model = KnowledgeModel(
+                [_gamma_rule(), _moisture_rule()], combination=combination
+            )
+            intervals = {"moisture": (0.0, 100.0), "gamma_ray": (40.0, 50.0)}
+            low, high = model.evaluate_interval(intervals)
+            rng = np.random.default_rng(1)
+            for _ in range(100):
+                point = {
+                    "moisture": float(rng.uniform(0, 100)),
+                    "gamma_ray": float(rng.uniform(40, 50)),
+                }
+                score = model.evaluate(point)
+                assert low - 1e-9 <= score <= high + 1e-9
+
+    def test_degenerate_interval_is_point_degree(self):
+        model = KnowledgeModel([_gamma_rule()])
+        low, high = model.evaluate_interval({"gamma_ray": (50.0, 50.0)})
+        exact = model.evaluate({"gamma_ray": 50.0})
+        assert low == pytest.approx(exact)
+        assert high == pytest.approx(exact)
+
+    def test_missing_interval_raises(self):
+        model = KnowledgeModel([_moisture_rule()])
+        with pytest.raises(ModelError):
+            model.evaluate_interval({"moisture": (0.0, 1.0)})

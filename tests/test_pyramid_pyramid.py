@@ -1,0 +1,104 @@
+"""Tests for resolution pyramids."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.raster import RasterLayer
+from repro.metrics.counters import CostCounter
+from repro.pyramid.pyramid import ResolutionPyramid
+
+
+def _pyramid(values: np.ndarray, n_levels: int = 4) -> ResolutionPyramid:
+    return ResolutionPyramid(RasterLayer("x", values), n_levels=n_levels)
+
+
+class TestStructure:
+    def test_level_zero_is_original(self):
+        values = np.arange(12.0).reshape(3, 4)
+        pyramid = _pyramid(values)
+        assert np.array_equal(pyramid.level(0).mean, values)
+        assert pyramid.level(0).scale == 1
+
+    def test_levels_halve(self):
+        pyramid = _pyramid(np.zeros((16, 16)), n_levels=3)
+        assert [level.shape for level in pyramid] == [
+            (16, 16), (8, 8), (4, 4), (2, 2),
+        ]
+
+    def test_levels_capped_by_shape(self):
+        pyramid = _pyramid(np.zeros((4, 4)), n_levels=10)
+        assert pyramid.n_levels <= 3
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            _pyramid(np.zeros((4, 4)), n_levels=-1)
+
+    def test_level_index_bounds(self):
+        pyramid = _pyramid(np.zeros((8, 8)), n_levels=2)
+        with pytest.raises(ValueError):
+            pyramid.level(5)
+
+    def test_coarse_to_fine_order(self):
+        pyramid = _pyramid(np.zeros((8, 8)), n_levels=2)
+        levels = [level.level for level in pyramid.coarse_to_fine()]
+        assert levels == [2, 1, 0]
+
+
+class TestEnvelopeSoundness:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(2, 24), st.integers(2, 24)),
+            elements=st.floats(-1e4, 1e4),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_envelopes_bound_covered_cells(self, values):
+        """Every coarse cell's (min, max) must bound all fine cells under it."""
+        pyramid = _pyramid(values, n_levels=3)
+        rows, cols = values.shape
+        for level in pyramid:
+            if level.level == 0:
+                continue
+            for coarse_row in range(level.shape[0]):
+                for coarse_col in range(level.shape[1]):
+                    row0, col0, row1, col1 = level.fine_window(
+                        coarse_row, coarse_col
+                    )
+                    window = values[
+                        row0: min(row1, rows), col0: min(col1, cols)
+                    ]
+                    if window.size == 0:
+                        continue
+                    assert level.minimum[coarse_row, coarse_col] <= window.min() + 1e-9
+                    assert level.maximum[coarse_row, coarse_col] >= window.max() - 1e-9
+
+    def test_mean_of_constant_layer(self):
+        pyramid = _pyramid(np.full((8, 8), 5.0))
+        for level in pyramid:
+            assert np.allclose(level.mean, 5.0)
+            assert np.allclose(level.minimum, 5.0)
+            assert np.allclose(level.maximum, 5.0)
+
+
+class TestInstrumentation:
+    def test_read_mean_charges_level_size(self):
+        pyramid = _pyramid(np.zeros((16, 16)), n_levels=2)
+        counter = CostCounter()
+        pyramid.level(2).read_mean(counter)
+        assert counter.data_points == 16
+
+    def test_read_envelope_charges_double(self):
+        pyramid = _pyramid(np.zeros((16, 16)), n_levels=2)
+        counter = CostCounter()
+        pyramid.level(1).read_envelope(counter)
+        assert counter.data_points == 2 * 64
+
+    def test_cell_of_maps_to_coarse(self):
+        pyramid = _pyramid(np.zeros((16, 16)), n_levels=2)
+        assert pyramid.level(2).cell_of(7, 9) == (1, 2)

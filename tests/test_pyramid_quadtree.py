@@ -1,0 +1,124 @@
+"""Tests for quadtree aggregates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.raster import RasterLayer
+from repro.metrics.counters import CostCounter
+from repro.pyramid.quadtree import QuadTree
+
+
+def _tree(values: np.ndarray, leaf_size: int = 4) -> QuadTree:
+    return QuadTree(RasterLayer("x", values), leaf_size=leaf_size)
+
+
+class TestConstruction:
+    def test_root_covers_grid(self):
+        tree = _tree(np.zeros((10, 14)))
+        assert tree.root.window() == (0, 0, 10, 14)
+
+    def test_leaf_size_respected(self):
+        tree = _tree(np.zeros((32, 32)), leaf_size=8)
+        for leaf in tree.leaves():
+            rows = leaf.row1 - leaf.row0
+            cols = leaf.col1 - leaf.col0
+            assert rows <= 8 and cols <= 8
+
+    def test_leaves_partition_grid(self):
+        values = np.arange(9.0 * 13).reshape(9, 13)
+        tree = _tree(values, leaf_size=4)
+        covered = np.zeros(values.shape, dtype=int)
+        for leaf in tree.leaves():
+            covered[leaf.row0: leaf.row1, leaf.col0: leaf.col1] += 1
+        assert np.all(covered == 1)
+
+    def test_node_aggregates_correct(self):
+        values = np.arange(16.0).reshape(4, 4)
+        tree = _tree(values, leaf_size=2)
+        root = tree.root
+        assert root.minimum == 0.0
+        assert root.maximum == 15.0
+        assert root.mean == pytest.approx(7.5)
+        assert root.count == 16
+
+    def test_leaf_size_validation(self):
+        with pytest.raises(ValueError):
+            _tree(np.zeros((4, 4)), leaf_size=0)
+
+
+class TestWindowEnvelope:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(3, 20), st.integers(3, 20)),
+            elements=st.floats(-1e4, 1e4),
+        ),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_envelope_is_sound(self, values, data):
+        """(min, max) from aggregates must bound the true window extrema."""
+        tree = _tree(values, leaf_size=3)
+        rows, cols = values.shape
+        row0 = data.draw(st.integers(0, rows - 1))
+        row1 = data.draw(st.integers(row0 + 1, rows))
+        col0 = data.draw(st.integers(0, cols - 1))
+        col1 = data.draw(st.integers(col0 + 1, cols))
+        low, high = tree.window_envelope(row0, col0, row1, col1)
+        window = values[row0:row1, col0:col1]
+        assert low <= window.min() + 1e-9
+        assert high >= window.max() - 1e-9
+
+    def test_exact_on_aligned_windows(self):
+        """Fully contained node windows give exact extrema."""
+        rng = np.random.default_rng(3)
+        values = rng.random((16, 16))
+        tree = _tree(values, leaf_size=4)
+        low, high = tree.window_envelope(0, 0, 16, 16)
+        assert low == values.min()
+        assert high == values.max()
+
+    def test_counter_tallies_nodes_not_cells(self):
+        tree = _tree(np.zeros((64, 64)), leaf_size=4)
+        counter = CostCounter()
+        tree.window_envelope(5, 5, 30, 30, counter)
+        assert counter.nodes_visited > 0
+        assert counter.data_points == 0
+
+    def test_empty_window_rejected(self):
+        tree = _tree(np.zeros((8, 8)))
+        with pytest.raises(ValueError):
+            tree.window_envelope(4, 4, 4, 8)
+
+    def test_window_clipped_to_grid(self):
+        values = np.arange(16.0).reshape(4, 4)
+        tree = _tree(values, leaf_size=2)
+        low, high = tree.window_envelope(-5, -5, 99, 99)
+        assert (low, high) == (0.0, 15.0)
+
+
+class TestNodesAtDepth:
+    def test_depth_zero_is_root(self):
+        tree = _tree(np.zeros((16, 16)), leaf_size=4)
+        assert tree.nodes_at_depth(0) == [tree.root]
+
+    def test_depth_tiles_grid(self):
+        tree = _tree(np.zeros((16, 16)), leaf_size=2)
+        for depth in range(3):
+            nodes = tree.nodes_at_depth(depth)
+            assert sum(node.size for node in nodes) == 256
+
+    def test_deep_request_returns_leaves(self):
+        tree = _tree(np.zeros((8, 8)), leaf_size=4)
+        deep = tree.nodes_at_depth(99)
+        assert all(node.is_leaf for node in deep)
+        assert sum(node.size for node in deep) == 64
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            _tree(np.zeros((4, 4))).nodes_at_depth(-1)

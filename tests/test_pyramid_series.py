@@ -1,0 +1,99 @@
+"""Tests for 1-D series pyramids."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.series import TimeSeries
+from repro.metrics.counters import CostCounter
+from repro.pyramid.series_pyramid import SeriesPyramid
+
+
+def _series(values: np.ndarray) -> TimeSeries:
+    return TimeSeries(
+        "s", np.arange(float(values.size)), {"x": np.asarray(values, float)}
+    )
+
+
+class TestStructure:
+    def test_level_zero_is_original(self):
+        values = np.arange(10.0)
+        pyramid = SeriesPyramid(_series(values), "x", n_levels=3)
+        assert np.array_equal(pyramid.level(0).mean, values)
+        assert pyramid.level(0).scale == 1
+
+    def test_window_counts_halve(self):
+        pyramid = SeriesPyramid(_series(np.zeros(16)), "x", n_levels=3)
+        assert [pyramid.level(i).n_windows for i in range(4)] == [16, 8, 4, 2]
+
+    def test_levels_capped_by_length(self):
+        pyramid = SeriesPyramid(_series(np.zeros(10)), "x", n_levels=99)
+        assert pyramid.coarsest.n_windows >= 1
+        assert pyramid.n_levels <= 4  # 2^3 = 8 <= 10 < 16
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesPyramid(_series(np.zeros(8)), "x", n_levels=-1)
+
+    def test_level_bounds_checked(self):
+        pyramid = SeriesPyramid(_series(np.zeros(8)), "x", n_levels=2)
+        with pytest.raises(ValueError):
+            pyramid.level(9)
+
+    def test_window_addressing(self):
+        pyramid = SeriesPyramid(_series(np.zeros(16)), "x", n_levels=2)
+        level = pyramid.level(2)
+        assert level.window_of(0) == 0
+        assert level.window_of(7) == 1
+        assert level.sample_range(1) == (4, 8)
+
+
+class TestEnvelopeSoundness:
+    @given(
+        st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=60),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_window_bounds_its_samples(self, raw, data):
+        values = np.array(raw)
+        pyramid = SeriesPyramid(_series(values), "x", n_levels=4)
+        for level_index in range(pyramid.n_levels):
+            level = pyramid.level(level_index)
+            for window in range(level.n_windows):
+                start, stop = level.sample_range(window)
+                segment = values[start: min(stop, values.size)]
+                if segment.size == 0:
+                    continue
+                assert level.minimum[window] <= segment.min() + 1e-9
+                assert level.maximum[window] >= segment.max() - 1e-9
+
+    @given(
+        st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=60),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_envelope_sound(self, raw, data):
+        values = np.array(raw)
+        pyramid = SeriesPyramid(_series(values), "x", n_levels=4)
+        start = data.draw(st.integers(0, values.size - 1))
+        stop = data.draw(st.integers(start + 1, values.size))
+        low, high = pyramid.range_envelope(start, stop)
+        segment = values[start:stop]
+        assert low <= segment.min() + 1e-9
+        assert high >= segment.max() - 1e-9
+
+    def test_range_envelope_validation(self):
+        pyramid = SeriesPyramid(_series(np.zeros(8)), "x")
+        with pytest.raises(ValueError):
+            pyramid.range_envelope(4, 4)
+        with pytest.raises(ValueError):
+            pyramid.range_envelope(0, 99)
+
+    def test_envelope_counter(self):
+        pyramid = SeriesPyramid(_series(np.zeros(16)), "x", n_levels=2)
+        counter = CostCounter()
+        pyramid.level(2).read_envelopes(counter)
+        assert counter.data_points == 2 * 4

@@ -1,0 +1,118 @@
+"""Tests for the Haar wavelet transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pyramid.wavelet import (
+    approximation_as_means,
+    haar_decompose_1d,
+    haar_decompose_2d,
+    haar_reconstruct_1d,
+    haar_reconstruct_2d,
+)
+
+
+@st.composite
+def _pow2_signal(draw):
+    exponent = draw(st.integers(1, 6))
+    size = 2**exponent
+    values = draw(
+        st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=size, max_size=size
+        )
+    )
+    levels = draw(st.integers(0, exponent))
+    return np.array(values), levels
+
+
+class TestHaar1D:
+    @given(_pow2_signal())
+    @settings(max_examples=50)
+    def test_perfect_reconstruction(self, signal_levels):
+        signal, levels = signal_levels
+        approx, details = haar_decompose_1d(signal, levels)
+        reconstructed = haar_reconstruct_1d(approx, details)
+        assert np.allclose(reconstructed, signal, atol=1e-6 * max(1, np.abs(signal).max()))
+
+    @given(_pow2_signal())
+    @settings(max_examples=50)
+    def test_energy_preserved(self, signal_levels):
+        """Orthonormality: sum of squares is invariant."""
+        signal, levels = signal_levels
+        approx, details = haar_decompose_1d(signal, levels)
+        energy = float(np.sum(approx**2)) + sum(
+            float(np.sum(d**2)) for d in details
+        )
+        assert energy == pytest.approx(float(np.sum(signal**2)), rel=1e-9, abs=1e-6)
+
+    def test_band_sizes_halve(self):
+        signal = np.arange(16.0)
+        approx, details = haar_decompose_1d(signal, 3)
+        assert [d.size for d in details] == [8, 4, 2]
+        assert approx.size == 2
+
+    def test_zero_levels_is_identity(self):
+        signal = np.arange(8.0)
+        approx, details = haar_decompose_1d(signal, 0)
+        assert details == []
+        assert np.array_equal(approx, signal)
+
+    def test_constant_signal_has_zero_details(self):
+        approx, details = haar_decompose_1d(np.full(8, 3.0), 3)
+        for detail in details:
+            assert np.allclose(detail, 0.0)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            haar_decompose_1d(np.zeros(6), 1)
+
+    def test_too_many_levels_rejected(self):
+        with pytest.raises(ValueError):
+            haar_decompose_1d(np.zeros(4), 3)
+
+    def test_mismatched_reconstruction_rejected(self):
+        with pytest.raises(ValueError):
+            haar_reconstruct_1d(np.zeros(2), [np.zeros(3)])
+
+
+class TestHaar2D:
+    def test_perfect_reconstruction(self):
+        rng = np.random.default_rng(1)
+        image = rng.normal(size=(32, 16))
+        approx, details = haar_decompose_2d(image, 3)
+        assert np.allclose(haar_reconstruct_2d(approx, details), image)
+
+    def test_band_structure(self):
+        image = np.zeros((16, 16))
+        approx, details = haar_decompose_2d(image, 2)
+        assert approx.shape == (4, 4)
+        assert set(details[0]) == {"horizontal", "vertical", "diagonal"}
+        assert details[0]["diagonal"].shape == (8, 8)
+
+    def test_energy_preserved(self):
+        rng = np.random.default_rng(2)
+        image = rng.normal(size=(16, 16))
+        approx, details = haar_decompose_2d(image, 4)
+        energy = float(np.sum(approx**2))
+        for bands in details:
+            energy += sum(float(np.sum(band**2)) for band in bands.values())
+        assert energy == pytest.approx(float(np.sum(image**2)))
+
+    def test_approximation_as_means(self):
+        image = np.arange(16.0).reshape(4, 4)
+        approx, _ = haar_decompose_2d(image, 2)
+        means = approximation_as_means(approx, 2)
+        assert means.shape == (1, 1)
+        assert means[0, 0] == pytest.approx(image.mean())
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            haar_decompose_2d(np.zeros(8), 1)
+
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            haar_decompose_2d(np.zeros((4, 4)), 3)

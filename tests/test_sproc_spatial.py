@@ -1,0 +1,200 @@
+"""Tests for spatial composite-object retrieval and land-use synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.raster import RasterLayer
+from repro.exceptions import QueryError
+from repro.metrics.counters import CostCounter
+from repro.sproc.naive import naive_top_k
+from repro.sproc.spatial import (
+    find_surrounded,
+    region_ring,
+    surrounded_by_query,
+    surroundedness,
+)
+from repro.synth.landuse import generate_landuse
+
+
+def _box_overlap(first, second) -> bool:
+    return not (
+        first[2] <= second[0]
+        or second[2] <= first[0]
+        or first[3] <= second[1]
+        or second[3] <= first[1]
+    )
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return generate_landuse((96, 96), n_houses=8, seed=13)
+
+
+class TestLanduseScene:
+    def test_houses_do_not_overlap(self, scene):
+        for i, first in enumerate(scene.houses):
+            for second in scene.houses[i + 1:]:
+                assert not _box_overlap(first.box, second.box)
+
+    def test_surroundedness_ground_truth_in_unit_interval(self, scene):
+        for house in scene.houses:
+            assert 0.0 <= house.bush_surroundedness <= 1.0
+
+    def test_some_houses_surrounded_some_not(self):
+        scene = generate_landuse(
+            (96, 96), n_houses=10, surrounded_fraction=0.5, seed=5
+        )
+        values = [h.bush_surroundedness for h in scene.houses]
+        assert max(values) > 0.7
+        assert min(values) < 0.5
+
+    def test_scores_separate_classes(self, scene):
+        house_values = scene.house_score.values
+        for house in scene.houses:
+            row0, col0, row1, col1 = house.box
+            assert house_values[row0:row1, col0:col1].mean() > 0.7
+        background = house_values[scene.bush_mask]
+        assert background.mean() < 0.3
+
+    def test_deterministic(self):
+        first = generate_landuse((64, 64), seed=9)
+        second = generate_landuse((64, 64), seed=9)
+        assert np.array_equal(
+            first.house_score.values, second.house_score.values
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_landuse((8, 8))
+        with pytest.raises(ValueError):
+            generate_landuse((64, 64), surrounded_fraction=1.5)
+
+
+class TestSurroundedness:
+    def test_ring_excludes_region(self, scene):
+        from repro.abstraction.contours import threshold_regions
+
+        region = threshold_regions(scene.house_score.values, 0.5)[0]
+        ring = region_ring(region, scene.shape, width=2)
+        assert not (ring & region.cells)
+        assert ring
+
+    def test_fully_enclosed_region_scores_one(self):
+        from repro.abstraction.contours import Region
+
+        inner = Region(
+            1, frozenset({(5, 5)}), (5, 5, 6, 6)
+        )
+        outer_cells = {
+            (row, col)
+            for row in range(3, 9)
+            for col in range(3, 9)
+            if (row, col) != (5, 5)
+        }
+        outer = Region(2, frozenset(outer_cells), (3, 3, 9, 9))
+        assert surroundedness(inner, outer, (20, 20), width=2) == 1.0
+
+    def test_distant_regions_score_zero(self):
+        from repro.abstraction.contours import Region
+
+        first = Region(1, frozenset({(0, 0)}), (0, 0, 1, 1))
+        second = Region(2, frozenset({(50, 50)}), (50, 50, 51, 51))
+        assert surroundedness(first, second, (64, 64)) == 0.0
+
+
+class TestSurroundedByQuery:
+    def test_query_structure(self, scene):
+        query, houses, bushes = surrounded_by_query(
+            scene.house_score, scene.bush_score
+        )
+        assert query.n_components == 2
+        assert query.n_objects == len(houses) + len(bushes)
+
+    def test_cross_typed_assignments_score_zero(self, scene):
+        query, houses, bushes = surrounded_by_query(
+            scene.house_score, scene.bush_score
+        )
+        if len(houses) >= 2:
+            # Two house regions: no context score, no compatibility.
+            assert query.score((0, 1)) == 0.0
+
+    def test_matches_naive_oracle(self, scene):
+        query, houses, bushes = surrounded_by_query(
+            scene.house_score, scene.bush_score
+        )
+        matches = find_surrounded(scene.house_score, scene.bush_score, k=3)
+        oracle = [
+            (assignment, score)
+            for assignment, score in naive_top_k(query, 3)
+            if score > 0
+        ]
+        assert [round(m.score, 9) for m in matches] == [
+            round(score, 9) for _, score in oracle
+        ]
+
+    def test_layer_shape_mismatch(self, scene):
+        small = RasterLayer("tiny", np.zeros((4, 4)))
+        with pytest.raises(QueryError):
+            surrounded_by_query(scene.house_score, small)
+
+    def test_no_candidates_raises(self):
+        flat = RasterLayer("flat", np.zeros((32, 32)))
+        with pytest.raises(QueryError):
+            surrounded_by_query(flat, flat)
+
+
+class TestFindSurrounded:
+    def test_best_match_is_truly_surrounded(self, scene):
+        matches = find_surrounded(scene.house_score, scene.bush_score, k=3)
+        assert matches
+        best = matches[0]
+        overlapping = [
+            house
+            for house in scene.houses
+            if _box_overlap(house.box, best.primary.bounding_box)
+        ]
+        assert overlapping
+        assert max(h.bush_surroundedness for h in overlapping) > 0.6
+
+    def test_scores_sorted(self, scene):
+        matches = find_surrounded(scene.house_score, scene.bush_score, k=5)
+        scores = [match.score for match in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_counter_tallies(self, scene):
+        counter = CostCounter()
+        find_surrounded(
+            scene.house_score, scene.bush_score, k=2, counter=counter
+        )
+        assert counter.data_points > 0
+
+
+class TestHighRiskHouses:
+    def test_weather_gates_the_score(self, scene):
+        import numpy as np
+
+        from repro.apps.epidemiology import find_high_risk_houses
+        from repro.data.series import TimeSeries
+
+        wet_then_dry = TimeSeries(
+            "good",
+            np.arange(100.0),
+            {
+                "rain_mm": np.concatenate([np.full(50, 5.0), np.zeros(50)]),
+                "temperature_c": np.full(100, 20.0),
+            },
+        )
+        always_dry = TimeSeries(
+            "bad",
+            np.arange(100.0),
+            {
+                "rain_mm": np.zeros(100),
+                "temperature_c": np.full(100, 20.0),
+            },
+        )
+        risky = find_high_risk_houses(scene, wet_then_dry, k=3)
+        safe = find_high_risk_houses(scene, always_dry, k=3)
+        assert risky[0][0] > 0.3
+        assert all(score == 0.0 for score, _ in safe)

@@ -1,0 +1,81 @@
+"""Tests for event-occurrence synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.raster import RasterLayer, RasterStack
+from repro.synth.events import generate_occurrences, latent_risk_field
+
+
+def _stack() -> RasterStack:
+    rng = np.random.default_rng(1)
+    stack = RasterStack()
+    stack.add(RasterLayer("a", rng.random((30, 30))))
+    stack.add(RasterLayer("b", rng.random((30, 30))))
+    return stack
+
+
+class TestLatentRiskField:
+    def test_shape_matches_stack(self):
+        field = latent_risk_field(_stack(), {"a": 0.7, "b": 0.3})
+        assert field.shape == (30, 30)
+
+    def test_standardization_makes_weights_relative(self):
+        """Scaling a layer must not change the standardized field."""
+        stack = _stack()
+        field = latent_risk_field(stack, {"a": 1.0})
+        scaled_stack = RasterStack()
+        scaled_stack.add(RasterLayer("a", stack["a"].values * 100.0))
+        scaled = latent_risk_field(scaled_stack, {"a": 1.0})
+        assert np.allclose(field, scaled)
+
+    def test_noise_requires_seed(self):
+        with pytest.raises(ValueError):
+            latent_risk_field(_stack(), {"a": 1.0}, noise_std=0.1)
+
+    def test_noise_perturbs(self):
+        stack = _stack()
+        clean = latent_risk_field(stack, {"a": 1.0})
+        noisy = latent_risk_field(stack, {"a": 1.0}, noise_std=0.5, seed=7)
+        assert not np.allclose(clean, noisy)
+        assert np.corrcoef(clean.reshape(-1), noisy.reshape(-1))[0, 1] > 0.7
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            latent_risk_field(_stack(), {})
+
+
+class TestGenerateOccurrences:
+    def test_counts_are_non_negative_integers(self):
+        field = latent_risk_field(_stack(), {"a": 1.0})
+        occurrences = generate_occurrences(field, seed=2)
+        values = occurrences.values
+        assert values.min() >= 0
+        assert np.allclose(values, values.astype(int))
+
+    def test_high_risk_fires_more(self):
+        rng = np.random.default_rng(3)
+        field = rng.normal(size=(50, 50))
+        occurrences = generate_occurrences(field, seed=4, base_rate=0.1).values
+        top_quartile = field > np.quantile(field, 0.75)
+        bottom_quartile = field < np.quantile(field, 0.25)
+        assert occurrences[top_quartile].mean() > 3 * max(
+            occurrences[bottom_quartile].mean(), 1e-9
+        )
+
+    def test_deterministic(self):
+        field = latent_risk_field(_stack(), {"a": 1.0})
+        first = generate_occurrences(field, seed=5)
+        second = generate_occurrences(field, seed=5)
+        assert np.array_equal(first.values, second.values)
+
+    def test_accepts_raster_layer_input(self):
+        layer = RasterLayer("risk", np.random.default_rng(0).random((10, 10)))
+        occurrences = generate_occurrences(layer, seed=6)
+        assert occurrences.shape == (10, 10)
+
+    def test_base_rate_validation(self):
+        with pytest.raises(ValueError):
+            generate_occurrences(np.zeros((4, 4)), seed=1, base_rate=0.0)

@@ -1,0 +1,93 @@
+"""Tests for Gaussian tables and credit-record synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth.credit import (
+    SCORECARD_WEIGHTS,
+    compute_scores,
+    foreclosure_probability,
+    generate_credit_records,
+)
+from repro.synth.gaussian import generate_gaussian_table
+
+
+class TestGaussianTable:
+    def test_dimensions_and_names(self):
+        table = generate_gaussian_table(100, 3, seed=1)
+        assert len(table) == 100
+        assert table.column_names == ["x1", "x2", "x3"]
+
+    def test_marginals(self):
+        table = generate_gaussian_table(20000, 2, seed=2, mean=5.0, std=2.0)
+        for name in table.column_names:
+            column = table.column(name)
+            assert abs(column.mean() - 5.0) < 0.1
+            assert abs(column.std() - 2.0) < 0.1
+
+    def test_correlation_knob(self):
+        independent = generate_gaussian_table(20000, 2, seed=3)
+        correlated = generate_gaussian_table(20000, 2, seed=3, correlation=0.8)
+        corr_ind = np.corrcoef(independent.column("x1"), independent.column("x2"))[0, 1]
+        corr_dep = np.corrcoef(correlated.column("x1"), correlated.column("x2"))[0, 1]
+        assert abs(corr_ind) < 0.05
+        assert corr_dep > 0.7
+
+    def test_deterministic(self):
+        first = generate_gaussian_table(50, 2, seed=4)
+        second = generate_gaussian_table(50, 2, seed=4)
+        assert np.array_equal(first.matrix(), second.matrix())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_gaussian_table(0, 2, seed=1)
+        with pytest.raises(ValueError):
+            generate_gaussian_table(10, 2, seed=1, correlation=1.0)
+        with pytest.raises(ValueError):
+            generate_gaussian_table(10, 2, seed=1, std=0.0)
+
+
+class TestCreditRecords:
+    def test_population_shape(self):
+        population = generate_credit_records(1000, seed=1)
+        assert len(population.table) == 1000
+        assert population.scores.shape == (1000,)
+        assert set(population.table.column_names) == set(SCORECARD_WEIGHTS)
+
+    def test_scores_in_published_range(self):
+        population = generate_credit_records(5000, seed=2)
+        assert population.scores.min() >= 300.0
+        assert population.scores.max() <= 900.0
+
+    def test_published_band_calibration(self):
+        """The paper's two quoted rates: <2% above 680, ~8% below 620."""
+        population = generate_credit_records(60000, seed=3)
+        assert population.band_rate(680.0, 901.0) < 0.02
+        assert 0.05 < population.band_rate(300.0, 620.0) < 0.12
+
+    def test_probability_curve_monotone_decreasing(self):
+        scores = np.linspace(300.0, 900.0, 50)
+        probabilities = foreclosure_probability(scores)
+        assert np.all(np.diff(probabilities) <= 0)
+        assert probabilities.max() <= 0.125
+        assert probabilities.min() >= 0.0
+
+    def test_compute_scores_matches_population(self):
+        population = generate_credit_records(500, seed=4)
+        assert np.allclose(population.scores, compute_scores(population.table))
+
+    def test_band_rate_of_empty_band_is_nan(self):
+        population = generate_credit_records(100, seed=5)
+        assert np.isnan(population.band_rate(899.9, 900.0))
+
+    def test_deterministic(self):
+        first = generate_credit_records(200, seed=6)
+        second = generate_credit_records(200, seed=6)
+        assert np.array_equal(first.scores, second.scores)
+        assert np.array_equal(first.foreclosed, second.foreclosed)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_credit_records(0, seed=1)

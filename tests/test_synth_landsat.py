@@ -1,0 +1,87 @@
+"""Tests for synthetic imagery bands."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth.landsat import generate_band, generate_scene
+from repro.synth.terrain import generate_dem
+
+
+class TestGenerateBand:
+    def test_shape_and_clip(self):
+        band = generate_band((32, 48), seed=1)
+        assert band.shape == (32, 48)
+        assert band.values.min() >= 0.0
+        assert band.values.max() <= 255.0
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            generate_band((16, 16), seed=9).values,
+            generate_band((16, 16), seed=9).values,
+        )
+
+    def test_radiometry_roughly_matches(self):
+        band = generate_band((128, 128), seed=2, mean=100.0, std=20.0)
+        assert abs(band.values.mean() - 100.0) < 10.0
+
+    def test_terrain_coupling_produces_correlation(self):
+        dem = generate_dem((64, 64), seed=3)
+        coupled = generate_band(
+            (64, 64), seed=4, terrain=dem, terrain_coupling=0.8
+        )
+        uncoupled = generate_band((64, 64), seed=4)
+        corr_coupled = np.corrcoef(
+            coupled.values.reshape(-1), dem.values.reshape(-1)
+        )[0, 1]
+        corr_uncoupled = np.corrcoef(
+            uncoupled.values.reshape(-1), dem.values.reshape(-1)
+        )[0, 1]
+        assert corr_coupled > 0.5
+        assert abs(corr_uncoupled) < 0.3
+
+    def test_negative_coupling(self):
+        dem = generate_dem((64, 64), seed=3)
+        band = generate_band((64, 64), seed=4, terrain=dem, terrain_coupling=-0.8)
+        corr = np.corrcoef(band.values.reshape(-1), dem.values.reshape(-1))[0, 1]
+        assert corr < -0.5
+
+    def test_shape_mismatch_raises(self):
+        dem = generate_dem((8, 8), seed=1)
+        with pytest.raises(ValueError):
+            generate_band((9, 9), seed=1, terrain=dem, terrain_coupling=0.5)
+
+    def test_coupling_bounds(self):
+        with pytest.raises(ValueError):
+            generate_band((8, 8), seed=1, terrain_coupling=1.5)
+
+    def test_smoothness_controls_autocorrelation(self):
+        smooth = generate_band((64, 64), seed=5, smoothness=3.5)
+        rough = generate_band((64, 64), seed=5, smoothness=1.0)
+        smooth_grad = np.abs(np.diff(smooth.values, axis=1)).mean()
+        rough_grad = np.abs(np.diff(rough.values, axis=1)).mean()
+        assert smooth_grad < rough_grad
+
+
+class TestGenerateScene:
+    def test_default_bands(self):
+        scene = generate_scene((16, 16), seed=1)
+        assert scene.names == ["tm_band4", "tm_band5", "tm_band7"]
+        assert scene.shape == (16, 16)
+
+    def test_bands_are_independent_noise(self):
+        scene = generate_scene((32, 32), seed=1)
+        first = scene["tm_band4"].values
+        second = scene["tm_band5"].values
+        assert not np.array_equal(first, second)
+
+    def test_custom_band_names(self):
+        scene = generate_scene((8, 8), seed=1, band_names=("b1", "b2"))
+        assert scene.names == ["b1", "b2"]
+
+    def test_couplings_length_checked(self):
+        with pytest.raises(ValueError):
+            generate_scene(
+                (8, 8), seed=1, band_names=("b1",), terrain_couplings=(0.1, 0.2)
+            )

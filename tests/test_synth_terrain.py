@@ -1,0 +1,59 @@
+"""Tests for DEM synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth.terrain import generate_dem
+
+
+class TestGenerateDem:
+    def test_shape_and_range(self):
+        dem = generate_dem((30, 45), seed=1, min_elevation=100.0, max_elevation=200.0)
+        assert dem.shape == (30, 45)
+        assert dem.values.min() >= 100.0
+        assert dem.values.max() <= 200.0
+
+    def test_deterministic_for_seed(self):
+        first = generate_dem((20, 20), seed=5)
+        second = generate_dem((20, 20), seed=5)
+        assert np.array_equal(first.values, second.values)
+
+    def test_different_seeds_differ(self):
+        first = generate_dem((20, 20), seed=5)
+        second = generate_dem((20, 20), seed=6)
+        assert not np.array_equal(first.values, second.values)
+
+    def test_spatial_autocorrelation(self):
+        """Adjacent cells must be much closer than random pairs —
+        the property that makes tile envelopes tight."""
+        dem = generate_dem((64, 64), seed=2)
+        values = dem.values
+        adjacent_diff = np.abs(np.diff(values, axis=0)).mean()
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(values.reshape(-1))
+        random_diff = np.abs(np.diff(shuffled)).mean()
+        assert adjacent_diff < random_diff / 3
+
+    def test_roughness_controls_smoothness(self):
+        smooth = generate_dem((64, 64), seed=3, roughness=0.4)
+        rough = generate_dem((64, 64), seed=3, roughness=0.8)
+        smooth_grad = np.abs(np.diff(smooth.values, axis=0)).mean()
+        rough_grad = np.abs(np.diff(rough.values, axis=0)).mean()
+        assert smooth_grad < rough_grad
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            generate_dem((10, 10), seed=1, roughness=1.5)
+        with pytest.raises(ValueError):
+            generate_dem((10, 10), seed=1, min_elevation=5.0, max_elevation=5.0)
+        with pytest.raises(ValueError):
+            generate_dem((0, 10), seed=1)
+
+    def test_custom_name(self):
+        assert generate_dem((8, 8), seed=1, name="dem42").name == "dem42"
+
+    def test_tiny_grid(self):
+        dem = generate_dem((1, 1), seed=1)
+        assert dem.shape == (1, 1)

@@ -1,0 +1,100 @@
+"""Tests for synthetic weather."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth.weather import (
+    WeatherParams,
+    generate_station_grid,
+    generate_weather,
+)
+
+
+class TestWeatherParams:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            WeatherParams(wet_to_dry=0.0)
+        with pytest.raises(ValueError):
+            WeatherParams(dry_to_wet=1.5)
+
+    def test_ar_coefficient_bounds(self):
+        with pytest.raises(ValueError):
+            WeatherParams(temp_ar_coefficient=1.0)
+
+    def test_rain_mean_positive(self):
+        with pytest.raises(ValueError):
+            WeatherParams(rain_mean_mm=0.0)
+
+
+class TestGenerateWeather:
+    def test_attributes_and_length(self):
+        weather = generate_weather(100, seed=1)
+        assert len(weather) == 100
+        assert weather.attribute_names == ["rain_mm", "temperature_c"]
+
+    def test_deterministic(self):
+        first = generate_weather(50, seed=2)
+        second = generate_weather(50, seed=2)
+        assert np.array_equal(first.values("rain_mm"), second.values("rain_mm"))
+
+    def test_rain_non_negative(self):
+        weather = generate_weather(500, seed=3)
+        assert weather.values("rain_mm").min() >= 0.0
+
+    def test_has_wet_and_dry_spells(self):
+        weather = generate_weather(730, seed=4)
+        rain = weather.values("rain_mm")
+        dry = rain == 0.0
+        assert 0.2 < dry.mean() < 0.95
+        # There must be at least one 3+ day dry run (fire-ants trigger).
+        run = best = 0
+        for is_dry in dry:
+            run = run + 1 if is_dry else 0
+            best = max(best, run)
+        assert best >= 3
+
+    def test_seasonal_temperature_cycle(self):
+        weather = generate_weather(730, seed=5)
+        temperature = weather.values("temperature_c")
+        by_half = temperature[:365].reshape(-1)
+        summer = by_half[150:240].mean()
+        winter = np.concatenate([by_half[:60], by_half[300:]]).mean()
+        assert summer > winter + 5.0
+
+    def test_n_days_positive(self):
+        with pytest.raises(ValueError):
+            generate_weather(0, seed=1)
+
+
+class TestStationGrid:
+    def test_grid_shape_and_names(self):
+        stations = generate_station_grid(2, 3, 30, seed=1)
+        assert set(stations) == {(r, c) for r in range(2) for c in range(3)}
+        assert stations[(1, 2)].name == "station_1_2"
+
+    def test_stations_differ(self):
+        stations = generate_station_grid(2, 2, 60, seed=2)
+        first = stations[(0, 0)].values("rain_mm")
+        second = stations[(1, 1)].values("rain_mm")
+        assert not np.array_equal(first, second)
+
+    def test_deterministic(self):
+        first = generate_station_grid(2, 2, 30, seed=3)
+        second = generate_station_grid(2, 2, 30, seed=3)
+        for key in first:
+            assert np.array_equal(
+                first[key].values("temperature_c"),
+                second[key].values("temperature_c"),
+            )
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            generate_station_grid(0, 2, 10, seed=1)
+
+    def test_south_is_warmer(self):
+        stations = generate_station_grid(5, 1, 365, seed=4)
+        north = stations[(0, 0)].values("temperature_c").mean()
+        south = stations[(4, 0)].values("temperature_c").mean()
+        assert south > north

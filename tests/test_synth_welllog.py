@@ -1,0 +1,128 @@
+"""Tests for synthetic well logs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synth.welllog import (
+    GAMMA_RAY_RESPONSE,
+    LITHOLOGY_CODES,
+    LITHOLOGY_NAMES,
+    WellLogParams,
+    generate_well_field,
+    generate_well_log,
+    layer_runs,
+)
+
+
+class TestWellLogParams:
+    def test_unknown_lithology_rejected(self):
+        with pytest.raises(ValueError):
+            WellLogParams(lithologies=("granite",))
+
+    def test_layer_thickness_validation(self):
+        with pytest.raises(ValueError):
+            WellLogParams(mean_layer_m=0.5, min_layer_m=1.0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            WellLogParams(riverbed_probability=1.5)
+
+
+class TestGenerateWellLog:
+    def test_depth_axis_and_attributes(self):
+        log = generate_well_log(50.0, seed=1)
+        assert log.attribute_names == ["lithology", "gamma_ray"]
+        assert log.depth_at(0) == 0.0
+        assert log.axis.max() < 50.0
+
+    def test_deterministic(self):
+        first = generate_well_log(80.0, seed=2)
+        second = generate_well_log(80.0, seed=2)
+        assert np.array_equal(first.values("lithology"), second.values("lithology"))
+
+    def test_lithology_codes_valid(self):
+        log = generate_well_log(100.0, seed=3)
+        codes = set(log.values("lithology").astype(int))
+        assert codes <= set(LITHOLOGY_NAMES)
+
+    def test_gamma_tracks_lithology(self):
+        """Shale samples must read hotter than sandstone samples."""
+        log = generate_well_log(
+            400.0, seed=4, params=WellLogParams(riverbed_probability=1.0)
+        )
+        lithology = log.values("lithology").astype(int)
+        gamma = log.values("gamma_ray")
+        shale = gamma[lithology == LITHOLOGY_CODES["shale"]]
+        sandstone = gamma[lithology == LITHOLOGY_CODES["sandstone"]]
+        assert shale.size and sandstone.size
+        assert shale.mean() > sandstone.mean() + 30.0
+
+    def test_gamma_non_negative(self):
+        log = generate_well_log(200.0, seed=5)
+        assert log.values("gamma_ray").min() >= 0.0
+
+    def test_riverbed_planting(self):
+        """With probability 1 every well must contain the triplet."""
+        params = WellLogParams(riverbed_probability=1.0)
+        for seed in range(5):
+            log = generate_well_log(150.0, seed=seed, params=params)
+            runs = layer_runs(log)
+            sequence = [LITHOLOGY_NAMES[code] for code, _, _ in runs]
+            found = any(
+                sequence[i: i + 3] == ["shale", "sandstone", "siltstone"]
+                for i in range(len(sequence) - 2)
+            )
+            assert found, f"seed {seed}: no riverbed in {sequence}"
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            generate_well_log(0.0, seed=1)
+
+
+class TestLayerRuns:
+    def test_runs_partition_samples(self):
+        log = generate_well_log(120.0, seed=6)
+        runs = layer_runs(log)
+        assert runs[0][1] == 0
+        assert runs[-1][2] == len(log)
+        for (_, _, stop), (_, start, _) in zip(runs, runs[1:]):
+            assert stop == start
+
+    def test_runs_are_maximal(self):
+        """Consecutive runs must have different lithologies."""
+        log = generate_well_log(120.0, seed=7)
+        runs = layer_runs(log)
+        for (code_a, _, _), (code_b, _, _) in zip(runs, runs[1:]):
+            assert code_a != code_b
+
+    def test_runs_cover_constant_log(self):
+        from repro.data.series import DepthSeries
+
+        log = DepthSeries(
+            "flat",
+            np.arange(4.0),
+            {"lithology": np.zeros(4), "gamma_ray": np.ones(4)},
+        )
+        assert layer_runs(log) == [(0, 0, 4)]
+
+
+class TestWellField:
+    def test_field_size_and_names(self):
+        field = generate_well_field(5, 60.0, seed=8)
+        assert len(field) == 5
+        assert field[0].name == "well_0000"
+
+    def test_wells_differ(self):
+        field = generate_well_field(2, 60.0, seed=9)
+        assert not np.array_equal(
+            field[0].values("lithology"), field[1].values("lithology")
+        )
+
+    def test_n_wells_positive(self):
+        with pytest.raises(ValueError):
+            generate_well_field(0, 60.0, seed=1)
+
+    def test_response_table_consistency(self):
+        assert set(GAMMA_RAY_RESPONSE) == set(LITHOLOGY_CODES)
