@@ -16,7 +16,6 @@ dynamics are perturbed.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.models.fsm import FiniteStateMachine, State, Transition
 from repro.models.fsm_distance import behavioural_distance

@@ -15,7 +15,6 @@ smooth end, where the ratio reaches the quoted ~30x.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.abstraction.semantics import ProgressiveClassifier, ThresholdClassifier
 from repro.metrics.counters import CostCounter

@@ -1,0 +1,132 @@
+"""Serving-layer benchmarks: shard-count scaling and cache hit latency.
+
+The ROADMAP's north star asks for a serving layer (sharding, caching)
+on top of the engine; this benchmark measures what that layer costs and
+buys. Two claims are checked:
+
+* sharded execution returns the *identical* answer set to the single
+  engine at every shard count, with merged-counter work close to the
+  single-engine tally (the shared threshold keeps shards from exploring
+  redundantly);
+* a cache hit answers at least 10x faster than a cold query (in
+  practice several orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.query import TopKQuery
+from repro.models.linear import hps_risk_model
+from repro.service import RetrievalService
+from repro.synth.landsat import generate_scene
+from repro.synth.terrain import generate_dem
+
+SHAPE = (512, 512)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    dem = generate_dem(SHAPE, seed=41)
+    scene = generate_scene(SHAPE, seed=42, terrain=dem)
+    scene.add(dem)
+    return scene
+
+
+@pytest.fixture(scope="module")
+def model():
+    return hps_risk_model()
+
+
+def _answer_list(result):
+    return [(a.row, a.col, round(a.score, 9)) for a in result.answers]
+
+
+class TestServiceScaling:
+    def test_shard_count_scaling(self, benchmark, stack, model, report):
+        report.header(
+            "sharded service == single engine; merged work per shard count"
+        )
+        service = RetrievalService(stack, n_shards=4, cache_size=0)
+        query = TopKQuery(model=model, k=10)
+        single = service.engine.progressive_top_k(query)
+        expected = _answer_list(single)
+        report.row(
+            shards="engine",
+            work=single.counter.total_work,
+            nodes=single.counter.nodes_visited,
+        )
+        for n_shards in (1, 2, 4):
+            start = time.perf_counter()
+            result = service.top_k(query, n_shards=n_shards)
+            wall_ms = (time.perf_counter() - start) * 1e3
+            assert _answer_list(result) == expected, (
+                f"{n_shards}-shard answers diverged from the single engine"
+            )
+            report.row(
+                shards=n_shards,
+                work=result.counter.total_work,
+                nodes=result.counter.nodes_visited,
+                wall_ms=wall_ms,
+            )
+            # Cooperative pruning keeps shard overhead bounded: the merged
+            # work must stay within 2x of the single-engine tally.
+            assert result.counter.total_work < 2 * single.counter.total_work
+        benchmark.pedantic(
+            service.top_k, args=(query,), kwargs={"n_shards": 4},
+            rounds=3, iterations=1,
+        )
+
+    def test_cache_hit_latency(self, benchmark, stack, model, report):
+        report.header("query cache: cold execution vs cached answer")
+        service = RetrievalService(stack, n_shards=4, cache_size=16)
+        query = TopKQuery(model=model, k=10)
+
+        start = time.perf_counter()
+        cold = service.top_k(query)
+        cold_seconds = time.perf_counter() - start
+
+        warm_seconds = min(
+            _timed(service.top_k, query) for _ in range(10)
+        )
+        warm = service.top_k(query)
+        assert warm.strategy.endswith("-cached")
+        assert _answer_list(warm) == _answer_list(cold)
+        speedup = cold_seconds / warm_seconds
+        report.row(
+            cold_ms=cold_seconds * 1e3,
+            cache_hit_ms=warm_seconds * 1e3,
+            speedup=speedup,
+            hit_rate=service.stats.hit_rate,
+        )
+        assert speedup >= 10.0, (
+            f"cache hit only {speedup:.1f}x faster than cold execution"
+        )
+        benchmark(service.top_k, query)
+
+    def test_invalidation_cost_is_one_requery(self, benchmark, stack, model, report):
+        report.header("invalidation: one cold re-execution, then hits again")
+        service = RetrievalService(stack, n_shards=4, cache_size=16)
+        query = TopKQuery(model=model, k=10)
+        service.top_k(query)
+        service.top_k(query)
+        service.invalidate()
+        requeried = service.top_k(query)
+        assert not requeried.strategy.endswith("-cached")
+        rehit = service.top_k(query)
+        assert rehit.strategy.endswith("-cached")
+        report.row(
+            queries=service.stats.queries,
+            hits=service.stats.cache_hits,
+            misses=service.stats.cache_misses,
+            invalidations=service.stats.invalidations,
+        )
+        benchmark(lambda: None)
+
+
+def _timed(function, *args, **kwargs) -> float:
+    start = time.perf_counter()
+    function(*args, **kwargs)
+    return time.perf_counter() - start

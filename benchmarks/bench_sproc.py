@@ -14,7 +14,6 @@ and K; the sorted best-first variant grows sub-quadratically on sparse
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.metrics.counters import CostCounter
 from repro.sproc.dp import sproc_top_k

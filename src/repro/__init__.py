@@ -17,7 +17,9 @@ Public surface (see README for the tour):
 * :mod:`repro.synth` — synthetic data generators standing in for the
   paper's proprietary sources;
 * :mod:`repro.metrics` — the Section 4 accuracy and efficiency metrics;
-* :mod:`repro.apps` — the paper's application scenarios, packaged.
+* :mod:`repro.apps` — the paper's application scenarios, packaged;
+* :mod:`repro.service` — the concurrent serving layer (sharded search
+  plus query caching) over the engine.
 """
 
 from repro.core.engine import RasterRetrievalEngine
@@ -28,6 +30,7 @@ from repro.data.archive import Archive
 from repro.index.onion import OnionIndex
 from repro.metrics.counters import CostCounter
 from repro.models.linear import LinearModel, fit_linear_model, hps_risk_model
+from repro.service.retrieval import RetrievalService
 
 __version__ = "1.0.0"
 
@@ -39,6 +42,7 @@ __all__ = [
     "OnionIndex",
     "RasterRetrievalEngine",
     "RetrievalResult",
+    "RetrievalService",
     "TopKQuery",
     "fit_linear_model",
     "hps_risk_model",

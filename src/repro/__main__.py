@@ -84,6 +84,44 @@ def _demo_onion() -> None:
     )
 
 
+def _demo_service() -> None:
+    import time
+
+    from repro.core.query import TopKQuery
+    from repro.models.linear import hps_risk_model
+    from repro.service import RetrievalService
+    from repro.synth.landsat import generate_scene
+    from repro.synth.terrain import generate_dem
+
+    print("== retrieval service: sharded search + query cache ==")
+    dem = generate_dem((256, 256), seed=1)
+    stack = generate_scene((256, 256), seed=2, terrain=dem)
+    stack.add(dem)
+    service = RetrievalService(stack, n_shards=4, cache_size=32)
+    query = TopKQuery(model=hps_risk_model(), k=10)
+
+    single = service.engine.progressive_top_k(query)
+    start = time.perf_counter()
+    cold = service.top_k(query)
+    cold_seconds = time.perf_counter() - start
+    assert set(cold.locations) == set(single.locations)
+    start = time.perf_counter()
+    warm = service.top_k(query)
+    warm_seconds = time.perf_counter() - start
+    assert warm.strategy.endswith("-cached")
+
+    print(
+        f"  {cold.strategy}: merged work {cold.counter.total_work:,} "
+        "(= single-engine answers)"
+    )
+    print(
+        f"  cold {cold_seconds * 1e3:.1f} ms -> cached "
+        f"{warm_seconds * 1e3:.3f} ms "
+        f"({cold_seconds / warm_seconds:.0f}x), "
+        f"hit rate {service.stats.hit_rate:.0%}"
+    )
+
+
 def main(argv: list[str] | None = None) -> None:
     """Run the requested demos (all by default)."""
     parser = argparse.ArgumentParser(
@@ -93,7 +131,7 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "demo",
         nargs="?",
-        choices=["linear", "fsm", "knowledge", "onion", "all"],
+        choices=["linear", "fsm", "knowledge", "onion", "service", "all"],
         default="all",
         help="which demo to run",
     )
@@ -103,6 +141,7 @@ def main(argv: list[str] | None = None) -> None:
         "fsm": _demo_fsm,
         "knowledge": _demo_knowledge,
         "onion": _demo_onion,
+        "service": _demo_service,
     }
     if arguments.demo == "all":
         for demo in demos.values():

@@ -16,10 +16,16 @@ strategy              data representation     model execution
 is already a data saving; the *tile* axis is what the table's first
 column refers to.
 
-All four strategies return the same exact top-K score multiset (bounds
-are sound, pruning is strict), so the comparison isolates work, not
-quality. Work is tallied per strategy on a fresh
+All four strategies return the same exact top-K *answer set* — not just
+the score multiset: bounds are sound, pruning is strict, and score ties
+at the K boundary break deterministically (smallest ``(row, col)`` wins,
+see :class:`TopKHeap`) — so the comparison isolates work, not quality.
+Work is tallied per strategy on a fresh
 :class:`~repro.metrics.counters.CostCounter`.
+
+The sharded service layer (:mod:`repro.service`) drives the same search
+through :meth:`RasterRetrievalEngine.prepare_tile_query` and
+:meth:`RasterRetrievalEngine.shard_search`.
 """
 
 from __future__ import annotations
@@ -44,15 +50,28 @@ from repro.models.progressive_linear import (
 )
 
 
-class _TopKHeap:
-    """Running top-K of (signed score, cell) with a threshold view."""
+class TopKHeap:
+    """Running top-K of (signed score, cell) with a threshold view.
+
+    Tie-break convention (shared by every strategy, see DESIGN.md §6):
+    on equal signed score the smallest ``(row, col)`` cell wins. Entries
+    are stored as ``(score, (-row, -col))`` so the min-heap root is
+    always the *worst kept* answer under that rule — lowest score, and
+    among score-equals the largest cell — which makes the eviction
+    comparison in :meth:`offer` implement the rule directly.
+
+    :mod:`repro.service` shares one (lock-wrapped) instance across
+    concurrent shard searches; because pruning compares strictly against
+    :attr:`threshold`, a threshold raised early by another shard only
+    tightens pruning and never changes the final answer set.
+    """
 
     def __init__(self, k: int) -> None:
         self.k = k
         self._heap: list[tuple[float, tuple[int, int]]] = []
 
     def offer(self, score: float, cell: tuple[int, int]) -> None:
-        entry = (score, cell)
+        entry = (score, (-cell[0], -cell[1]))
         if len(self._heap) < self.k:
             heapq.heappush(self._heap, entry)
         elif entry > self._heap[0]:
@@ -68,8 +87,17 @@ class _TopKHeap:
         return self._heap[0][0] if self.full else float("-inf")
 
     def ranked(self) -> list[tuple[float, tuple[int, int]]]:
-        """Entries best-first with deterministic tie-break."""
-        return sorted(self._heap, key=lambda item: (-item[0], item[1]))
+        """(score, cell) entries best-first: score descending, then
+        smallest ``(row, col)``."""
+        decoded = [
+            (score, (-neg_row, -neg_col))
+            for score, (neg_row, neg_col) in self._heap
+        ]
+        return sorted(decoded, key=lambda item: (-item[0], item[1]))
+
+
+#: Backwards-compatible alias (the heap predates the service layer).
+_TopKHeap = TopKHeap
 
 
 class RasterRetrievalEngine:
@@ -112,12 +140,14 @@ class RasterRetrievalEngine:
         counter.add_model_evals(n_cells, flops_each=model.complexity)
 
         sign = 1.0 if query.maximize else -1.0
-        heap = _TopKHeap(query.k)
+        heap = TopKHeap(query.k)
         flat = (sign * scores).reshape(-1)
         window_cols = col1 - col0
-        # Seed with the k largest, then offer the rest (heap semantics keep
-        # the answer identical to offering everything; argpartition keeps
-        # the Python-level loop short).
+        # Only the k best cells are ever offered: the stable argsort on
+        # the negated scores selects them with the smallest flat index —
+        # i.e. smallest (row, col) — winning boundary-score ties, the
+        # same tie-break TopKHeap eviction applies, and offering any
+        # remaining cell could never displace a heap entry.
         order = np.argsort(-flat, kind="stable")[: query.k]
         for flat_index in order:
             row, col = divmod(int(flat_index), window_cols)
@@ -180,7 +210,7 @@ class RasterRetrievalEngine:
         audit = PruningAudit()
         model = query.model
         sign = 1.0 if query.maximize else -1.0
-        heap = _TopKHeap(query.k)
+        heap = TopKHeap(query.k)
         region = query.clip_region(self.stack.shape)
 
         progressive = (
@@ -280,7 +310,7 @@ class RasterRetrievalEngine:
         self,
         query: TopKQuery,
         progressive: ProgressiveLinearModel | None,
-        heap: _TopKHeap,
+        heap: TopKHeap,
         sign: float,
         region: tuple[int, int, int, int],
         counter: CostCounter,
@@ -288,8 +318,13 @@ class RasterRetrievalEngine:
         pruning: str = "sound",
         heuristic_margin: float = 0.7,
         work_budget: int | None = None,
+        roots: list[ScreenNode] | None = None,
     ) -> float | None:
         """Best-first branch-and-bound over the tile screen.
+
+        ``roots`` overrides the starting frontier (default: the global
+        screen root); shard searches pass the minimal node cover of
+        their sub-region so bands skip the shared upper tree levels.
 
         Returns the anytime regret bound when a ``work_budget`` was set
         (0.0 when the search finished within budget), else None.
@@ -304,12 +339,16 @@ class RasterRetrievalEngine:
                 )
             return self.screen.envelopes(node, counter)
 
-        root = self.screen.root()
-        root_env = node_envelopes(root)
-        counter.add_partial_evals(1, flops_each=model.complexity)
-        frontier = [
-            (-self._signed_upper(model, root_env, sign), next(tiebreak), root)
-        ]
+        if roots is None:
+            roots = [self.screen.root()]
+        frontier = []
+        for root in roots:
+            root_env = node_envelopes(root)
+            counter.add_partial_evals(1, flops_each=model.complexity)
+            heapq.heappush(
+                frontier,
+                (-self._signed_upper(model, root_env, sign), next(tiebreak), root),
+            )
 
         region_row0, region_col0, region_row1, region_col1 = region
 
@@ -362,11 +401,74 @@ class RasterRetrievalEngine:
                 )
         return 0.0 if work_budget is not None else None
 
+    # -- shard entry points (the repro.service concurrency layer) ----------
+
+    def prepare_tile_query(
+        self,
+        query: TopKQuery,
+        use_model_levels: bool = True,
+        term_order: tuple[str, ...] | None = None,
+    ) -> ProgressiveLinearModel | None:
+        """Validate ``query`` for tile search and build its level cascade.
+
+        Performs the same compatibility checks as
+        :meth:`progressive_top_k` with ``use_tiles=True`` and returns the
+        cascade (or ``None`` when ``use_model_levels`` is false). The
+        returned object is read-only during search, so one instance can
+        be shared across concurrent :meth:`shard_search` calls.
+        """
+        model = query.model
+        progressive = (
+            self._build_progressive(model, term_order)
+            if use_model_levels
+            else None
+        )
+        if use_model_levels and progressive is None:
+            raise QueryError(
+                f"model {type(model).__name__} does not support progressive "
+                "levels; run with use_model_levels=False"
+            )
+        if not model.supports_intervals:
+            raise QueryError(
+                f"model {type(model).__name__} cannot bound intervals; "
+                "tile search needs evaluate_interval"
+            )
+        return progressive
+
+    def shard_search(
+        self,
+        query: TopKQuery,
+        region: tuple[int, int, int, int],
+        heap: TopKHeap,
+        counter: CostCounter,
+        audit: PruningAudit,
+        progressive: ProgressiveLinearModel | None = None,
+        pruning: str = "sound",
+        heuristic_margin: float = 0.7,
+    ) -> None:
+        """Branch-and-bound restricted to ``region`` against a shared heap.
+
+        The shard-scoped search entry point: ``region`` is an absolute,
+        already-clipped grid window (one row band of a query's region),
+        and the frontier starts from the screen's minimal node cover of
+        that window. ``heap`` may be shared — and must then be lock-
+        protected — across concurrent shard searches: because every
+        pruning test compares *strictly* against the heap threshold, a
+        threshold raised by another shard's discoveries only tightens
+        pruning and never drops an answer.
+        """
+        sign = 1.0 if query.maximize else -1.0
+        self._tile_search(
+            query, progressive, heap, sign, region, counter, audit,
+            pruning=pruning, heuristic_margin=heuristic_margin,
+            roots=self.screen.region_roots(region),
+        )
+
     def _evaluate_window(
         self,
         query: TopKQuery,
         progressive: ProgressiveLinearModel | None,
-        heap: _TopKHeap,
+        heap: TopKHeap,
         sign: float,
         window: tuple[int, int, int, int],
         counter: CostCounter,

@@ -52,6 +52,15 @@ class PruningAudit:
             self.cells_pruned_at_level.get(level, 0) + n_cells
         )
 
+    def absorb(self, other: "PruningAudit") -> None:
+        """Accumulate another audit's tallies (per-shard audit merging)."""
+        self.tiles_screened += other.tiles_screened
+        self.tiles_pruned += other.tiles_pruned
+        for level, n_cells in other.cells_entered_level.items():
+            self.enter_level(level, n_cells)
+        for level, n_cells in other.cells_pruned_at_level.items():
+            self.prune_at_level(level, n_cells)
+
     @property
     def tile_prune_fraction(self) -> float:
         """Fraction of screened tiles pruned without reading cells."""

@@ -134,14 +134,18 @@ class TileScreen:
         margin: float,
         counter: CostCounter | None = None,
     ) -> dict[str, tuple[float, float]]:
-        """Mean +/- margin*(spread) pseudo-envelopes (UNSOUND on purpose).
+        """Midpoint +/- margin*half-spread pseudo-envelopes (UNSOUND on
+        purpose for ``margin < 1``).
 
         The DESIGN.md pruning-rule ablation: instead of the true (min,
         max), pretend each attribute stays within ``margin`` of the
-        node's half-spread around its mean. ``margin = 1`` recovers the
-        sound envelope; smaller margins prune more aggressively and can
-        *miss answers* — the recall/work trade the ablation benchmark
-        quantifies.
+        node's half-spread around the *envelope midpoint*
+        ``(min + max) / 2``. Centering on the midpoint (not the mean,
+        which can sit anywhere inside the envelope) is what makes
+        ``margin = 1`` recover exactly the sound (min, max) envelope;
+        smaller margins shrink it symmetrically, prune more aggressively
+        and can *miss answers* — the recall/work trade the ablation
+        benchmark quantifies.
         """
         if margin < 0:
             raise PlanError("margin must be non-negative")
@@ -150,10 +154,46 @@ class TileScreen:
         result = {}
         for name, tree_node in zip(self.attributes, node.nodes):
             half_spread = (tree_node.maximum - tree_node.minimum) / 2.0
+            midpoint = (tree_node.minimum + tree_node.maximum) / 2.0
             result[name] = (
-                tree_node.mean - margin * half_spread,
-                tree_node.mean + margin * half_spread,
+                midpoint - margin * half_spread,
+                midpoint + margin * half_spread,
             )
+        return result
+
+    def region_roots(
+        self, region: tuple[int, int, int, int]
+    ) -> list[ScreenNode]:
+        """Minimal set of screen nodes covering ``region``.
+
+        Descends from the root, keeping any node fully inside the region
+        (or any leaf touching it) and recursing only through nodes that
+        straddle the region boundary — so a row-band shard's
+        branch-and-bound starts from O(boundary) sub-region roots
+        instead of re-screening the whole tree from the global root.
+        The returned nodes are pairwise disjoint, every one intersects
+        the region, and together they cover it (leaves may overhang; the
+        engine clips leaf evaluation to the region).
+        """
+        rows, cols = self.shape
+        row0, col0 = max(0, region[0]), max(0, region[1])
+        row1, col1 = min(rows, region[2]), min(cols, region[3])
+        if row0 >= row1 or col0 >= col1:
+            raise PlanError(
+                f"region {region} does not intersect grid {self.shape}"
+            )
+        result: list[ScreenNode] = []
+        stack = [self.root()]
+        while stack:
+            node = stack.pop()
+            quad = node.nodes[0]
+            if not quad.intersects(row0, col0, row1, col1):
+                continue
+            if quad.contained_in(row0, col0, row1, col1) or node.is_leaf:
+                result.append(node)
+                continue
+            stack.extend(self.children(node))
+        result.sort(key=lambda screen_node: screen_node.window[:2])
         return result
 
     def attribute_ranges(self) -> dict[str, tuple[float, float]]:

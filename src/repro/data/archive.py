@@ -39,6 +39,17 @@ class Archive:
         self.name = name
         self._items: dict[str, ArchiveItem] = {}
         self._catalog: dict[str, CatalogEntry] = {}
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter, bumped by every :meth:`add`.
+
+        Caching layers (:class:`repro.service.RetrievalService`) record
+        the generation their entries were computed under and invalidate
+        when it moves — cheap change detection without hashing contents.
+        """
+        return self._generation
 
     def add(self, item: ArchiveItem, entry: CatalogEntry | None = None) -> None:
         """Add an item under its own name with an optional catalog entry.
@@ -57,6 +68,7 @@ class Archive:
             )
         self._items[item.name] = item
         self._catalog[item.name] = entry
+        self._generation += 1
 
     def __contains__(self, name: str) -> bool:
         return name in self._items

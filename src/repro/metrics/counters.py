@@ -88,6 +88,28 @@ class CostCounter:
         finally:
             self.wall_seconds += time.perf_counter() - start
 
+    def __iadd__(self, other: "CostCounter") -> "CostCounter":
+        """In-place merge — how the service folds per-shard counters
+        into one tally without allocating an intermediate per shard."""
+        if not isinstance(other, CostCounter):
+            return NotImplemented
+        self.data_points += other.data_points
+        self.model_evals += other.model_evals
+        self.partial_evals += other.partial_evals
+        self.flops += other.flops
+        self.tuples_examined += other.tuples_examined
+        self.nodes_visited += other.nodes_visited
+        self.wall_seconds += other.wall_seconds
+        for key, value in other.notes.items():
+            self.notes[key] = self.notes.get(key, 0.0) + value
+        return self
+
+    def __radd__(self, other: object) -> "CostCounter":
+        """Support ``sum(counters)`` (the int 0 start value)."""
+        if other == 0:
+            return CostCounter() + self
+        return NotImplemented
+
     def __add__(self, other: "CostCounter") -> "CostCounter":
         if not isinstance(other, CostCounter):
             return NotImplemented

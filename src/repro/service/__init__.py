@@ -1,0 +1,30 @@
+"""Concurrent serving layer over the retrieval engine.
+
+The paper frames retrieval as "large archives serving model queries";
+this package is the serving front end: :class:`RetrievalService` shards
+a query's region into row bands searched concurrently against one
+shared top-K threshold, merges the per-shard work records, and caches
+whole answers behind a fingerprint keyed on what the query *asks* (model
+coefficients, region, k, direction, strategy knobs) — invalidated when
+the source archive mutates.
+
+See ``docs/TUTORIAL.md`` §8 and ``benchmarks/bench_service.py``.
+"""
+
+from repro.service.cache import QueryCache, model_fingerprint, query_fingerprint
+from repro.service.retrieval import (
+    RetrievalService,
+    ServiceStats,
+    SharedTopKHeap,
+)
+from repro.service.sharding import row_band_shards
+
+__all__ = [
+    "QueryCache",
+    "RetrievalService",
+    "ServiceStats",
+    "SharedTopKHeap",
+    "model_fingerprint",
+    "query_fingerprint",
+    "row_band_shards",
+]

@@ -1,0 +1,114 @@
+"""Query-result caching for the serving layer.
+
+Two pieces: *fingerprints* — hashable identities for "the same question
+asked again" — and a bounded, thread-safe LRU store mapping fingerprints
+to :class:`~repro.core.results.RetrievalResult` objects. Invalidation
+policy (archive generation watching, explicit clears) lives in
+:class:`repro.service.retrieval.RetrievalService`; this module is just
+the key calculus and the store.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.core.query import TopKQuery
+from repro.core.results import RetrievalResult
+from repro.models.base import Model
+from repro.models.linear import LinearModel
+
+
+def model_fingerprint(model: Model) -> Hashable:
+    """A hashable identity for a model's scoring behaviour.
+
+    Linear models fingerprint *by value* — sorted coefficients plus
+    intercept — so two separately constructed but equal models share
+    cache entries. Other families fall back to instance identity, which
+    never falsely shares (models are immutable by library convention)
+    but only hits when the same object is reused.
+    """
+    if isinstance(model, LinearModel):
+        return (
+            "linear",
+            tuple(sorted(model.coefficients.items())),
+            model.intercept,
+        )
+    return (type(model).__qualname__, tuple(model.attributes), id(model))
+
+
+def query_fingerprint(
+    query: TopKQuery,
+    region: tuple[int, int, int, int],
+    **knobs: Hashable,
+) -> Hashable:
+    """Cache key for a query plus the strategy knobs that shape answers.
+
+    ``region`` is the query's *clipped* window, so ``region=None`` and
+    an explicit whole-grid region hash identically. Shard count is
+    deliberately absent: sharding changes the work split, never the
+    answer set, so any shard count may serve any other's cached result.
+    """
+    return (
+        model_fingerprint(query.model),
+        query.k,
+        query.maximize,
+        region,
+        tuple(sorted(knobs.items())),
+    )
+
+
+class QueryCache:
+    """A bounded, thread-safe LRU map of query fingerprints to results.
+
+    ``get`` refreshes recency; ``put`` evicts the least-recently-used
+    entry beyond ``maxsize``. Hit/miss tallies are exposed for the
+    service's stats and the cache benchmarks.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, RetrievalResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> RetrievalResult | None:
+        """The cached result for ``key``, or None (tallied either way)."""
+        with self._lock:
+            try:
+                result = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def put(self, key: Hashable, result: RetrievalResult) -> None:
+        """Store ``result``, evicting the oldest entries past capacity."""
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss tallies are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryCache(entries={len(self)}, maxsize={self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

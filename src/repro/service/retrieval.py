@@ -1,0 +1,276 @@
+"""The concurrent retrieval service: sharded search behind a query cache.
+
+This is the serving layer the ROADMAP's north star asks for on top of
+the single-threaded engine. A :class:`RetrievalService` answers a
+:class:`~repro.core.query.TopKQuery` by
+
+1. checking an LRU cache keyed on a fingerprint of (model coefficients /
+   attributes, clipped region, k, maximize, strategy knobs), invalidated
+   when a watched archive's :attr:`~repro.data.archive.Archive.generation`
+   moves or :meth:`RetrievalService.invalidate` is called;
+2. on a miss, partitioning the region into disjoint row bands and
+   running the engine's branch-and-bound per band on a thread pool. All
+   shards offer into one lock-protected :class:`SharedTopKHeap`, so a
+   strong discovery in any band immediately raises the pruning threshold
+   in every other band — the shards cooperate rather than redundantly
+   exploring;
+3. merging the per-shard :class:`~repro.metrics.counters.CostCounter`
+   and :class:`~repro.core.results.PruningAudit` records into one
+   result.
+
+Because every pruning test in the engine compares *strictly* against
+the shared threshold and the deterministic smallest-``(row, col)``
+tie-break is applied on every offer, the merged answer set is identical
+to the single-engine :meth:`RasterRetrievalEngine.progressive_top_k`
+answer at every shard count (property-tested, including boundary-score
+ties). Heuristic pruning (``pruning="heuristic"``, ``margin < 1``) is
+the one exception — it is unsound by design, sharded or not.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+
+from repro.core.engine import RasterRetrievalEngine, TopKHeap
+from repro.core.query import TopKQuery
+from repro.core.results import PruningAudit, RetrievalResult, ScoredLocation
+from repro.data.archive import Archive
+from repro.data.raster import RasterStack
+from repro.exceptions import QueryError
+from repro.metrics.counters import CostCounter
+from repro.service.cache import QueryCache, query_fingerprint
+from repro.service.sharding import row_band_shards
+
+
+class SharedTopKHeap(TopKHeap):
+    """A :class:`TopKHeap` safe to share across shard threads.
+
+    One lock covers offers *and* threshold/fullness reads: a stale
+    threshold would merely make pruning conservative (the threshold only
+    rises), but ``heapreplace`` mid-sift can transiently expose a value
+    larger than the true minimum, which an unlocked reader could use to
+    prune unsoundly.
+    """
+
+    def __init__(self, k: int) -> None:
+        super().__init__(k)
+        self._lock = threading.Lock()
+
+    def offer(self, score: float, cell: tuple[int, int]) -> None:
+        with self._lock:
+            super().offer(score, cell)
+
+    @property
+    def full(self) -> bool:
+        with self._lock:
+            return len(self._heap) >= self.k
+
+    @property
+    def threshold(self) -> float:
+        with self._lock:
+            if len(self._heap) >= self.k:
+                return self._heap[0][0]
+            return float("-inf")
+
+    def ranked(self) -> list[tuple[float, tuple[int, int]]]:
+        with self._lock:
+            return super().ranked()
+
+
+@dataclass
+class ServiceStats:
+    """Serving tallies across a service's lifetime."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from cache (0.0 when idle)."""
+        if self.queries == 0:
+            return 0.0
+        return self.cache_hits / self.queries
+
+
+class RetrievalService:
+    """Sharded, cached top-K retrieval over a raster stack.
+
+    Parameters
+    ----------
+    stack:
+        Attribute layers the queries evaluate over.
+    leaf_size:
+        Tile-screen leaf window for the underlying engine.
+    n_shards:
+        Default row-band count per query (overridable per call).
+    cache_size:
+        LRU capacity in cached results; ``0`` disables caching.
+    archive:
+        Optional source archive to watch: whenever its ``generation``
+        moves (a layer was added), every cached answer is dropped before
+        the next query executes. Use :meth:`from_archive` to build stack
+        and watch in one step.
+    """
+
+    def __init__(
+        self,
+        stack: RasterStack,
+        leaf_size: int = 16,
+        n_shards: int = 4,
+        cache_size: int = 128,
+        archive: Archive | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise QueryError(f"n_shards must be positive, got {n_shards}")
+        self.engine = RasterRetrievalEngine(stack, leaf_size=leaf_size)
+        self.n_shards = n_shards
+        self.cache: QueryCache | None = (
+            QueryCache(cache_size) if cache_size > 0 else None
+        )
+        self._archive = archive
+        self._seen_generation = (
+            archive.generation if archive is not None else None
+        )
+        self.stats = ServiceStats()
+
+    @classmethod
+    def from_archive(
+        cls, archive: Archive, layers: list[str], **kwargs
+    ) -> "RetrievalService":
+        """Service over an archive's named raster layers, watching the
+        archive so later ``add`` calls invalidate the cache."""
+        return cls(archive.stack(layers), archive=archive, **kwargs)
+
+    def invalidate(self) -> None:
+        """Explicitly drop every cached answer."""
+        if self.cache is not None:
+            self.cache.clear()
+        self.stats.invalidations += 1
+
+    def _check_archive_generation(self) -> None:
+        if self._archive is None:
+            return
+        generation = self._archive.generation
+        if generation != self._seen_generation:
+            self._seen_generation = generation
+            self.invalidate()
+
+    def top_k(
+        self,
+        query: TopKQuery,
+        n_shards: int | None = None,
+        use_model_levels: bool = True,
+        pruning: str = "sound",
+        heuristic_margin: float = 0.7,
+        use_cache: bool = True,
+    ) -> RetrievalResult:
+        """Answer ``query`` through the cache and the shard pool.
+
+        The answer set is identical to the single-engine
+        ``progressive_top_k`` result (for sound pruning) at every shard
+        count. A cache hit returns the stored result with its original
+        work counter — the work that *was* done to compute it — and
+        ``"-cached"`` appended to the strategy label.
+        """
+        self.stats.queries += 1
+        self._check_archive_generation()
+        region = query.clip_region(self.engine.stack.shape)
+        key = query_fingerprint(
+            query,
+            region,
+            use_model_levels=use_model_levels,
+            pruning=pruning,
+            heuristic_margin=heuristic_margin,
+        )
+        if use_cache and self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return replace(cached, strategy=cached.strategy + "-cached")
+            self.stats.cache_misses += 1
+        result = self._execute(
+            query,
+            region,
+            self.n_shards if n_shards is None else n_shards,
+            use_model_levels,
+            pruning,
+            heuristic_margin,
+        )
+        if use_cache and self.cache is not None:
+            self.cache.put(key, result)
+        return result
+
+    def _execute(
+        self,
+        query: TopKQuery,
+        region: tuple[int, int, int, int],
+        n_shards: int,
+        use_model_levels: bool,
+        pruning: str,
+        heuristic_margin: float,
+    ) -> RetrievalResult:
+        if pruning not in ("sound", "heuristic"):
+            raise QueryError(f"unknown pruning mode {pruning!r}")
+        engine = self.engine
+        progressive = engine.prepare_tile_query(
+            query, use_model_levels=use_model_levels
+        )
+        bands = row_band_shards(region, n_shards)
+        heap = SharedTopKHeap(query.k)
+        counters = [CostCounter() for _ in bands]
+        audits = [PruningAudit() for _ in bands]
+
+        total = CostCounter()
+        with total.timed():
+            if len(bands) == 1:
+                engine.shard_search(
+                    query, bands[0], heap, counters[0], audits[0],
+                    progressive=progressive, pruning=pruning,
+                    heuristic_margin=heuristic_margin,
+                )
+            else:
+                with ThreadPoolExecutor(max_workers=len(bands)) as pool:
+                    futures = [
+                        pool.submit(
+                            engine.shard_search,
+                            query, band, heap, counter, audit,
+                            progressive=progressive, pruning=pruning,
+                            heuristic_margin=heuristic_margin,
+                        )
+                        for band, counter, audit in zip(
+                            bands, counters, audits
+                        )
+                    ]
+                    for future in futures:
+                        future.result()
+
+        audit = PruningAudit()
+        for shard_counter, shard_audit in zip(counters, audits):
+            total += shard_counter
+            audit.absorb(shard_audit)
+        total.note("shards", len(bands))
+
+        sign = 1.0 if query.maximize else -1.0
+        answers = [
+            ScoredLocation(row=cell[0], col=cell[1], score=sign * signed)
+            for signed, cell in heap.ranked()
+        ]
+        strategy = "both" if use_model_levels else "data-progressive"
+        if pruning == "heuristic":
+            strategy += "-heuristic"
+        strategy += f"-sharded[{len(bands)}]"
+        return RetrievalResult(
+            answers=answers, counter=total, audit=audit, strategy=strategy
+        )
+
+    def __repr__(self) -> str:
+        cached = len(self.cache) if self.cache is not None else 0
+        return (
+            f"RetrievalService(shape={self.engine.stack.shape}, "
+            f"n_shards={self.n_shards}, cached={cached}, "
+            f"queries={self.stats.queries})"
+        )

@@ -1,0 +1,42 @@
+"""Region partitioning for concurrent shard execution.
+
+The service splits a query's (clipped) region into contiguous *row
+bands*: half-open windows that tile the region exactly and are pairwise
+disjoint, so no cell is ever evaluated by two shards — a prerequisite
+for sharing one top-K heap, whose eviction comparison treats a duplicate
+offer of the same cell as a fresh candidate.
+
+Row bands (rather than quadrants or tile lists) were chosen because they
+partition *any* region for *any* shard count independent of the quadtree
+geometry, and rows are contiguous in the C-ordered rasters underneath,
+so each shard's exact-evaluation windows stay cache-friendly.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QueryError
+
+
+def row_band_shards(
+    region: tuple[int, int, int, int], n_shards: int
+) -> list[tuple[int, int, int, int]]:
+    """Partition ``region`` into up to ``n_shards`` contiguous row bands.
+
+    Band heights differ by at most one row; fewer than ``n_shards``
+    bands come back when the region has fewer rows than shards. The
+    bands cover ``region`` exactly and are pairwise disjoint.
+    """
+    if n_shards < 1:
+        raise QueryError(f"n_shards must be positive, got {n_shards}")
+    row0, col0, row1, col1 = region
+    if row0 >= row1 or col0 >= col1:
+        raise QueryError(f"empty shard region {region}")
+    n_bands = min(n_shards, row1 - row0)
+    height, remainder = divmod(row1 - row0, n_bands)
+    bands = []
+    start = row0
+    for index in range(n_bands):
+        stop = start + height + (1 if index < remainder else 0)
+        bands.append((start, col0, stop, col1))
+        start = stop
+    return bands

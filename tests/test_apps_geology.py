@@ -7,7 +7,7 @@ import pytest
 from repro.apps import geology
 from repro.metrics.counters import CostCounter
 from repro.sproc.naive import naive_top_k
-from repro.synth.welllog import LITHOLOGY_NAMES, WellLogParams, layer_runs
+from repro.synth.welllog import LITHOLOGY_NAMES, WellLogParams
 
 
 @pytest.fixture(scope="module")

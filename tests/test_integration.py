@@ -7,7 +7,6 @@ answers, crossing module boundaries the unit tests keep apart.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.apps import epidemiology
 from repro.core.engine import RasterRetrievalEngine
@@ -27,7 +26,7 @@ from repro.metrics.topk import (
     relevant_locations,
 )
 from repro.models.linear import fit_linear_model, hps_risk_model
-from repro.synth.events import generate_occurrences, latent_risk_field
+from repro.synth.events import latent_risk_field
 from repro.synth.landsat import generate_scene
 from repro.synth.terrain import generate_dem
 
