@@ -1,0 +1,338 @@
+"""Kernel-layer benchmark: vectorized paths vs their scalar references.
+
+Runs each kernel both ways, verifies the answers agree exactly (exit 1
+on any mismatch — this is the CI smoke contract), and reports speedups.
+Full mode writes machine-readable ``BENCH_kernels.json`` at the repo
+root; ``--quick`` shrinks the workloads for CI and writes nothing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps import fireants
+from repro.core.engine import TopKHeap
+from repro.core.screening import TileScreen
+from repro.data.raster import RasterLayer, RasterStack
+from repro.metrics.counters import CostCounter
+from repro.models.fuzzy import FuzzyAnd, triangle_membership
+from repro.models.knowledge import FuzzyRule, KnowledgeModel, RulePredicate
+from repro.models.linear import LinearModel
+from repro.pyramid.quadtree import QuadTree, build_recursive
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_kernels.json"
+
+
+def _best_of(func, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _fail(message: str) -> None:
+    print(f"MISMATCH: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def _trees_equal(node, expected) -> bool:
+    stack = [(node, expected)]
+    while stack:
+        a, b = stack.pop()
+        if (
+            a.window() != b.window()
+            or a.depth != b.depth
+            or a.count != b.count
+            or a.minimum != b.minimum
+            or a.maximum != b.maximum
+            or abs(a.mean - b.mean) > 1e-9 * max(1.0, abs(b.mean))
+            or len(a.children) != len(b.children)
+        ):
+            return False
+        stack.extend(zip(a.children, b.children))
+    return True
+
+
+def bench_quadtree_build(size: int, leaf_size: int, repeats: int) -> dict:
+    rng = np.random.default_rng(11)
+    values = rng.random((size, size))
+    layer = RasterLayer("x", values)
+
+    scalar_s = _best_of(lambda: build_recursive(values, leaf_size), repeats)
+    vector_s = _best_of(lambda: QuadTree(layer, leaf_size=leaf_size), repeats)
+
+    if not _trees_equal(
+        QuadTree(layer, leaf_size=leaf_size).root,
+        build_recursive(values, leaf_size),
+    ):
+        _fail("array quadtree build differs from recursive reference")
+    return {
+        "size": size,
+        "leaf_size": leaf_size,
+        "scalar_s": scalar_s,
+        "vectorized_s": vector_s,
+        "speedup": scalar_s / vector_s,
+        "verified": True,
+    }
+
+
+def bench_screen_build(
+    size: int, n_layers: int, leaf_size: int, repeats: int
+) -> dict:
+    rng = np.random.default_rng(12)
+    stack = RasterStack()
+    for index in range(n_layers):
+        stack.add(
+            RasterLayer(f"layer{index}", rng.random((size, size)))
+        )
+
+    def scalar():
+        # The pre-PR screen cost: one recursive tree per attribute.
+        for name in stack.names:
+            build_recursive(stack[name].values, leaf_size)
+
+    scalar_s = _best_of(scalar, repeats)
+    vector_s = _best_of(
+        lambda: TileScreen(stack, leaf_size=leaf_size), repeats
+    )
+
+    screen = TileScreen(stack, leaf_size=leaf_size)
+    for name in stack.names:
+        if not _trees_equal(
+            screen._trees[name].root,
+            build_recursive(stack[name].values, leaf_size),
+        ):
+            _fail(f"screen tree for {name!r} differs from recursive build")
+    return {
+        "size": size,
+        "n_layers": n_layers,
+        "leaf_size": leaf_size,
+        "scalar_s": scalar_s,
+        "vectorized_s": vector_s,
+        "speedup": scalar_s / vector_s,
+        "verified": True,
+    }
+
+
+def bench_dense_leaf_eval(size: int, k: int, repeats: int) -> dict:
+    rng = np.random.default_rng(13)
+    columns = {
+        "a": rng.random((size, size)),
+        "b": rng.random((size, size)),
+        "c": rng.random((size, size)),
+    }
+    model = LinearModel({"a": 2.0, "b": -1.0, "c": 0.5}, intercept=0.1)
+    scores = model.evaluate_batch(columns)
+    flat = scores.reshape(-1)
+    flat_rows, flat_cols = np.divmod(np.arange(flat.size), size)
+
+    def scalar():
+        heap = TopKHeap(k)
+        values = flat.tolist()
+        for index in range(len(values)):
+            heap.offer(values[index], (index // size, index % size))
+        return heap
+
+    def vector():
+        heap = TopKHeap(k)
+        heap.offer_block(flat, flat_rows, flat_cols)
+        return heap
+
+    scalar_s = _best_of(scalar, repeats)
+    vector_s = _best_of(vector, repeats)
+    if scalar().ranked() != vector().ranked():
+        _fail("offer_block top-k differs from per-cell offer loop")
+    return {
+        "size": size,
+        "k": k,
+        "scalar_s": scalar_s,
+        "vectorized_s": vector_s,
+        "speedup": scalar_s / vector_s,
+        "verified": True,
+    }
+
+
+def _knowledge_model() -> KnowledgeModel:
+    return KnowledgeModel(
+        [
+            FuzzyRule(
+                name="warm_dry",
+                predicates=(
+                    RulePredicate("a", triangle_membership(0.0, 0.6, 1.0)),
+                    RulePredicate("b", triangle_membership(0.2, 0.5, 0.9)),
+                ),
+                weight=1.5,
+                conjunction=FuzzyAnd("min"),
+            ),
+            FuzzyRule(
+                name="wet",
+                predicates=(
+                    RulePredicate("c", triangle_membership(0.1, 0.4, 0.8)),
+                ),
+                weight=1.0,
+                conjunction=FuzzyAnd("product"),
+            ),
+        ],
+        combination="weighted",
+    )
+
+
+def bench_interval_bounds(n_boxes: int, repeats: int) -> dict:
+    rng = np.random.default_rng(14)
+    attributes = ["a", "b", "c"]
+    lows = {name: rng.random(n_boxes) for name in attributes}
+    highs = {
+        name: lows[name] + rng.random(n_boxes) for name in attributes
+    }
+    models = {
+        "linear": LinearModel(
+            {"a": 2.0, "b": -1.0, "c": 0.5}, intercept=0.1
+        ),
+        "knowledge": _knowledge_model(),
+    }
+
+    result = {"n_boxes": n_boxes, "models": {}}
+    for label, model in models.items():
+        boxes = [
+            {
+                name: (float(lows[name][i]), float(highs[name][i]))
+                for name in attributes
+            }
+            for i in range(n_boxes)
+        ]
+
+        def scalar():
+            return [model.evaluate_interval(box) for box in boxes]
+
+        scalar_s = _best_of(scalar, repeats)
+        vector_s = _best_of(
+            lambda: model.evaluate_interval_batch(lows, highs), repeats
+        )
+        batch_low, batch_high = model.evaluate_interval_batch(lows, highs)
+        for i, (low, high) in enumerate(scalar()):
+            if batch_low[i] != low or batch_high[i] != high:
+                _fail(f"{label} interval batch differs at box {i}")
+        result["models"][label] = {
+            "scalar_s": scalar_s,
+            "vectorized_s": vector_s,
+            "speedup": scalar_s / vector_s,
+            "verified": True,
+        }
+    return result
+
+
+def bench_fsm_sweep(
+    n_rows: int, n_cols: int, n_days: int, repeats: int
+) -> dict:
+    scenario = fireants.build_scenario(n_rows, n_cols, n_days, seed=23)
+
+    scalar_s = _best_of(
+        lambda: fireants.run_all_stations(scenario, batch=False), repeats
+    )
+    vector_s = _best_of(
+        lambda: fireants.run_all_stations(scenario, batch=True), repeats
+    )
+
+    scalar_counter, batch_counter = CostCounter(), CostCounter()
+    scalar = fireants.run_all_stations(scenario, scalar_counter, batch=False)
+    batch = fireants.run_all_stations(scenario, batch_counter, batch=True)
+    for cell in scalar:
+        if (
+            scalar[cell].trajectory != batch[cell].trajectory
+            or scalar[cell].acceptance_times != batch[cell].acceptance_times
+        ):
+            _fail(f"FSM batch sweep differs from scalar at station {cell}")
+    if batch_counter.total_work != scalar_counter.total_work:
+        _fail("FSM batch sweep charges different counted work")
+    return {
+        "stations": n_rows * n_cols,
+        "days": n_days,
+        "scalar_s": scalar_s,
+        "vectorized_s": vector_s,
+        "speedup": scalar_s / vector_s,
+        "verified": True,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workloads, no JSON output (CI smoke mode)",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        repeats = 1
+        grid = 256
+        boxes = 512
+        stations = (6, 6, 120)
+    else:
+        repeats = 3
+        grid = 1024
+        boxes = 4096
+        stations = (16, 16, 730)
+
+    results = {}
+    print(f"kernel benchmarks ({'quick' if args.quick else 'full'} mode)")
+    for name, run in [
+        ("quadtree_build", lambda: bench_quadtree_build(grid, 16, repeats)),
+        ("screen_build", lambda: bench_screen_build(grid, 3, 16, repeats)),
+        ("dense_leaf_eval", lambda: bench_dense_leaf_eval(grid, 32, repeats)),
+        ("interval_bounds", lambda: bench_interval_bounds(boxes, repeats)),
+        ("fsm_sweep", lambda: bench_fsm_sweep(*stations, repeats)),
+    ]:
+        results[name] = run()
+        entry = results[name]
+        if "speedup" in entry:
+            print(
+                f"  {name}: {entry['scalar_s'] * 1e3:.1f} ms -> "
+                f"{entry['vectorized_s'] * 1e3:.1f} ms "
+                f"({entry['speedup']:.1f}x)"
+            )
+        else:
+            for label, sub in entry["models"].items():
+                print(
+                    f"  {name}[{label}]: {sub['scalar_s'] * 1e3:.1f} ms -> "
+                    f"{sub['vectorized_s'] * 1e3:.1f} ms "
+                    f"({sub['speedup']:.1f}x)"
+                )
+
+    if not args.quick:
+        floors = {
+            "quadtree_build": 3.0,
+            "screen_build": 3.0,
+            "dense_leaf_eval": 2.0,
+        }
+        for name, floor in floors.items():
+            if results[name]["speedup"] < floor:
+                _fail(
+                    f"{name} speedup {results[name]['speedup']:.2f}x "
+                    f"below the {floor}x acceptance floor"
+                )
+        payload = {
+            "benchmark": "kernels",
+            "grid": grid,
+            "repeats": repeats,
+            "results": results,
+        }
+        OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,12 +11,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core.series_engine import fsm_sweep
 from repro.data.series import TimeSeries
 from repro.metrics.counters import CostCounter
 from repro.models.fsm import FiniteStateMachine
 from repro.models.fsm_runner import (
+    WEATHER_ALPHABET,
     FSMRun,
+    encode_weather,
     fire_ants_model,
+    fire_ants_symbol_machine,
     naive_window_match,
     run_fsm_over_series,
 )
@@ -48,10 +54,43 @@ def build_scenario(
     )
 
 
+def encode_station_weather(
+    series: TimeSeries, counter: CostCounter | None = None
+) -> np.ndarray:
+    """One station's record as integer weather symbols.
+
+    Reads both attributes through the instrumented series API (the same
+    two data points per day the scalar event stream charges) and encodes
+    them for the compiled-FSM batch kernel.
+    """
+    rain = series.read_range("rain_mm", 0, len(series), counter)
+    temperature = series.read_range("temperature_c", 0, len(series), counter)
+    return encode_weather(rain, temperature)
+
+
 def run_all_stations(
-    scenario: FireAntsScenario, counter: CostCounter | None = None
+    scenario: FireAntsScenario,
+    counter: CostCounter | None = None,
+    batch: bool = True,
 ) -> dict[tuple[int, int], FSMRun]:
-    """Drive the FSM over every station's record."""
+    """Drive the FSM over every station's record.
+
+    With ``batch=True`` (the default) all stations advance in lockstep
+    through the integer transition table of the machine's symbol-level
+    twin — same runs, same counter totals, one table gather per day
+    instead of per-station Python stepping. The scalar path remains for
+    scenarios carrying a customized machine (symbol lowering only holds
+    for the Figure 1 dynamics) and as the equivalence-test reference.
+    """
+    if batch and scenario.machine.name == "fire_ants":
+        machine = fire_ants_symbol_machine(name=scenario.machine.name)
+        return fsm_sweep(
+            scenario.stations,
+            machine,
+            encode_station_weather,
+            WEATHER_ALPHABET,
+            counter,
+        )
     return {
         cell: run_fsm_over_series(scenario.machine, series, counter)
         for cell, series in scenario.stations.items()
@@ -119,36 +158,9 @@ def rank_stations_by_dynamics(
 
 
 def _symbol_machine() -> FiniteStateMachine:
-    """The Figure 1 machine over the {rain, dry_hot, dry_cool} alphabet."""
-    from repro.models.fsm import State, Transition
-
-    def eq(expected: str):
-        return lambda symbol: symbol == expected
-
-    def dry(symbol: str) -> bool:
-        return symbol in ("dry_hot", "dry_cool")
-
-    states = [
-        State("rain"), State("dry_1"), State("dry_2"),
-        State("dry_3_plus"), State("fire_ants_fly", accepting=True),
-    ]
-    transitions = [
-        Transition("rain", "rain", eq("rain"), "rain"),
-        Transition("rain", "dry_1", dry, "dry"),
-        Transition("dry_1", "rain", eq("rain"), "rain"),
-        Transition("dry_1", "dry_2", dry, "dry"),
-        Transition("dry_2", "rain", eq("rain"), "rain"),
-        Transition("dry_2", "dry_3_plus", dry, "dry"),
-        Transition("dry_3_plus", "rain", eq("rain"), "rain"),
-        Transition("dry_3_plus", "fire_ants_fly", eq("dry_hot"), "hot"),
-        Transition("dry_3_plus", "dry_3_plus", eq("dry_cool"), "cool"),
-        Transition("fire_ants_fly", "rain", eq("rain"), "rain"),
-        Transition("fire_ants_fly", "fire_ants_fly", eq("dry_hot"), "hot"),
-        Transition("fire_ants_fly", "dry_3_plus", eq("dry_cool"), "cool"),
-    ]
-    return FiniteStateMachine(
-        states, "rain", transitions, missing="error", name="fire_ants_symbols"
-    )
+    """The Figure 1 machine over the {rain, dry_hot, dry_cool} alphabet
+    (now shared with the batch kernel in :mod:`repro.models.fsm_runner`)."""
+    return fire_ants_symbol_machine()
 
 
 def verify_against_naive(

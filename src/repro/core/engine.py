@@ -71,11 +71,62 @@ class TopKHeap:
         self._heap: list[tuple[float, tuple[int, int]]] = []
 
     def offer(self, score: float, cell: tuple[int, int]) -> None:
-        entry = (score, (-cell[0], -cell[1]))
+        self._offer_entry((score, (-cell[0], -cell[1])))
+
+    def _offer_entry(self, entry: tuple[float, tuple[int, int]]) -> None:
         if len(self._heap) < self.k:
             heapq.heappush(self._heap, entry)
         elif entry > self._heap[0]:
             heapq.heapreplace(self._heap, entry)
+
+    def offer_block(
+        self, scores: np.ndarray, rows: np.ndarray, cols: np.ndarray
+    ) -> None:
+        """Offer a whole block of (signed score, cell) candidates.
+
+        Produces exactly the heap state per-cell :meth:`offer` calls
+        would (the kept set is the k largest ``(score, (-row, -col))``
+        tuples ever offered, which is order-independent), but prefilters
+        in NumPy before any Python-level push:
+
+        * when full, drop ``scores < threshold`` — such an entry loses
+          the eviction comparison outright, whatever its cell (equal
+          scores are kept: they can still win on the cell tie-break);
+        * keep only candidates at or above the block's k-th largest
+          score (``np.partition``) — at least k block-mates beat any
+          entry strictly below that cutoff, so it can never be kept.
+          ``>=`` keeps boundary-score ties for the tie-break to settle.
+        """
+        self._offer_block_impl(scores, rows, cols)
+
+    def _offer_block_impl(
+        self, scores: np.ndarray, rows: np.ndarray, cols: np.ndarray
+    ) -> None:
+        scores = np.asarray(scores, dtype=float).reshape(-1)
+        rows = np.asarray(rows).reshape(-1)
+        cols = np.asarray(cols).reshape(-1)
+        if scores.size == 0:
+            return
+        if len(self._heap) >= self.k:
+            keep = scores >= self._heap[0][0]
+            if not keep.all():
+                scores = scores[keep]
+                rows = rows[keep]
+                cols = cols[keep]
+            if scores.size == 0:
+                return
+        if scores.size > self.k:
+            cutoff = np.partition(scores, scores.size - self.k)[
+                scores.size - self.k
+            ]
+            keep = scores >= cutoff
+            scores = scores[keep]
+            rows = rows[keep]
+            cols = cols[keep]
+        for score, row, col in zip(
+            scores.tolist(), rows.tolist(), cols.tolist()
+        ):
+            self._offer_entry((score, (-int(row), -int(col))))
 
     @property
     def full(self) -> bool:
@@ -143,15 +194,11 @@ class RasterRetrievalEngine:
         heap = TopKHeap(query.k)
         flat = (sign * scores).reshape(-1)
         window_cols = col1 - col0
-        # Only the k best cells are ever offered: the stable argsort on
-        # the negated scores selects them with the smallest flat index —
-        # i.e. smallest (row, col) — winning boundary-score ties, the
-        # same tie-break TopKHeap eviction applies, and offering any
-        # remaining cell could never displace a heap entry.
-        order = np.argsort(-flat, kind="stable")[: query.k]
-        for flat_index in order:
-            row, col = divmod(int(flat_index), window_cols)
-            heap.offer(float(flat[flat_index]), (row0 + row, col0 + col))
+        # offer_block partition-prefilters down to the k best (plus
+        # boundary-score ties, which its tie-break settles) before any
+        # Python-level push.
+        flat_rows, flat_cols = divmod(np.arange(flat.size), window_cols)
+        heap.offer_block(flat, row0 + flat_rows, col0 + flat_cols)
 
         answers = [
             ScoredLocation(row=cell[0], col=cell[1], score=sign * signed)
@@ -300,12 +347,6 @@ class RasterRetrievalEngine:
             {name: ranges[name] for name in model.attributes},
         )
 
-    def _signed_upper(
-        self, model: Model, envelopes: dict[str, tuple[float, float]], sign: float
-    ) -> float:
-        low, high = model.evaluate_interval(envelopes)
-        return high if sign > 0 else -low
-
     def _tile_search(
         self,
         query: TopKQuery,
@@ -332,23 +373,31 @@ class RasterRetrievalEngine:
         model = query.model
         tiebreak = itertools.count()
 
-        def node_envelopes(node: ScreenNode) -> dict[str, tuple[float, float]]:
+        def block_uppers(nodes: list[ScreenNode]) -> list[float]:
+            """Signed upper bounds for a whole frontier batch.
+
+            One envelope fancy-index + one ``evaluate_interval_batch``
+            replaces per-node dict building and scalar interval calls;
+            charged identically to ``len(nodes)`` scalar boundings.
+            """
             if pruning == "heuristic":
-                return self.screen.heuristic_envelopes(
-                    node, heuristic_margin, counter
+                envelopes = self.screen.heuristic_envelopes_block(
+                    nodes, heuristic_margin, counter
                 )
-            return self.screen.envelopes(node, counter)
+            else:
+                envelopes = self.screen.envelopes_block(nodes, counter)
+            counter.add_partial_evals(len(nodes), flops_each=model.complexity)
+            lows = {name: pair[0] for name, pair in envelopes.items()}
+            highs = {name: pair[1] for name, pair in envelopes.items()}
+            low, high = model.evaluate_interval_batch(lows, highs)
+            uppers = high if sign > 0 else -low
+            return uppers.tolist()
 
         if roots is None:
             roots = [self.screen.root()]
         frontier = []
-        for root in roots:
-            root_env = node_envelopes(root)
-            counter.add_partial_evals(1, flops_each=model.complexity)
-            heapq.heappush(
-                frontier,
-                (-self._signed_upper(model, root_env, sign), next(tiebreak), root),
-            )
+        for upper, root in zip(block_uppers(roots), roots):
+            heapq.heappush(frontier, (-upper, next(tiebreak), root))
 
         region_row0, region_col0, region_row1, region_col1 = region
 
@@ -386,14 +435,23 @@ class RasterRetrievalEngine:
                     query, progressive, heap, sign, window, counter, audit
                 )
                 continue
-            for child in self.screen.children(node):
-                if not intersects_region(child):
-                    continue
-                envelopes = node_envelopes(child)
-                counter.add_partial_evals(1, flops_each=model.complexity)
-                child_upper = self._signed_upper(model, envelopes, sign)
-                audit.tiles_screened += 1
-                if heap.full and child_upper < heap.threshold:
+            children = [
+                child
+                for child in self.screen.children(node)
+                if intersects_region(child)
+            ]
+            if not children:
+                continue
+            child_uppers = block_uppers(children)
+            audit.tiles_screened += len(children)
+            # One threshold read covers the whole sibling batch: the heap
+            # cannot change between siblings here (offers happen only at
+            # leaves), and under a shared heap a concurrently-raised
+            # threshold only ever tightens pruning.
+            full = heap.full
+            prune_below = heap.threshold
+            for child_upper, child in zip(child_uppers, children):
+                if full and child_upper < prune_below:
                     audit.tiles_pruned += 1
                     continue
                 heapq.heappush(
@@ -493,8 +551,7 @@ class RasterRetrievalEngine:
                 columns[name] = layer.read_window(row0, col0, row1, col1, counter)
             scores = sign * model.evaluate_batch(columns).reshape(-1)
             counter.add_model_evals(scores.size, flops_each=model.complexity)
-            for score, row, col in zip(scores, rows, cols):
-                heap.offer(float(score), (int(row), int(col)))
+            heap.offer_block(scores, rows, cols)
             return
 
         # Level cascade: evaluate one contribution-ordered term at a time,
@@ -518,9 +575,7 @@ class RasterRetrievalEngine:
         counter.add_partial_evals(values.size, flops_each=2)
 
         if n_levels == 1:
-            scores = sign * partial
-            for score, row, col in zip(scores, rows, cols):
-                heap.offer(float(score), (int(row), int(col)))
+            heap.offer_block(sign * partial, rows, cols)
             return
 
         signed_partial = sign * partial
@@ -566,6 +621,4 @@ class RasterRetrievalEngine:
                 )
                 counter.add_partial_evals(layer_values.size, flops_each=2)
             else:
-                scores = sign * block_partial
-                for score, row, col in zip(scores, block_rows, block_cols):
-                    heap.offer(float(score), (int(row), int(col)))
+                heap.offer_block(sign * block_partial, block_rows, block_cols)

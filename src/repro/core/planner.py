@@ -88,9 +88,10 @@ def _selectivity_order(
         if span == 0:
             dispersions[name] = 0.0
             continue
-        tree = screen._trees[name]
-        leaves = tree.leaves()
-        widths = np.array([leaf.maximum - leaf.minimum for leaf in leaves])
+        # The finest aggregate grid's windows are exactly the leaf
+        # windows, so leaf envelope widths come out as one array op.
+        leaf_mins, leaf_maxs = screen._trees[name].leaf_envelopes()
+        widths = (leaf_maxs - leaf_mins).reshape(-1)
         # Narrow leaf envelopes relative to the global span = selective.
         dispersions[name] = 1.0 - float(widths.mean()) / span
     return sorted(

@@ -8,42 +8,46 @@ aligned, so any tree node corresponds to one spatial window with a
 ``Model.evaluate_interval`` needs to bound scores over the window.
 
 Screen nodes are the branch-and-bound frontier of the retrieval engine.
+Since PR 2 they are plain ``(depth, row_index, col_index)`` coordinates
+into the quadtrees' per-depth aggregate grids: envelope assembly for a
+whole frontier (:meth:`TileScreen.envelopes_block`) is one fancy-index
+per depth into arrays stacked ``(n_attrs, n_row_intervals,
+n_col_intervals)``, not a walk over node objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.data.raster import RasterStack
 from repro.exceptions import PlanError
 from repro.metrics.counters import CostCounter
-from repro.pyramid.quadtree import QuadTree, QuadTreeNode
+from repro.pyramid.quadtree import QuadTree
 
 
 @dataclass(frozen=True)
 class ScreenNode:
-    """One spatial window with per-attribute envelopes.
+    """One spatial window of the screen's aligned quadtrees.
 
-    ``nodes`` holds the aligned per-attribute quadtree nodes (same window
-    in every tree, one per attribute in the screen's attribute order).
+    Identified by grid coordinates ``(depth, row_index, col_index)``
+    into the per-depth aggregate arrays; ``window`` and ``is_leaf`` are
+    denormalized at construction so the engine's hot loop never goes
+    back to the tree for them.
     """
 
-    nodes: tuple[QuadTreeNode, ...]
-
-    @property
-    def window(self) -> tuple[int, int, int, int]:
-        """Covered half-open window ``(row0, col0, row1, col1)``."""
-        return self.nodes[0].window()
+    depth: int
+    row_index: int
+    col_index: int
+    window: tuple[int, int, int, int]
+    is_leaf: bool
 
     @property
     def size(self) -> int:
         """Number of cells covered."""
-        return self.nodes[0].size
-
-    @property
-    def is_leaf(self) -> bool:
-        """Whether the underlying quadtree nodes are leaves."""
-        return self.nodes[0].is_leaf
+        row0, col0, row1, col1 = self.window
+        return (row1 - row0) * (col1 - col0)
 
 
 class TileScreen:
@@ -58,6 +62,12 @@ class TileScreen:
     leaf_size:
         Quadtree leaf window size; leaves are the unit of exact
         evaluation, so smaller leaves prune more but bound more often.
+
+    All per-attribute trees share one structure (same shape, same leaf
+    size), so alignment holds by construction; their per-depth min/max
+    grids are stacked into ``(n_attrs, n_rows, n_cols)`` arrays so a
+    frontier of nodes resolves to per-attribute envelope *arrays* in one
+    indexing operation per depth.
     """
 
     def __init__(
@@ -78,40 +88,51 @@ class TileScreen:
             name: QuadTree(stack[name], leaf_size=leaf_size)
             for name in self.attributes
         }
+        self._structure = self._trees[self.attributes[0]]
+        self._level_mins = [
+            np.stack(
+                [self._trees[name].level_mins(depth) for name in self.attributes]
+            )
+            for depth in range(self._structure.n_depths)
+        ]
+        self._level_maxs = [
+            np.stack(
+                [self._trees[name].level_maxs(depth) for name in self.attributes]
+            )
+            for depth in range(self._structure.n_depths)
+        ]
 
     @property
     def shape(self) -> tuple[int, int]:
         """Grid shape."""
         return self.stack.shape
 
+    def _make_node(self, depth: int, i: int, j: int) -> ScreenNode:
+        structure = self._structure
+        return ScreenNode(
+            depth=depth,
+            row_index=i,
+            col_index=j,
+            window=structure.index_window(depth, i, j),
+            is_leaf=structure.index_is_leaf(depth, i, j),
+        )
+
     def root(self) -> ScreenNode:
         """The whole-grid screen node."""
-        return ScreenNode(
-            tuple(self._trees[name].root for name in self.attributes)
-        )
+        return self._make_node(0, 0, 0)
 
     def children(self, node: ScreenNode) -> list[ScreenNode]:
         """Aligned children of a screen node (empty for leaves).
 
-        Children are matched by window across the per-attribute trees;
-        alignment is guaranteed by identical construction, and verified.
+        One structure serves every attribute tree, so children need no
+        per-attribute window matching — alignment holds by construction.
         """
-        first_children = node.nodes[0].children
-        if not first_children:
-            return []
-        result = []
-        for child_position, first_child in enumerate(first_children):
-            aligned = [first_child]
-            for tree_node in node.nodes[1:]:
-                sibling = tree_node.children[child_position]
-                if sibling.window() != first_child.window():
-                    raise PlanError(
-                        "per-attribute quadtrees lost alignment at "
-                        f"window {first_child.window()}"
-                    )
-                aligned.append(sibling)
-            result.append(ScreenNode(tuple(aligned)))
-        return result
+        return [
+            self._make_node(node.depth + 1, i, j)
+            for i, j in self._structure.child_indices(
+                node.depth, node.row_index, node.col_index
+            )
+        ]
 
     def envelopes(
         self, node: ScreenNode, counter: CostCounter | None = None
@@ -122,10 +143,41 @@ class TileScreen:
         precomputed constants, not data reads.
         """
         if counter is not None:
-            counter.add_nodes(len(node.nodes))
+            counter.add_nodes(len(self.attributes))
+        mins = self._level_mins[node.depth][:, node.row_index, node.col_index]
+        maxs = self._level_maxs[node.depth][:, node.row_index, node.col_index]
         return {
-            name: (tree_node.minimum, tree_node.maximum)
-            for name, tree_node in zip(self.attributes, node.nodes)
+            name: (float(low), float(high))
+            for name, low, high in zip(self.attributes, mins, maxs)
+        }
+
+    def envelopes_block(
+        self, nodes: list[ScreenNode], counter: CostCounter | None = None
+    ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Per-attribute (mins, maxs) arrays over a frontier of nodes.
+
+        The batched counterpart of :meth:`envelopes`: element ``p`` of
+        each returned array pair is the envelope of ``nodes[p]``. Mixed
+        depths are allowed (``region_roots`` covers produce them); nodes
+        are grouped per depth and resolved with one fancy-index each.
+        Charged identically to ``len(nodes)`` scalar calls.
+        """
+        if counter is not None:
+            counter.add_nodes(len(nodes) * len(self.attributes))
+        n_attrs = len(self.attributes)
+        lows = np.empty((n_attrs, len(nodes)))
+        highs = np.empty((n_attrs, len(nodes)))
+        by_depth: dict[int, list[int]] = {}
+        for position, node in enumerate(nodes):
+            by_depth.setdefault(node.depth, []).append(position)
+        for depth, positions in by_depth.items():
+            ii = np.array([nodes[p].row_index for p in positions])
+            jj = np.array([nodes[p].col_index for p in positions])
+            lows[:, positions] = self._level_mins[depth][:, ii, jj]
+            highs[:, positions] = self._level_maxs[depth][:, ii, jj]
+        return {
+            name: (lows[a], highs[a])
+            for a, name in enumerate(self.attributes)
         }
 
     def heuristic_envelopes(
@@ -150,11 +202,34 @@ class TileScreen:
         if margin < 0:
             raise PlanError("margin must be non-negative")
         if counter is not None:
-            counter.add_nodes(len(node.nodes))
+            counter.add_nodes(len(self.attributes))
+        mins = self._level_mins[node.depth][:, node.row_index, node.col_index]
+        maxs = self._level_maxs[node.depth][:, node.row_index, node.col_index]
         result = {}
-        for name, tree_node in zip(self.attributes, node.nodes):
-            half_spread = (tree_node.maximum - tree_node.minimum) / 2.0
-            midpoint = (tree_node.minimum + tree_node.maximum) / 2.0
+        for name, low, high in zip(self.attributes, mins, maxs):
+            half_spread = (float(high) - float(low)) / 2.0
+            midpoint = (float(low) + float(high)) / 2.0
+            result[name] = (
+                midpoint - margin * half_spread,
+                midpoint + margin * half_spread,
+            )
+        return result
+
+    def heuristic_envelopes_block(
+        self,
+        nodes: list[ScreenNode],
+        margin: float,
+        counter: CostCounter | None = None,
+    ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Batched :meth:`heuristic_envelopes` (same formula, same
+        counter charge, arrays instead of scalars)."""
+        if margin < 0:
+            raise PlanError("margin must be non-negative")
+        envelopes = self.envelopes_block(nodes, counter)
+        result = {}
+        for name, (lows, highs) in envelopes.items():
+            half_spread = (highs - lows) / 2.0
+            midpoint = (lows + highs) / 2.0
             result[name] = (
                 midpoint - margin * half_spread,
                 midpoint + margin * half_spread,
@@ -182,17 +257,34 @@ class TileScreen:
             raise PlanError(
                 f"region {region} does not intersect grid {self.shape}"
             )
+        structure = self._structure
         result: list[ScreenNode] = []
-        stack = [self.root()]
+        stack: list[tuple[int, int, int]] = [(0, 0, 0)]
         while stack:
-            node = stack.pop()
-            quad = node.nodes[0]
-            if not quad.intersects(row0, col0, row1, col1):
+            depth, i, j = stack.pop()
+            node_row0, node_col0, node_row1, node_col1 = (
+                structure.index_window(depth, i, j)
+            )
+            if not (
+                node_row0 < row1
+                and row0 < node_row1
+                and node_col0 < col1
+                and col0 < node_col1
+            ):
                 continue
-            if quad.contained_in(row0, col0, row1, col1) or node.is_leaf:
-                result.append(node)
+            contained = (
+                row0 <= node_row0
+                and node_row1 <= row1
+                and col0 <= node_col0
+                and node_col1 <= col1
+            )
+            if contained or structure.index_is_leaf(depth, i, j):
+                result.append(self._make_node(depth, i, j))
                 continue
-            stack.extend(self.children(node))
+            stack.extend(
+                (depth + 1, child_i, child_j)
+                for child_i, child_j in structure.child_indices(depth, i, j)
+            )
         result.sort(key=lambda screen_node: screen_node.window[:2])
         return result
 

@@ -406,3 +406,38 @@ class SeriesRetrievalEngine:
             f"SeriesRetrievalEngine(stations={len(self.collection)}, "
             f"levels={self.n_levels})"
         )
+
+
+def fsm_sweep(
+    collection: Mapping[Hashable, _Series],
+    machine,
+    encoder,
+    alphabet,
+    counter: CostCounter | None = None,
+) -> dict:
+    """Run a finite state model over every series via the batch kernel.
+
+    The vectorized counterpart of calling
+    :func:`repro.models.fsm_runner.run_fsm_over_series` per station:
+    ``encoder(series, counter)`` turns one series into a 1-D array of
+    integer codes into ``alphabet`` (charging its data reads), series of
+    equal length are stacked and advanced in lockstep through the
+    machine's compiled integer transition table, and the result maps
+    every key to its :class:`~repro.models.fsm_runner.FSMRun`. Guard
+    work is charged identically to the scalar runner, so counters stay
+    comparable across the two paths.
+    """
+    from repro.models.fsm_runner import compile_fsm, run_compiled_batch
+
+    compiled = compile_fsm(machine, alphabet)
+    by_length: dict[int, list[Hashable]] = {}
+    for key, series in collection.items():
+        by_length.setdefault(len(series), []).append(key)
+    runs: dict[Hashable, object] = {}
+    for keys in by_length.values():
+        codes = np.stack(
+            [encoder(collection[key], counter) for key in keys]
+        )
+        for key, run in zip(keys, run_compiled_batch(compiled, codes, counter)):
+            runs[key] = run
+    return {key: runs[key] for key in collection}

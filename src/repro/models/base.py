@@ -77,6 +77,43 @@ class Model(abc.ABC):
             f"{type(self).__name__} does not support interval evaluation"
         )
 
+    def evaluate_interval_batch(
+        self,
+        low_columns: Mapping[str, np.ndarray],
+        high_columns: Mapping[str, np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sound (lows, highs) bound arrays over parallel attribute boxes.
+
+        Element ``i`` of the result bounds the box whose per-attribute
+        interval is ``(low_columns[name][i], high_columns[name][i])`` —
+        the batched counterpart of :meth:`evaluate_interval`, used by the
+        engine to bound a whole branch-and-bound frontier in one call.
+        The default loops over :meth:`evaluate_interval`; models with
+        closed forms override with numpy expressions that reproduce the
+        scalar arithmetic exactly (same operations, same order), so
+        batched and scalar searches see bitwise-identical bounds.
+        """
+        names = self.attributes
+        lows = {
+            name: np.asarray(low_columns[name], dtype=float).reshape(-1)
+            for name in names
+        }
+        highs = {
+            name: np.asarray(high_columns[name], dtype=float).reshape(-1)
+            for name in names
+        }
+        size = next(iter(lows.values())).size if names else 0
+        low_out = np.empty(size)
+        high_out = np.empty(size)
+        for i in range(size):
+            low_out[i], high_out[i] = self.evaluate_interval(
+                {
+                    name: (float(lows[name][i]), float(highs[name][i]))
+                    for name in names
+                }
+            )
+        return (low_out, high_out)
+
     @property
     def supports_intervals(self) -> bool:
         """Whether :meth:`evaluate_interval` is implemented."""

@@ -8,12 +8,20 @@ state trajectory plus every entry into an accepting state. The returned
 :func:`fire_ants_model` builds the paper's Figure 1 machine: fire ants fly
 in a region that had rain, then stayed dry for at least three days, with
 the temperature reaching 25 °C or higher.
+
+For archive-scale sweeps, :func:`compile_fsm` lowers a deterministic
+machine over a finite symbol alphabet to an integer transition table and
+:func:`run_compiled_batch` advances every candidate series through it in
+lockstep — one NumPy gather per timestep instead of per-series Python
+stepping — with guard work charged identically to the scalar runner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+import numpy as np
 
 from repro.data.series import TimeSeries
 from repro.metrics.counters import CostCounter
@@ -173,42 +181,40 @@ def naive_window_match(
     flight_temperature_c: float = FLIGHT_TEMPERATURE_C,
     counter: CostCounter | None = None,
 ) -> list[int]:
-    """Baseline fire-ants detector: re-scan history at every day.
+    """Baseline fire-ants detector: one stateless decision per day.
 
-    For each day, re-reads backwards to count the consecutive dry days
-    before it (stopping at the most recent rain, or the series start,
-    which — like the FSM's initial state — is treated as following
-    rain). The machine and this scan decide "flying" identically, but
-    the scan re-does O(dry-spell length) reads per day — the "apply the
-    model sequentially over the entire region of the data" strategy the
-    paper contrasts with. Returns swarm-onset day indices.
+    A single forward pass that carries the consecutive-dry-day count
+    ending *strictly before* each day — the quantity the original
+    baseline re-derived by re-reading history backwards from every day,
+    which made it O(n²) on long dry spells for no extra information.
+    The series start (like the FSM's initial state) is treated as
+    following rain, so an all-dry prefix counts toward the spell. A day
+    is "flying" iff it is dry, at/above the flight temperature, and at
+    least ``dry_days_required`` dry days precede it; onsets (first
+    flying day of a stretch) are returned, identical to the rescan's.
+
+    Each day costs two data reads and one three-comparison decision
+    (rain test, temperature test, spell-length test) — still more work
+    than the FSM, which needs no spell arithmetic, only a state.
     """
     onsets: list[int] = []
     previously_flying = False
+    dry_days_before = 0
     for day in range(len(series)):
         today_rain = series.read("rain_mm", day, counter)
         today_temp = series.read("temperature_c", day, counter)
         if counter is not None:
-            counter.add_model_evals(1, flops_each=2)
-        flying = False
-        if today_rain <= RAIN_THRESHOLD_MM and today_temp >= flight_temperature_c:
-            dry_run = 0
-            for back_day in range(day - 1, -1, -1):
-                rain = series.read("rain_mm", back_day, counter)
-                if counter is not None:
-                    counter.add_model_evals(1, flops_each=1)
-                if rain > RAIN_THRESHOLD_MM:
-                    break
-                dry_run += 1
-            else:
-                # Reached the series start without rain: the record is
-                # assumed to begin just after rain (the FSM's initial
-                # state), so the whole prefix counts as the dry spell.
-                pass
-            flying = dry_run >= dry_days_required
+            counter.add_model_evals(1, flops_each=3)
+        dry_today = today_rain <= RAIN_THRESHOLD_MM
+        flying = (
+            dry_today
+            and today_temp >= flight_temperature_c
+            and dry_days_before >= dry_days_required
+        )
         if flying and not previously_flying:
             onsets.append(day)
         previously_flying = flying
+        dry_days_before = dry_days_before + 1 if dry_today else 0
     return onsets
 
 
@@ -230,3 +236,192 @@ def symbolize_weather(
         else:
             symbols.append("dry_cool")
     return symbols
+
+
+#: The symbol alphabet of :func:`symbolize_weather` / :func:`encode_weather`,
+#: in code order (code ``i`` means ``WEATHER_ALPHABET[i]``).
+WEATHER_ALPHABET: tuple[str, ...] = ("rain", "dry_hot", "dry_cool")
+
+
+def encode_weather(
+    rain: np.ndarray,
+    temperature: np.ndarray,
+    flight_temperature_c: float = FLIGHT_TEMPERATURE_C,
+) -> np.ndarray:
+    """Vectorized :func:`symbolize_weather`: value arrays → integer codes
+    into :data:`WEATHER_ALPHABET`."""
+    rain = np.asarray(rain, dtype=float)
+    temperature = np.asarray(temperature, dtype=float)
+    return np.where(
+        rain > RAIN_THRESHOLD_MM,
+        0,
+        np.where(temperature >= flight_temperature_c, 1, 2),
+    ).astype(np.intp)
+
+
+def fire_ants_symbol_machine(name: str = "fire_ants_symbols") -> FiniteStateMachine:
+    """The Figure 1 machine over the {rain, dry_hot, dry_cool} alphabet.
+
+    Behaviourally identical to :func:`fire_ants_model` on symbolized
+    weather (same states, same 12 transitions, same guard counts per
+    state — so compiled batch runs charge the same guard flops the
+    event-level machine does); guards consume plain symbols, which is
+    what table compilation and FSM distances need.
+    """
+
+    def eq(expected: str) -> Callable[[str], bool]:
+        return lambda symbol: symbol == expected
+
+    def dry(symbol: str) -> bool:
+        return symbol in ("dry_hot", "dry_cool")
+
+    states = [
+        State("rain"), State("dry_1"), State("dry_2"),
+        State("dry_3_plus"), State("fire_ants_fly", accepting=True),
+    ]
+    transitions = [
+        Transition("rain", "rain", eq("rain"), "rain"),
+        Transition("rain", "dry_1", dry, "dry"),
+        Transition("dry_1", "rain", eq("rain"), "rain"),
+        Transition("dry_1", "dry_2", dry, "dry"),
+        Transition("dry_2", "rain", eq("rain"), "rain"),
+        Transition("dry_2", "dry_3_plus", dry, "dry"),
+        Transition("dry_3_plus", "rain", eq("rain"), "rain"),
+        Transition("dry_3_plus", "fire_ants_fly", eq("dry_hot"), "hot"),
+        Transition("dry_3_plus", "dry_3_plus", eq("dry_cool"), "cool"),
+        Transition("fire_ants_fly", "rain", eq("rain"), "rain"),
+        Transition("fire_ants_fly", "fire_ants_fly", eq("dry_hot"), "hot"),
+        Transition("fire_ants_fly", "dry_3_plus", eq("dry_cool"), "cool"),
+    ]
+    return FiniteStateMachine(
+        states, "rain", transitions, missing="error", name=name
+    )
+
+
+# --- batch execution over integer transition tables ----------------------
+
+
+@dataclass(frozen=True)
+class CompiledFSM:
+    """A deterministic FSM lowered to an integer transition table.
+
+    ``table[state, symbol]`` is the next state index; ``guards[state]``
+    is the flops charge of one step out of that state (``max(1,
+    outgoing transitions)``, matching what :func:`run_fsm` charges), so
+    batch runs reproduce scalar counter totals exactly.
+    """
+
+    machine_name: str
+    state_names: tuple[str, ...]
+    initial: int
+    table: np.ndarray
+    accepting: np.ndarray
+    guards: np.ndarray
+
+
+def compile_fsm(
+    machine: FiniteStateMachine, alphabet: Sequence[Hashable]
+) -> CompiledFSM:
+    """Lower ``machine`` over a finite symbol alphabet.
+
+    Exercises :meth:`FiniteStateMachine.step` on every (state, symbol)
+    pair, so the table provably agrees with scalar execution — and a
+    ``missing="error"`` machine that is not total over the alphabet
+    fails here, at compile time, not mid-sweep.
+    """
+    if not alphabet:
+        raise ValueError("compile_fsm needs a non-empty alphabet")
+    names = machine.state_names
+    index = {state_name: i for i, state_name in enumerate(names)}
+    table = np.empty((len(names), len(alphabet)), dtype=np.intp)
+    for i, state_name in enumerate(names):
+        for s, symbol in enumerate(alphabet):
+            table[i, s] = index[machine.step(state_name, symbol)]
+    accepting = np.array([machine.is_accepting(n) for n in names])
+    guards = np.array(
+        [max(1, len(machine.transitions_from(n))) for n in names],
+        dtype=np.intp,
+    )
+    return CompiledFSM(
+        machine_name=machine.name,
+        state_names=tuple(names),
+        initial=index[machine.initial],
+        table=table,
+        accepting=accepting,
+        guards=guards,
+    )
+
+
+def run_compiled_batch(
+    compiled: CompiledFSM,
+    codes: np.ndarray,
+    counter: CostCounter | None = None,
+) -> list[FSMRun]:
+    """Advance many series through a compiled machine in lockstep.
+
+    ``codes`` is ``(n_series, n_steps)`` integer symbols; each timestep
+    advances *all* series with one table gather. Guard work is charged
+    in aggregate — per-state visit counts times that state's guard cost
+    — which sums to exactly what per-event :func:`run_fsm` would charge
+    for the same trajectories.
+    """
+    codes = np.asarray(codes, dtype=np.intp)
+    if codes.ndim != 2:
+        raise ValueError(f"codes must be 2-D, got shape {codes.shape}")
+    n_series, n_steps = codes.shape
+    n_states = len(compiled.state_names)
+    if n_steps == 0:
+        return [
+            FSMRun(
+                machine_name=compiled.machine_name,
+                trajectory=(),
+                acceptance_times=(),
+                accepting_days=0,
+            )
+            for _ in range(n_series)
+        ]
+
+    states = np.full(n_series, compiled.initial, dtype=np.intp)
+    trajectories = np.empty((n_series, n_steps), dtype=np.intp)
+    visits = np.zeros(n_states, dtype=np.intp)
+    for t in range(n_steps):
+        visits += np.bincount(states, minlength=n_states)
+        states = compiled.table[states, codes[:, t]]
+        trajectories[:, t] = states
+    if counter is not None:
+        for count, flops in zip(visits.tolist(), compiled.guards.tolist()):
+            if count:
+                counter.add_model_evals(int(count), flops_each=int(flops))
+
+    accepting = compiled.accepting[trajectories]
+    initially = np.full(
+        (n_series, 1), bool(compiled.accepting[compiled.initial])
+    )
+    onsets = accepting & ~np.concatenate(
+        [initially, accepting[:, :-1]], axis=1
+    )
+    names = compiled.state_names
+    return [
+        FSMRun(
+            machine_name=compiled.machine_name,
+            trajectory=tuple(names[s] for s in trajectories[r].tolist()),
+            acceptance_times=tuple(np.nonzero(onsets[r])[0].tolist()),
+            accepting_days=int(np.count_nonzero(accepting[r])),
+        )
+        for r in range(n_series)
+    ]
+
+
+def run_fsm_batch(
+    machine: FiniteStateMachine,
+    codes: np.ndarray,
+    alphabet: Sequence[Hashable],
+    counter: CostCounter | None = None,
+) -> list[FSMRun]:
+    """Compile ``machine`` over ``alphabet`` and run a code batch.
+
+    Convenience wrapper over :func:`compile_fsm` +
+    :func:`run_compiled_batch`; callers sweeping many batches should
+    compile once and reuse the :class:`CompiledFSM`.
+    """
+    return run_compiled_batch(compile_fsm(machine, alphabet), codes, counter)

@@ -35,15 +35,55 @@ class MembershipFunction:
     name: str
     function: Membership
     critical_points: tuple[float, ...] = ()
+    batch_function: Callable[[np.ndarray], np.ndarray] | None = None
 
     def __call__(self, value: float) -> float:
         return _clip01(float(self.function(float(value))))
 
     def batch(self, values: np.ndarray) -> np.ndarray:
-        """Apply element-wise to an array."""
-        flat = np.asarray(values, dtype=float).reshape(-1)
-        out = np.fromiter((self(v) for v in flat), dtype=float, count=flat.size)
-        return out.reshape(np.asarray(values).shape)
+        """Apply element-wise to an array.
+
+        Uses ``batch_function`` when the shape declared one (the built-in
+        factories all do — their vectorized forms reproduce the scalar
+        arithmetic exactly); otherwise falls back to a scalar loop.
+        """
+        array = np.asarray(values, dtype=float)
+        flat = array.reshape(-1)
+        if self.batch_function is not None:
+            out = np.clip(
+                np.asarray(self.batch_function(flat), dtype=float), 0.0, 1.0
+            )
+        else:
+            out = np.fromiter(
+                (self(v) for v in flat), dtype=float, count=flat.size
+            )
+        return out.reshape(array.shape)
+
+    def interval_batch(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`interval` over parallel value intervals.
+
+        Element ``i`` bounds the degree over ``[lows[i], highs[i]]`` —
+        endpoint degrees plus every critical point interior to that
+        element's interval, exactly the scalar candidate set, so results
+        match :meth:`interval` element-for-element.
+        """
+        lows = np.asarray(lows, dtype=float)
+        highs = np.asarray(highs, dtype=float)
+        if (lows > highs).any():
+            raise ValueError("inverted interval in batch")
+        at_low = self.batch(lows)
+        at_high = self.batch(highs)
+        minima = np.minimum(at_low, at_high)
+        maxima = np.maximum(at_low, at_high)
+        for point in self.critical_points:
+            interior = (lows < point) & (point < highs)
+            if interior.any():
+                degree = self(point)
+                minima = np.where(interior, np.minimum(minima, degree), minima)
+                maxima = np.where(interior, np.maximum(maxima, degree), maxima)
+        return (minima, maxima)
 
     def interval(self, low: float, high: float) -> tuple[float, float]:
         """Sound (min, max) of the membership degree over ``[low, high]``.
@@ -83,7 +123,20 @@ def triangle_membership(
             return (value - low) / (peak - low) if peak > low else 1.0
         return (high - value) / (high - peak) if high > peak else 1.0
 
-    return MembershipFunction(name, function, critical_points=(low, peak, high))
+    def batch_function(values: np.ndarray) -> np.ndarray:
+        # Same branch structure and division expressions as the scalar
+        # form, so degrees are bitwise-identical element-for-element.
+        ones = np.ones_like(values)
+        rising = (values - low) / (peak - low) if peak > low else ones
+        falling = (high - values) / (high - peak) if high > peak else ones
+        out = np.where(values < peak, rising, falling)
+        out = np.where((values <= low) | (values >= high), 0.0, out)
+        return np.where(values == peak, 1.0, out)
+
+    return MembershipFunction(
+        name, function, critical_points=(low, peak, high),
+        batch_function=batch_function,
+    )
 
 
 def trapezoid_membership(
@@ -103,8 +156,29 @@ def trapezoid_membership(
             return (value - low) / (shoulder_low - low)
         return (high - value) / (high - shoulder_high)
 
+    def batch_function(values: np.ndarray) -> np.ndarray:
+        # Ramps with a zero-width base never apply (the scalar branches
+        # catch those values first), so guard the divisions with zeros.
+        zeros = np.zeros_like(values)
+        rising = (
+            (values - low) / (shoulder_low - low)
+            if shoulder_low > low
+            else zeros
+        )
+        falling = (
+            (high - values) / (high - shoulder_high)
+            if high > shoulder_high
+            else zeros
+        )
+        out = np.where(values < shoulder_low, rising, falling)
+        out = np.where((values <= low) | (values >= high), 0.0, out)
+        plateau = (shoulder_low <= values) & (values <= shoulder_high)
+        return np.where(plateau, 1.0, out)
+
     return MembershipFunction(
-        name, function, critical_points=(low, shoulder_low, shoulder_high, high)
+        name, function,
+        critical_points=(low, shoulder_low, shoulder_high, high),
+        batch_function=batch_function,
     )
 
 
@@ -118,7 +192,13 @@ def gaussian_membership(
     def function(value: float) -> float:
         return float(np.exp(-0.5 * ((value - center) / width) ** 2))
 
-    return MembershipFunction(name, function, critical_points=(center,))
+    def batch_function(values: np.ndarray) -> np.ndarray:
+        return np.exp(-0.5 * ((values - center) / width) ** 2)
+
+    return MembershipFunction(
+        name, function, critical_points=(center,),
+        batch_function=batch_function,
+    )
 
 
 def sigmoid_membership(
@@ -136,7 +216,11 @@ def sigmoid_membership(
         exponent = np.clip(-steepness * (value - threshold), -60.0, 60.0)
         return float(1.0 / (1.0 + np.exp(exponent)))
 
-    return MembershipFunction(name, function)
+    def batch_function(values: np.ndarray) -> np.ndarray:
+        exponent = np.clip(-steepness * (values - threshold), -60.0, 60.0)
+        return 1.0 / (1.0 + np.exp(exponent))
+
+    return MembershipFunction(name, function, batch_function=batch_function)
 
 
 def crisp_membership(
@@ -170,6 +254,22 @@ class FuzzyAnd:
             product *= degree
         return product
 
+    def batch(self, degree_arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Element-wise conjunction of parallel degree arrays (same fold
+        order as the scalar call, so results match exactly)."""
+        if not degree_arrays:
+            raise ValueError("batch conjunction needs at least one array")
+        arrays = [
+            np.clip(np.asarray(a, dtype=float), 0.0, 1.0)
+            for a in degree_arrays
+        ]
+        if self.kind == "min":
+            return np.minimum.reduce(arrays)
+        product = arrays[0]
+        for array in arrays[1:]:
+            product = product * array
+        return product
+
 
 class FuzzyOr:
     """T-conorm disjunction over membership degrees.
@@ -192,4 +292,20 @@ class FuzzyOr:
         total = 0.0
         for degree in degrees:
             total = total + degree - total * degree
+        return total
+
+    def batch(self, degree_arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Element-wise disjunction of parallel degree arrays (same fold
+        order as the scalar call, so results match exactly)."""
+        if not degree_arrays:
+            raise ValueError("batch disjunction needs at least one array")
+        arrays = [
+            np.clip(np.asarray(a, dtype=float), 0.0, 1.0)
+            for a in degree_arrays
+        ]
+        if self.kind == "max":
+            return np.maximum.reduce(arrays)
+        total = np.zeros_like(arrays[0])
+        for array in arrays:
+            total = total + array - total * array
         return total

@@ -56,6 +56,21 @@ class RulePredicate:
             ) from None
         return self.membership.interval(low, high)
 
+    def degree_interval_batch(
+        self,
+        low_columns: Mapping[str, np.ndarray],
+        high_columns: Mapping[str, np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`degree_interval` over parallel attribute boxes."""
+        try:
+            lows = low_columns[self.attribute]
+            highs = high_columns[self.attribute]
+        except KeyError:
+            raise ModelError(
+                f"interval for attribute {self.attribute!r} missing"
+            ) from None
+        return self.membership.interval_batch(lows, highs)
+
 
 @dataclass(frozen=True)
 class FuzzyRule:
@@ -103,6 +118,23 @@ class FuzzyRule:
             lows.append(low)
             highs.append(high)
         return (self.conjunction(lows), self.conjunction(highs))
+
+    def degree_interval_batch(
+        self,
+        low_columns: Mapping[str, np.ndarray],
+        high_columns: Mapping[str, np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`degree_interval` (same per-predicate fold, so
+        element ``i`` equals the scalar bound for box ``i``)."""
+        lows = []
+        highs = []
+        for predicate in self.predicates:
+            low, high = predicate.degree_interval_batch(
+                low_columns, high_columns
+            )
+            lows.append(low)
+            highs.append(high)
+        return (self.conjunction.batch(lows), self.conjunction.batch(highs))
 
 
 class KnowledgeModel(Model):
@@ -188,6 +220,34 @@ class KnowledgeModel(Model):
             sum(rule.weight * high for rule, high in zip(self.rules, highs))
             / total_weight
         )
+        return (low_score, high_score)
+
+    def evaluate_interval_batch(
+        self,
+        low_columns: Mapping[str, np.ndarray],
+        high_columns: Mapping[str, np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`evaluate_interval` over parallel boxes.
+
+        Folds rule degrees in the same order (and with the same float
+        operations) as the scalar path, so element ``i`` is bitwise-
+        identical to ``evaluate_interval`` on box ``i``.
+        """
+        lows = []
+        highs = []
+        for rule in self.rules:
+            low, high = rule.degree_interval_batch(low_columns, high_columns)
+            lows.append(low)
+            highs.append(high)
+        if self.combination == "or":
+            return (self.disjunction.batch(lows), self.disjunction.batch(highs))
+        total_weight = sum(rule.weight for rule in self.rules)
+        low_score = sum(
+            rule.weight * low for rule, low in zip(self.rules, lows)
+        ) / total_weight
+        high_score = sum(
+            rule.weight * high for rule, high in zip(self.rules, highs)
+        ) / total_weight
         return (low_score, high_score)
 
     def evaluate_batch(self, columns: Mapping[str, np.ndarray]) -> np.ndarray:

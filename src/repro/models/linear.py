@@ -112,6 +112,39 @@ class LinearModel(Model):
                 high += weight * attr_low
         return (low, high)
 
+    def evaluate_interval_batch(
+        self,
+        low_columns: Mapping[str, np.ndarray],
+        high_columns: Mapping[str, np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`evaluate_interval` over parallel boxes.
+
+        Accumulates term-by-term in coefficient order — the same
+        left-to-right float additions as the scalar path — so each
+        element is bitwise-identical to the scalar bound for its box.
+        """
+        low = high = None
+        for attr_name, weight in self._coefficients.items():
+            try:
+                attr_low = np.asarray(low_columns[attr_name], dtype=float)
+                attr_high = np.asarray(high_columns[attr_name], dtype=float)
+            except KeyError:
+                raise ModelError(
+                    f"interval for attribute {attr_name!r} missing"
+                ) from None
+            if (attr_low > attr_high).any():
+                raise ModelError(f"invalid interval for {attr_name!r}")
+            if low is None:
+                low = np.full(attr_low.shape, self.intercept)
+                high = np.full(attr_low.shape, self.intercept)
+            if weight >= 0:
+                low = low + weight * attr_low
+                high = high + weight * attr_high
+            else:
+                low = low + weight * attr_high
+                high = high + weight * attr_low
+        return (low, high)
+
     def weight_vector(self, order: tuple[str, ...] | None = None) -> np.ndarray:
         """Coefficients as an array in the given (or natural) order.
 

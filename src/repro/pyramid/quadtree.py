@@ -10,6 +10,20 @@ windows of a raster. It answers two queries the progressive engine needs:
 
 Unlike the dyadic pyramid, quadtree node visits are charged per node
 (``nodes_visited``), reflecting that aggregates are tiny relative to data.
+
+The build is *array-backed* (the kernel layer, DESIGN.md): because a node
+splits its row range iff the range is longer than ``leaf_size`` (and
+likewise, independently, its column range), the tree is the depth-
+synchronized product of a 1-D row-interval hierarchy and a 1-D
+column-interval hierarchy. Aggregates therefore live in per-depth dense
+grids of shape ``(n_row_intervals, n_col_intervals)``: the finest grid is
+one vectorized blockwise ``reduceat`` over the raster, every coarser grid
+combines its children with two more ``reduceat`` passes, and no Python
+code ever loops over raster cells. Node objects (:class:`QuadTreeNode`)
+are materialized lazily for the legacy walking API; hot paths index the
+grids directly. :func:`build_recursive` keeps the original top-down
+scalar build as the reference implementation for property tests and
+benchmarks.
 """
 
 from __future__ import annotations
@@ -70,35 +84,19 @@ class QuadTreeNode:
         )
 
 
-class QuadTree:
-    """Min/max/mean quadtree over a raster layer.
+def build_recursive(values: np.ndarray, leaf_size: int) -> QuadTreeNode:
+    """Top-down recursive quadtree build (the original scalar path).
 
-    Parameters
-    ----------
-    layer:
-        Source raster.
-    leaf_size:
-        Stop subdividing when both window dimensions are <= this.
+    Recomputes ``min``/``max``/``mean`` over every node's full window —
+    O(area · depth) data touches. Kept as the reference implementation the
+    array-backed build is property-tested against, and as the scalar
+    baseline ``benchmarks/bench_kernels.py`` measures speedups from.
     """
+    if leaf_size <= 0:
+        raise ValueError(f"leaf_size must be positive, got {leaf_size}")
+    values = np.asarray(values, dtype=float)
 
-    def __init__(self, layer: RasterLayer, leaf_size: int = 8) -> None:
-        if leaf_size <= 0:
-            raise ValueError(f"leaf_size must be positive, got {leaf_size}")
-        self.layer = layer
-        self.leaf_size = leaf_size
-        rows, cols = layer.shape
-        self.root = self._build(layer.values, 0, 0, rows, cols, depth=0)
-        self._n_nodes = self._count(self.root)
-
-    def _build(
-        self,
-        values: np.ndarray,
-        row0: int,
-        col0: int,
-        row1: int,
-        col1: int,
-        depth: int,
-    ) -> QuadTreeNode:
+    def _build(row0: int, col0: int, row1: int, col1: int, depth: int) -> QuadTreeNode:
         window = values[row0:row1, col0:col1]
         node = QuadTreeNode(
             row0=row0,
@@ -113,11 +111,10 @@ class QuadTree:
         )
         rows = row1 - row0
         cols = col1 - col0
-        if rows <= self.leaf_size and cols <= self.leaf_size:
+        if rows <= leaf_size and cols <= leaf_size:
             return node
-
-        row_mid = row0 + rows // 2 if rows > self.leaf_size else row1
-        col_mid = col0 + cols // 2 if cols > self.leaf_size else col1
+        row_mid = row0 + rows // 2 if rows > leaf_size else row1
+        col_mid = col0 + cols // 2 if cols > leaf_size else col1
         for child_row0, child_row1 in ((row0, row_mid), (row_mid, row1)):
             if child_row0 >= child_row1:
                 continue
@@ -125,15 +122,304 @@ class QuadTree:
                 if child_col0 >= child_col1:
                     continue
                 node.children.append(
-                    self._build(
-                        values, child_row0, child_col0, child_row1, child_col1,
-                        depth + 1,
-                    )
+                    _build(child_row0, child_col0, child_row1, child_col1, depth + 1)
                 )
         return node
 
-    def _count(self, node: QuadTreeNode) -> int:
-        return 1 + sum(self._count(child) for child in node.children)
+    rows, cols = values.shape
+    return _build(0, 0, rows, cols, depth=0)
+
+
+@dataclass
+class _AxisLevel:
+    """One depth of the 1-D interval hierarchy along a single axis.
+
+    ``from_split[i]`` records whether interval ``i`` was created by
+    splitting its parent (parent length > leaf) or persisted unchanged;
+    ``child_starts[i]`` is the offset of interval ``i``'s first child in
+    the next level's arrays (``None`` at the finest level until padded).
+    """
+
+    starts: np.ndarray
+    lengths: np.ndarray
+    from_split: np.ndarray
+    child_starts: np.ndarray | None = None
+
+
+def _axis_levels(extent: int, leaf_size: int) -> list[_AxisLevel]:
+    """The interval hierarchy of one axis: split halves while > leaf."""
+    levels = [
+        _AxisLevel(
+            starts=np.array([0], dtype=np.intp),
+            lengths=np.array([extent], dtype=np.intp),
+            from_split=np.array([False]),
+        )
+    ]
+    while bool((levels[-1].lengths > leaf_size).any()):
+        parent = levels[-1]
+        starts: list[int] = []
+        lengths: list[int] = []
+        from_split: list[bool] = []
+        child_starts = np.empty(parent.starts.size, dtype=np.intp)
+        for index, (start, length) in enumerate(
+            zip(parent.starts.tolist(), parent.lengths.tolist())
+        ):
+            child_starts[index] = len(starts)
+            if length > leaf_size:
+                half = length // 2
+                starts.extend((start, start + half))
+                lengths.extend((half, length - half))
+                from_split.extend((True, True))
+            else:
+                starts.append(start)
+                lengths.append(length)
+                from_split.append(False)
+        parent.child_starts = child_starts
+        levels.append(
+            _AxisLevel(
+                starts=np.array(starts, dtype=np.intp),
+                lengths=np.array(lengths, dtype=np.intp),
+                from_split=np.array(from_split),
+            )
+        )
+    return levels
+
+
+def _pad_axis(levels: list[_AxisLevel], n_depths: int) -> None:
+    """Extend a finished axis with identity levels to the common depth."""
+    while len(levels) < n_depths:
+        last = levels[-1]
+        last.child_starts = np.arange(last.starts.size, dtype=np.intp)
+        levels.append(
+            _AxisLevel(
+                starts=last.starts,
+                lengths=last.lengths,
+                from_split=np.zeros(last.starts.size, dtype=bool),
+            )
+        )
+
+
+class QuadTree:
+    """Min/max/mean quadtree over a raster layer.
+
+    Parameters
+    ----------
+    layer:
+        Source raster.
+    leaf_size:
+        Stop subdividing when both window dimensions are <= this.
+
+    Aggregates are stored as per-depth dense grids (``level_mins`` and
+    friends): the grid at depth ``d`` holds one value per (row interval,
+    column interval) pair, so any node ``(depth, i, j)`` is two array
+    lookups, and whole frontiers slice out in one fancy-index. Not every
+    grid entry is a distinct tree node — a leaf's intervals persist to
+    deeper grids unchanged — but every entry is the correct aggregate of
+    its window, which is what envelope assembly needs.
+    """
+
+    def __init__(self, layer: RasterLayer, leaf_size: int = 8) -> None:
+        if leaf_size <= 0:
+            raise ValueError(f"leaf_size must be positive, got {leaf_size}")
+        self.layer = layer
+        self.leaf_size = leaf_size
+        rows, cols = layer.shape
+
+        row_levels = _axis_levels(rows, leaf_size)
+        col_levels = _axis_levels(cols, leaf_size)
+        n_depths = max(len(row_levels), len(col_levels))
+        _pad_axis(row_levels, n_depths)
+        _pad_axis(col_levels, n_depths)
+        self._row_levels = row_levels
+        self._col_levels = col_levels
+        self.max_depth = n_depths - 1
+
+        self._mins: list[np.ndarray] = [np.empty(0)] * n_depths
+        self._maxs: list[np.ndarray] = [np.empty(0)] * n_depths
+        self._sums: list[np.ndarray] = [np.empty(0)] * n_depths
+        self._counts: list[np.ndarray] = [np.empty(0)] * n_depths
+
+        # Finest grid: one blockwise reduction over the raw raster.
+        finest = self.max_depth
+        values = layer.values
+        row_starts = row_levels[finest].starts
+        col_starts = col_levels[finest].starts
+        # Columns first: reduceat's inner loop is contiguous along
+        # axis 1, so the expensive pass over the raw raster runs there
+        # and the axis-0 pass only sees the already-narrow result.
+        self._mins[finest] = np.minimum.reduceat(
+            np.minimum.reduceat(values, col_starts, axis=1), row_starts, axis=0
+        )
+        self._maxs[finest] = np.maximum.reduceat(
+            np.maximum.reduceat(values, col_starts, axis=1), row_starts, axis=0
+        )
+        self._sums[finest] = np.add.reduceat(
+            np.add.reduceat(values, col_starts, axis=1), row_starts, axis=0
+        )
+        # Coarser grids: combine children, never re-touching the raster.
+        for depth in range(finest - 1, -1, -1):
+            row_child = row_levels[depth].child_starts
+            col_child = col_levels[depth].child_starts
+            self._mins[depth] = np.minimum.reduceat(
+                np.minimum.reduceat(self._mins[depth + 1], col_child, axis=1),
+                row_child,
+                axis=0,
+            )
+            self._maxs[depth] = np.maximum.reduceat(
+                np.maximum.reduceat(self._maxs[depth + 1], col_child, axis=1),
+                row_child,
+                axis=0,
+            )
+            self._sums[depth] = np.add.reduceat(
+                np.add.reduceat(self._sums[depth + 1], col_child, axis=1),
+                row_child,
+                axis=0,
+            )
+        for depth in range(n_depths):
+            self._counts[depth] = np.outer(
+                row_levels[depth].lengths, col_levels[depth].lengths
+            )
+
+        n_nodes = 1
+        for depth in range(1, n_depths):
+            row_split = row_levels[depth].from_split
+            col_split = col_levels[depth].from_split
+            # A grid entry is a real node iff its parent was internal,
+            # i.e. at least one of its intervals came from a split.
+            n_nodes += int(
+                row_split.size * col_split.size
+                - np.count_nonzero(~row_split) * np.count_nonzero(~col_split)
+            )
+        self._n_nodes = n_nodes
+        self._object_root: QuadTreeNode | None = None
+
+    # -- array accessors (the kernel surface) ------------------------------
+
+    @property
+    def n_depths(self) -> int:
+        """Number of grid depths (``max_depth + 1``)."""
+        return self.max_depth + 1
+
+    def level_shape(self, depth: int) -> tuple[int, int]:
+        """Grid shape ``(n_row_intervals, n_col_intervals)`` at a depth."""
+        self._check_depth(depth)
+        return (
+            self._row_levels[depth].starts.size,
+            self._col_levels[depth].starts.size,
+        )
+
+    def level_mins(self, depth: int) -> np.ndarray:
+        """Per-window minima grid at a depth."""
+        self._check_depth(depth)
+        return self._mins[depth]
+
+    def level_maxs(self, depth: int) -> np.ndarray:
+        """Per-window maxima grid at a depth."""
+        self._check_depth(depth)
+        return self._maxs[depth]
+
+    def level_means(self, depth: int) -> np.ndarray:
+        """Per-window means grid at a depth."""
+        self._check_depth(depth)
+        return self._sums[depth] / self._counts[depth]
+
+    def level_counts(self, depth: int) -> np.ndarray:
+        """Per-window cell counts grid at a depth."""
+        self._check_depth(depth)
+        return self._counts[depth]
+
+    def level_intervals(
+        self, depth: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(row_starts, row_lengths, col_starts, col_lengths)`` arrays."""
+        self._check_depth(depth)
+        row = self._row_levels[depth]
+        col = self._col_levels[depth]
+        return (row.starts, row.lengths, col.starts, col.lengths)
+
+    def leaf_envelopes(self) -> tuple[np.ndarray, np.ndarray]:
+        """(mins, maxs) grids over the finest tiling.
+
+        The finest grid's windows are exactly the tree's leaf windows
+        (leaves persist unchanged to the deepest depth), so this is the
+        vectorized equivalent of walking :meth:`leaves`.
+        """
+        return (self._mins[self.max_depth], self._maxs[self.max_depth])
+
+    def index_window(self, depth: int, i: int, j: int) -> tuple[int, int, int, int]:
+        """Window ``(row0, col0, row1, col1)`` of grid entry ``(i, j)``."""
+        row = self._row_levels[depth]
+        col = self._col_levels[depth]
+        row0 = int(row.starts[i])
+        col0 = int(col.starts[j])
+        return (row0, col0, row0 + int(row.lengths[i]), col0 + int(col.lengths[j]))
+
+    def index_is_leaf(self, depth: int, i: int, j: int) -> bool:
+        """Whether grid entry ``(depth, i, j)`` is a leaf node."""
+        return (
+            int(self._row_levels[depth].lengths[i]) <= self.leaf_size
+            and int(self._col_levels[depth].lengths[j]) <= self.leaf_size
+        )
+
+    def child_indices(self, depth: int, i: int, j: int) -> list[tuple[int, int]]:
+        """Grid indices of the children of node ``(depth, i, j)``.
+
+        Empty for leaves; otherwise the row-major product of the node's
+        row children and column children at depth + 1 — the same order
+        the recursive build appends children in.
+        """
+        if self.index_is_leaf(depth, i, j):
+            return []
+        row = self._row_levels[depth]
+        col = self._col_levels[depth]
+        row_first = int(row.child_starts[i])
+        row_n = 2 if int(row.lengths[i]) > self.leaf_size else 1
+        col_first = int(col.child_starts[j])
+        col_n = 2 if int(col.lengths[j]) > self.leaf_size else 1
+        return [
+            (row_first + di, col_first + dj)
+            for di in range(row_n)
+            for dj in range(col_n)
+        ]
+
+    def _check_depth(self, depth: int) -> None:
+        if not 0 <= depth <= self.max_depth:
+            raise ValueError(f"depth {depth} outside 0..{self.max_depth}")
+
+    # -- legacy node-object surface ----------------------------------------
+
+    @property
+    def root(self) -> QuadTreeNode:
+        """Root node of the lazily materialized object tree."""
+        if self._object_root is None:
+            self._object_root = self._materialize()
+        return self._object_root
+
+    def _make_node(self, depth: int, i: int, j: int) -> QuadTreeNode:
+        row0, col0, row1, col1 = self.index_window(depth, i, j)
+        return QuadTreeNode(
+            row0=row0,
+            col0=col0,
+            row1=row1,
+            col1=col1,
+            depth=depth,
+            minimum=float(self._mins[depth][i, j]),
+            maximum=float(self._maxs[depth][i, j]),
+            mean=float(self._sums[depth][i, j] / self._counts[depth][i, j]),
+            count=int(self._counts[depth][i, j]),
+        )
+
+    def _materialize(self) -> QuadTreeNode:
+        """Build the full node-object tree from the per-depth grids."""
+        root = self._make_node(0, 0, 0)
+        stack = [(0, 0, 0, root)]
+        while stack:
+            depth, i, j, node = stack.pop()
+            for child_i, child_j in self.child_indices(depth, i, j):
+                child = self._make_node(depth + 1, child_i, child_j)
+                node.children.append(child)
+                stack.append((depth + 1, child_i, child_j, child))
+        return root
 
     @property
     def n_nodes(self) -> int:
@@ -162,18 +448,35 @@ class QuadTree:
 
         low = float("inf")
         high = float("-inf")
-        stack = [self.root]
+        stack = [(0, 0, 0)]
         while stack:
-            node = stack.pop()
+            depth, i, j = stack.pop()
             if counter is not None:
                 counter.add_nodes(1)
-            if not node.intersects(row0, col0, row1, col1):
+            node_row0, node_col0, node_row1, node_col1 = self.index_window(
+                depth, i, j
+            )
+            if not (
+                node_row0 < row1
+                and row0 < node_row1
+                and node_col0 < col1
+                and col0 < node_col1
+            ):
                 continue
-            if node.contained_in(row0, col0, row1, col1) or node.is_leaf:
-                low = min(low, node.minimum)
-                high = max(high, node.maximum)
+            contained = (
+                row0 <= node_row0
+                and node_row1 <= row1
+                and col0 <= node_col0
+                and node_col1 <= col1
+            )
+            if contained or self.index_is_leaf(depth, i, j):
+                low = min(low, float(self._mins[depth][i, j]))
+                high = max(high, float(self._maxs[depth][i, j]))
                 continue
-            stack.extend(node.children)
+            stack.extend(
+                (depth + 1, child_i, child_j)
+                for child_i, child_j in self.child_indices(depth, i, j)
+            )
         return (low, high)
 
     def nodes_at_depth(self, depth: int) -> list[QuadTreeNode]:

@@ -62,6 +62,13 @@ class SharedTopKHeap(TopKHeap):
         with self._lock:
             super().offer(score, cell)
 
+    def offer_block(self, scores, rows, cols) -> None:
+        # One lock acquisition covers the whole block; the unlocked
+        # _offer_block_impl core touches self._heap directly, never the
+        # locked offer/threshold wrappers (the lock is not reentrant).
+        with self._lock:
+            self._offer_block_impl(scores, rows, cols)
+
     @property
     def full(self) -> bool:
         with self._lock:

@@ -1,0 +1,548 @@
+"""Tests for the vectorized kernel layer (PR 2).
+
+Every kernel here has a scalar reference implementation in the same
+codebase; these tests prove the vectorized paths reproduce the scalar
+answers — including boundary-score ties, counter totals, and the
+sharded service — rather than merely approximating them.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import RasterRetrievalEngine, TopKHeap
+from repro.core.query import TopKQuery
+from repro.core.series_engine import fsm_sweep
+from repro.data.raster import RasterLayer, RasterStack
+from repro.data.series import TimeSeries
+from repro.metrics.counters import CostCounter
+from repro.models.fsm_runner import (
+    RAIN_THRESHOLD_MM,
+    WEATHER_ALPHABET,
+    compile_fsm,
+    encode_weather,
+    fire_ants_model,
+    fire_ants_symbol_machine,
+    naive_window_match,
+    run_compiled_batch,
+    run_fsm,
+    run_fsm_batch,
+    symbolize_weather,
+)
+from repro.models.fuzzy import (
+    FuzzyAnd,
+    FuzzyOr,
+    gaussian_membership,
+    sigmoid_membership,
+    trapezoid_membership,
+    triangle_membership,
+)
+from repro.models.knowledge import FuzzyRule, KnowledgeModel, RulePredicate
+from repro.models.linear import LinearModel
+from repro.service import RetrievalService, SharedTopKHeap
+
+
+# --- TopKHeap.offer_block ------------------------------------------------
+
+
+def _ranked_reference(k, entries):
+    """Feed entries through per-cell offer — the scalar reference."""
+    heap = TopKHeap(k)
+    for score, row, col in entries:
+        heap.offer(score, (row, col))
+    return heap.ranked()
+
+
+class TestOfferBlock:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_per_cell_offer(self, data):
+        """offer_block must leave the heap exactly where per-cell offers
+        would — including score ties resolved by smallest (row, col)."""
+        k = data.draw(st.integers(1, 8))
+        n = data.draw(st.integers(0, 60))
+        # Coarse scores force heavy tie structure.
+        scores = [data.draw(st.sampled_from([-1.0, 0.0, 1.0, 2.0])) for _ in range(n)]
+        cells = [
+            (data.draw(st.integers(0, 6)), data.draw(st.integers(0, 6)))
+            for _ in range(n)
+        ]
+        entries = [
+            (score, row, col) for score, (row, col) in zip(scores, cells)
+        ]
+
+        block_heap = TopKHeap(k)
+        # Random chunking: partial fills, threshold prefilter, and the
+        # partition prefilter all get exercised across examples.
+        start = 0
+        while start < n:
+            size = data.draw(st.integers(1, n - start))
+            chunk = entries[start: start + size]
+            block_heap.offer_block(
+                np.array([e[0] for e in chunk]),
+                np.array([e[1] for e in chunk]),
+                np.array([e[2] for e in chunk]),
+            )
+            start += size
+
+        assert block_heap.ranked() == _ranked_reference(k, entries)
+
+    def test_empty_block_is_noop(self):
+        heap = TopKHeap(3)
+        heap.offer(1.0, (0, 0))
+        heap.offer_block(np.array([]), np.array([]), np.array([]))
+        assert heap.ranked() == [(1.0, (0, 0))]
+
+    def test_boundary_ties_survive_prefilter(self):
+        """Entries tied with the threshold/partition cutoff must still be
+        offered: a smaller cell at the same score wins the tie-break."""
+        heap = TopKHeap(2)
+        heap.offer(5.0, (9, 9))
+        heap.offer(5.0, (8, 8))
+        heap.offer_block(
+            np.array([5.0, 5.0, 4.0]),
+            np.array([0, 1, 2]),
+            np.array([0, 1, 2]),
+        )
+        assert heap.ranked() == [(5.0, (0, 0)), (5.0, (1, 1))]
+
+    def test_shared_heap_block_offers_from_threads(self):
+        """Concurrent offer_block calls must keep the exact top-k of the
+        union (single lock hold per block, no deadlock)."""
+        heap = SharedTopKHeap(10)
+        rng = np.random.default_rng(3)
+        blocks = [
+            (
+                rng.integers(0, 50, 200).astype(float),
+                rng.integers(0, 40, 200),
+                rng.integers(0, 40, 200),
+            )
+            for _ in range(8)
+        ]
+        threads = [
+            threading.Thread(target=heap.offer_block, args=block)
+            for block in blocks
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        all_entries = [
+            (float(s), int(r), int(c))
+            for scores, rows, cols in blocks
+            for s, r, c in zip(scores, rows, cols)
+        ]
+        assert heap.ranked() == _ranked_reference(10, all_entries)
+
+
+# --- batched interval bounds --------------------------------------------
+
+
+def _random_boxes(data, attributes, n):
+    lows = {}
+    highs = {}
+    for name in attributes:
+        low = np.array(
+            [data.draw(st.floats(-50, 50)) for _ in range(n)]
+        )
+        width = np.array(
+            [data.draw(st.floats(0, 30)) for _ in range(n)]
+        )
+        lows[name] = low
+        highs[name] = low + width
+    return lows, highs
+
+
+class TestIntervalBatch:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_linear_bitwise_equal_to_scalar(self, data):
+        n_attrs = data.draw(st.integers(1, 4))
+        attributes = [f"a{i}" for i in range(n_attrs)]
+        model = LinearModel(
+            {
+                name: data.draw(
+                    st.floats(-3, 3).filter(lambda w: w != 0)
+                )
+                for name in attributes
+            },
+            intercept=data.draw(st.floats(-10, 10)),
+        )
+        n = data.draw(st.integers(1, 12))
+        lows, highs = _random_boxes(data, attributes, n)
+        batch_low, batch_high = model.evaluate_interval_batch(lows, highs)
+        for i in range(n):
+            box = {
+                name: (float(lows[name][i]), float(highs[name][i]))
+                for name in attributes
+            }
+            low, high = model.evaluate_interval(box)
+            # Bitwise equality: the engine's frontier ordering must not
+            # depend on which path produced the bound.
+            assert batch_low[i] == low
+            assert batch_high[i] == high
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_knowledge_bitwise_equal_to_scalar(self, data):
+        memberships = [
+            triangle_membership(0.0, 5.0, 10.0),
+            trapezoid_membership(-5.0, 0.0, 3.0, 8.0),
+            gaussian_membership(2.0, 4.0),
+            sigmoid_membership(1.0, steepness=0.8),
+        ]
+        attributes = ["x", "y"]
+        rules = []
+        n_rules = data.draw(st.integers(1, 3))
+        for r in range(n_rules):
+            predicates = tuple(
+                RulePredicate(
+                    attribute=data.draw(st.sampled_from(attributes)),
+                    membership=data.draw(st.sampled_from(memberships)),
+                )
+                for _ in range(data.draw(st.integers(1, 3)))
+            )
+            rules.append(
+                FuzzyRule(
+                    name=f"r{r}",
+                    predicates=predicates,
+                    weight=data.draw(st.floats(0.5, 2.0)),
+                    conjunction=FuzzyAnd(
+                        data.draw(st.sampled_from(["min", "product"]))
+                    ),
+                )
+            )
+        model = KnowledgeModel(
+            rules,
+            combination=data.draw(st.sampled_from(["or", "weighted"])),
+            disjunction=FuzzyOr(data.draw(st.sampled_from(["max", "sum"]))),
+        )
+        n = data.draw(st.integers(1, 10))
+        lows, highs = _random_boxes(data, attributes, n)
+        batch_low, batch_high = model.evaluate_interval_batch(lows, highs)
+        for i in range(n):
+            box = {
+                name: (float(lows[name][i]), float(highs[name][i]))
+                for name in attributes
+            }
+            low, high = model.evaluate_interval(box)
+            assert batch_low[i] == low
+            assert batch_high[i] == high
+
+    def test_default_fallback_loops_over_scalar(self):
+        """Models without a closed form inherit a loop that defers to
+        their own evaluate_interval."""
+
+        class Boxy(LinearModel):
+            # Force the base-class default by hiding the override.
+            evaluate_interval_batch = (
+                LinearModel.__mro__[1].evaluate_interval_batch
+            )
+
+        model = Boxy({"x": 2.0, "y": -1.0}, intercept=3.0)
+        lows = {"x": np.array([0.0, 1.0]), "y": np.array([-2.0, 0.0])}
+        highs = {"x": np.array([1.0, 4.0]), "y": np.array([0.0, 5.0])}
+        batch_low, batch_high = model.evaluate_interval_batch(lows, highs)
+        for i in range(2):
+            low, high = model.evaluate_interval(
+                {
+                    "x": (float(lows["x"][i]), float(highs["x"][i])),
+                    "y": (float(lows["y"][i]), float(highs["y"][i])),
+                }
+            )
+            assert batch_low[i] == low
+            assert batch_high[i] == high
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_membership_batch_and_interval_batch_match_scalar(self, data):
+        membership = data.draw(
+            st.sampled_from(
+                [
+                    triangle_membership(-2.0, 1.0, 6.0),
+                    trapezoid_membership(0.0, 2.0, 4.0, 9.0),
+                    gaussian_membership(0.0, 2.5),
+                    sigmoid_membership(3.0, steepness=-1.2),
+                ]
+            )
+        )
+        values = np.array(
+            [data.draw(st.floats(-12, 12)) for _ in range(8)]
+        )
+        batched = membership.batch(values)
+        for value, degree in zip(values, batched):
+            assert degree == membership(float(value))
+        lows = np.minimum(values[:4], values[4:])
+        highs = np.maximum(values[:4], values[4:])
+        minima, maxima = membership.interval_batch(lows, highs)
+        for i in range(4):
+            low, high = membership.interval(float(lows[i]), float(highs[i]))
+            assert minima[i] == low
+            assert maxima[i] == high
+
+
+# --- engine end-to-end: vectorized search vs per-cell reference ----------
+
+
+def _tie_stack(rows, cols, n_layers, seed):
+    rng = np.random.default_rng(seed)
+    stack = RasterStack()
+    for index in range(n_layers):
+        values = rng.integers(0, 3, size=(rows, cols)).astype(float)
+        stack.add(RasterLayer(f"layer{index}", values))
+    return stack
+
+
+class TestSearchMatchesPerCellReference:
+    @given(
+        rows=st.integers(4, 20),
+        cols=st.integers(4, 20),
+        n_layers=st.integers(1, 3),
+        seed=st.integers(0, 500),
+        k=st.integers(1, 20),
+        maximize=st.booleans(),
+        n_shards=st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_strategies_and_service(
+        self, rows, cols, n_layers, seed, k, maximize, n_shards
+    ):
+        """Every strategy — and the sharded service — must equal a
+        per-cell offer loop over exact scores, ties included."""
+        stack = _tie_stack(rows, cols, n_layers, seed)
+        rng = np.random.default_rng(seed + 1)
+        model = LinearModel(
+            {
+                name: float(rng.choice([-2.0, -1.0, 1.0, 2.0]))
+                for name in stack.names
+            },
+            intercept=0.5,
+        )
+        query = TopKQuery(model=model, k=k, maximize=maximize)
+
+        sign = 1.0 if maximize else -1.0
+        columns = {name: stack[name].values for name in stack.names}
+        scores = sign * model.evaluate_batch(columns)
+        reference_heap = TopKHeap(k)
+        for row in range(rows):
+            for col in range(cols):
+                reference_heap.offer(float(scores[row, col]), (row, col))
+        expected = [
+            (cell[0], cell[1], round(sign * signed, 9))
+            for signed, cell in reference_heap.ranked()
+        ]
+
+        def answers(result):
+            return [
+                (a.row, a.col, round(a.score, 9)) for a in result.answers
+            ]
+
+        engine = RasterRetrievalEngine(stack, leaf_size=4)
+        assert answers(engine.exhaustive_top_k(query)) == expected
+        for use_tiles in (True, False):
+            for use_levels in (True, False):
+                result = engine.progressive_top_k(
+                    query, use_tiles=use_tiles, use_model_levels=use_levels
+                )
+                assert answers(result) == expected, result.strategy
+
+        service = RetrievalService(stack, leaf_size=4, n_shards=n_shards)
+        assert answers(service.top_k(query)) == expected
+
+
+# --- FSM batch kernel ----------------------------------------------------
+
+
+def _weather_series(name, rain, temperature):
+    n = len(rain)
+    return TimeSeries(
+        name,
+        np.arange(n, dtype=float),
+        {
+            "rain_mm": np.array(rain, dtype=float),
+            "temperature_c": np.array(temperature, dtype=float),
+        },
+    )
+
+
+def _random_weather(data, n_days):
+    rain = [
+        5.0 if data.draw(st.booleans()) else 0.0 for _ in range(n_days)
+    ]
+    temperature = [
+        data.draw(st.sampled_from([18.0, 26.0])) for _ in range(n_days)
+    ]
+    return rain, temperature
+
+
+class TestFSMBatch:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_batch_matches_scalar_runs_and_counters(self, data):
+        """The table kernel must reproduce scalar runs — trajectories,
+        acceptance bookkeeping, and counter totals — for random weather."""
+        machine = fire_ants_symbol_machine()
+        n_series = data.draw(st.integers(1, 5))
+        n_days = data.draw(st.integers(0, 25))
+        all_symbols = []
+        scalar_counter = CostCounter()
+        scalar_runs = []
+        for _ in range(n_series):
+            rain, temperature = _random_weather(data, n_days)
+            events = [
+                {"rain_mm": r, "temperature_c": t}
+                for r, t in zip(rain, temperature)
+            ]
+            symbols = symbolize_weather(events)
+            all_symbols.append(symbols)
+            scalar_runs.append(run_fsm(machine, symbols, scalar_counter))
+
+        code_of = {symbol: i for i, symbol in enumerate(WEATHER_ALPHABET)}
+        codes = np.array(
+            [[code_of[s] for s in symbols] for symbols in all_symbols],
+            dtype=np.intp,
+        ).reshape(n_series, n_days)
+        batch_counter = CostCounter()
+        batch_runs = run_fsm_batch(
+            machine, codes, WEATHER_ALPHABET, batch_counter
+        )
+
+        assert [r.trajectory for r in batch_runs] == [
+            r.trajectory for r in scalar_runs
+        ]
+        assert [r.acceptance_times for r in batch_runs] == [
+            r.acceptance_times for r in scalar_runs
+        ]
+        assert [r.accepting_days for r in batch_runs] == [
+            r.accepting_days for r in scalar_runs
+        ]
+        assert batch_counter.model_evals == scalar_counter.model_evals
+        assert batch_counter.flops == scalar_counter.flops
+
+    def test_encode_weather_matches_symbolize(self):
+        rain = np.array([5.0, 0.0, 0.0, 0.05])
+        temperature = np.array([30.0, 30.0, 20.0, 25.0])
+        events = [
+            {"rain_mm": r, "temperature_c": t}
+            for r, t in zip(rain, temperature)
+        ]
+        codes = encode_weather(rain, temperature)
+        assert [WEATHER_ALPHABET[c] for c in codes] == symbolize_weather(events)
+
+    def test_compile_rejects_partial_machines(self):
+        """A missing="error" machine that is not total over the alphabet
+        must fail at compile time, not mid-sweep."""
+        from repro.exceptions import FSMError
+
+        machine = fire_ants_symbol_machine()
+        with pytest.raises(FSMError):
+            compile_fsm(machine, ("rain", "dry_hot", "volcano"))
+
+    def test_compiled_batch_rejects_bad_shapes(self):
+        compiled = compile_fsm(fire_ants_symbol_machine(), WEATHER_ALPHABET)
+        with pytest.raises(ValueError):
+            run_compiled_batch(compiled, np.zeros(4, dtype=np.intp))
+
+    def test_fsm_sweep_handles_mixed_lengths(self):
+        machine = fire_ants_symbol_machine()
+        collection = {
+            "short": _weather_series(
+                "short", [5.0, 0.0, 0.0], [20.0, 20.0, 20.0]
+            ),
+            "long": _weather_series(
+                "long",
+                [5.0, 0.0, 0.0, 0.0, 0.0],
+                [20.0, 20.0, 20.0, 20.0, 28.0],
+            ),
+            "short2": _weather_series(
+                "short2", [0.0, 0.0, 0.0], [28.0, 28.0, 28.0]
+            ),
+        }
+
+        def encoder(series, counter=None):
+            rain = series.read_range("rain_mm", 0, len(series), counter)
+            temperature = series.read_range(
+                "temperature_c", 0, len(series), counter
+            )
+            return encode_weather(rain, temperature)
+
+        counter = CostCounter()
+        runs = fsm_sweep(
+            collection, machine, encoder, WEATHER_ALPHABET, counter
+        )
+        assert list(runs) == list(collection)
+        assert runs["long"].acceptance_times == (4,)
+        assert not runs["short"].accepted
+        # 2 attributes per day per series.
+        assert counter.data_points == 2 * (3 + 5 + 3)
+
+
+# --- the single-pass naive baseline vs the quadratic original ------------
+
+
+def _quadratic_rescan_reference(
+    series, dry_days_required=3, flight_temperature_c=25.0
+):
+    """The seed's O(n²) backward-rescan baseline, kept verbatim as the
+    behavioural reference for the single-pass rewrite."""
+    onsets = []
+    previously_flying = False
+    for day in range(len(series)):
+        today_rain = series.read("rain_mm", day)
+        today_temp = series.read("temperature_c", day)
+        flying = False
+        if (
+            today_rain <= RAIN_THRESHOLD_MM
+            and today_temp >= flight_temperature_c
+        ):
+            dry_run = 0
+            for back_day in range(day - 1, -1, -1):
+                rain = series.read("rain_mm", back_day)
+                if rain > RAIN_THRESHOLD_MM:
+                    break
+                dry_run += 1
+            flying = dry_run >= dry_days_required
+        if flying and not previously_flying:
+            onsets.append(day)
+        previously_flying = flying
+    return onsets
+
+
+class TestNaiveSinglePass:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_quadratic_original(self, data):
+        n_days = data.draw(st.integers(1, 50))
+        rain, temperature = _random_weather(data, n_days)
+        required = data.draw(st.integers(1, 5))
+        series = _weather_series("w", rain, temperature)
+        assert naive_window_match(
+            series, dry_days_required=required
+        ) == _quadratic_rescan_reference(series, dry_days_required=required)
+
+    def test_linear_data_reads(self):
+        """The rewrite reads each sample exactly once — 2 data points per
+        day — where the original re-read history every hot dry day."""
+        n = 80
+        series = _weather_series("w", [0.0] * n, [30.0] * n)
+        counter = CostCounter()
+        naive_window_match(series, counter=counter)
+        assert counter.data_points == 2 * n
+
+    def test_onsets_match_fsm_on_canonical_sequence(self):
+        rain = [5.0, 0.0, 0.0, 0.0, 0.0]
+        temperature = [20.0, 20.0, 20.0, 20.0, 28.0]
+        series = _weather_series("w", rain, temperature)
+        events = [
+            {"rain_mm": r, "temperature_c": t}
+            for r, t in zip(rain, temperature)
+        ]
+        machine = fire_ants_model()
+        run = run_fsm(machine, events)
+        assert naive_window_match(series) == list(run.acceptance_times)

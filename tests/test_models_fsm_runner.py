@@ -137,6 +137,9 @@ class TestNaiveEquivalence:
         assert list(fsm_run.acceptance_times) == naive
 
     def test_naive_does_more_work(self):
+        """The stateless baseline re-derives the spell arithmetic every
+        day, so it always out-works the FSM's single-state step (both
+        now read each sample exactly once)."""
         rng = np.random.default_rng(5)
         rain = np.where(rng.random(200) < 0.15, 5.0, 0.0)
         temperature = rng.uniform(20, 32, 200)
@@ -144,7 +147,8 @@ class TestNaiveEquivalence:
         fsm_counter, naive_counter = CostCounter(), CostCounter()
         run_fsm_over_series(fire_ants_model(), series, fsm_counter)
         naive_window_match(series, counter=naive_counter)
-        assert naive_counter.data_points > fsm_counter.data_points
+        assert naive_counter.data_points == fsm_counter.data_points
+        assert naive_counter.total_work > fsm_counter.total_work
 
 
 class TestSymbolize:

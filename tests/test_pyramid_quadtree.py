@@ -10,11 +10,48 @@ from hypothesis.extra import numpy as hnp
 
 from repro.data.raster import RasterLayer
 from repro.metrics.counters import CostCounter
-from repro.pyramid.quadtree import QuadTree
+from repro.pyramid.quadtree import QuadTree, build_recursive
 
 
 def _tree(values: np.ndarray, leaf_size: int = 4) -> QuadTree:
     return QuadTree(RasterLayer("x", values), leaf_size=leaf_size)
+
+
+class TestArrayBuildMatchesRecursive:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(1, 33), st.integers(1, 33)),
+            elements=st.floats(-1e6, 1e6),
+        ),
+        st.integers(1, 9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_node_for_node_equal(self, values, leaf_size):
+        """The bottom-up array build must reproduce the recursive
+        reference tree exactly: same windows, same depths, same child
+        order, exact min/max, matching means and counts."""
+        tree = _tree(values, leaf_size=leaf_size)
+        reference = build_recursive(values, leaf_size)
+
+        stack = [(tree.root, reference)]
+        visited = 0
+        while stack:
+            node, expected = stack.pop()
+            visited += 1
+            assert node.window() == expected.window()
+            assert node.depth == expected.depth
+            assert node.count == expected.count
+            assert node.minimum == expected.minimum
+            assert node.maximum == expected.maximum
+            assert node.mean == pytest.approx(expected.mean, rel=1e-12)
+            assert len(node.children) == len(expected.children)
+            stack.extend(zip(node.children, expected.children))
+        assert visited == tree.n_nodes
+
+    def test_recursive_build_validates_leaf_size(self):
+        with pytest.raises(ValueError):
+            build_recursive(np.zeros((4, 4)), 0)
 
 
 class TestConstruction:
