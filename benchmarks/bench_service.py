@@ -9,7 +9,12 @@ buys. Two claims are checked:
   single-engine tally (the shared threshold keeps shards from exploring
   redundantly);
 * a cache hit answers at least 10x faster than a cold query (in
-  practice several orders of magnitude).
+  practice several orders of magnitude);
+* a deadline bounds the answer's wall time: the truncated query returns
+  a prefix-sound partial result within ~2x the deadline, while the
+  undeadlined query stays counter-identical with tracing enabled;
+* the per-stage latency and hit-rate story is visible in one
+  ``MetricsRegistry.snapshot()``.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import time
 import pytest
 
 from repro.core.query import TopKQuery
+from repro.metrics.registry import MetricsRegistry
 from repro.models.linear import hps_risk_model
 from repro.service import RetrievalService
 from repro.synth.landsat import generate_scene
@@ -124,6 +130,95 @@ class TestServiceScaling:
             invalidations=service.stats.invalidations,
         )
         benchmark(lambda: None)
+
+    def test_deadline_bounds_latency(self, benchmark, stack, model, report):
+        report.header(
+            "deadline: prefix-sound partial answer within ~2x the deadline"
+        )
+        registry = MetricsRegistry()
+        service = RetrievalService(
+            stack, n_shards=4, cache_size=0, registry=registry
+        )
+        query = TopKQuery(model=model, k=10)
+        single = service.engine.progressive_top_k(query)
+
+        # Tracing never touches the work ledger: on the deterministic
+        # 1-shard path, counted work matches the untraced single engine
+        # exactly. (Multi-shard counts vary run to run by design — the
+        # shared threshold's timing decides what gets pruned where.)
+        traced_single = service.top_k(query, n_shards=1)
+        for field in (
+            "data_points", "model_evals", "partial_evals", "flops",
+            "tuples_examined",
+        ):
+            assert getattr(traced_single.counter, field) == getattr(
+                single.counter, field
+            ), f"{field} diverged with tracing enabled"
+
+        start = time.perf_counter()
+        service.top_k(query)
+        cold_seconds = time.perf_counter() - start
+
+        deadline_s = max(cold_seconds / 8, 0.002)
+        start = time.perf_counter()
+        partial = service.top_k(query, deadline_s=deadline_s)
+        elapsed = time.perf_counter() - start
+        report.row(
+            cold_ms=cold_seconds * 1e3,
+            deadline_ms=deadline_s * 1e3,
+            partial_ms=elapsed * 1e3,
+            complete=partial.complete,
+            answers=len(partial),
+        )
+        if not partial.complete:
+            assert partial.strategy.endswith("-partial")
+            assert elapsed < 2 * deadline_s + 0.25, (
+                f"deadline {deadline_s:.3f}s overrun: took {elapsed:.3f}s"
+            )
+        benchmark.pedantic(
+            service.top_k, args=(query,),
+            kwargs={"deadline_s": deadline_s}, rounds=3, iterations=1,
+        )
+
+    def test_metrics_snapshot_export(self, benchmark, stack, model, report):
+        report.header(
+            "MetricsRegistry.snapshot(): per-stage latency + cache hit rate"
+        )
+        registry = MetricsRegistry()
+        service = RetrievalService(
+            stack, n_shards=4, cache_size=16, registry=registry
+        )
+        query = TopKQuery(model=model, k=10)
+        service.top_k(query)
+        service.top_k(query)
+        service.top_k(query)
+
+        snapshot = registry.snapshot()
+        for name, value in sorted(snapshot["counters"].items()):
+            report.row(counter=name, value=value)
+        for name, value in sorted(snapshot["gauges"].items()):
+            report.row(gauge=name, value=value)
+        for name, histogram in sorted(snapshot["histograms"].items()):
+            report.row(
+                histogram=name,
+                count=histogram["count"],
+                mean_ms=histogram["mean"] * 1e3,
+                p90_ms=histogram["p90"] * 1e3,
+                max_ms=histogram["max"] * 1e3,
+            )
+        assert snapshot["counters"]["service.queries"] == 3
+        assert snapshot["counters"]["service.cache_hits"] == 2
+        assert snapshot["gauges"]["service.cache_hit_rate"] == pytest.approx(
+            2 / 3
+        )
+        for stage in ("cache_lookup", "plan", "search", "merge"):
+            assert (
+                snapshot["histograms"][f"service.stage.{stage}_seconds"][
+                    "count"
+                ]
+                >= 1
+            )
+        benchmark(registry.snapshot)
 
 
 def _timed(function, *args, **kwargs) -> float:

@@ -88,16 +88,20 @@ def _demo_service() -> None:
     import time
 
     from repro.core.query import TopKQuery
+    from repro.metrics.registry import MetricsRegistry
     from repro.models.linear import hps_risk_model
     from repro.service import RetrievalService
     from repro.synth.landsat import generate_scene
     from repro.synth.terrain import generate_dem
 
-    print("== retrieval service: sharded search + query cache ==")
+    print("== retrieval service: sharded search + cache + deadlines ==")
     dem = generate_dem((256, 256), seed=1)
     stack = generate_scene((256, 256), seed=2, terrain=dem)
     stack.add(dem)
-    service = RetrievalService(stack, n_shards=4, cache_size=32)
+    registry = MetricsRegistry()
+    service = RetrievalService(
+        stack, n_shards=4, cache_size=32, registry=registry
+    )
     query = TopKQuery(model=hps_risk_model(), k=10)
 
     single = service.engine.progressive_top_k(query)
@@ -119,6 +123,23 @@ def _demo_service() -> None:
         f"{warm_seconds * 1e3:.3f} ms "
         f"({cold_seconds / warm_seconds:.0f}x), "
         f"hit rate {service.stats.hit_rate:.0%}"
+    )
+
+    deadline_s = max(cold_seconds / 8, 0.001)
+    partial = service.top_k(query, use_cache=False, deadline_s=deadline_s)
+    print(
+        f"  deadline {deadline_s * 1e3:.1f} ms -> complete="
+        f"{partial.complete}, {len(partial.answers)} prefix-sound answers "
+        f"({partial.strategy})"
+    )
+    snapshot = registry.snapshot()
+    search = snapshot["histograms"].get("service.stage.search_seconds", {})
+    print(
+        f"  metrics: {snapshot['counters'].get('service.queries', 0):.0f} "
+        f"queries, hit rate "
+        f"{snapshot['gauges'].get('service.cache_hit_rate', 0.0):.0%}, "
+        f"search p90 {search.get('p90', 0.0) * 1e3:.1f} ms, "
+        f"partials {snapshot['counters'].get('service.partial_results', 0):.0f}"
     )
 
 

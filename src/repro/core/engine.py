@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -48,6 +49,9 @@ from repro.models.progressive_linear import (
     TermContribution,
     analyze_contributions,
 )
+
+if TYPE_CHECKING:  # polled duck-typed; no runtime core->service dep
+    from repro.service.tracing import CancellationToken
 
 
 class TopKHeap:
@@ -219,6 +223,7 @@ class RasterRetrievalEngine:
         pruning: str = "sound",
         heuristic_margin: float = 0.7,
         work_budget: int | None = None,
+        cancel: "CancellationToken | None" = None,
     ) -> RetrievalResult:
         """Progressive retrieval with either/both pruning mechanisms.
 
@@ -237,6 +242,14 @@ class RasterRetrievalEngine:
         work passes the budget, tile-level search stops and the result
         carries a sound ``regret_bound`` — how much better any
         unexamined location could still score. Requires ``use_tiles``.
+
+        ``cancel`` makes the tile search cooperatively cancellable
+        (deadline or explicit): the branch-and-bound loop polls the
+        token between frontier pops and, once it fires, returns a
+        partial result flagged ``complete=False`` whose answers are
+        prefix-sound — every returned score is exact, but better cells
+        may remain unexplored. Only the tile path polls; the
+        ``use_tiles=False`` strategies evaluate one window and finish.
         """
         if pruning not in ("sound", "heuristic"):
             raise QueryError(f"unknown pruning mode {pruning!r}")
@@ -277,11 +290,12 @@ class RasterRetrievalEngine:
             )
 
         regret_bound: float | None = None
+        complete = True
         if use_tiles:
-            regret_bound = self._tile_search(
+            regret_bound, complete = self._tile_search(
                 query, progressive, heap, sign, region, counter, audit,
                 pruning=pruning, heuristic_margin=heuristic_margin,
-                work_budget=work_budget,
+                work_budget=work_budget, cancel=cancel,
             )
         else:
             self._evaluate_window(
@@ -301,9 +315,11 @@ class RasterRetrievalEngine:
             strategy += "-heuristic"
         if work_budget is not None:
             strategy += "-anytime"
+        if not complete:
+            strategy += "-partial"
         return RetrievalResult(
             answers=answers, counter=counter, audit=audit, strategy=strategy,
-            regret_bound=regret_bound,
+            regret_bound=regret_bound, complete=complete,
         )
 
     def _build_progressive(
@@ -360,15 +376,24 @@ class RasterRetrievalEngine:
         heuristic_margin: float = 0.7,
         work_budget: int | None = None,
         roots: list[ScreenNode] | None = None,
-    ) -> float | None:
+        cancel: "CancellationToken | None" = None,
+    ) -> tuple[float | None, bool]:
         """Best-first branch-and-bound over the tile screen.
 
         ``roots`` overrides the starting frontier (default: the global
         screen root); shard searches pass the minimal node cover of
         their sub-region so bands skip the shared upper tree levels.
 
-        Returns the anytime regret bound when a ``work_budget`` was set
-        (0.0 when the search finished within budget), else None.
+        ``cancel`` is polled once per frontier pop (the loop check that
+        makes shard searches cooperatively cancellable); when it fires
+        the search stops with whatever the heap holds. Leaf evaluations
+        are never interrupted, so every heap entry is an exact score.
+
+        Returns ``(regret_bound, complete)``: the anytime regret bound
+        when a ``work_budget`` was set (0.0 when the search finished
+        within budget, else the bound at the early stop) or ``None``
+        without a budget, and whether the search ran to exhaustion
+        rather than being cancelled.
         """
         model = query.model
         tiebreak = itertools.count()
@@ -411,6 +436,15 @@ class RasterRetrievalEngine:
             )
 
         while frontier:
+            if cancel is not None and cancel.cancelled:
+                # Cooperative stop: return the heap as-is. Offers happen
+                # only after exact leaf evaluation, so the partial answer
+                # set is prefix-sound (exact scores, possibly not the
+                # true top-K).
+                if work_budget is not None:
+                    best_remaining = -frontier[0][0]
+                    return max(0.0, best_remaining - heap.threshold), False
+                return None, False
             if (
                 work_budget is not None
                 and counter.total_work >= work_budget
@@ -418,7 +452,7 @@ class RasterRetrievalEngine:
                 # Anytime stop: the best remaining frontier bound caps how
                 # much any unexamined location can beat the K-th best.
                 best_remaining = -frontier[0][0]
-                return max(0.0, best_remaining - heap.threshold)
+                return max(0.0, best_remaining - heap.threshold), True
             neg_upper, _, node = heapq.heappop(frontier)
             upper = -neg_upper
             if heap.full and upper < heap.threshold:
@@ -457,7 +491,7 @@ class RasterRetrievalEngine:
                 heapq.heappush(
                     frontier, (-child_upper, next(tiebreak), child)
                 )
-        return 0.0 if work_budget is not None else None
+        return (0.0 if work_budget is not None else None), True
 
     # -- shard entry points (the repro.service concurrency layer) ----------
 
@@ -503,7 +537,8 @@ class RasterRetrievalEngine:
         progressive: ProgressiveLinearModel | None = None,
         pruning: str = "sound",
         heuristic_margin: float = 0.7,
-    ) -> None:
+        cancel: "CancellationToken | None" = None,
+    ) -> bool:
         """Branch-and-bound restricted to ``region`` against a shared heap.
 
         The shard-scoped search entry point: ``region`` is an absolute,
@@ -514,13 +549,20 @@ class RasterRetrievalEngine:
         pruning test compares *strictly* against the heap threshold, a
         threshold raised by another shard's discoveries only tightens
         pruning and never drops an answer.
+
+        ``cancel`` (a :class:`~repro.service.tracing.CancellationToken`)
+        is polled between frontier pops; when it fires the shard stops
+        promptly, leaving its exact discoveries in the shared heap.
+        Returns whether the shard ran to completion (``False`` when the
+        token stopped it early).
         """
         sign = 1.0 if query.maximize else -1.0
-        self._tile_search(
+        _, complete = self._tile_search(
             query, progressive, heap, sign, region, counter, audit,
             pruning=pruning, heuristic_margin=heuristic_margin,
-            roots=self.screen.region_roots(region),
+            roots=self.screen.region_roots(region), cancel=cancel,
         )
+        return complete
 
     def _evaluate_window(
         self,

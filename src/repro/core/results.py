@@ -8,8 +8,12 @@ execution pruned where — the numbers behind the ``pm``/``pd`` factors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.metrics.counters import CostCounter
+
+if TYPE_CHECKING:  # service-layer type only; no runtime core->service dep
+    from repro.service.tracing import QueryTrace
 
 
 @dataclass(frozen=True)
@@ -61,6 +65,16 @@ class PruningAudit:
         for level, n_cells in other.cells_pruned_at_level.items():
             self.prune_at_level(level, n_cells)
 
+    def copy(self) -> "PruningAudit":
+        """An independent audit with the same tallies (the query cache
+        hands out copies so callers can never corrupt a stored entry)."""
+        return PruningAudit(
+            tiles_screened=self.tiles_screened,
+            tiles_pruned=self.tiles_pruned,
+            cells_entered_level=dict(self.cells_entered_level),
+            cells_pruned_at_level=dict(self.cells_pruned_at_level),
+        )
+
     @property
     def tile_prune_fraction(self) -> float:
         """Fraction of screened tiles pruned without reading cells."""
@@ -78,6 +92,15 @@ class RetrievalResult:
     than the current K-th best. ``0.0`` means the answers are provably
     exact despite the early stop; ``None`` means the run completed
     normally (exact by construction).
+
+    ``complete`` is ``False`` when a deadline or cancellation token
+    stopped the search early (see :mod:`repro.service.tracing`). Partial
+    answers are *prefix-sound*: every returned score is the exact model
+    score of its cell — offers only ever happen after exact evaluation —
+    but better cells may exist in the unexplored remainder. ``trace``
+    carries the per-query :class:`~repro.service.tracing.QueryTrace`
+    when the serving layer produced the result (``None`` from the bare
+    engine).
     """
 
     answers: list[ScoredLocation]
@@ -85,6 +108,8 @@ class RetrievalResult:
     audit: PruningAudit = field(default_factory=PruningAudit)
     strategy: str = ""
     regret_bound: float | None = None
+    complete: bool = True
+    trace: "QueryTrace | None" = None
 
     @property
     def locations(self) -> list[tuple[int, int]]:

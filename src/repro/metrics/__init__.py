@@ -10,6 +10,9 @@ Three concerns:
   occurrences.
 * :mod:`repro.metrics.efficiency` — the Section 4.2 efficiency model
   ``O(nN)`` vs ``O(nN/(pm*pd))`` and speedup bookkeeping.
+* :mod:`repro.metrics.registry` — process-wide serving metrics
+  (counters, gauges, latency histograms) the retrieval service
+  aggregates per-query traces into.
 """
 
 from repro.metrics.accuracy import (
@@ -25,6 +28,11 @@ from repro.metrics.efficiency import (
     SpeedupReport,
     speedup,
 )
+from repro.metrics.registry import (
+    LatencyHistogram,
+    MetricsRegistry,
+    global_registry,
+)
 from repro.metrics.roc import RocCurve, auc_score, roc_curve
 from repro.metrics.topk import (
     PrecisionRecall,
@@ -37,6 +45,8 @@ __all__ = [
     "CostCounter",
     "CostModel",
     "EfficiencyModel",
+    "LatencyHistogram",
+    "MetricsRegistry",
     "PrecisionRecall",
     "RocCurve",
     "SpeedupReport",
@@ -44,6 +54,7 @@ __all__ = [
     "cost_curve",
     "counted",
     "evaluate_cost",
+    "global_registry",
     "merge_counters",
     "optimal_threshold",
     "precision_recall_at_k",

@@ -88,6 +88,20 @@ class CostCounter:
         finally:
             self.wall_seconds += time.perf_counter() - start
 
+    def copy(self) -> "CostCounter":
+        """An independent counter with the same tallies and notes (the
+        serving layer's cache hands out copies, never shared records)."""
+        return CostCounter(
+            data_points=self.data_points,
+            model_evals=self.model_evals,
+            partial_evals=self.partial_evals,
+            flops=self.flops,
+            tuples_examined=self.tuples_examined,
+            nodes_visited=self.nodes_visited,
+            wall_seconds=self.wall_seconds,
+            notes=dict(self.notes),
+        )
+
     def __iadd__(self, other: "CostCounter") -> "CostCounter":
         """In-place merge — how the service folds per-shard counters
         into one tally without allocating an intermediate per shard."""

@@ -1,0 +1,163 @@
+"""Process-wide serving metrics: counters, gauges, latency histograms.
+
+The work ledger in :mod:`repro.metrics.counters` answers "how much did
+*one* retrieval cost"; this module answers the operational question —
+"what is the service doing over time" — with the three metric kinds a
+serving layer needs:
+
+* **counters** — monotonic event tallies (queries, cache hits, partial
+  results);
+* **gauges** — last-written values (cache hit rate, cached entries);
+* **histograms** — latency distributions on fixed log-spaced buckets,
+  exposing count/sum/min/max/mean and bucket-resolution percentiles.
+
+One :class:`MetricsRegistry` instance is shared per process by default
+(:func:`global_registry`); every method is thread-safe under a single
+registry lock, matching the concurrent service that feeds it.
+:meth:`MetricsRegistry.snapshot` returns a plain nested dict for
+benchmarks, demos, or export.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any
+
+#: Histogram bucket upper bounds in seconds: log-spaced from 100 µs to
+#: ~100 s, which brackets everything from a cache hit to a cold sharded
+#: search on a large archive. Observations above the last bound land in
+#: a +inf overflow bucket.
+DEFAULT_LATENCY_BUCKETS_S: tuple[float, ...] = tuple(
+    base * scale
+    for scale in (1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+    for base in (1.0, 2.5, 5.0)
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (not thread-safe on its own; the
+    owning :class:`MetricsRegistry` serializes access)."""
+
+    def __init__(
+        self, buckets_s: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S
+    ) -> None:
+        if not buckets_s or list(buckets_s) != sorted(buckets_s):
+            raise ValueError("buckets must be a non-empty ascending tuple")
+        self.bounds = tuple(float(bound) for bound in buckets_s)
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile: the upper bound of the bucket
+        holding the q-th observation (min/max-clamped; 0.0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index == len(self.bounds):  # overflow bucket
+                    return self.max
+                return min(self.bounds[index], self.max)
+        return self.max
+
+    def as_dict(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.sum / self.count,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges, and latency histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def inc(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to the named monotonic counter (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to its latest value."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency observation into the named histogram."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            histogram.observe(seconds)
+
+    def counter_value(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict view of every metric, safe to serialize.
+
+        ``{"counters": {...}, "gauges": {...}, "histograms": {name:
+        {count, sum, mean, min, max, p50, p90, p99}}}``.
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: histogram.as_dict()
+                    for name, histogram in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (tests and benchmark isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, "
+                f"histograms={len(self._histograms)})"
+            )
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default registry services aggregate into."""
+    return _GLOBAL_REGISTRY

@@ -8,6 +8,14 @@ whole answers behind a fingerprint keyed on what the query *asks* (model
 coefficients, region, k, direction, strategy knobs) — invalidated when
 the source archive mutates.
 
+The serving layer is hardened for bounded-latency operation: queries
+take deadlines (``top_k(..., deadline_s=...)``) or caller-owned
+:class:`CancellationToken` objects, stopping all shards cooperatively
+and returning prefix-sound partial results flagged ``complete=False``;
+every query carries a :class:`QueryTrace` (stage spans + per-shard
+pruning stats) aggregated into a process-wide
+:class:`~repro.metrics.registry.MetricsRegistry`.
+
 See ``docs/TUTORIAL.md`` §8 and ``benchmarks/bench_service.py``.
 """
 
@@ -18,12 +26,16 @@ from repro.service.retrieval import (
     SharedTopKHeap,
 )
 from repro.service.sharding import row_band_shards
+from repro.service.tracing import CancellationToken, QueryTrace, StageSpan
 
 __all__ = [
+    "CancellationToken",
     "QueryCache",
+    "QueryTrace",
     "RetrievalService",
     "ServiceStats",
     "SharedTopKHeap",
+    "StageSpan",
     "model_fingerprint",
     "query_fingerprint",
     "row_band_shards",

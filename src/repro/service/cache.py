@@ -10,7 +10,9 @@ the key calculus and the store.
 
 from __future__ import annotations
 
+import itertools
 import threading
+import weakref
 from collections import OrderedDict
 from typing import Hashable
 
@@ -19,15 +21,60 @@ from repro.core.results import RetrievalResult
 from repro.models.base import Model
 from repro.models.linear import LinearModel
 
+# Per-instance identity tokens for models that fingerprint by identity.
+# A raw id(model) is unsafe as a cache key: after the model is garbage
+# collected a *different* model can be allocated at the same address and
+# would falsely hit the old entry, serving answers computed for another
+# model. Tokens from a monotonic counter are never reused; the registry
+# maps id -> (weakref, token) so a dead or reallocated id gets a fresh
+# token. The RLock (not a plain Lock) matters: weakref cleanup callbacks
+# can run at arbitrary bytecode boundaries — including while the
+# registering thread already holds this lock.
+_instance_token_lock = threading.RLock()
+_instance_token_counter = itertools.count()
+_instance_tokens: dict[int, tuple[weakref.ref, int]] = {}
+# Models that cannot be weak-referenced (e.g. __slots__ without
+# __weakref__) are pinned alive instead: a bounded leak is the only way
+# to guarantee their id — and hence their cache entries — never recycles.
+_pinned_models: dict[int, Model] = {}
+_instance_tokens_pinned: dict[int, int] = {}
+
+
+def _instance_token(model: Model) -> int:
+    """A monotonic token unique to this live instance, never reused."""
+    key = id(model)
+    with _instance_token_lock:
+        entry = _instance_tokens.get(key)
+        if entry is not None and entry[0]() is model:
+            return entry[1]
+        if key in _pinned_models and _pinned_models[key] is model:
+            return _instance_tokens_pinned[key]
+        token = next(_instance_token_counter)
+
+        def _drop(_ref: weakref.ref, key: int = key, token: int = token) -> None:
+            with _instance_token_lock:
+                current = _instance_tokens.get(key)
+                if current is not None and current[1] == token:
+                    del _instance_tokens[key]
+
+        try:
+            _instance_tokens[key] = (weakref.ref(model, _drop), token)
+        except TypeError:
+            _pinned_models[key] = model
+            _instance_tokens_pinned[key] = token
+        return token
+
 
 def model_fingerprint(model: Model) -> Hashable:
     """A hashable identity for a model's scoring behaviour.
 
     Linear models fingerprint *by value* — sorted coefficients plus
     intercept — so two separately constructed but equal models share
-    cache entries. Other families fall back to instance identity, which
-    never falsely shares (models are immutable by library convention)
-    but only hits when the same object is reused.
+    cache entries. Other families fall back to instance identity via a
+    per-instance monotonic token (never a raw ``id``, which the
+    allocator recycles after GC): it never falsely shares (models are
+    immutable by library convention) but only hits when the same object
+    is reused.
     """
     if isinstance(model, LinearModel):
         return (
@@ -35,7 +82,11 @@ def model_fingerprint(model: Model) -> Hashable:
             tuple(sorted(model.coefficients.items())),
             model.intercept,
         )
-    return (type(model).__qualname__, tuple(model.attributes), id(model))
+    return (
+        type(model).__qualname__,
+        tuple(model.attributes),
+        _instance_token(model),
+    )
 
 
 def query_fingerprint(
@@ -102,10 +153,15 @@ class QueryCache:
             self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # Locked like every other accessor: len(dict) is atomic in
+        # CPython today, but the class's thread-safety contract should
+        # not lean on an implementation detail.
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __repr__(self) -> str:
         return (

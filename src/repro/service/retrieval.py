@@ -25,13 +25,37 @@ to the single-engine :meth:`RasterRetrievalEngine.progressive_top_k`
 answer at every shard count (property-tested, including boundary-score
 ties). Heuristic pruning (``pruning="heuristic"``, ``margin < 1``) is
 the one exception — it is unsound by design, sharded or not.
+
+Hardening (bounded-latency serving):
+
+* **Deadlines and cancellation** — ``top_k(..., deadline_s=...)`` (or a
+  caller-owned :class:`~repro.service.tracing.CancellationToken` via
+  ``cancel=``) threads one token through every shard's branch-and-bound
+  loop. When it fires, all shards stop at their next frontier pop and
+  the service returns a *partial* result flagged ``complete=False``:
+  whatever the shared heap holds, every score exact (offers only happen
+  after exact evaluation), but possibly not the true top-K. Partial
+  results are never cached.
+* **Tracing and metrics** — every query carries a
+  :class:`~repro.service.tracing.QueryTrace` (sequential stage spans
+  ``cache_lookup`` / ``plan`` / ``search`` / ``merge`` /
+  ``cache_store`` plus per-shard pruning stats) on ``result.trace``,
+  and the service aggregates counts and stage latencies into a
+  :class:`~repro.metrics.registry.MetricsRegistry` (the process-wide
+  :func:`~repro.metrics.registry.global_registry` unless one is
+  injected). Tracing never touches :class:`CostCounter` tallies:
+  counted work is identical with tracing on.
+* **Cache isolation** — cached entries are stored *and* served as
+  defensive copies (fresh answer list, copied counter and audit), so a
+  caller mutating a returned result can never corrupt later hits.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.core.engine import RasterRetrievalEngine, TopKHeap
 from repro.core.query import TopKQuery
@@ -40,8 +64,10 @@ from repro.data.archive import Archive
 from repro.data.raster import RasterStack
 from repro.exceptions import QueryError
 from repro.metrics.counters import CostCounter
+from repro.metrics.registry import MetricsRegistry, global_registry
 from repro.service.cache import QueryCache, query_fingerprint
 from repro.service.sharding import row_band_shards
+from repro.service.tracing import CancellationToken, QueryTrace
 
 
 class SharedTopKHeap(TopKHeap):
@@ -88,12 +114,18 @@ class SharedTopKHeap(TopKHeap):
 
 @dataclass
 class ServiceStats:
-    """Serving tallies across a service's lifetime."""
+    """Serving tallies across a service's lifetime.
+
+    Plain data: the owning :class:`RetrievalService` performs every
+    mutation under its service lock, so the tallies stay exact under
+    concurrent callers (the threaded-hammer regression test).
+    """
 
     queries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     invalidations: int = 0
+    partial_results: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -121,6 +153,10 @@ class RetrievalService:
         moves (a layer was added), every cached answer is dropped before
         the next query executes. Use :meth:`from_archive` to build stack
         and watch in one step.
+    registry:
+        Where query counts, stage latencies, and the cache hit rate are
+        aggregated; defaults to the process-wide
+        :func:`~repro.metrics.registry.global_registry`.
     """
 
     def __init__(
@@ -130,6 +166,7 @@ class RetrievalService:
         n_shards: int = 4,
         cache_size: int = 128,
         archive: Archive | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if n_shards < 1:
             raise QueryError(f"n_shards must be positive, got {n_shards}")
@@ -143,6 +180,11 @@ class RetrievalService:
             archive.generation if archive is not None else None
         )
         self.stats = ServiceStats()
+        self.registry = registry if registry is not None else global_registry()
+        # Reentrant: _check_archive_generation calls invalidate() while
+        # already holding the lock. Guards every stats mutation plus the
+        # _seen_generation read-compare-update.
+        self._lock = threading.RLock()
 
     @classmethod
     def from_archive(
@@ -153,18 +195,25 @@ class RetrievalService:
         return cls(archive.stack(layers), archive=archive, **kwargs)
 
     def invalidate(self) -> None:
-        """Explicitly drop every cached answer."""
-        if self.cache is not None:
-            self.cache.clear()
-        self.stats.invalidations += 1
+        """Explicitly drop every cached answer.
+
+        A no-op — including the ``invalidations`` tally — when caching
+        is disabled: there is nothing to invalidate.
+        """
+        if self.cache is None:
+            return
+        self.cache.clear()
+        with self._lock:
+            self.stats.invalidations += 1
 
     def _check_archive_generation(self) -> None:
         if self._archive is None:
             return
-        generation = self._archive.generation
-        if generation != self._seen_generation:
-            self._seen_generation = generation
-            self.invalidate()
+        with self._lock:
+            generation = self._archive.generation
+            if generation != self._seen_generation:
+                self._seen_generation = generation
+                self.invalidate()
 
     def top_k(
         self,
@@ -174,31 +223,64 @@ class RetrievalService:
         pruning: str = "sound",
         heuristic_margin: float = 0.7,
         use_cache: bool = True,
+        deadline_s: float | None = None,
+        cancel: CancellationToken | None = None,
     ) -> RetrievalResult:
         """Answer ``query`` through the cache and the shard pool.
 
         The answer set is identical to the single-engine
         ``progressive_top_k`` result (for sound pruning) at every shard
-        count. A cache hit returns the stored result with its original
-        work counter — the work that *was* done to compute it — and
-        ``"-cached"`` appended to the strategy label.
+        count. A cache hit returns a defensive copy of the stored result
+        with its original work counter — the work that *was* done to
+        compute it — and ``"-cached"`` appended to the strategy label;
+        mutating any returned result never affects later hits.
+
+        ``deadline_s`` bounds the query's wall time: when it expires,
+        every shard stops at its next loop check and the result comes
+        back flagged ``complete=False`` with ``"-partial"`` appended to
+        the strategy — a prefix-sound partial top-K (every returned
+        score is exact). ``cancel`` hands in a caller-owned
+        :class:`~repro.service.tracing.CancellationToken` for explicit
+        cancellation; with both, whichever fires first stops the query.
+        Partial results are never cached. Every result carries a
+        :class:`~repro.service.tracing.QueryTrace` on ``result.trace``.
         """
-        self.stats.queries += 1
-        self._check_archive_generation()
-        region = query.clip_region(self.engine.stack.shape)
-        key = query_fingerprint(
-            query,
-            region,
-            use_model_levels=use_model_levels,
-            pruning=pruning,
-            heuristic_margin=heuristic_margin,
-        )
-        if use_cache and self.cache is not None:
-            cached = self.cache.get(key)
-            if cached is not None:
+        trace = QueryTrace()
+        if deadline_s is not None:
+            if deadline_s <= 0:
+                raise QueryError(
+                    f"deadline_s must be positive, got {deadline_s}"
+                )
+            cancel = CancellationToken(deadline_s=deadline_s, parent=cancel)
+        with self._lock:
+            self.stats.queries += 1
+        cached: RetrievalResult | None = None
+        with trace.span("cache_lookup"):
+            self._check_archive_generation()
+            region = query.clip_region(self.engine.stack.shape)
+            key = query_fingerprint(
+                query,
+                region,
+                use_model_levels=use_model_levels,
+                pruning=pruning,
+                heuristic_margin=heuristic_margin,
+            )
+            if use_cache and self.cache is not None:
+                trace.cache_checked = True
+                cached = self.cache.get(key)
+        if cached is not None:
+            with self._lock:
                 self.stats.cache_hits += 1
-                return replace(cached, strategy=cached.strategy + "-cached")
-            self.stats.cache_misses += 1
+            trace.cache_hit = True
+            trace.finish(complete=cached.complete)
+            result = _result_copy(
+                cached, strategy=cached.strategy + "-cached", trace=trace
+            )
+            self._record(trace)
+            return result
+        if use_cache and self.cache is not None:
+            with self._lock:
+                self.stats.cache_misses += 1
         result = self._execute(
             query,
             region,
@@ -206,9 +288,24 @@ class RetrievalService:
             use_model_levels,
             pruning,
             heuristic_margin,
+            cancel,
+            trace,
         )
-        if use_cache and self.cache is not None:
-            self.cache.put(key, result)
+        if use_cache and self.cache is not None and result.complete:
+            # Partial (deadline-truncated) answers must never be served
+            # to a later query that had no deadline; the stored entry is
+            # a copy, so the caller may freely mutate the returned one.
+            with trace.span("cache_store"):
+                self.cache.put(key, _result_copy(result, result.strategy))
+        if not result.complete:
+            with self._lock:
+                self.stats.partial_results += 1
+        trace.finish(
+            complete=result.complete,
+            cancel_reason=cancel.reason if cancel is not None else None,
+        )
+        result.trace = trace
+        self._record(trace)
         return result
 
     def _execute(
@@ -219,60 +316,107 @@ class RetrievalService:
         use_model_levels: bool,
         pruning: str,
         heuristic_margin: float,
+        cancel: CancellationToken | None,
+        trace: QueryTrace,
     ) -> RetrievalResult:
         if pruning not in ("sound", "heuristic"):
             raise QueryError(f"unknown pruning mode {pruning!r}")
         engine = self.engine
-        progressive = engine.prepare_tile_query(
-            query, use_model_levels=use_model_levels
-        )
-        bands = row_band_shards(region, n_shards)
-        heap = SharedTopKHeap(query.k)
-        counters = [CostCounter() for _ in bands]
-        audits = [PruningAudit() for _ in bands]
+        with trace.span("plan"):
+            progressive = engine.prepare_tile_query(
+                query, use_model_levels=use_model_levels
+            )
+            bands = row_band_shards(region, n_shards)
+            heap = SharedTopKHeap(query.k)
+            counters = [CostCounter() for _ in bands]
+            audits = [PruningAudit() for _ in bands]
+        shard_complete = [True] * len(bands)
+
+        def run_shard(
+            index: int,
+            band: tuple[int, int, int, int],
+            counter: CostCounter,
+            audit: PruningAudit,
+        ) -> None:
+            start = time.perf_counter()
+            ok = engine.shard_search(
+                query, band, heap, counter, audit,
+                progressive=progressive, pruning=pruning,
+                heuristic_margin=heuristic_margin, cancel=cancel,
+            )
+            shard_complete[index] = ok
+            # Trace-only timing: per-shard wall time is recorded beside
+            # (never into) the shard counter, so merged counter tallies
+            # stay identical to the untraced pre-hardening service.
+            trace.add_shard(
+                shard=index,
+                band=band,
+                wall_seconds=time.perf_counter() - start,
+                tiles_screened=audit.tiles_screened,
+                tiles_pruned=audit.tiles_pruned,
+                total_work=counter.total_work,
+                complete=ok,
+            )
 
         total = CostCounter()
-        with total.timed():
-            if len(bands) == 1:
-                engine.shard_search(
-                    query, bands[0], heap, counters[0], audits[0],
-                    progressive=progressive, pruning=pruning,
-                    heuristic_margin=heuristic_margin,
-                )
-            else:
-                with ThreadPoolExecutor(max_workers=len(bands)) as pool:
-                    futures = [
-                        pool.submit(
-                            engine.shard_search,
-                            query, band, heap, counter, audit,
-                            progressive=progressive, pruning=pruning,
-                            heuristic_margin=heuristic_margin,
-                        )
-                        for band, counter, audit in zip(
-                            bands, counters, audits
-                        )
-                    ]
-                    for future in futures:
-                        future.result()
+        with trace.span("search"):
+            with total.timed():
+                if len(bands) == 1:
+                    run_shard(0, bands[0], counters[0], audits[0])
+                else:
+                    with ThreadPoolExecutor(max_workers=len(bands)) as pool:
+                        futures = [
+                            pool.submit(run_shard, index, band, counter, audit)
+                            for index, (band, counter, audit) in enumerate(
+                                zip(bands, counters, audits)
+                            )
+                        ]
+                        for future in futures:
+                            future.result()
 
-        audit = PruningAudit()
-        for shard_counter, shard_audit in zip(counters, audits):
-            total += shard_counter
-            audit.absorb(shard_audit)
-        total.note("shards", len(bands))
+        with trace.span("merge"):
+            audit = PruningAudit()
+            for shard_counter, shard_audit in zip(counters, audits):
+                total += shard_counter
+                audit.absorb(shard_audit)
+            total.note("shards", len(bands))
 
-        sign = 1.0 if query.maximize else -1.0
-        answers = [
-            ScoredLocation(row=cell[0], col=cell[1], score=sign * signed)
-            for signed, cell in heap.ranked()
-        ]
-        strategy = "both" if use_model_levels else "data-progressive"
-        if pruning == "heuristic":
-            strategy += "-heuristic"
-        strategy += f"-sharded[{len(bands)}]"
+            sign = 1.0 if query.maximize else -1.0
+            answers = [
+                ScoredLocation(row=cell[0], col=cell[1], score=sign * signed)
+                for signed, cell in heap.ranked()
+            ]
+            complete = all(shard_complete)
+            strategy = "both" if use_model_levels else "data-progressive"
+            if pruning == "heuristic":
+                strategy += "-heuristic"
+            strategy += f"-sharded[{len(bands)}]"
+            if not complete:
+                strategy += "-partial"
         return RetrievalResult(
-            answers=answers, counter=total, audit=audit, strategy=strategy
+            answers=answers, counter=total, audit=audit, strategy=strategy,
+            complete=complete,
         )
+
+    def _record(self, trace: QueryTrace) -> None:
+        """Fold one finished trace into the metrics registry."""
+        registry = self.registry
+        registry.inc("service.queries")
+        if trace.cache_checked:
+            registry.inc(
+                "service.cache_hits" if trace.cache_hit
+                else "service.cache_misses"
+            )
+        if not trace.complete:
+            registry.inc("service.partial_results")
+        if trace.cancel_reason is not None:
+            registry.inc(f"service.cancelled.{trace.cancel_reason}")
+        registry.observe("service.query_seconds", trace.wall_seconds)
+        for stage, seconds in trace.stage_seconds().items():
+            registry.observe(f"service.stage.{stage}_seconds", seconds)
+        with self._lock:
+            hit_rate = self.stats.hit_rate
+        registry.gauge("service.cache_hit_rate", hit_rate)
 
     def __repr__(self) -> str:
         cached = len(self.cache) if self.cache is not None else 0
@@ -281,3 +425,23 @@ class RetrievalService:
             f"n_shards={self.n_shards}, cached={cached}, "
             f"queries={self.stats.queries})"
         )
+
+
+def _result_copy(
+    source: RetrievalResult,
+    strategy: str,
+    trace: QueryTrace | None = None,
+) -> RetrievalResult:
+    """A defensive deep-ish copy: fresh answers list, copied counter and
+    audit. ``ScoredLocation`` entries are frozen, so sharing them is
+    safe; everything mutable is duplicated. The cache stores copies and
+    serves copies, so no caller mutation can reach a stored entry."""
+    return RetrievalResult(
+        answers=list(source.answers),
+        counter=source.counter.copy(),
+        audit=source.audit.copy(),
+        strategy=strategy,
+        regret_bound=source.regret_bound,
+        complete=source.complete,
+        trace=trace,
+    )

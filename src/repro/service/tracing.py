@@ -1,0 +1,207 @@
+"""Cooperative cancellation and per-query tracing for the serving layer.
+
+Two primitives the hardened :class:`~repro.service.retrieval
+.RetrievalService` threads through the engine hot path:
+
+* :class:`CancellationToken` — a latch the engine's branch-and-bound
+  loops poll between frontier pops. It fires either because a caller
+  called :meth:`CancellationToken.cancel` or because a wall-clock
+  deadline passed; tokens chain (``parent=``), so a service-created
+  deadline token also observes a caller-supplied token. Cancellation is
+  *cooperative*: shards notice the latch at loop granularity and return
+  whatever the shared heap holds, flagged ``complete=False`` — they are
+  never interrupted mid-evaluation, so every returned score is exact.
+
+* :class:`QueryTrace` — a lightweight structured record of one query:
+  sequential stage spans (``cache_lookup``, ``plan``, ``search``,
+  ``merge``, ``cache_store``) that tile the query's wall time, plus
+  per-shard search stats (band, wall seconds, tiles screened/pruned,
+  counted work, completion). Traces ride on
+  :attr:`~repro.core.results.RetrievalResult.trace` and are folded into
+  a :class:`~repro.metrics.registry.MetricsRegistry` by the service.
+
+Tracing never touches :class:`~repro.metrics.counters.CostCounter`
+tallies, so counted work is bit-identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+class CancellationToken:
+    """A thread-safe cancellation latch with an optional deadline.
+
+    Once :attr:`cancelled` is observed true it stays true (the deadline
+    check latches into the event), so pollers can never see the token
+    flicker back. ``parent`` chains tokens: this token reports cancelled
+    when the parent does, letting a per-query deadline token wrap a
+    caller-owned token without either knowing about the other's reason.
+    """
+
+    def __init__(
+        self,
+        deadline_s: float | None = None,
+        parent: "CancellationToken | None" = None,
+    ) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {deadline_s}"
+            )
+        self._event = threading.Event()
+        self._deadline_at = (
+            None if deadline_s is None
+            else time.monotonic() + deadline_s
+        )
+        self._parent = parent
+        self._reason: str | None = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Fire the latch explicitly (idempotent; first reason wins)."""
+        if not self._event.is_set():
+            self._reason = self._reason or reason
+            self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the latch has fired (explicitly, by deadline, or via
+        the parent chain). Cheap enough for per-iteration loop checks."""
+        if self._event.is_set():
+            return True
+        if (
+            self._deadline_at is not None
+            and time.monotonic() >= self._deadline_at
+        ):
+            self._reason = self._reason or "deadline"
+            self._event.set()
+            return True
+        if self._parent is not None and self._parent.cancelled:
+            self._reason = self._reason or self._parent.reason
+            self._event.set()
+            return True
+        return False
+
+    @property
+    def reason(self) -> str | None:
+        """Why the token fired (``None`` while alive): ``"deadline"``,
+        ``"cancelled"``, or a caller-supplied reason."""
+        if self.cancelled:
+            return self._reason
+        return None
+
+    @property
+    def remaining_s(self) -> float | None:
+        """Seconds until the deadline (``None`` when no deadline;
+        clamped at 0.0 once passed)."""
+        if self._deadline_at is None:
+            return None
+        return max(0.0, self._deadline_at - time.monotonic())
+
+    def __repr__(self) -> str:
+        state = self.reason if self.cancelled else "alive"
+        return f"CancellationToken({state})"
+
+
+@dataclass(frozen=True)
+class StageSpan:
+    """One sequential stage of a query: name, start offset from the
+    trace's origin, and duration (both in seconds)."""
+
+    name: str
+    started_s: float
+    duration_s: float
+
+
+class QueryTrace:
+    """Structured per-query trace: stage spans plus per-shard stats.
+
+    The sequential :attr:`spans` tile the query's wall time — concurrent
+    per-shard detail lives in :attr:`shards` instead, so
+    ``sum(span.duration_s) <= wall_seconds`` always holds, with the gap
+    being only inter-stage glue (property-tested ≈ 0).
+    """
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
+        self.spans: list[StageSpan] = []
+        self.shards: list[dict[str, Any]] = []
+        self.cache_hit = False
+        self.cache_checked = False
+        self.complete = True
+        self.cancel_reason: str | None = None
+        self.wall_seconds = 0.0
+
+    @contextlib.contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Record a named sequential stage around the with-body."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            end = time.perf_counter()
+            with self._lock:
+                self.spans.append(
+                    StageSpan(
+                        name=name,
+                        started_s=start - self._t0,
+                        duration_s=end - start,
+                    )
+                )
+
+    def add_shard(self, **stats: Any) -> None:
+        """Record one shard's search stats (called from shard threads)."""
+        with self._lock:
+            self.shards.append(dict(stats))
+
+    def finish(
+        self, complete: bool = True, cancel_reason: str | None = None
+    ) -> None:
+        """Close the trace: set outcome flags and total wall time."""
+        self.complete = complete
+        self.cancel_reason = cancel_reason
+        self.wall_seconds = time.perf_counter() - self._t0
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Total duration per stage name (spans summed by name)."""
+        totals: dict[str, float] = {}
+        with self._lock:
+            for span in self.spans:
+                totals[span.name] = (
+                    totals.get(span.name, 0.0) + span.duration_s
+                )
+        return totals
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-ready view (the export schema DESIGN.md documents)."""
+        with self._lock:
+            spans = [
+                {
+                    "name": span.name,
+                    "started_s": span.started_s,
+                    "duration_s": span.duration_s,
+                }
+                for span in self.spans
+            ]
+            shards = [dict(shard) for shard in self.shards]
+        return {
+            "wall_seconds": self.wall_seconds,
+            "complete": self.complete,
+            "cache_hit": self.cache_hit,
+            "cache_checked": self.cache_checked,
+            "cancel_reason": self.cancel_reason,
+            "spans": spans,
+            "shards": shards,
+        }
+
+    def __repr__(self) -> str:
+        stages = ",".join(sorted(self.stage_seconds()))
+        return (
+            f"QueryTrace(wall={self.wall_seconds:.4f}s, "
+            f"complete={self.complete}, cache_hit={self.cache_hit}, "
+            f"stages=[{stages}], shards={len(self.shards)})"
+        )
