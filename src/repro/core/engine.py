@@ -32,6 +32,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -43,7 +45,7 @@ from repro.data.raster import RasterStack
 from repro.exceptions import PlanError, QueryError
 from repro.metrics.counters import CostCounter
 from repro.models.base import Model
-from repro.models.linear import LinearModel
+from repro.models.linear import LinearModel, stacked_interval_batch
 from repro.models.progressive_linear import (
     ProgressiveLinearModel,
     TermContribution,
@@ -71,6 +73,11 @@ class TopKHeap:
     """
 
     def __init__(self, k: int) -> None:
+        if k < 1:
+            # k=0 would make `full` true on an empty heap, so the first
+            # threshold read (or offer eviction compare) indexes into
+            # nothing and raises IndexError far from the real mistake.
+            raise ValueError(f"top-K heap needs k >= 1, got {k}")
         self.k = k
         self._heap: list[tuple[float, tuple[int, int]]] = []
 
@@ -107,10 +114,16 @@ class TopKHeap:
         self, scores: np.ndarray, rows: np.ndarray, cols: np.ndarray
     ) -> None:
         scores = np.asarray(scores, dtype=float).reshape(-1)
+        if scores.size == 0:
+            # Zero-length blocks are legal input: a shared-scan leaf whose
+            # sibling candidates were all pruned offers an empty block
+            # rather than making every caller special-case it. Bail before
+            # touching rows/cols (which may be empty lists of another
+            # dtype) or the partition prefilter (np.partition rejects
+            # empty input).
+            return
         rows = np.asarray(rows).reshape(-1)
         cols = np.asarray(cols).reshape(-1)
-        if scores.size == 0:
-            return
         if len(self._heap) >= self.k:
             keep = scores >= self._heap[0][0]
             if not keep.all():
@@ -118,6 +131,9 @@ class TopKHeap:
                 rows = rows[keep]
                 cols = cols[keep]
             if scores.size == 0:
+                # The threshold prefilter may drain the block entirely
+                # (every candidate strictly below the K-th best); the
+                # partition step below must never see a zero-length array.
                 return
         if scores.size > self.k:
             cutoff = np.partition(scores, scores.size - self.k)[
@@ -153,6 +169,101 @@ class TopKHeap:
 
 #: Backwards-compatible alias (the heap predates the service layer).
 _TopKHeap = TopKHeap
+
+
+@dataclass
+class BatchQuerySpec:
+    """One query's slot in a shared-scan batch.
+
+    The caller supplies the query plus fresh per-query accounting
+    objects (heap, counter, audit, optional cascade and cancel token);
+    :meth:`RasterRetrievalEngine.shared_scan_search` mutates them in
+    place and fills the output fields. Keeping accounting per-spec is
+    what makes shared-scan work *attributable*: each query's counter and
+    audit record exactly the work its own solo search would have
+    counted, no more.
+    """
+
+    query: TopKQuery
+    heap: TopKHeap
+    counter: CostCounter
+    audit: PruningAudit
+    progressive: ProgressiveLinearModel | None = None
+    cancel: "CancellationToken | None" = None
+    #: Output: False when this query's cancel token retired it early
+    #: (its answers are then prefix-sound, not the true top-K).
+    complete: bool = field(default=True, init=False)
+    #: Output: wall seconds of scan work attributable to this query
+    #: (its own frontier steps; shared cache fills are charged to
+    #: whichever query triggered them). Child spans built from these
+    #: therefore sum to at most the batch's wall time.
+    attributed_seconds: float = field(default=0.0, init=False)
+
+
+class _SharedLeafReads:
+    """Memoized leaf-window reads shared across one scan's queries.
+
+    Same-region queries evaluate the same leaf windows; the cell grid,
+    window views, and level-1 attribute gathers are identical across
+    them. This cache computes each once per batch and hands back
+    read-only arrays, charging each query's counter exactly what the
+    uncached path charges — the batch saves wall clock, never counted
+    (attributable) work.
+    """
+
+    def __init__(self, stack: RasterStack) -> None:
+        self._stack = stack
+        self._grids: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        self._windows: dict[tuple, np.ndarray] = {}
+        self._cells: dict[tuple, np.ndarray] = {}
+
+    def grid(self, window: tuple[int, int, int, int]):
+        """Flat (rows, cols) cell coordinates of ``window``."""
+        cached = self._grids.get(window)
+        if cached is None:
+            row0, col0, row1, col1 = window
+            rows, cols = np.meshgrid(
+                np.arange(row0, row1), np.arange(col0, col1), indexing="ij"
+            )
+            rows = rows.reshape(-1)
+            cols = cols.reshape(-1)
+            rows.setflags(write=False)
+            cols.setflags(write=False)
+            cached = (rows, cols)
+            self._grids[window] = cached
+        return cached
+
+    def window(
+        self, name: str, window: tuple[int, int, int, int],
+        counter: CostCounter,
+    ) -> np.ndarray:
+        """``read_window`` of attribute ``name``, charged per caller."""
+        key = (name, window)
+        view = self._windows.get(key)
+        if view is None:
+            # Charge-free read into the cache; every consumer is charged
+            # below, exactly like its own read_window call would be.
+            view = self._stack[name].read_window(*window, None)
+            self._windows[key] = view
+        counter.add_data_points(view.size)
+        return view
+
+    def cells(
+        self, name: str, window: tuple[int, int, int, int],
+        rows: np.ndarray, cols: np.ndarray,
+    ) -> np.ndarray:
+        """Level-1 cascade gather ``values[rows, cols]`` for ``window``.
+
+        The caller charges data points itself (mirroring the uncached
+        cascade path, which gathers directly off ``.values``).
+        """
+        key = (name, window)
+        values = self._cells.get(key)
+        if values is None:
+            values = self._stack[name].values[rows, cols]
+            values.setflags(write=False)
+            self._cells[key] = values
+        return values
 
 
 class RasterRetrievalEngine:
@@ -564,6 +675,238 @@ class RasterRetrievalEngine:
         )
         return complete
 
+    def shared_scan_search(
+        self,
+        specs: list[BatchQuerySpec],
+        region: tuple[int, int, int, int],
+        pruning: str = "sound",
+        heuristic_margin: float = 0.7,
+    ) -> None:
+        """One archive traversal answering every spec's query.
+
+        Each query keeps its own best-first frontier and replays exactly
+        the decision sequence its solo :meth:`shard_search` over
+        ``region`` would make — same pops, same thresholds, same pruning
+        — so every answer is bit-for-bit the solo answer and every
+        per-query counter/audit is bit-for-bit the solo tally. What the
+        scan *shares* is the archive side of the work: child-node
+        construction, envelope block fetches, node bounds, and
+        leaf-window reads are each computed once per batch and memoized
+        (plain linear models sharing an attribute order are bounded
+        stacked — one elementwise pass covers the whole group, bitwise
+        identical per model), so the batch pays the traversal cost once
+        while each query is still charged the attributable work its
+        solo search would have counted.
+
+        Queries advance round-robin, one frontier step per turn; a query
+        *retires* — drops out of the scan while the others continue —
+        when its frontier empties, when its best remaining bound falls
+        below its own top-K threshold, or when its cancel token fires
+        (the only case marked ``spec.complete = False``; its answers are
+        then prefix-sound). Specs are mutated in place: heaps hold the
+        answers, ``complete`` and ``attributed_seconds`` are filled per
+        spec.
+        """
+        if pruning not in ("sound", "heuristic"):
+            raise QueryError(f"unknown pruning mode {pruning!r}")
+        if not specs:
+            return
+        for spec in specs:
+            if not spec.query.model.supports_intervals:
+                raise QueryError(
+                    f"model {type(spec.query.model).__name__} cannot bound "
+                    "intervals; tile search needs evaluate_interval"
+                )
+        screen = self.screen
+        n_attributes = len(screen.attributes)
+        roots = screen.region_roots(region)
+        region_row0, region_col0, region_row1, region_col1 = region
+
+        # Batch-wide memos. Envelope/children keys are node coordinates
+        # (all specs share one region, so region filtering agrees);
+        # bounds additionally key on the model instance, so same-model
+        # specs (different k, direction, or deadline) share bound work.
+        children_memo: dict[tuple, list[ScreenNode]] = {}
+        envelope_memo: dict[tuple, tuple[dict, dict]] = {}
+        bounds_memo: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        reads = _SharedLeafReads(self.stack)
+
+        # Plain linear models sharing one attribute order are bounded
+        # *stacked*: the first query to pop a block computes the whole
+        # group's bounds in one elementwise pass (bitwise identical per
+        # row to each model's own evaluate_interval_batch) and seeds the
+        # memo for everyone. Other model families bound per model.
+        linear_groups: dict[tuple[str, ...], list[LinearModel]] = {}
+        for spec in specs:
+            model = spec.query.model
+            if type(model) is LinearModel:
+                group = linear_groups.setdefault(model.attributes, [])
+                if not any(member is model for member in group):
+                    group.append(model)
+        stack_group_of: dict[int, list[LinearModel]] = {
+            id(member): group
+            for group in linear_groups.values()
+            if len(group) >= 2
+            for member in group
+        }
+
+        def intersects_region(node: ScreenNode) -> bool:
+            row0, col0, row1, col1 = node.window
+            return (
+                row0 < region_row1
+                and region_row0 < row1
+                and col0 < region_col1
+                and region_col0 < col1
+            )
+
+        def filtered_children(node: ScreenNode) -> list[ScreenNode]:
+            key = (node.depth, node.row_index, node.col_index)
+            children = children_memo.get(key)
+            if children is None:
+                children = [
+                    child
+                    for child in screen.children(node)
+                    if intersects_region(child)
+                ]
+                children_memo[key] = children
+            return children
+
+        def envelopes_for(key: tuple, nodes: list[ScreenNode]):
+            cached = envelope_memo.get(key)
+            if cached is None:
+                if pruning == "heuristic":
+                    envelopes = screen.heuristic_envelopes_block(
+                        nodes, heuristic_margin, None
+                    )
+                else:
+                    envelopes = screen.envelopes_block(nodes, None)
+                lows = {name: pair[0] for name, pair in envelopes.items()}
+                highs = {name: pair[1] for name, pair in envelopes.items()}
+                cached = (lows, highs)
+                envelope_memo[key] = cached
+            return cached
+
+        def bound_block(
+            state: "_ScanState", key: tuple, nodes: list[ScreenNode]
+        ) -> list[float]:
+            """Signed upper bounds of ``nodes`` for one spec's model.
+
+            Charged identically to the solo search's ``block_uppers``
+            (one aggregate-node visit per attribute per node, one
+            partial model evaluation per node), whether or not the
+            envelope fetch and interval evaluation hit the memos.
+            """
+            spec = state.spec
+            spec.counter.add_nodes(len(nodes) * n_attributes)
+            spec.counter.add_partial_evals(
+                len(nodes), flops_each=state.model.complexity
+            )
+            bound_key = (id(state.model), key)
+            bounds = bounds_memo.get(bound_key)
+            if bounds is None:
+                lows, highs = envelopes_for(key, nodes)
+                group = stack_group_of.get(id(state.model))
+                if group is not None:
+                    for member, member_bounds in zip(
+                        group, stacked_interval_batch(group, lows, highs)
+                    ):
+                        bounds_memo[(id(member), key)] = member_bounds
+                    bounds = bounds_memo[bound_key]
+                else:
+                    bounds = state.model.evaluate_interval_batch(
+                        lows, highs
+                    )
+                    bounds_memo[bound_key] = bounds
+            low, high = bounds
+            uppers = high if state.sign > 0 else -low
+            return uppers.tolist()
+
+        class _ScanState:
+            __slots__ = ("spec", "model", "sign", "frontier", "tiebreak")
+
+            def __init__(self, spec: BatchQuerySpec) -> None:
+                self.spec = spec
+                self.model = spec.query.model
+                self.sign = 1.0 if spec.query.maximize else -1.0
+                self.frontier: list = []
+                self.tiebreak = itertools.count()
+
+        def step(state: _ScanState) -> bool:
+            """One frontier pop for one query; False once it retires.
+
+            This is the loop body of :meth:`_tile_search`, verbatim in
+            ordering: frontier-empty exit, then the cancel poll, then
+            the pop and threshold break, then leaf evaluation or child
+            screening — so the decision sequence (and therefore answers,
+            counters, and audits) matches the solo search exactly.
+            """
+            spec = state.spec
+            if not state.frontier:
+                return False
+            if spec.cancel is not None and spec.cancel.cancelled:
+                spec.complete = False
+                return False
+            heap = spec.heap
+            neg_upper, _, node = heapq.heappop(state.frontier)
+            if heap.full and -neg_upper < heap.threshold:
+                state.frontier.clear()
+                return False
+            if node.is_leaf:
+                row0, col0, row1, col1 = node.window
+                window = (
+                    max(row0, region_row0),
+                    max(col0, region_col0),
+                    min(row1, region_row1),
+                    min(col1, region_col1),
+                )
+                self._evaluate_window(
+                    spec.query, spec.progressive, heap, state.sign, window,
+                    spec.counter, spec.audit, reads=reads,
+                )
+                return True
+            children = filtered_children(node)
+            if not children:
+                return True
+            key = (node.depth, node.row_index, node.col_index)
+            child_uppers = bound_block(state, key, children)
+            spec.audit.tiles_screened += len(children)
+            full = heap.full
+            prune_below = heap.threshold
+            for child_upper, child in zip(child_uppers, children):
+                if full and child_upper < prune_below:
+                    spec.audit.tiles_pruned += 1
+                    continue
+                heapq.heappush(
+                    state.frontier,
+                    (-child_upper, next(state.tiebreak), child),
+                )
+            return True
+
+        active: list[_ScanState] = []
+        for spec in specs:
+            state = _ScanState(spec)
+            start = time.perf_counter()
+            for upper, root in zip(
+                bound_block(state, ("region-roots",), roots), roots
+            ):
+                heapq.heappush(
+                    state.frontier, (-upper, next(state.tiebreak), root)
+                )
+            spec.attributed_seconds += time.perf_counter() - start
+            active.append(state)
+
+        while active:
+            survivors = []
+            for state in active:
+                start = time.perf_counter()
+                alive = step(state)
+                state.spec.attributed_seconds += (
+                    time.perf_counter() - start
+                )
+                if alive:
+                    survivors.append(state)
+            active = survivors
+
     def _evaluate_window(
         self,
         query: TopKQuery,
@@ -573,24 +916,40 @@ class RasterRetrievalEngine:
         window: tuple[int, int, int, int],
         counter: CostCounter,
         audit: PruningAudit,
+        reads: "_SharedLeafReads | None" = None,
     ) -> None:
-        """Exact evaluation of a window, with optional level cascade."""
+        """Exact evaluation of a window, with optional level cascade.
+
+        ``reads`` plugs in a shared-scan memo: cell-grid and attribute
+        reads are served from (and populate) the batch-wide cache instead
+        of being recomputed, while ``counter`` is charged exactly as the
+        uncached path charges — sharing saves wall clock, never counted
+        work.
+        """
         row0, col0, row1, col1 = window
         if row0 >= row1 or col0 >= col1:
             return
         model = query.model
 
-        rows, cols = np.meshgrid(
-            np.arange(row0, row1), np.arange(col0, col1), indexing="ij"
-        )
-        rows = rows.reshape(-1)
-        cols = cols.reshape(-1)
+        if reads is not None:
+            rows, cols = reads.grid(window)
+        else:
+            rows, cols = np.meshgrid(
+                np.arange(row0, row1), np.arange(col0, col1), indexing="ij"
+            )
+            rows = rows.reshape(-1)
+            cols = cols.reshape(-1)
 
         if progressive is None:
             columns = {}
             for name in model.attributes:
-                layer = self.stack[name]
-                columns[name] = layer.read_window(row0, col0, row1, col1, counter)
+                if reads is not None:
+                    columns[name] = reads.window(name, window, counter)
+                else:
+                    layer = self.stack[name]
+                    columns[name] = layer.read_window(
+                        row0, col0, row1, col1, counter
+                    )
             scores = sign * model.evaluate_batch(columns).reshape(-1)
             counter.add_model_evals(scores.size, flops_each=model.complexity)
             heap.offer_block(scores, rows, cols)
@@ -609,7 +968,10 @@ class RasterRetrievalEngine:
 
         first_attribute = ordered[0]
         audit.enter_level(1, rows.size)
-        values = self.stack[first_attribute].values[rows, cols]
+        if reads is not None:
+            values = reads.cells(first_attribute, window, rows, cols)
+        else:
+            values = self.stack[first_attribute].values[rows, cols]
         counter.add_data_points(values.size)
         partial = progressive.model.intercept + (
             coefficients[first_attribute] * values

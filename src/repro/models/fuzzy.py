@@ -189,11 +189,17 @@ def gaussian_membership(
     if width <= 0:
         raise ValueError(f"width must be positive, got {width}")
 
+    # Square via explicit multiplication in BOTH paths: python's
+    # ``x ** 2`` routes through C pow() while numpy's array ``** 2``
+    # multiplies, and the two can disagree by 1 ulp — enough to break
+    # the scalar/batch bitwise-equality contract the engine prunes on.
     def function(value: float) -> float:
-        return float(np.exp(-0.5 * ((value - center) / width) ** 2))
+        z = (value - center) / width
+        return float(np.exp(-0.5 * (z * z)))
 
     def batch_function(values: np.ndarray) -> np.ndarray:
-        return np.exp(-0.5 * ((values - center) / width) ** 2)
+        z = (values - center) / width
+        return np.exp(-0.5 * (z * z))
 
     return MembershipFunction(
         name, function, critical_points=(center,),

@@ -16,9 +16,18 @@ every query carries a :class:`QueryTrace` (stage spans + per-shard
 pruning stats) aggregated into a process-wide
 :class:`~repro.metrics.registry.MetricsRegistry`.
 
+For busy-archive traffic, :meth:`RetrievalService.top_k_batch` answers
+many queries at once: a :class:`BatchPlanner` groups same-region,
+interval-boundable queries and each group shares *one* archive
+traversal (children, envelopes, bounds, and leaf reads computed once
+per batch), while every query keeps its own heap, counters, and
+deadline — answers and counted work stay bit-for-bit identical to the
+single-query path.
+
 See ``docs/TUTORIAL.md`` §8 and ``benchmarks/bench_service.py``.
 """
 
+from repro.service.batching import BatchPlan, BatchPlanner, PlannedQuery
 from repro.service.cache import QueryCache, model_fingerprint, query_fingerprint
 from repro.service.retrieval import (
     RetrievalService,
@@ -26,10 +35,19 @@ from repro.service.retrieval import (
     SharedTopKHeap,
 )
 from repro.service.sharding import row_band_shards
-from repro.service.tracing import CancellationToken, QueryTrace, StageSpan
+from repro.service.tracing import (
+    BatchTrace,
+    CancellationToken,
+    QueryTrace,
+    StageSpan,
+)
 
 __all__ = [
+    "BatchPlan",
+    "BatchPlanner",
+    "BatchTrace",
     "CancellationToken",
+    "PlannedQuery",
     "QueryCache",
     "QueryTrace",
     "RetrievalService",

@@ -48,16 +48,31 @@ Hardening (bounded-latency serving):
 * **Cache isolation** — cached entries are stored *and* served as
   defensive copies (fresh answer list, copied counter and audit), so a
   caller mutating a returned result can never corrupt later hits.
+
+Batch serving: :meth:`RetrievalService.top_k_batch` answers many
+queries through one cache pass, one plan, and (per compatible group)
+one shared archive traversal — see :mod:`repro.service.batching` for
+the grouping rules and
+:meth:`~repro.core.engine.RasterRetrievalEngine.shared_scan_search`
+for the executor's exactness argument. Shard fan-out for solo queries
+and singleton fallbacks runs on one service-lifetime thread pool
+instead of a per-query executor.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.core.engine import RasterRetrievalEngine, TopKHeap
+from repro.core.engine import (
+    BatchQuerySpec,
+    RasterRetrievalEngine,
+    TopKHeap,
+)
 from repro.core.query import TopKQuery
 from repro.core.results import PruningAudit, RetrievalResult, ScoredLocation
 from repro.data.archive import Archive
@@ -65,9 +80,10 @@ from repro.data.raster import RasterStack
 from repro.exceptions import QueryError
 from repro.metrics.counters import CostCounter
 from repro.metrics.registry import MetricsRegistry, global_registry
+from repro.service.batching import BatchPlanner, PlannedQuery
 from repro.service.cache import QueryCache, query_fingerprint
 from repro.service.sharding import row_band_shards
-from repro.service.tracing import CancellationToken, QueryTrace
+from repro.service.tracing import BatchTrace, CancellationToken, QueryTrace
 
 
 class SharedTopKHeap(TopKHeap):
@@ -126,6 +142,8 @@ class ServiceStats:
     cache_misses: int = 0
     invalidations: int = 0
     partial_results: int = 0
+    batches: int = 0
+    batched_queries: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -185,6 +203,31 @@ class RetrievalService:
         # already holding the lock. Guards every stats mutation plus the
         # _seen_generation read-compare-update.
         self._lock = threading.RLock()
+        self._planner = BatchPlanner()
+        # Shared shard pool, created lazily on the first multi-band
+        # query and reused for every later one (spinning a pool up per
+        # query costs more than small queries themselves). The finalizer
+        # closes it when the service is collected — it must reference
+        # the pool, never self, or the service would stay alive forever.
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_workers = max(8, 2 * n_shards)
+
+    def _shard_pool(self) -> ThreadPoolExecutor:
+        """The service-lifetime executor shard searches run on.
+
+        Safe to share across concurrent queries: shard tasks never wait
+        on other pool futures, so a saturated pool only queues work —
+        it can never deadlock.
+        """
+        with self._lock:
+            if self._pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=self._pool_workers,
+                    thread_name_prefix="repro-shard",
+                )
+                self._pool = pool
+                weakref.finalize(self, pool.shutdown, wait=False)
+            return self._pool
 
     @classmethod
     def from_archive(
@@ -308,6 +351,210 @@ class RetrievalService:
         self._record(trace)
         return result
 
+    def top_k_batch(
+        self,
+        queries: Sequence[TopKQuery],
+        *,
+        n_shards: int | None = None,
+        use_model_levels: bool | Sequence[bool] = True,
+        pruning: str = "sound",
+        heuristic_margin: float = 0.7,
+        use_cache: bool = True,
+        deadline_s: "float | Sequence[float | None] | None" = None,
+        cancel: (
+            "CancellationToken | Sequence[CancellationToken | None] | None"
+        ) = None,
+    ) -> list[RetrievalResult]:
+        """Answer many queries, sharing one archive traversal where legal.
+
+        Results come back in input order, each bit-for-bit identical —
+        answers, orderings, tie-breaks, and counted work — to what
+        :meth:`top_k` would return for that query alone (the shared scan
+        replays each query's solo decision sequence over memoized
+        traversal state; see DESIGN.md). The pipeline:
+
+        1. **Cache peel** — each query is looked up individually;
+           hits are returned as ``"-cached"`` copies without planning.
+        2. **Plan** — the :class:`~repro.service.batching.BatchPlanner`
+           groups remaining queries by clipped region; groups of >= 2
+           interval-boundable models share one
+           :meth:`~repro.core.engine.RasterRetrievalEngine
+           .shared_scan_search` traversal, everything else (lone
+           regions, ``pruning="heuristic"``) falls back to the ordinary
+           sharded path. Validation is fail-fast: an unanswerable query
+           raises :class:`~repro.exceptions.QueryError` before any
+           query in the batch executes.
+        3. **Execute** — shared scans run per group; each query keeps
+           its own heap, counter, audit, and cancel token, so counted
+           work stays attributable and a deadline retires *its* query
+           prefix-soundly (``complete=False``, ``"-partial"``, never
+           cached) while the rest of the group finishes exactly.
+
+        ``use_model_levels``, ``deadline_s``, and ``cancel`` accept
+        either one value for the whole batch or a sequence with one
+        entry per query (mixed batches need per-query level knobs:
+        knowledge/fuzzy models require ``use_model_levels=False``).
+        Deadlines are measured from batch start. ``n_shards`` only
+        shapes singleton fallbacks; shared scans are single-threaded by
+        construction. The returned results carry per-query traces whose
+        parent is the batch's :class:`~repro.service.tracing.BatchTrace`.
+        """
+        queries = list(queries)
+        n_queries = len(queries)
+        if n_queries == 0:
+            return []
+        if pruning not in ("sound", "heuristic"):
+            raise QueryError(f"unknown pruning mode {pruning!r}")
+        levels = _broadcast(use_model_levels, n_queries, "use_model_levels")
+        deadlines = _broadcast(deadline_s, n_queries, "deadline_s")
+        cancels = _broadcast(cancel, n_queries, "cancel")
+        for value in deadlines:
+            if value is not None and value <= 0:
+                raise QueryError(
+                    f"deadline_s must be positive, got {value}"
+                )
+        tokens: list[CancellationToken | None] = [
+            parent if value is None
+            else CancellationToken(deadline_s=value, parent=parent)
+            for value, parent in zip(deadlines, cancels)
+        ]
+
+        trace = BatchTrace(batch_size=n_queries)
+        with self._lock:
+            self.stats.queries += n_queries
+            self.stats.batches += 1
+        children = [trace.child() for _ in range(n_queries)]
+        results: list[RetrievalResult | None] = [None] * n_queries
+        keys: list = [None] * n_queries
+        regions: list = [None] * n_queries
+        misses: list[int] = []
+
+        with trace.span("cache_lookup"):
+            self._check_archive_generation()
+            for index, query in enumerate(queries):
+                child = children[index]
+                cached: RetrievalResult | None = None
+                with child.span("cache_lookup"):
+                    regions[index] = query.clip_region(
+                        self.engine.stack.shape
+                    )
+                    keys[index] = query_fingerprint(
+                        query,
+                        regions[index],
+                        use_model_levels=levels[index],
+                        pruning=pruning,
+                        heuristic_margin=heuristic_margin,
+                    )
+                    if use_cache and self.cache is not None:
+                        child.cache_checked = True
+                        cached = self.cache.get(keys[index])
+                if cached is not None:
+                    with self._lock:
+                        self.stats.cache_hits += 1
+                    child.cache_hit = True
+                    child.finish(complete=cached.complete)
+                    results[index] = _result_copy(
+                        cached, strategy=cached.strategy + "-cached",
+                        trace=child,
+                    )
+                    self._record(child)
+                    continue
+                if use_cache and self.cache is not None:
+                    with self._lock:
+                        self.stats.cache_misses += 1
+                misses.append(index)
+
+        plan = None
+        if misses:
+            with trace.span("plan"):
+                planned = []
+                for index in misses:
+                    # Fail-fast for the whole batch: every query is
+                    # validated (and its cascade built) before any query
+                    # runs, so a bad member can never leave the batch
+                    # half-executed.
+                    with children[index].span("plan"):
+                        progressive = self.engine.prepare_tile_query(
+                            queries[index], use_model_levels=levels[index]
+                        )
+                    planned.append(
+                        PlannedQuery(
+                            index=index,
+                            query=queries[index],
+                            region=regions[index],
+                            use_model_levels=levels[index],
+                            progressive=progressive,
+                        )
+                    )
+                plan = self._planner.plan(planned, pruning=pruning)
+
+        if plan is not None:
+            with self._lock:
+                self.stats.batched_queries += plan.batched
+            for group in plan.groups:
+                specs = [
+                    BatchQuerySpec(
+                        query=item.query,
+                        heap=TopKHeap(item.query.k),
+                        counter=CostCounter(),
+                        audit=PruningAudit(),
+                        progressive=item.progressive,
+                        cancel=tokens[item.index],
+                    )
+                    for item in group
+                ]
+                with trace.span("search"):
+                    self.engine.shared_scan_search(
+                        specs, group[0].region, pruning=pruning,
+                        heuristic_margin=heuristic_margin,
+                    )
+                for item, spec in zip(group, specs):
+                    results[item.index] = _batch_member_result(
+                        item, spec, len(group), children[item.index]
+                    )
+            for item in plan.singletons:
+                results[item.index] = self._execute(
+                    item.query,
+                    item.region,
+                    self.n_shards if n_shards is None else n_shards,
+                    item.use_model_levels,
+                    pruning,
+                    heuristic_margin,
+                    tokens[item.index],
+                    children[item.index],
+                )
+
+        if misses and use_cache and self.cache is not None:
+            with trace.span("cache_store"):
+                for index in misses:
+                    result = results[index]
+                    if result.complete:
+                        self.cache.put(
+                            keys[index],
+                            _result_copy(result, result.strategy),
+                        )
+        for index in misses:
+            result = results[index]
+            if not result.complete:
+                with self._lock:
+                    self.stats.partial_results += 1
+            token = tokens[index]
+            children[index].finish(
+                complete=result.complete,
+                cancel_reason=token.reason if token is not None else None,
+            )
+            result.trace = children[index]
+            self._record(children[index])
+
+        trace.finish(complete=all(r.complete for r in results))
+        registry = self.registry
+        registry.inc("service.batches")
+        if plan is not None and plan.batched:
+            registry.inc("service.batched_queries", plan.batched)
+        registry.observe("service.batch_seconds", trace.wall_seconds)
+        registry.observe("service.batch_size", float(n_queries))
+        return results
+
     def _execute(
         self,
         query: TopKQuery,
@@ -364,15 +611,15 @@ class RetrievalService:
                 if len(bands) == 1:
                     run_shard(0, bands[0], counters[0], audits[0])
                 else:
-                    with ThreadPoolExecutor(max_workers=len(bands)) as pool:
-                        futures = [
-                            pool.submit(run_shard, index, band, counter, audit)
-                            for index, (band, counter, audit) in enumerate(
-                                zip(bands, counters, audits)
-                            )
-                        ]
-                        for future in futures:
-                            future.result()
+                    pool = self._shard_pool()
+                    futures = [
+                        pool.submit(run_shard, index, band, counter, audit)
+                        for index, (band, counter, audit) in enumerate(
+                            zip(bands, counters, audits)
+                        )
+                    ]
+                    for future in futures:
+                        future.result()
 
         with trace.span("merge"):
             audit = PruningAudit()
@@ -425,6 +672,64 @@ class RetrievalService:
             f"n_shards={self.n_shards}, cached={cached}, "
             f"queries={self.stats.queries})"
         )
+
+
+def _broadcast(value, n_queries: int, name: str) -> list:
+    """One knob value per query: a sequence is validated for length, a
+    scalar is repeated. (Strings aren't knob sequences; none of the
+    per-query knobs are string-typed.)"""
+    if isinstance(value, (list, tuple)):
+        if len(value) != n_queries:
+            raise QueryError(
+                f"{name} has {len(value)} entries for {n_queries} queries"
+            )
+        return list(value)
+    return [value] * n_queries
+
+
+def _batch_member_result(
+    item: PlannedQuery,
+    spec: BatchQuerySpec,
+    group_size: int,
+    child: QueryTrace,
+) -> RetrievalResult:
+    """Assemble one shared-scan member's result and per-query trace.
+
+    The counter picks up the query's attributed share of the scan's
+    wall clock (tallied beside, never into, the counted-work fields) and
+    a ``batch_group`` note; the child trace gets a ``batch_search`` span
+    of the same attributed duration, so summing child spans across the
+    batch never exceeds the batch's wall time.
+    """
+    query = spec.query
+    sign = 1.0 if query.maximize else -1.0
+    answers = [
+        ScoredLocation(row=cell[0], col=cell[1], score=sign * signed)
+        for signed, cell in spec.heap.ranked()
+    ]
+    spec.counter.wall_seconds += spec.attributed_seconds
+    spec.counter.note("batch_group", group_size)
+    strategy = "both" if item.use_model_levels else "data-progressive"
+    strategy += f"-batch[{group_size}]"
+    if not spec.complete:
+        strategy += "-partial"
+    child.record_span("batch_search", spec.attributed_seconds)
+    child.add_shard(
+        shard=0,
+        band=item.region,
+        wall_seconds=spec.attributed_seconds,
+        tiles_screened=spec.audit.tiles_screened,
+        tiles_pruned=spec.audit.tiles_pruned,
+        total_work=spec.counter.total_work,
+        complete=spec.complete,
+    )
+    return RetrievalResult(
+        answers=answers,
+        counter=spec.counter,
+        audit=spec.audit,
+        strategy=strategy,
+        complete=spec.complete,
+    )
 
 
 def _result_copy(

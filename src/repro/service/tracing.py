@@ -135,6 +135,10 @@ class QueryTrace:
         self.complete = True
         self.cancel_reason: str | None = None
         self.wall_seconds = 0.0
+        #: The owning batch trace when this query ran inside
+        #: :meth:`RetrievalService.top_k_batch`; ``None`` for solo
+        #: queries.
+        self.parent: "BatchTrace | None" = None
 
     @contextlib.contextmanager
     def span(self, name: str) -> Iterator[None]:
@@ -157,6 +161,21 @@ class QueryTrace:
         """Record one shard's search stats (called from shard threads)."""
         with self._lock:
             self.shards.append(dict(stats))
+
+    def record_span(self, name: str, duration_s: float) -> None:
+        """Record a stage measured externally (e.g. a query's share of a
+        shared scan, accumulated by the executor). The span is placed at
+        its implied start — now minus ``duration_s`` — on this trace's
+        clock."""
+        started_s = max(
+            0.0, time.perf_counter() - self._t0 - duration_s
+        )
+        with self._lock:
+            self.spans.append(
+                StageSpan(
+                    name=name, started_s=started_s, duration_s=duration_s
+                )
+            )
 
     def finish(
         self, complete: bool = True, cancel_reason: str | None = None
@@ -204,4 +223,47 @@ class QueryTrace:
             f"QueryTrace(wall={self.wall_seconds:.4f}s, "
             f"complete={self.complete}, cache_hit={self.cache_hit}, "
             f"stages=[{stages}], shards={len(self.shards)})"
+        )
+
+
+class BatchTrace(QueryTrace):
+    """Trace of one ``top_k_batch`` call: batch-level stage spans plus
+    one child :class:`QueryTrace` per query.
+
+    The batch trace's own spans (``cache_lookup``, ``plan``, ``search``,
+    ``cache_store``) tile the batch's wall time; each child records the
+    slices attributable to its query (its cache lookup, its share of the
+    shared scan, or its full singleton execution). Children run
+    sequentially inside the batch — there is no concurrent
+    double-counting — so the sum of all child span durations is at most
+    the batch's ``wall_seconds`` (property-tested).
+    """
+
+    def __init__(self, batch_size: int = 0) -> None:
+        super().__init__()
+        self.batch_size = batch_size
+        self.children: list[QueryTrace] = []
+
+    def child(self) -> QueryTrace:
+        """A fresh per-query trace attached to this batch."""
+        trace = QueryTrace()
+        trace.parent = self
+        with self._lock:
+            self.children.append(trace)
+        return trace
+
+    def as_dict(self) -> dict[str, Any]:
+        """Batch export: the batch-level view plus serialized children."""
+        data = super().as_dict()
+        data["batch_size"] = self.batch_size
+        with self._lock:
+            children = list(self.children)
+        data["children"] = [child.as_dict() for child in children]
+        return data
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchTrace(batch_size={self.batch_size}, "
+            f"wall={self.wall_seconds:.4f}s, complete={self.complete}, "
+            f"children={len(self.children)})"
         )

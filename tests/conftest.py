@@ -1,11 +1,19 @@
-"""Shared fixtures: small synthetic scenes reused across test modules."""
+"""Shared fixtures: small synthetic scenes reused across test modules.
+
+Besides the fixed scenes, this module hosts the *factory fixtures* the
+service/kernel/batch suites share (``make_tie_stack``,
+``make_noise_stack``, ``make_random_linear_model``, ``answer_list``):
+session-scoped callables replacing the per-module helper copies that
+used to live in ``test_service.py``, ``test_service_hardening.py`` and
+``test_kernels.py``.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.data.raster import RasterStack
+from repro.data.raster import RasterLayer, RasterStack
 from repro.models.linear import LinearModel, hps_risk_model
 from repro.synth.landsat import generate_scene
 from repro.synth.terrain import generate_dem
@@ -41,3 +49,77 @@ def hps_model() -> LinearModel:
 def rng() -> np.random.Generator:
     """Fresh deterministic generator per test."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def make_tie_stack():
+    """Factory for stacks with heavy score-tie structure.
+
+    Small-integer layers force score ties at the K boundary, exercising
+    the deterministic smallest-``(row, col)`` tie-break across
+    strategies, shard counts, and batch membership.
+    """
+
+    def _make_tie_stack(
+        rows: int, cols: int, n_layers: int, seed: int
+    ) -> RasterStack:
+        generator = np.random.default_rng(seed)
+        stack = RasterStack()
+        for index in range(n_layers):
+            values = generator.integers(
+                0, 3, size=(rows, cols)
+            ).astype(float)
+            stack.add(RasterLayer(f"layer{index}", values))
+        return stack
+
+    return _make_tie_stack
+
+
+@pytest.fixture(scope="session")
+def make_noise_stack():
+    """Factory for generic normal-noise stacks (ties unlikely)."""
+
+    def _make_noise_stack(
+        rows: int, cols: int, n_layers: int, seed: int
+    ) -> RasterStack:
+        generator = np.random.default_rng(seed)
+        stack = RasterStack()
+        for index in range(n_layers):
+            stack.add(
+                RasterLayer(
+                    f"layer{index}", generator.normal(size=(rows, cols))
+                )
+            )
+        return stack
+
+    return _make_noise_stack
+
+
+@pytest.fixture(scope="session")
+def make_random_linear_model():
+    """Factory for random small-integer-coefficient linear models."""
+
+    def _make_random_linear_model(
+        stack: RasterStack, seed: int = 0
+    ) -> LinearModel:
+        generator = np.random.default_rng(seed)
+        return LinearModel(
+            {
+                name: float(generator.choice([-2.0, -1.0, 1.0, 2.0]))
+                for name in stack.names
+            },
+            intercept=0.5,
+        )
+
+    return _make_random_linear_model
+
+
+@pytest.fixture(scope="session")
+def answer_list():
+    """The full answer identity of a result: ordered (row, col, score)
+    triples, scores rounded to soak up float formatting noise only."""
+
+    def _answer_list(result):
+        return [(a.row, a.col, round(a.score, 9)) for a in result.answers]
+
+    return _answer_list

@@ -43,7 +43,8 @@ from repro.models.fuzzy import (
     triangle_membership,
 )
 from repro.models.knowledge import FuzzyRule, KnowledgeModel, RulePredicate
-from repro.models.linear import LinearModel
+from repro.exceptions import ModelError
+from repro.models.linear import LinearModel, stacked_interval_batch
 from repro.service import RetrievalService, SharedTopKHeap
 
 
@@ -97,6 +98,40 @@ class TestOfferBlock:
         heap.offer(1.0, (0, 0))
         heap.offer_block(np.array([]), np.array([]), np.array([]))
         assert heap.ranked() == [(1.0, (0, 0))]
+
+    def test_zero_length_blocks_all_paths(self):
+        """Zero-length offers must be no-ops on every internal path: the
+        early guard (empty input — the shared scan emits these for
+        fully-pruned sibling blocks) and the post-prefilter guard (a
+        full heap rejecting every candidate; np.partition would raise on
+        the emptied remainder)."""
+        heap = TopKHeap(2)
+        heap.offer_block(
+            np.array([], dtype=float),
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+        )
+        assert heap.ranked() == []
+        heap.offer(5.0, (0, 0))
+        heap.offer(4.0, (1, 1))
+        # Full heap: the threshold prefilter drops every entry.
+        heap.offer_block(
+            np.array([1.0, 2.0, 3.0]),
+            np.array([2, 3, 4]),
+            np.array([2, 3, 4]),
+        )
+        assert heap.ranked() == [(5.0, (0, 0)), (4.0, (1, 1))]
+
+    def test_k_below_one_rejected_at_construction(self):
+        """Regression: TopKHeap(0) used to build an always-"full" heap
+        whose threshold indexed into an empty list (IndexError deep in
+        the offer path). The contract is now explicit at construction."""
+        for bad_k in (0, -1, -7):
+            with pytest.raises(ValueError):
+                TopKHeap(bad_k)
+            with pytest.raises(ValueError):
+                SharedTopKHeap(bad_k)
+        assert TopKHeap(1).ranked() == []
 
     def test_boundary_ties_survive_prefilter(self):
         """Entries tied with the threshold/partition cutoff must still be
@@ -235,6 +270,46 @@ class TestIntervalBatch:
             assert batch_low[i] == low
             assert batch_high[i] == high
 
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_stacked_bitwise_equal_to_per_model(self, data):
+        """The batch executor's stacked bounds must be bitwise equal to
+        each model bounding the boxes on its own — any drift would
+        change frontier ordering between batch and solo searches."""
+        n_attrs = data.draw(st.integers(1, 4))
+        attributes = [f"a{i}" for i in range(n_attrs)]
+        n_models = data.draw(st.integers(1, 6))
+        models = [
+            LinearModel(
+                {
+                    name: data.draw(
+                        st.floats(-3, 3).filter(lambda w: w != 0)
+                    )
+                    for name in attributes
+                },
+                intercept=data.draw(st.floats(-10, 10)),
+            )
+            for _ in range(n_models)
+        ]
+        n = data.draw(st.integers(1, 12))
+        lows, highs = _random_boxes(data, attributes, n)
+        stacked = stacked_interval_batch(models, lows, highs)
+        assert len(stacked) == n_models
+        for model, (stacked_low, stacked_high) in zip(models, stacked):
+            solo_low, solo_high = model.evaluate_interval_batch(
+                lows, highs
+            )
+            assert (stacked_low == solo_low).all()
+            assert (stacked_high == solo_high).all()
+
+    def test_stacked_rejects_mismatched_attribute_orders(self):
+        a = LinearModel({"x": 1.0, "y": 2.0})
+        b = LinearModel({"y": 2.0, "x": 1.0})
+        with pytest.raises(ModelError):
+            stacked_interval_batch([a, b], {}, {})
+        with pytest.raises(ModelError):
+            stacked_interval_batch([], {}, {})
+
     def test_default_fallback_loops_over_scalar(self):
         """Models without a closed form inherit a loop that defers to
         their own evaluate_interval."""
@@ -258,6 +333,17 @@ class TestIntervalBatch:
             )
             assert batch_low[i] == low
             assert batch_high[i] == high
+
+    def test_gaussian_scalar_and_batch_square_identically(self):
+        """Regression: the scalar gaussian squared via python ``** 2``
+        (C pow) while the batch path squared via numpy ``** 2``
+        (multiply); the two differ by 1 ulp for some inputs, e.g. the
+        one below, breaking scalar/batch bitwise equality."""
+        membership = gaussian_membership(2.0, 4.0)
+        values = np.array([7.252635198114874, -33.0, 0.1, 41.5])
+        degrees = membership.batch(values)
+        for value, degree in zip(values, degrees):
+            assert membership(float(value)) == degree
 
     @given(st.data())
     @settings(max_examples=40, deadline=None)
@@ -290,15 +376,6 @@ class TestIntervalBatch:
 # --- engine end-to-end: vectorized search vs per-cell reference ----------
 
 
-def _tie_stack(rows, cols, n_layers, seed):
-    rng = np.random.default_rng(seed)
-    stack = RasterStack()
-    for index in range(n_layers):
-        values = rng.integers(0, 3, size=(rows, cols)).astype(float)
-        stack.add(RasterLayer(f"layer{index}", values))
-    return stack
-
-
 class TestSearchMatchesPerCellReference:
     @given(
         rows=st.integers(4, 20),
@@ -311,11 +388,12 @@ class TestSearchMatchesPerCellReference:
     )
     @settings(max_examples=25, deadline=None)
     def test_all_strategies_and_service(
-        self, rows, cols, n_layers, seed, k, maximize, n_shards
+        self, rows, cols, n_layers, seed, k, maximize, n_shards,
+        make_tie_stack,
     ):
         """Every strategy — and the sharded service — must equal a
         per-cell offer loop over exact scores, ties included."""
-        stack = _tie_stack(rows, cols, n_layers, seed)
+        stack = make_tie_stack(rows, cols, n_layers, seed)
         rng = np.random.default_rng(seed + 1)
         model = LinearModel(
             {

@@ -32,21 +32,6 @@ from repro.service import (
 )
 
 
-def _answer_list(result):
-    """Ordered (row, col, score) triples — the full answer identity."""
-    return [(a.row, a.col, round(a.score, 9)) for a in result.answers]
-
-
-def _tie_stack(rows: int, cols: int, n_layers: int, seed: int) -> RasterStack:
-    """A stack with heavy score-tie structure: small-integer values."""
-    rng = np.random.default_rng(seed)
-    stack = RasterStack()
-    for index in range(n_layers):
-        values = rng.integers(0, 3, size=(rows, cols)).astype(float)
-        stack.add(RasterLayer(f"layer{index}", values))
-    return stack
-
-
 class TestCrossStrategyTieAgreement:
     """All four strategies and the sharded service return identical
     answers on tie-heavy archives (the satellite bugfix's contract)."""
@@ -61,9 +46,10 @@ class TestCrossStrategyTieAgreement:
     )
     @settings(max_examples=25, deadline=None)
     def test_strategies_and_shards_agree_on_ties(
-        self, rows, cols, n_layers, seed, k, maximize
+        self, rows, cols, n_layers, seed, k, maximize,
+        make_tie_stack, answer_list,
     ):
-        stack = _tie_stack(rows, cols, n_layers, seed)
+        stack = make_tie_stack(rows, cols, n_layers, seed)
         rng = np.random.default_rng(seed + 1)
         coefficients = {
             name: float(rng.choice([-2.0, -1.0, 1.0, 2.0]))
@@ -73,20 +59,20 @@ class TestCrossStrategyTieAgreement:
         engine = RasterRetrievalEngine(stack, leaf_size=4)
         query = TopKQuery(model=model, k=k, maximize=maximize)
 
-        expected = _answer_list(engine.exhaustive_top_k(query))
+        expected = answer_list(engine.exhaustive_top_k(query))
         for use_tiles in (True, False):
             for use_levels in (True, False):
                 result = engine.progressive_top_k(
                     query, use_tiles=use_tiles, use_model_levels=use_levels
                 )
-                assert _answer_list(result) == expected, (
+                assert answer_list(result) == expected, (
                     f"strategy ({use_tiles=}, {use_levels=}) diverged"
                 )
 
         service = RetrievalService(stack, leaf_size=4, cache_size=0)
         for n_shards in (1, 2, 4):
             sharded = service.top_k(query, n_shards=n_shards)
-            assert _answer_list(sharded) == expected, (
+            assert answer_list(sharded) == expected, (
                 f"service at {n_shards} shards diverged"
             )
 
@@ -111,16 +97,16 @@ class TestCrossStrategyTieAgreement:
         for n_shards in (1, 2, 4):
             assert service.top_k(query, n_shards=n_shards).locations == expected
 
-    def test_minimize_direction_ties(self):
-        stack = _tie_stack(12, 12, 2, seed=7)
+    def test_minimize_direction_ties(self, make_tie_stack, answer_list):
+        stack = make_tie_stack(12, 12, 2, seed=7)
         model = LinearModel({"layer0": -1.0, "layer1": 2.0})
         engine = RasterRetrievalEngine(stack, leaf_size=4)
         service = RetrievalService(stack, leaf_size=4, cache_size=0)
         query = TopKQuery(model=model, k=9, maximize=False)
-        expected = _answer_list(engine.exhaustive_top_k(query))
-        assert _answer_list(engine.progressive_top_k(query)) == expected
+        expected = answer_list(engine.exhaustive_top_k(query))
+        assert answer_list(engine.progressive_top_k(query)) == expected
         for n_shards in (2, 4):
-            assert _answer_list(service.top_k(query, n_shards=n_shards)) == expected
+            assert answer_list(service.top_k(query, n_shards=n_shards)) == expected
 
 
 class TestServiceExecution:
@@ -134,21 +120,21 @@ class TestServiceExecution:
         stack.add(dem)
         return stack
 
-    def test_matches_engine_on_real_scene(self, scene):
+    def test_matches_engine_on_real_scene(self, scene, answer_list):
         service = RetrievalService(scene, leaf_size=8, cache_size=0)
         query = TopKQuery(model=hps_risk_model(), k=12)
-        expected = _answer_list(service.engine.progressive_top_k(query))
+        expected = answer_list(service.engine.progressive_top_k(query))
         for n_shards in (1, 2, 4, 7):
-            assert _answer_list(service.top_k(query, n_shards=n_shards)) == expected
+            assert answer_list(service.top_k(query, n_shards=n_shards)) == expected
 
-    def test_region_restricted_sharded_query(self, scene):
+    def test_region_restricted_sharded_query(self, scene, answer_list):
         service = RetrievalService(scene, leaf_size=8, cache_size=0)
         query = TopKQuery(
             model=hps_risk_model(), k=6, region=(10, 15, 70, 60)
         )
-        expected = _answer_list(service.engine.progressive_top_k(query))
+        expected = answer_list(service.engine.progressive_top_k(query))
         result = service.top_k(query, n_shards=4)
-        assert _answer_list(result) == expected
+        assert answer_list(result) == expected
         for row, col in result.locations:
             assert 10 <= row < 70 and 15 <= col < 60
 
@@ -162,14 +148,14 @@ class TestServiceExecution:
         assert result.audit.tiles_screened > 0
         assert result.strategy == "both-sharded[4]"
 
-    def test_data_progressive_knob(self, scene):
+    def test_data_progressive_knob(self, scene, answer_list):
         service = RetrievalService(scene, leaf_size=8, cache_size=0)
         query = TopKQuery(model=hps_risk_model(), k=5)
-        expected = _answer_list(
+        expected = answer_list(
             service.engine.progressive_top_k(query, use_model_levels=False)
         )
         result = service.top_k(query, n_shards=3, use_model_levels=False)
-        assert _answer_list(result) == expected
+        assert answer_list(result) == expected
         assert result.strategy == "data-progressive-sharded[3]"
 
     def test_invalid_arguments(self, scene):
@@ -184,24 +170,26 @@ class TestServiceExecution:
 
 
 class TestQueryCache:
-    def _service(self, **kwargs):
-        stack = _tie_stack(16, 16, 2, seed=3)
+    def _service(self, make_tie_stack, **kwargs):
+        stack = make_tie_stack(16, 16, 2, seed=3)
         return RetrievalService(stack, leaf_size=4, **kwargs)
 
     def _query(self, k=5):
         return TopKQuery(model=LinearModel({"layer0": 2.0, "layer1": 1.0}), k=k)
 
-    def test_cache_hit_returns_same_answers(self):
-        service = self._service(cache_size=8)
+    def test_cache_hit_returns_same_answers(
+        self, make_tie_stack, answer_list
+    ):
+        service = self._service(make_tie_stack, cache_size=8)
         cold = service.top_k(self._query())
         warm = service.top_k(self._query())
         assert service.stats.cache_hits == 1
         assert service.stats.cache_misses == 1
         assert warm.strategy == cold.strategy + "-cached"
-        assert _answer_list(warm) == _answer_list(cold)
+        assert answer_list(warm) == answer_list(cold)
 
-    def test_cache_miss_on_different_question(self):
-        service = self._service(cache_size=8)
+    def test_cache_miss_on_different_question(self, make_tie_stack):
+        service = self._service(make_tie_stack, cache_size=8)
         service.top_k(self._query(k=5))
         service.top_k(self._query(k=6))
         service.top_k(self._query(k=5), use_model_levels=False)
@@ -215,35 +203,35 @@ class TestQueryCache:
         assert service.stats.cache_hits == 0
         assert service.stats.cache_misses == 4
 
-    def test_equal_models_share_entries(self):
+    def test_equal_models_share_entries(self, make_tie_stack):
         """Linear models fingerprint by value, not identity."""
-        service = self._service(cache_size=8)
+        service = self._service(make_tie_stack, cache_size=8)
         service.top_k(self._query())
         service.top_k(self._query())  # new but equal model instance
         assert service.stats.cache_hits == 1
 
-    def test_clipped_region_normalizes_key(self):
+    def test_clipped_region_normalizes_key(self, make_tie_stack):
         """region=None and the explicit whole-grid region hit one entry."""
-        service = self._service(cache_size=8)
+        service = self._service(make_tie_stack, cache_size=8)
         model = LinearModel({"layer0": 2.0, "layer1": 1.0})
         service.top_k(TopKQuery(model=model, k=5))
         service.top_k(TopKQuery(model=model, k=5, region=(0, 0, 16, 16)))
         assert service.stats.cache_hits == 1
 
-    def test_use_cache_false_bypasses(self):
-        service = self._service(cache_size=8)
+    def test_use_cache_false_bypasses(self, make_tie_stack):
+        service = self._service(make_tie_stack, cache_size=8)
         service.top_k(self._query(), use_cache=False)
         service.top_k(self._query(), use_cache=False)
         assert service.stats.cache_hits == 0
         assert len(service.cache) == 0
 
-    def test_cache_disabled(self):
-        service = self._service(cache_size=0)
+    def test_cache_disabled(self, make_tie_stack):
+        service = self._service(make_tie_stack, cache_size=0)
         assert service.cache is None
         result = service.top_k(self._query())
         assert len(result) == 5
 
-    def test_invalidation_after_archive_layer_change(self):
+    def test_invalidation_after_archive_layer_change(self, answer_list):
         rng = np.random.default_rng(9)
         archive = Archive("study")
         for name in ("a", "b"):
@@ -263,10 +251,10 @@ class TestQueryCache:
         after = service.top_k(query)
         assert not after.strategy.endswith("-cached")
         assert service.stats.invalidations == 1
-        assert _answer_list(after) == _answer_list(cold)
+        assert answer_list(after) == answer_list(cold)
 
-    def test_explicit_invalidate(self):
-        service = self._service(cache_size=8)
+    def test_explicit_invalidate(self, make_tie_stack):
+        service = self._service(make_tie_stack, cache_size=8)
         service.top_k(self._query())
         service.invalidate()
         service.top_k(self._query())
@@ -321,8 +309,8 @@ class TestSharding:
         with pytest.raises(QueryError):
             row_band_shards((4, 0, 4, 4), 2)
 
-    def test_region_roots_cover_region_disjointly(self):
-        stack = _tie_stack(24, 24, 1, seed=5)
+    def test_region_roots_cover_region_disjointly(self, make_tie_stack):
+        stack = make_tie_stack(24, 24, 1, seed=5)
         engine = RasterRetrievalEngine(stack, leaf_size=4)
         region = (5, 3, 17, 22)
         roots = engine.screen.region_roots(region)
@@ -335,8 +323,8 @@ class TestSharding:
         assert covered.max() == 1, "region roots must be pairwise disjoint"
         assert (covered[region[0]:region[2], region[1]:region[3]] == 1).all()
 
-    def test_region_roots_rejects_empty(self):
-        stack = _tie_stack(8, 8, 1, seed=5)
+    def test_region_roots_rejects_empty(self, make_tie_stack):
+        stack = make_tie_stack(8, 8, 1, seed=5)
         engine = RasterRetrievalEngine(stack, leaf_size=4)
         with pytest.raises(PlanError):
             engine.screen.region_roots((30, 30, 40, 40))
@@ -400,16 +388,18 @@ class TestHeuristicEnvelopeSoundnessAtFullMargin:
                 assert pseudo[name][1] == pytest.approx(sound[name][1])
             nodes.extend(screen.children(node))
 
-    def test_full_margin_heuristic_is_exact(self):
+    def test_full_margin_heuristic_is_exact(
+        self, make_tie_stack, answer_list
+    ):
         """With centering fixed, margin=1 heuristic pruning returns the
         exact answer set (it was only 'mostly right' before)."""
-        stack = _tie_stack(20, 20, 2, seed=13)
+        stack = make_tie_stack(20, 20, 2, seed=13)
         engine = RasterRetrievalEngine(stack, leaf_size=4)
         query = TopKQuery(
             model=LinearModel({"layer0": 3.0, "layer1": -1.0}), k=8
         )
-        expected = _answer_list(engine.exhaustive_top_k(query))
+        expected = answer_list(engine.exhaustive_top_k(query))
         result = engine.progressive_top_k(
             query, pruning="heuristic", heuristic_margin=1.0
         )
-        assert _answer_list(result) == expected
+        assert answer_list(result) == expected

@@ -18,9 +18,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.engine import RasterRetrievalEngine, TopKHeap
+from repro.core.engine import TopKHeap
 from repro.core.query import TopKQuery
-from repro.data.raster import RasterLayer, RasterStack
 from repro.exceptions import QueryError
 from repro.metrics.registry import LatencyHistogram, MetricsRegistry
 from repro.models.base import Model
@@ -33,28 +32,6 @@ from repro.service import (
     model_fingerprint,
 )
 from repro.service.retrieval import ScoredLocation
-
-
-def _stack(rows: int, cols: int, n_layers: int, seed: int) -> RasterStack:
-    rng = np.random.default_rng(seed)
-    stack = RasterStack()
-    for index in range(n_layers):
-        stack.add(
-            RasterLayer(f"layer{index}", rng.normal(size=(rows, cols)))
-        )
-    return stack
-
-
-def _model(stack: RasterStack, seed: int = 0) -> LinearModel:
-    rng = np.random.default_rng(seed)
-    return LinearModel(
-        {name: float(rng.choice([-2.0, -1.0, 1.0, 2.0])) for name in stack.names},
-        intercept=0.5,
-    )
-
-
-def _answer_list(result):
-    return [(a.row, a.col, round(a.score, 9)) for a in result.answers]
 
 
 class _OpaqueModel(Model):
@@ -78,12 +55,14 @@ class _OpaqueModel(Model):
 class TestServiceStatsThreadSafety:
     """Bugfix 1: stats mutations race without the service lock."""
 
-    def test_threaded_hammer_keeps_exact_tallies(self):
-        stack = _stack(8, 8, 2, seed=1)
+    def test_threaded_hammer_keeps_exact_tallies(
+        self, make_noise_stack, make_random_linear_model
+    ):
+        stack = make_noise_stack(8, 8, 2, seed=1)
         service = RetrievalService(
             stack, leaf_size=4, cache_size=8, registry=MetricsRegistry()
         )
-        query = TopKQuery(model=_model(stack), k=3)
+        query = TopKQuery(model=make_random_linear_model(stack), k=3)
         service.top_k(query)  # warm the cache: hammer queries all hit
 
         n_threads, per_thread = 8, 400
@@ -163,17 +142,23 @@ class TestModelFingerprintTokens:
 class TestCacheHitIsolation:
     """Bugfix 3: hits shared the stored entry's mutable state."""
 
-    def _service(self):
-        stack = _stack(16, 16, 2, seed=3)
+    def _service(self, make_noise_stack, make_random_linear_model):
+        stack = make_noise_stack(16, 16, 2, seed=3)
         service = RetrievalService(
             stack, leaf_size=4, cache_size=8, registry=MetricsRegistry()
         )
-        return service, TopKQuery(model=_model(stack, seed=4), k=5)
+        return service, TopKQuery(
+            model=make_random_linear_model(stack, seed=4), k=5
+        )
 
-    def test_mutating_a_hit_leaves_the_next_hit_pristine(self):
-        service, query = self._service()
+    def test_mutating_a_hit_leaves_the_next_hit_pristine(
+        self, make_noise_stack, make_random_linear_model, answer_list
+    ):
+        service, query = self._service(
+            make_noise_stack, make_random_linear_model
+        )
         cold = service.top_k(query)
-        reference = _answer_list(cold)
+        reference = answer_list(cold)
 
         victim = service.top_k(query)
         assert victim.strategy.endswith("-cached")
@@ -185,7 +170,7 @@ class TestCacheHitIsolation:
         victim.audit.cells_entered_level[1] = -1
 
         pristine = service.top_k(query)
-        assert _answer_list(pristine) == reference
+        assert answer_list(pristine) == reference
         assert "poison" not in pristine.counter.notes
         assert pristine.counter.data_points == cold.counter.data_points
         assert pristine.audit.tiles_screened == cold.audit.tiles_screened
@@ -194,14 +179,18 @@ class TestCacheHitIsolation:
             == cold.audit.cells_entered_level
         )
 
-    def test_mutating_the_cold_result_cannot_corrupt_the_store(self):
-        service, query = self._service()
+    def test_mutating_the_cold_result_cannot_corrupt_the_store(
+        self, make_noise_stack, make_random_linear_model, answer_list
+    ):
+        service, query = self._service(
+            make_noise_stack, make_random_linear_model
+        )
         cold = service.top_k(query)
-        reference = _answer_list(cold)
+        reference = answer_list(cold)
         cold.answers.clear()
         cold.counter.flops += 10**9
         hit = service.top_k(query)
-        assert _answer_list(hit) == reference
+        assert answer_list(hit) == reference
         assert hit.counter.flops != cold.counter.flops
 
 
@@ -209,8 +198,10 @@ class TestCacheLockingAndInvalidate:
     """Bugfix 4: unlocked __len__/__contains__ and the phantom
     invalidation tally when caching is disabled."""
 
-    def test_invalidate_without_cache_counts_nothing(self):
-        stack = _stack(8, 8, 1, seed=5)
+    def test_invalidate_without_cache_counts_nothing(
+        self, make_noise_stack
+    ):
+        stack = make_noise_stack(8, 8, 1, seed=5)
         service = RetrievalService(
             stack, leaf_size=4, cache_size=0, registry=MetricsRegistry()
         )
@@ -218,8 +209,8 @@ class TestCacheLockingAndInvalidate:
         service.invalidate()
         assert service.stats.invalidations == 0
 
-    def test_invalidate_with_cache_counts(self):
-        stack = _stack(8, 8, 1, seed=5)
+    def test_invalidate_with_cache_counts(self, make_noise_stack):
+        stack = make_noise_stack(8, 8, 1, seed=5)
         service = RetrievalService(
             stack, leaf_size=4, cache_size=4, registry=MetricsRegistry()
         )
@@ -249,13 +240,15 @@ class TestCacheLockingAndInvalidate:
 
 class TestDeadlineAndCancellation:
     @pytest.fixture(scope="class")
-    def setup(self):
-        stack = _stack(256, 256, 3, seed=11)
+    def setup(self, make_noise_stack, make_random_linear_model):
+        stack = make_noise_stack(256, 256, 3, seed=11)
         service = RetrievalService(
             stack, leaf_size=8, n_shards=4, cache_size=8,
             registry=MetricsRegistry(),
         )
-        query = TopKQuery(model=_model(stack, seed=12), k=25)
+        query = TopKQuery(
+            model=make_random_linear_model(stack, seed=12), k=25
+        )
         return stack, service, query
 
     def test_precancelled_token_returns_immediately(self, setup):
@@ -303,15 +296,15 @@ class TestDeadlineAndCancellation:
         assert partial.trace is not None
         assert partial.trace.cancel_reason == "deadline"
 
-    def test_no_deadline_is_identical_to_engine(self, setup):
+    def test_no_deadline_is_identical_to_engine(self, setup, answer_list):
         _, service, query = setup
-        expected = _answer_list(service.engine.progressive_top_k(query))
+        expected = answer_list(service.engine.progressive_top_k(query))
         result = service.top_k(query, use_cache=False)
         assert result.complete is True
         assert result.strategy == "both-sharded[4]"
-        assert _answer_list(result) == expected
+        assert answer_list(result) == expected
 
-    def test_partial_results_are_never_cached(self, setup):
+    def test_partial_results_are_never_cached(self, setup, answer_list):
         _, service, query = setup
         token = CancellationToken()
         token.cancel()
@@ -320,7 +313,7 @@ class TestDeadlineAndCancellation:
         after = service.top_k(query)
         assert after.complete is True
         assert not after.strategy.endswith("-cached")
-        assert _answer_list(after) == _answer_list(
+        assert answer_list(after) == answer_list(
             service.engine.progressive_top_k(query)
         )
 
@@ -427,16 +420,22 @@ class TestSharedHeapOfferBlockStress:
 
 
 class TestQueryTracing:
-    def _service(self):
-        stack = _stack(48, 48, 2, seed=41)
+    def _service(self, make_noise_stack, make_random_linear_model):
+        stack = make_noise_stack(48, 48, 2, seed=41)
         service = RetrievalService(
             stack, leaf_size=8, n_shards=3, cache_size=8,
             registry=MetricsRegistry(),
         )
-        return service, TopKQuery(model=_model(stack, seed=42), k=6)
+        return service, TopKQuery(
+            model=make_random_linear_model(stack, seed=42), k=6
+        )
 
-    def test_cold_query_trace_structure(self):
-        service, query = self._service()
+    def test_cold_query_trace_structure(
+        self, make_noise_stack, make_random_linear_model
+    ):
+        service, query = self._service(
+            make_noise_stack, make_random_linear_model
+        )
         result = service.top_k(query)
         trace = result.trace
         assert trace is not None and not trace.cache_hit
@@ -452,8 +451,12 @@ class TestQueryTracing:
         assert exported["complete"] is True
         assert len(exported["spans"]) == len(trace.spans)
 
-    def test_cache_hit_trace(self):
-        service, query = self._service()
+    def test_cache_hit_trace(
+        self, make_noise_stack, make_random_linear_model
+    ):
+        service, query = self._service(
+            make_noise_stack, make_random_linear_model
+        )
         service.top_k(query)
         hit = service.top_k(query)
         trace = hit.trace
@@ -461,8 +464,12 @@ class TestQueryTracing:
         assert trace.shards == []
         assert set(trace.stage_seconds()) == {"cache_lookup"}
 
-    def test_tracing_does_not_change_counters(self):
-        service, query = self._service()
+    def test_tracing_does_not_change_counters(
+        self, make_noise_stack, make_random_linear_model
+    ):
+        service, query = self._service(
+            make_noise_stack, make_random_linear_model
+        )
         engine_result = service.engine.progressive_top_k(query)
         service_result = service.top_k(query, n_shards=1, use_cache=False)
         for field in ("data_points", "model_evals", "partial_evals", "flops"):
@@ -476,12 +483,16 @@ class TestQueryTracing:
         seed=st.integers(0, 100),
     )
     @settings(max_examples=15, deadline=None)
-    def test_stage_times_sum_to_wall_seconds(self, k, n_shards, seed):
-        stack = _stack(24, 24, 2, seed=seed)
+    def test_stage_times_sum_to_wall_seconds(
+        self, k, n_shards, seed, make_noise_stack, make_random_linear_model
+    ):
+        stack = make_noise_stack(24, 24, 2, seed=seed)
         service = RetrievalService(
             stack, leaf_size=4, cache_size=4, registry=MetricsRegistry()
         )
-        query = TopKQuery(model=_model(stack, seed=seed + 1), k=k)
+        query = TopKQuery(
+            model=make_random_linear_model(stack, seed=seed + 1), k=k
+        )
         result = service.top_k(query, n_shards=n_shards)
         trace = result.trace
         total_staged = sum(trace.stage_seconds().values())
@@ -542,13 +553,17 @@ class TestMetricsRegistry:
         assert registry.counter_value("hits") == 12000
         assert registry.snapshot()["histograms"]["lat"]["count"] == 12000
 
-    def test_service_populates_registry(self):
-        stack = _stack(24, 24, 2, seed=51)
+    def test_service_populates_registry(
+        self, make_noise_stack, make_random_linear_model
+    ):
+        stack = make_noise_stack(24, 24, 2, seed=51)
         registry = MetricsRegistry()
         service = RetrievalService(
             stack, leaf_size=4, cache_size=8, registry=registry
         )
-        query = TopKQuery(model=_model(stack, seed=52), k=4)
+        query = TopKQuery(
+            model=make_random_linear_model(stack, seed=52), k=4
+        )
         service.top_k(query)
         service.top_k(query)
         snapshot = registry.snapshot()
@@ -561,13 +576,17 @@ class TestMetricsRegistry:
             name = f"service.stage.{stage}_seconds"
             assert snapshot["histograms"][name]["count"] >= 1
 
-    def test_partial_and_cancellation_counters(self):
-        stack = _stack(24, 24, 2, seed=53)
+    def test_partial_and_cancellation_counters(
+        self, make_noise_stack, make_random_linear_model
+    ):
+        stack = make_noise_stack(24, 24, 2, seed=53)
         registry = MetricsRegistry()
         service = RetrievalService(
             stack, leaf_size=4, cache_size=0, registry=registry
         )
-        query = TopKQuery(model=_model(stack, seed=54), k=4)
+        query = TopKQuery(
+            model=make_random_linear_model(stack, seed=54), k=4
+        )
         token = CancellationToken()
         token.cancel()
         service.top_k(query, cancel=token)
