@@ -30,6 +30,8 @@ from repro.models.knowledge import FuzzyRule, KnowledgeModel, RulePredicate
 from repro.models.linear import LinearModel
 from repro.pyramid.quadtree import QuadTree, build_recursive
 
+from record import record_run
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_kernels.json"
 
@@ -311,6 +313,27 @@ def main() -> None:
                     f"{sub['vectorized_s'] * 1e3:.1f} ms "
                     f"({sub['speedup']:.1f}x)"
                 )
+
+    # Trajectory entry in both modes. Quick and full workloads differ
+    # (256 vs 1024 grids), so they record under distinct bench names —
+    # regression comparison is only meaningful within one workload.
+    trajectory_metrics: dict[str, float] = {}
+    for name, entry in results.items():
+        if "speedup" in entry:
+            trajectory_metrics[f"{name}_speedup"] = entry["speedup"]
+            trajectory_metrics[f"{name}_vectorized_s"] = entry[
+                "vectorized_s"
+            ]
+        else:
+            for label, sub in entry["models"].items():
+                trajectory_metrics[f"{name}_{label}_speedup"] = sub[
+                    "speedup"
+                ]
+    record_run(
+        "kernels-quick" if args.quick else "kernels",
+        trajectory_metrics,
+        extra={"grid": grid},
+    )
 
     if not args.quick:
         floors = {

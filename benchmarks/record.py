@@ -1,0 +1,202 @@
+"""Benchmark trajectory recorder: performance history across commits.
+
+Every benchmark run can append one entry to ``BENCH_trajectory.json`` at
+the repo root — a flat list of ``{bench, git_sha, timestamp, metrics,
+regressions}`` records. The file is the repo's performance memory: each
+PR's bench numbers land next to the previous ones, so a slowdown shows
+up as data instead of vibes.
+
+``record_run`` compares each new entry against the most recent prior
+entry *for the same bench name* and flags metrics that regressed by
+more than ``threshold`` (default 20%). Direction is inferred from the
+metric name: ``*_s`` / ``*_ms`` / ``*seconds*`` / ``*overhead*`` are
+lower-is-better timings, ``*speedup*`` / ``*throughput*`` / ``*qps*``
+are higher-is-better rates; anything else is tracked but never flagged.
+Regressions are recorded in the entry (and printed) but never fail the
+run — benchmarks on shared CI runners are too noisy for a hard gate;
+the trajectory makes the trend reviewable instead.
+
+Usage from a benchmark::
+
+    from record import record_run
+    record_run("kernels", {"quadtree_build_s": 0.012, "speedup": 5.3})
+
+or as a CLI for ad-hoc entries::
+
+    python benchmarks/record.py --bench kernels --metric build_s=0.012
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_trajectory.json"
+
+#: Substrings marking a metric as lower-is-better (timings) or
+#: higher-is-better (rates). Checked in this order; first match wins.
+_LOWER_BETTER = ("_s", "_ms", "seconds", "latency", "overhead")
+_HIGHER_BETTER = ("speedup", "throughput", "qps", "ops")
+
+
+def _git_sha(repo_root: Path = REPO_ROOT) -> str:
+    """The current commit's short SHA, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def metric_direction(name: str) -> str:
+    """``"lower"``, ``"higher"``, or ``"neutral"`` for a metric name."""
+    lowered = name.lower()
+    for marker in _HIGHER_BETTER:
+        if marker in lowered:
+            return "higher"
+    for marker in _LOWER_BETTER:
+        if lowered.endswith(marker) or marker in lowered:
+            return "lower"
+    return "neutral"
+
+
+def find_regressions(
+    metrics: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    threshold: float = 0.20,
+) -> list[dict[str, Any]]:
+    """Metrics worse than ``baseline`` by more than ``threshold``.
+
+    Compares only numeric metrics present in both runs whose name
+    implies a direction. Returns one record per flagged metric with the
+    old/new values and the signed relative change.
+    """
+    flagged: list[dict[str, Any]] = []
+    for name, value in metrics.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        old = baseline.get(name)
+        if not isinstance(old, (int, float)) or isinstance(old, bool):
+            continue
+        direction = metric_direction(name)
+        if direction == "neutral" or old == 0:
+            continue
+        change = (value - old) / abs(old)
+        regressed = (
+            change > threshold
+            if direction == "lower"
+            else change < -threshold
+        )
+        if regressed:
+            flagged.append(
+                {
+                    "metric": name,
+                    "direction": direction,
+                    "baseline": old,
+                    "value": value,
+                    "change": round(change, 4),
+                }
+            )
+    return flagged
+
+
+def load_trajectory(path: Path = TRAJECTORY_PATH) -> list[dict[str, Any]]:
+    """The recorded entries, oldest first (``[]`` if absent/corrupt)."""
+    try:
+        entries = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    return entries if isinstance(entries, list) else []
+
+
+def record_run(
+    bench: str,
+    metrics: Mapping[str, Any],
+    path: Path = TRAJECTORY_PATH,
+    threshold: float = 0.20,
+    extra: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Append one benchmark run to the trajectory file.
+
+    Returns the appended entry (with any regressions flagged against
+    the previous same-bench entry). Never raises on I/O problems — a
+    benchmark must not fail because the trajectory disk write did.
+    """
+    entries = load_trajectory(path)
+    baseline = next(
+        (e for e in reversed(entries) if e.get("bench") == bench), None
+    )
+    regressions = (
+        find_regressions(metrics, baseline.get("metrics", {}), threshold)
+        if baseline
+        else []
+    )
+    entry: dict[str, Any] = {
+        "bench": bench,
+        "git_sha": _git_sha(path.parent),
+        "timestamp": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "metrics": dict(metrics),
+        "regressions": regressions,
+    }
+    if extra:
+        entry.update(extra)
+    entries.append(entry)
+    try:
+        path.write_text(json.dumps(entries, indent=2) + "\n")
+    except OSError as error:
+        print(f"trajectory write failed ({error}); entry not persisted")
+    if regressions:
+        print(f"REGRESSION WARNING for bench '{bench}':")
+        for item in regressions:
+            print(
+                f"  {item['metric']}: {item['baseline']:.6g} -> "
+                f"{item['value']:.6g} ({item['change']:+.1%})"
+            )
+    else:
+        print(f"trajectory: recorded '{bench}' ({len(entries)} entries)")
+    return entry
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True, help="benchmark name")
+    parser.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="numeric metric (repeatable)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative regression threshold (default 0.20)",
+    )
+    args = parser.parse_args()
+    metrics: dict[str, Any] = {}
+    for item in args.metric:
+        name, _, raw = item.partition("=")
+        try:
+            metrics[name] = float(raw)
+        except ValueError:
+            metrics[name] = raw
+    record_run(args.bench, metrics, threshold=args.threshold)
+
+
+if __name__ == "__main__":
+    main()

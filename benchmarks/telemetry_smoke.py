@@ -1,0 +1,138 @@
+"""CI smoke for the telemetry subsystem: serve, query, lint the output.
+
+Exercises the full operator path end to end on a toy archive and exits
+non-zero if any observable artifact is malformed:
+
+1. start ``RetrievalService.serve_metrics`` on an ephemeral port;
+2. answer one solo query (with an explain waterfall) and one batch;
+3. ``GET /metrics`` and lint every line against the Prometheus text
+   exposition grammar (regex, not a client library — the container
+   toolchain is stdlib-only) including cumulative-bucket monotonicity;
+4. ``GET /traces/chrome`` and check it parses as JSON with a
+   well-formed parent-linked ``traceEvents`` array;
+5. ``GET /healthz`` and check the stats add up.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/telemetry_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import urllib.request
+
+from repro.core.query import TopKQuery
+from repro.models.linear import LinearModel, hps_risk_model
+from repro.service import RetrievalService
+from repro.synth.landsat import generate_scene
+from repro.synth.terrain import generate_dem
+
+#: One valid exposition line: comment, blank, or sample with optional
+#: labels and optional timestamp.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\[\\\"n])*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\[\\\"n])*\")*\})?"
+    r" [^ \n]+( [0-9]+)?$"
+)
+_COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*$")
+
+
+def _fail(message: str) -> None:
+    print(f"TELEMETRY SMOKE FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def lint_promtext(text: str) -> int:
+    """Validate Prometheus exposition ``text``; returns sample count."""
+    samples = 0
+    bucket_runs: dict[str, list[tuple[float, float]]] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not _COMMENT_RE.match(line):
+                _fail(f"bad comment line {number}: {line!r}")
+            continue
+        if not _SAMPLE_RE.match(line):
+            _fail(f"bad sample line {number}: {line!r}")
+        samples += 1
+        if "_bucket{" in line:
+            name = line.split("{", 1)[0]
+            le_match = re.search(r'le="([^"]+)"', line)
+            if le_match is None:
+                _fail(f"bucket without le label, line {number}: {line!r}")
+            bound = float(le_match.group(1).replace("+Inf", "inf"))
+            value = float(line.rsplit(" ", 1)[1])
+            bucket_runs.setdefault(name, []).append((bound, value))
+    for name, run in bucket_runs.items():
+        ordered = sorted(run)
+        bounds = [bound for bound, _ in ordered]
+        counts = [count for _, count in ordered]
+        if bounds != sorted(set(bounds)):
+            _fail(f"{name}: duplicate le bounds {bounds}")
+        if bounds[-1] != float("inf"):
+            _fail(f"{name}: missing le=\"+Inf\" bucket")
+        if counts != sorted(counts):
+            _fail(f"{name}: non-cumulative bucket counts {counts}")
+    return samples
+
+
+def main() -> None:
+    dem = generate_dem((64, 64), seed=1)
+    stack = generate_scene((64, 64), seed=2, terrain=dem)
+    stack.add(dem)
+    service = RetrievalService(stack, leaf_size=16, n_shards=2)
+    server = service.serve_metrics(port=0)
+    print(f"serving on {server.url}")
+
+    report = service.top_k(TopKQuery(model=hps_risk_model(), k=5), explain=True)
+    if report.totals["visited"] != report.result.audit.tiles_screened:
+        _fail("explain waterfall does not reconcile with the audit")
+    service.top_k_batch(
+        [
+            TopKQuery(model=hps_risk_model(), k=3),
+            TopKQuery(
+                model=LinearModel(dict.fromkeys(stack.names, 1.0)), k=3
+            ),
+        ]
+    )
+
+    def fetch(path: str) -> bytes:
+        with urllib.request.urlopen(server.url + path, timeout=10) as reply:
+            return reply.read()
+
+    samples = lint_promtext(fetch("/metrics").decode("utf-8"))
+    if samples == 0:
+        _fail("/metrics served no samples after two queries")
+    print(f"/metrics: {samples} samples, promtext lint clean")
+
+    document = json.loads(fetch("/traces/chrome"))
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        _fail("/traces/chrome served no events")
+    span_ids = set()
+    for event in events:
+        if event.get("ph") != "X" or "ts" not in event or "dur" not in event:
+            _fail(f"malformed trace event: {event!r}")
+        span_ids.add((event["args"]["trace_id"], event["args"]["span_id"]))
+    for event in events:
+        parent = event["args"].get("parent_id")
+        if parent and (event["args"]["trace_id"], parent) not in span_ids:
+            _fail(f"dangling parent link: {event!r}")
+    print(f"/traces/chrome: {len(events)} events, parent links closed")
+
+    health = json.loads(fetch("/healthz"))
+    if health.get("status") != "ok" or health.get("queries", 0) < 1:
+        _fail(f"bad /healthz payload: {health!r}")
+    print(f"/healthz: {health}")
+
+    server.close()
+    print("telemetry smoke OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -143,6 +143,52 @@ def _demo_service() -> None:
     )
 
 
+def _demo_telemetry() -> None:
+    import json
+    import urllib.request
+
+    from repro.core.query import TopKQuery
+    from repro.metrics.registry import MetricsRegistry
+    from repro.models.linear import hps_risk_model
+    from repro.service import RetrievalService
+    from repro.synth.landsat import generate_scene
+    from repro.synth.terrain import generate_dem
+
+    print("== telemetry: /metrics, explain waterfall, Chrome traces ==")
+    dem = generate_dem((128, 128), seed=1)
+    stack = generate_scene((128, 128), seed=2, terrain=dem)
+    stack.add(dem)
+    service = RetrievalService(
+        stack, n_shards=2, registry=MetricsRegistry()
+    )
+    # Enable the sink (via the server) BEFORE querying — traces are
+    # recorded at query completion, not retroactively.
+    server = service.serve_metrics(port=0)
+    print(f"  serving {server.url}/metrics (ephemeral port)")
+
+    report = service.top_k(
+        TopKQuery(model=hps_risk_model(), k=10), explain=True
+    )
+    print("  " + report.render().replace("\n", "\n  "))
+
+    with urllib.request.urlopen(f"{server.url}/metrics", timeout=10) as r:
+        samples = [
+            line
+            for line in r.read().decode().splitlines()
+            if line.startswith("service_queries_total")
+        ]
+    print(f"  scraped: {samples[0]}")
+    with urllib.request.urlopen(
+        f"{server.url}/traces/chrome", timeout=10
+    ) as r:
+        events = json.loads(r.read())["traceEvents"]
+    print(
+        f"  chrome trace: {len(events)} events "
+        "(save /traces/chrome to a file, open in chrome://tracing)"
+    )
+    server.close()
+
+
 def main(argv: list[str] | None = None) -> None:
     """Run the requested demos (all by default)."""
     parser = argparse.ArgumentParser(
@@ -152,7 +198,10 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument(
         "demo",
         nargs="?",
-        choices=["linear", "fsm", "knowledge", "onion", "service", "all"],
+        choices=[
+            "linear", "fsm", "knowledge", "onion", "service",
+            "telemetry", "all",
+        ],
         default="all",
         help="which demo to run",
     )
@@ -163,6 +212,7 @@ def main(argv: list[str] | None = None) -> None:
         "knowledge": _demo_knowledge,
         "onion": _demo_onion,
         "service": _demo_service,
+        "telemetry": _demo_telemetry,
     }
     if arguments.demo == "all":
         for demo in demos.values():

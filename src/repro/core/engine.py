@@ -200,6 +200,21 @@ class BatchQuerySpec:
     attributed_seconds: float = field(default=0.0, init=False)
 
 
+def _audit_abandoned(
+    audit: PruningAudit, frontier: list, reason: str
+) -> None:
+    """Tally a search's leftover frontier into the waterfall.
+
+    Every entry still on the frontier when a search stops early
+    (threshold close, deadline/cancel, anytime budget) was screened but
+    never resolved; recording it with the stop reason keeps the explain
+    waterfall's per-depth accounting exhaustive without touching the
+    ``tiles_pruned`` envelope-prune total.
+    """
+    for _, _, node in frontier:
+        audit.prune_tiles(node.depth, 1, reason=reason)
+
+
 class _SharedLeafReads:
     """Memoized leaf-window reads shared across one scan's queries.
 
@@ -534,6 +549,7 @@ class RasterRetrievalEngine:
         frontier = []
         for upper, root in zip(block_uppers(roots), roots):
             heapq.heappush(frontier, (-upper, next(tiebreak), root))
+            audit.root_tiles(root.depth, 1)
 
         region_row0, region_col0, region_row1, region_col1 = region
 
@@ -552,6 +568,9 @@ class RasterRetrievalEngine:
                 # only after exact leaf evaluation, so the partial answer
                 # set is prefix-sound (exact scores, possibly not the
                 # true top-K).
+                _audit_abandoned(
+                    audit, frontier, cancel.reason or "cancelled"
+                )
                 if work_budget is not None:
                     best_remaining = -frontier[0][0]
                     return max(0.0, best_remaining - heap.threshold), False
@@ -562,12 +581,20 @@ class RasterRetrievalEngine:
             ):
                 # Anytime stop: the best remaining frontier bound caps how
                 # much any unexamined location can beat the K-th best.
+                _audit_abandoned(audit, frontier, "budget")
                 best_remaining = -frontier[0][0]
                 return max(0.0, best_remaining - heap.threshold), True
             neg_upper, _, node = heapq.heappop(frontier)
             upper = -neg_upper
             if heap.full and upper < heap.threshold:
-                break  # every remaining node is bounded below the K-th best
+                # Every remaining node is bounded below the K-th best:
+                # the popped node and the rest of the frontier retire
+                # under the global threshold (waterfall reason only —
+                # they are not envelope prunes, so ``tiles_pruned``
+                # stays untouched).
+                audit.prune_tiles(node.depth, 1, reason="threshold")
+                _audit_abandoned(audit, frontier, "threshold")
+                break
             if node.is_leaf:
                 row0, col0, row1, col1 = node.window
                 window = (
@@ -580,15 +607,20 @@ class RasterRetrievalEngine:
                     query, progressive, heap, sign, window, counter, audit
                 )
                 continue
+            all_children = self.screen.children(node)
             children = [
-                child
-                for child in self.screen.children(node)
-                if intersects_region(child)
+                child for child in all_children if intersects_region(child)
             ]
+            if len(children) < len(all_children):
+                audit.prune_tiles(
+                    node.depth + 1,
+                    len(all_children) - len(children),
+                    reason="region",
+                )
             if not children:
                 continue
             child_uppers = block_uppers(children)
-            audit.tiles_screened += len(children)
+            audit.screen_tiles(node.depth + 1, len(children))
             # One threshold read covers the whole sibling batch: the heap
             # cannot change between siblings here (offers happen only at
             # leaves), and under a shared heap a concurrently-raised
@@ -597,7 +629,7 @@ class RasterRetrievalEngine:
             prune_below = heap.threshold
             for child_upper, child in zip(child_uppers, children):
                 if full and child_upper < prune_below:
-                    audit.tiles_pruned += 1
+                    audit.prune_tiles(child.depth, 1)
                     continue
                 heapq.heappush(
                     frontier, (-child_upper, next(tiebreak), child)
@@ -726,7 +758,7 @@ class RasterRetrievalEngine:
         # (all specs share one region, so region filtering agrees);
         # bounds additionally key on the model instance, so same-model
         # specs (different k, direction, or deadline) share bound work.
-        children_memo: dict[tuple, list[ScreenNode]] = {}
+        children_memo: dict[tuple, tuple[list[ScreenNode], int]] = {}
         envelope_memo: dict[tuple, tuple[dict, dict]] = {}
         bounds_memo: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
         reads = _SharedLeafReads(self.stack)
@@ -759,17 +791,27 @@ class RasterRetrievalEngine:
                 and region_col0 < col1
             )
 
-        def filtered_children(node: ScreenNode) -> list[ScreenNode]:
+        def filtered_children(
+            node: ScreenNode,
+        ) -> tuple[list[ScreenNode], int]:
+            """``(in-region children, region-dropped count)`` of ``node``.
+
+            The dropped count is memoized beside the list so every
+            query's audit records the same region-miss tally its solo
+            search would.
+            """
             key = (node.depth, node.row_index, node.col_index)
-            children = children_memo.get(key)
-            if children is None:
+            cached = children_memo.get(key)
+            if cached is None:
+                all_children = screen.children(node)
                 children = [
                     child
-                    for child in screen.children(node)
+                    for child in all_children
                     if intersects_region(child)
                 ]
-                children_memo[key] = children
-            return children
+                cached = (children, len(all_children) - len(children))
+                children_memo[key] = cached
+            return cached
 
         def envelopes_for(key: tuple, nodes: list[ScreenNode]):
             cached = envelope_memo.get(key)
@@ -844,11 +886,17 @@ class RasterRetrievalEngine:
             if not state.frontier:
                 return False
             if spec.cancel is not None and spec.cancel.cancelled:
+                _audit_abandoned(
+                    spec.audit, state.frontier,
+                    spec.cancel.reason or "cancelled",
+                )
                 spec.complete = False
                 return False
             heap = spec.heap
             neg_upper, _, node = heapq.heappop(state.frontier)
             if heap.full and -neg_upper < heap.threshold:
+                spec.audit.prune_tiles(node.depth, 1, reason="threshold")
+                _audit_abandoned(spec.audit, state.frontier, "threshold")
                 state.frontier.clear()
                 return False
             if node.is_leaf:
@@ -864,17 +912,21 @@ class RasterRetrievalEngine:
                     spec.counter, spec.audit, reads=reads,
                 )
                 return True
-            children = filtered_children(node)
+            children, region_dropped = filtered_children(node)
+            if region_dropped:
+                spec.audit.prune_tiles(
+                    node.depth + 1, region_dropped, reason="region"
+                )
             if not children:
                 return True
             key = (node.depth, node.row_index, node.col_index)
             child_uppers = bound_block(state, key, children)
-            spec.audit.tiles_screened += len(children)
+            spec.audit.screen_tiles(node.depth + 1, len(children))
             full = heap.full
             prune_below = heap.threshold
             for child_upper, child in zip(child_uppers, children):
                 if full and child_upper < prune_below:
-                    spec.audit.tiles_pruned += 1
+                    spec.audit.prune_tiles(child.depth, 1)
                     continue
                 heapq.heappush(
                     state.frontier,
@@ -892,6 +944,7 @@ class RasterRetrievalEngine:
                 heapq.heappush(
                     state.frontier, (-upper, next(state.tiebreak), root)
                 )
+                spec.audit.root_tiles(root.depth, 1)
             spec.attributed_seconds += time.perf_counter() - start
             active.append(state)
 

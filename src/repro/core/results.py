@@ -37,12 +37,69 @@ class PruningAudit:
     ``tiles_screened``/``tiles_pruned`` count tile-level decisions from
     data envelopes; ``cells_entered_level[k]`` / ``cells_pruned_at_level[k]``
     count per-cell survivors of each progressive model level (1-based).
+
+    The per-depth maps break the same tile decisions down by pyramid
+    level and reason for the explain waterfall
+    (:mod:`repro.telemetry.explain`): ``tiles_visited_by_depth[d]`` is
+    how many depth-``d`` tiles were screened (bounded against the
+    envelopes), and ``tiles_pruned_by_depth[d][reason]`` how many were
+    discarded there — ``"interval"`` (envelope bound below the top-K
+    threshold; these are exactly the tiles counted in ``tiles_pruned``),
+    ``"region"`` (child outside the query region, never bounded),
+    ``"threshold"`` (left on the frontier when the global bound closed
+    the search), plus a cancel reason (``"deadline"``/``"cancelled"``)
+    for frontier tiles abandoned by an early stop. Invariants:
+    ``sum(tiles_visited_by_depth.values()) == tiles_screened`` and the
+    sum of every depth's ``"interval"`` count equals ``tiles_pruned``.
     """
 
     tiles_screened: int = 0
     tiles_pruned: int = 0
     cells_entered_level: dict[int, int] = field(default_factory=dict)
     cells_pruned_at_level: dict[int, int] = field(default_factory=dict)
+    tiles_visited_by_depth: dict[int, int] = field(default_factory=dict)
+    tiles_pruned_by_depth: dict[int, dict[str, int]] = field(
+        default_factory=dict
+    )
+    #: Frontier-seed tiles (the region's root cover) per depth. Bounded
+    #: like screened tiles but historically excluded from
+    #: ``tiles_screened`` — kept separate so the legacy total is
+    #: untouched while the waterfall still accounts for every frontier
+    #: entry.
+    tiles_roots_by_depth: dict[int, int] = field(default_factory=dict)
+
+    def root_tiles(self, depth: int, n_tiles: int) -> None:
+        """Record ``n_tiles`` root-cover tiles seeding the frontier."""
+        if n_tiles == 0:
+            return
+        self.tiles_roots_by_depth[depth] = (
+            self.tiles_roots_by_depth.get(depth, 0) + n_tiles
+        )
+
+    def screen_tiles(self, depth: int, n_tiles: int) -> None:
+        """Record ``n_tiles`` tiles bounded at pyramid depth ``depth``."""
+        if n_tiles == 0:
+            return
+        self.tiles_screened += n_tiles
+        self.tiles_visited_by_depth[depth] = (
+            self.tiles_visited_by_depth.get(depth, 0) + n_tiles
+        )
+
+    def prune_tiles(
+        self, depth: int, n_tiles: int = 1, reason: str = "interval"
+    ) -> None:
+        """Record ``n_tiles`` depth-``depth`` tiles discarded for
+        ``reason``. Only ``"interval"`` prunes feed the legacy
+        ``tiles_pruned`` total — the other reasons (``"region"``,
+        ``"threshold"``, cancel reasons) were never envelope-pruned, so
+        counting them would change the audit totals existing
+        differential tests pin."""
+        if n_tiles == 0:
+            return
+        if reason == "interval":
+            self.tiles_pruned += n_tiles
+        at_depth = self.tiles_pruned_by_depth.setdefault(depth, {})
+        at_depth[reason] = at_depth.get(reason, 0) + n_tiles
 
     def enter_level(self, level: int, n_cells: int) -> None:
         """Record ``n_cells`` candidates entering a model level."""
@@ -64,6 +121,18 @@ class PruningAudit:
             self.enter_level(level, n_cells)
         for level, n_cells in other.cells_pruned_at_level.items():
             self.prune_at_level(level, n_cells)
+        for depth, n_tiles in other.tiles_visited_by_depth.items():
+            self.tiles_visited_by_depth[depth] = (
+                self.tiles_visited_by_depth.get(depth, 0) + n_tiles
+            )
+        for depth, reasons in other.tiles_pruned_by_depth.items():
+            at_depth = self.tiles_pruned_by_depth.setdefault(depth, {})
+            for reason, n_tiles in reasons.items():
+                at_depth[reason] = at_depth.get(reason, 0) + n_tiles
+        for depth, n_tiles in other.tiles_roots_by_depth.items():
+            self.tiles_roots_by_depth[depth] = (
+                self.tiles_roots_by_depth.get(depth, 0) + n_tiles
+            )
 
     def copy(self) -> "PruningAudit":
         """An independent audit with the same tallies (the query cache
@@ -73,6 +142,12 @@ class PruningAudit:
             tiles_pruned=self.tiles_pruned,
             cells_entered_level=dict(self.cells_entered_level),
             cells_pruned_at_level=dict(self.cells_pruned_at_level),
+            tiles_visited_by_depth=dict(self.tiles_visited_by_depth),
+            tiles_pruned_by_depth={
+                depth: dict(reasons)
+                for depth, reasons in self.tiles_pruned_by_depth.items()
+            },
+            tiles_roots_by_depth=dict(self.tiles_roots_by_depth),
         )
 
     @property

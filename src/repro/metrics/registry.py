@@ -76,9 +76,29 @@ class LatencyHistogram:
                 return min(self.bounds[index], self.max)
         return self.max
 
-    def as_dict(self) -> dict[str, float]:
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs for the finite
+        bounds, Prometheus-style: entry ``i`` counts every observation
+        ``<= bounds[i]``, so the sequence is monotone non-decreasing.
+        The implicit ``+Inf`` bucket equals :attr:`count` (the overflow
+        bucket is folded in by the renderer). The raw per-bucket counts
+        in :attr:`counts` are *not* cumulative — exporters must use this
+        view, never the raw counts, for ``le`` semantics.
+        """
+        cumulative: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            running += bucket_count
+            cumulative.append((bound, running))
+        return cumulative
+
+    def as_dict(self) -> dict[str, Any]:
         if self.count == 0:
-            return {"count": 0, "sum": 0.0}
+            return {
+                "count": 0,
+                "sum": 0.0,
+                "buckets": self.cumulative_buckets(),
+            }
         return {
             "count": self.count,
             "sum": self.sum,
@@ -88,6 +108,7 @@ class LatencyHistogram:
             "p50": self.quantile(0.50),
             "p90": self.quantile(0.90),
             "p99": self.quantile(0.99),
+            "buckets": self.cumulative_buckets(),
         }
 
 

@@ -84,6 +84,9 @@ from repro.service.batching import BatchPlanner, PlannedQuery
 from repro.service.cache import QueryCache, query_fingerprint
 from repro.service.sharding import row_band_shards
 from repro.service.tracing import BatchTrace, CancellationToken, QueryTrace
+from repro.telemetry.explain import ExplainReport, explain_result
+from repro.telemetry.export import TelemetrySink
+from repro.telemetry.server import MetricsServer
 
 
 class SharedTopKHeap(TopKHeap):
@@ -211,6 +214,11 @@ class RetrievalService:
         # the pool, never self, or the service would stay alive forever.
         self._pool: ThreadPoolExecutor | None = None
         self._pool_workers = max(8, 2 * n_shards)
+        # Telemetry export is opt-in: with no sink attached the hot path
+        # pays one None check per query (the no-exporter fast path the
+        # overhead benchmark pins).
+        self._telemetry: TelemetrySink | None = None
+        self._metrics_server: MetricsServer | None = None
 
     def _shard_pool(self) -> ThreadPoolExecutor:
         """The service-lifetime executor shard searches run on.
@@ -228,6 +236,72 @@ class RetrievalService:
                 self._pool = pool
                 weakref.finalize(self, pool.shutdown, wait=False)
             return self._pool
+
+    def enable_telemetry(
+        self,
+        capacity: int = 256,
+        jsonl_path=None,
+        flush_interval_s: float = 0.5,
+    ) -> TelemetrySink:
+        """Attach (or return) the sink completed traces export into.
+
+        Idempotent: the first call creates the sink (a bounded ring of
+        recent traces, plus a background-flushed JSONL log when
+        ``jsonl_path`` is given); later calls return the existing one
+        unchanged. Until this is called, queries skip export entirely.
+        """
+        with self._lock:
+            if self._telemetry is None:
+                self._telemetry = TelemetrySink(
+                    capacity=capacity,
+                    jsonl_path=jsonl_path,
+                    flush_interval_s=flush_interval_s,
+                )
+            return self._telemetry
+
+    @property
+    def telemetry(self) -> TelemetrySink | None:
+        """The attached trace sink (``None`` until enabled)."""
+        return self._telemetry
+
+    def serve_metrics(
+        self, port: int = 0, host: str = "127.0.0.1"
+    ) -> MetricsServer:
+        """Start (or return) the live diagnostics HTTP thread.
+
+        Serves this service's registry as Prometheus text on
+        ``/metrics``, liveness + lifetime stats on ``/healthz``, and the
+        telemetry sink's recent traces on ``/traces`` (JSON) and
+        ``/traces/chrome`` (Chrome ``trace_event`` document). Enables
+        the telemetry sink as a side effect so ``/traces`` has data.
+        ``port=0`` binds an ephemeral port — read it back from the
+        returned server's ``.port``. Idempotent per service; ``close()``
+        the returned server to release the socket.
+        """
+        with self._lock:
+            if self._metrics_server is not None:
+                return self._metrics_server
+        sink = self.enable_telemetry()
+
+        def health() -> dict:
+            with self._lock:
+                return {
+                    "queries": self.stats.queries,
+                    "cache_hits": self.stats.cache_hits,
+                    "partial_results": self.stats.partial_results,
+                    "batches": self.stats.batches,
+                }
+
+        server = MetricsServer(
+            registry=self.registry,
+            sink=sink,
+            health=health,
+            host=host,
+            port=port,
+        ).start()
+        with self._lock:
+            self._metrics_server = server
+        return server
 
     @classmethod
     def from_archive(
@@ -268,7 +342,8 @@ class RetrievalService:
         use_cache: bool = True,
         deadline_s: float | None = None,
         cancel: CancellationToken | None = None,
-    ) -> RetrievalResult:
+        explain: bool = False,
+    ) -> "RetrievalResult | ExplainReport":
         """Answer ``query`` through the cache and the shard pool.
 
         The answer set is identical to the single-engine
@@ -287,6 +362,12 @@ class RetrievalService:
         cancellation; with both, whichever fires first stops the query.
         Partial results are never cached. Every result carries a
         :class:`~repro.service.tracing.QueryTrace` on ``result.trace``.
+
+        ``explain=True`` wraps the result in an
+        :class:`~repro.telemetry.explain.ExplainReport` — the per-level
+        pruning waterfall reconciled against the result's audit and
+        counter (the underlying answer and counted work are unchanged;
+        the result itself rides on ``report.result``).
         """
         trace = QueryTrace()
         if deadline_s is not None:
@@ -320,6 +401,8 @@ class RetrievalService:
                 cached, strategy=cached.strategy + "-cached", trace=trace
             )
             self._record(trace)
+            if explain:
+                return explain_result(result, query, region)
             return result
         if use_cache and self.cache is not None:
             with self._lock:
@@ -349,6 +432,8 @@ class RetrievalService:
         )
         result.trace = trace
         self._record(trace)
+        if explain:
+            return explain_result(result, query, region)
         return result
 
     def top_k_batch(
@@ -535,10 +620,20 @@ class RetrievalService:
                         )
         for index in misses:
             result = results[index]
+            token = tokens[index]
             if not result.complete:
                 with self._lock:
                     self.stats.partial_results += 1
-            token = tokens[index]
+                # Why this member was truncated (deadline vs explicit
+                # cancel) — exported with the trace so a retired
+                # "-batch[N]-partial" member is diagnosable after the
+                # fact. Shared-scan members set this at retirement in
+                # _batch_member_result; singletons only here.
+                children[index].metadata.setdefault(
+                    "retire_reason",
+                    (token.reason if token is not None else None)
+                    or "cancelled",
+                )
             children[index].finish(
                 complete=result.complete,
                 cancel_reason=token.reason if token is not None else None,
@@ -547,6 +642,9 @@ class RetrievalService:
             self._record(children[index])
 
         trace.finish(complete=all(r.complete for r in results))
+        sink = self._telemetry
+        if sink is not None:
+            sink.record(trace)
         registry = self.registry
         registry.inc("service.batches")
         if plan is not None and plan.batched:
@@ -585,6 +683,7 @@ class RetrievalService:
             counter: CostCounter,
             audit: PruningAudit,
         ) -> None:
+            started_s = trace.elapsed_s()
             start = time.perf_counter()
             ok = engine.shard_search(
                 query, band, heap, counter, audit,
@@ -598,6 +697,7 @@ class RetrievalService:
             trace.add_shard(
                 shard=index,
                 band=band,
+                started_s=started_s,
                 wall_seconds=time.perf_counter() - start,
                 tiles_screened=audit.tiles_screened,
                 tiles_pruned=audit.tiles_pruned,
@@ -646,7 +746,12 @@ class RetrievalService:
         )
 
     def _record(self, trace: QueryTrace) -> None:
-        """Fold one finished trace into the metrics registry."""
+        """Fold one finished trace into the metrics registry and export
+        it. Batch children are folded into the registry individually but
+        exported only once, inside their parent's trace tree."""
+        sink = self._telemetry
+        if sink is not None and trace.parent is None:
+            sink.record(trace)
         registry = self.registry
         registry.inc("service.queries")
         if trace.cache_checked:
@@ -713,10 +818,18 @@ def _batch_member_result(
     strategy += f"-batch[{group_size}]"
     if not spec.complete:
         strategy += "-partial"
+        # Record *why* the scan retired this member (deadline vs explicit
+        # cancel) in the trace it exports — the strategy suffix alone
+        # says only that it was truncated.
+        child.metadata["retired"] = f"batch[{group_size}]-partial"
+        child.metadata["retire_reason"] = (
+            spec.cancel.reason if spec.cancel is not None else None
+        ) or "cancelled"
     child.record_span("batch_search", spec.attributed_seconds)
     child.add_shard(
         shard=0,
         band=item.region,
+        started_s=max(0.0, child.elapsed_s() - spec.attributed_seconds),
         wall_seconds=spec.attributed_seconds,
         tiles_screened=spec.audit.tiles_screened,
         tiles_pruned=spec.audit.tiles_pruned,

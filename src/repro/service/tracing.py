@@ -27,8 +27,10 @@ tallies, so counted work is bit-identical with tracing on or off.
 from __future__ import annotations
 
 import contextlib
+import itertools
 import threading
 import time
+import uuid
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -109,11 +111,33 @@ class CancellationToken:
 @dataclass(frozen=True)
 class StageSpan:
     """One sequential stage of a query: name, start offset from the
-    trace's origin, and duration (both in seconds)."""
+    trace's origin, and duration (both in seconds).
+
+    ``span_id``/``parent_id`` place the span in the trace's span tree
+    (ids are unique within a trace; a batch and its children share one
+    id space). ``cpu_s`` is the process CPU time consumed while the span
+    was open (``time.process_time_ns``); on a single-threaded query it
+    is at most the wall duration, and the wall−cpu gap is GIL/IO wait.
+    ``None`` for externally-measured spans (:meth:`QueryTrace
+    .record_span`), whose CPU share is not observable after the fact.
+    """
 
     name: str
     started_s: float
     duration_s: float
+    span_id: int = 0
+    parent_id: int = 0
+    cpu_s: float | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "started_s": self.started_s,
+            "duration_s": self.duration_s,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "cpu_s": self.cpu_s,
+        }
 
 
 class QueryTrace:
@@ -125,9 +149,30 @@ class QueryTrace:
     being only inter-stage glue (property-tested ≈ 0).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        trace_id: str | None = None,
+        _ids: "itertools.count[int] | None" = None,
+    ) -> None:
         self._t0 = time.perf_counter()
+        #: Wall-clock anchor of the trace origin, so exporters can place
+        #: many traces (each with its own perf_counter origin) on one
+        #: shared timeline.
+        self.started_unix = time.time()
         self._lock = threading.Lock()
+        #: Correlation id shared by every span of this query — and, for
+        #: batch members, by the whole batch (children inherit the batch
+        #: trace id so one grep/filter finds the full tree).
+        self.trace_id = trace_id if trace_id is not None else uuid.uuid4().hex[:16]
+        #: Span-id allocator; a batch hands its own allocator to every
+        #: child so ids stay unique across the combined span tree.
+        self._ids = _ids if _ids is not None else itertools.count(1)
+        #: The root span of this query (duration = ``wall_seconds``).
+        self.span_id = next(self._ids)
+        #: Root span of the owning batch for batch children; ``None``
+        #: for top-level traces.
+        self.parent_span_id: int | None = None
+        self._current_span_id = self.span_id
         self.spans: list[StageSpan] = []
         self.shards: list[dict[str, Any]] = []
         self.cache_hit = False
@@ -135,45 +180,83 @@ class QueryTrace:
         self.complete = True
         self.cancel_reason: str | None = None
         self.wall_seconds = 0.0
+        #: Free-form query annotations (batch retirement reason, model
+        #: name, …) exported verbatim with the trace.
+        self.metadata: dict[str, Any] = {}
         #: The owning batch trace when this query ran inside
         #: :meth:`RetrievalService.top_k_batch`; ``None`` for solo
         #: queries.
         self.parent: "BatchTrace | None" = None
 
+    def elapsed_s(self) -> float:
+        """Seconds since this trace's origin (its clock for offsets)."""
+        return time.perf_counter() - self._t0
+
     @contextlib.contextmanager
     def span(self, name: str) -> Iterator[None]:
-        """Record a named sequential stage around the with-body."""
+        """Record a named sequential stage around the with-body.
+
+        The span gets a fresh id parented on the currently-open span
+        (the root span when none is open); while the body runs, shard
+        stats recorded via :meth:`add_shard` attach to it. Wall time is
+        ``perf_counter``; CPU time is ``process_time_ns``, which counts
+        the whole process — on a single-threaded query ``cpu_s <=
+        duration_s``, and the difference is GIL/IO wait.
+        """
+        span_id = next(self._ids)
+        parent_id = self._current_span_id
+        self._current_span_id = span_id
         start = time.perf_counter()
+        cpu_start = time.process_time_ns()
         try:
             yield
         finally:
+            cpu_s = (time.process_time_ns() - cpu_start) / 1e9
             end = time.perf_counter()
+            self._current_span_id = parent_id
             with self._lock:
                 self.spans.append(
                     StageSpan(
                         name=name,
                         started_s=start - self._t0,
                         duration_s=end - start,
+                        span_id=span_id,
+                        parent_id=parent_id,
+                        cpu_s=cpu_s,
                     )
                 )
 
     def add_shard(self, **stats: Any) -> None:
-        """Record one shard's search stats (called from shard threads)."""
+        """Record one shard's search stats (called from shard threads).
+
+        Each shard record gets its own span id parented on the span open
+        at call time (the ``search`` stage span while shard fan-out is
+        running), so exporters can hang concurrent shard lanes off the
+        right branch of the span tree.
+        """
         with self._lock:
-            self.shards.append(dict(stats))
+            record = dict(stats)
+            record.setdefault("span_id", next(self._ids))
+            record.setdefault("parent_id", self._current_span_id)
+            self.shards.append(record)
 
     def record_span(self, name: str, duration_s: float) -> None:
         """Record a stage measured externally (e.g. a query's share of a
         shared scan, accumulated by the executor). The span is placed at
         its implied start — now minus ``duration_s`` — on this trace's
-        clock."""
+        clock. CPU share is unobservable after the fact (``cpu_s=None``).
+        """
         started_s = max(
             0.0, time.perf_counter() - self._t0 - duration_s
         )
         with self._lock:
             self.spans.append(
                 StageSpan(
-                    name=name, started_s=started_s, duration_s=duration_s
+                    name=name,
+                    started_s=started_s,
+                    duration_s=duration_s,
+                    span_id=next(self._ids),
+                    parent_id=self._current_span_id,
                 )
             )
 
@@ -198,21 +281,20 @@ class QueryTrace:
     def as_dict(self) -> dict[str, Any]:
         """A JSON-ready view (the export schema DESIGN.md documents)."""
         with self._lock:
-            spans = [
-                {
-                    "name": span.name,
-                    "started_s": span.started_s,
-                    "duration_s": span.duration_s,
-                }
-                for span in self.spans
-            ]
+            spans = [span.as_dict() for span in self.spans]
             shards = [dict(shard) for shard in self.shards]
+            metadata = dict(self.metadata)
         return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
+            "started_unix": self.started_unix,
             "wall_seconds": self.wall_seconds,
             "complete": self.complete,
             "cache_hit": self.cache_hit,
             "cache_checked": self.cache_checked,
             "cancel_reason": self.cancel_reason,
+            "metadata": metadata,
             "spans": spans,
             "shards": shards,
         }
@@ -245,9 +327,16 @@ class BatchTrace(QueryTrace):
         self.children: list[QueryTrace] = []
 
     def child(self) -> QueryTrace:
-        """A fresh per-query trace attached to this batch."""
-        trace = QueryTrace()
+        """A fresh per-query trace attached to this batch.
+
+        The child shares the batch's trace id and span-id allocator and
+        its root span is parented on the batch root, so the exported
+        batch forms one parent-linked span tree (batch → per-member
+        children → their stage/shard spans).
+        """
+        trace = QueryTrace(trace_id=self.trace_id, _ids=self._ids)
         trace.parent = self
+        trace.parent_span_id = self.span_id
         with self._lock:
             self.children.append(trace)
         return trace

@@ -1,0 +1,319 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a JSONL event log.
+
+The serving layer's :class:`~repro.service.tracing.QueryTrace` objects
+die with the process; this module turns their :meth:`as_dict` views
+into operator-facing artifacts:
+
+* :func:`chrome_trace_events` / :func:`export_chrome_trace` — the
+  Chrome ``trace_event`` array format, loadable in ``chrome://tracing``
+  or Perfetto. Each query renders as one timeline lane (root span +
+  stage spans), per-shard work fans out onto its own lane, and batch
+  children nest under the batch with parent span links carried in
+  ``args`` — the span tree is reconstructible from
+  ``args.span_id``/``args.parent_id`` alone.
+* :class:`TraceBuffer` — a bounded ring of completed trace dicts
+  (drop-oldest under overflow) backing the ``/traces`` endpoint.
+* :class:`JsonlTraceExporter` — append-only structured JSONL log with
+  a bounded pending ring and a background flush thread, so the query
+  hot path never blocks on disk.
+* :class:`TelemetrySink` — the bundle a
+  :class:`~repro.service.retrieval.RetrievalService` records completed
+  traces into (ring buffer always, JSONL when configured). When no sink
+  is attached the service skips export entirely — the no-exporter fast
+  path costs one ``None`` check per query.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def chrome_trace_events(
+    traces: Sequence[Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Flatten trace dicts into Chrome ``trace_event`` ``X`` events.
+
+    Every trace (and every batch child) is placed on the shared
+    wall-clock timeline via its ``started_unix`` anchor, normalized so
+    the earliest trace starts at ``ts=0``. Timestamps and durations are
+    microseconds, per the format. An empty input yields an empty list
+    (which still serializes to a valid, loadable trace file).
+    """
+    roots = [dict(trace) for trace in traces]
+    if not roots:
+        return []
+
+    def anchors(trace: Mapping[str, Any]) -> Iterable[float]:
+        yield float(trace.get("started_unix", 0.0))
+        for child in trace.get("children", ()):
+            yield from anchors(child)
+
+    origin = min(
+        anchor for trace in roots for anchor in anchors(trace)
+    )
+    events: list[dict[str, Any]] = []
+    tids = itertools.count(1)
+    for trace in roots:
+        _emit_trace_events(events, trace, origin, tids)
+    return events
+
+
+def _emit_trace_events(
+    events: list[dict[str, Any]],
+    trace: Mapping[str, Any],
+    origin: float,
+    tids: "itertools.count[int]",
+) -> None:
+    tid = next(tids)
+    base_us = (float(trace.get("started_unix", origin)) - origin) * 1e6
+    children = trace.get("children") or []
+    kind = "batch" if children else "query"
+    trace_id = trace.get("trace_id", "")
+    root_args = {
+        "trace_id": trace_id,
+        "span_id": trace.get("span_id", 0),
+        "parent_id": trace.get("parent_span_id"),
+        "complete": trace.get("complete", True),
+        "cache_hit": trace.get("cache_hit", False),
+        "cancel_reason": trace.get("cancel_reason"),
+    }
+    metadata = trace.get("metadata") or {}
+    if metadata:
+        root_args["metadata"] = dict(metadata)
+    events.append(
+        {
+            "name": kind,
+            "cat": kind,
+            "ph": "X",
+            "ts": base_us,
+            "dur": float(trace.get("wall_seconds", 0.0)) * 1e6,
+            "pid": 1,
+            "tid": tid,
+            "args": root_args,
+        }
+    )
+    for span in trace.get("spans", ()):
+        events.append(
+            {
+                "name": span.get("name", "span"),
+                "cat": "stage",
+                "ph": "X",
+                "ts": base_us + float(span.get("started_s", 0.0)) * 1e6,
+                "dur": float(span.get("duration_s", 0.0)) * 1e6,
+                "pid": 1,
+                "tid": tid,
+                "args": {
+                    "trace_id": trace_id,
+                    "span_id": span.get("span_id", 0),
+                    "parent_id": span.get("parent_id", 0),
+                    "cpu_s": span.get("cpu_s"),
+                },
+            }
+        )
+    for shard in trace.get("shards", ()):
+        shard_args = {
+            key: value
+            for key, value in shard.items()
+            if key not in ("started_s", "wall_seconds")
+        }
+        shard_args["trace_id"] = trace_id
+        events.append(
+            {
+                "name": f"shard[{shard.get('shard', '?')}]",
+                "cat": "shard",
+                "ph": "X",
+                "ts": base_us + float(shard.get("started_s", 0.0)) * 1e6,
+                "dur": float(shard.get("wall_seconds", 0.0)) * 1e6,
+                "pid": 1,
+                # Shards run concurrently — each gets its own lane so
+                # overlapping windows render side by side.
+                "tid": next(tids),
+                "args": shard_args,
+            }
+        )
+    for child in children:
+        _emit_trace_events(events, child, origin, tids)
+
+
+def chrome_trace_document(
+    traces: Sequence[Mapping[str, Any]],
+) -> dict[str, Any]:
+    """The JSON-object flavor of the format (what Perfetto expects from
+    a file): ``{"traceEvents": [...], "displayTimeUnit": "ms"}``."""
+    return {
+        "traceEvents": chrome_trace_events(traces),
+        "displayTimeUnit": "ms",
+    }
+
+
+def export_chrome_trace(
+    traces: Sequence[Mapping[str, Any]], path: str | Path
+) -> Path:
+    """Serialize ``traces`` to a Chrome trace JSON file; returns the
+    path written."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(chrome_trace_document(traces), default=str) + "\n"
+    )
+    return path
+
+
+class TraceBuffer:
+    """Bounded ring of completed trace dicts (drop-oldest overflow).
+
+    Thread-safe: the serving hot path appends under one lock while the
+    HTTP thread snapshots. Overflow drops the *oldest* trace — recent
+    queries are what an operator debugging a live incident needs — and
+    counts the drops in :attr:`dropped`.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: deque[dict[str, Any]] = deque()
+        self.dropped = 0
+
+    def record(self, trace: Mapping[str, Any]) -> None:
+        with self._lock:
+            if len(self._traces) >= self.capacity:
+                self._traces.popleft()
+                self.dropped += 1
+            self._traces.append(dict(trace))
+
+    def snapshot(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Most-recent-last list of buffered traces (up to ``limit``)."""
+        with self._lock:
+            traces = list(self._traces)
+        if limit is not None:
+            traces = traces[-limit:]
+        return traces
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class JsonlTraceExporter:
+    """Background-flushed JSONL trace log (one trace dict per line).
+
+    ``record`` appends to a bounded in-memory ring and wakes the flush
+    thread; the hot path never touches the filesystem. The pending ring
+    drops the oldest unflushed trace under overflow (counted in
+    :attr:`dropped`), bounding memory if the disk stalls. ``close``
+    stops the thread and performs a final synchronous flush.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        capacity: int = 1024,
+        flush_interval_s: float = 0.5,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.path = Path(path)
+        self.capacity = capacity
+        self.flush_interval_s = flush_interval_s
+        self._lock = threading.Lock()
+        self._pending: deque[dict[str, Any]] = deque()
+        self.dropped = 0
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-telemetry-flush", daemon=True
+        )
+        self._thread.start()
+
+    def record(self, trace: Mapping[str, Any]) -> None:
+        with self._lock:
+            if len(self._pending) >= self.capacity:
+                self._pending.popleft()
+                self.dropped += 1
+            self._pending.append(dict(trace))
+        self._wake.set()
+
+    def flush(self) -> int:
+        """Write every pending trace to the log; returns lines written."""
+        with self._lock:
+            batch = list(self._pending)
+            self._pending.clear()
+        if not batch:
+            return 0
+        lines = "".join(
+            json.dumps(trace, default=str) + "\n" for trace in batch
+        )
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(lines)
+        return len(batch)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(self.flush_interval_s)
+            self._wake.clear()
+            try:
+                self.flush()
+            except OSError:
+                # Disk trouble must never kill telemetry (or pile
+                # unbounded state: the pending ring keeps dropping
+                # oldest); the next interval retries.
+                pass
+
+    def close(self) -> None:
+        """Stop the flush thread and drain what remains."""
+        self._stop.set()
+        self._wake.set()
+        self._thread.join(timeout=5.0)
+        self.flush()
+
+
+class TelemetrySink:
+    """Everything a service exports completed traces into.
+
+    Always keeps the in-memory :class:`TraceBuffer` ring (recent traces
+    for ``/traces`` and Chrome export); optionally tees every trace to
+    a :class:`JsonlTraceExporter`. ``record`` accepts live
+    ``QueryTrace``/``BatchTrace`` objects or ready-made dicts.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        jsonl_path: str | Path | None = None,
+        flush_interval_s: float = 0.5,
+    ) -> None:
+        self.buffer = TraceBuffer(capacity)
+        self.jsonl: JsonlTraceExporter | None = (
+            JsonlTraceExporter(
+                jsonl_path,
+                capacity=max(capacity, 4),
+                flush_interval_s=flush_interval_s,
+            )
+            if jsonl_path is not None
+            else None
+        )
+
+    def record(self, trace: Any) -> None:
+        data = trace.as_dict() if hasattr(trace, "as_dict") else dict(trace)
+        self.buffer.record(data)
+        if self.jsonl is not None:
+            self.jsonl.record(data)
+
+    def recent(self, limit: int | None = None) -> list[dict[str, Any]]:
+        return self.buffer.snapshot(limit)
+
+    def chrome_trace(self, limit: int | None = None) -> dict[str, Any]:
+        return chrome_trace_document(self.recent(limit))
+
+    def export_chrome_trace(self, path: str | Path) -> Path:
+        return export_chrome_trace(self.recent(), path)
+
+    def close(self) -> None:
+        if self.jsonl is not None:
+            self.jsonl.close()

@@ -1,0 +1,158 @@
+"""Prometheus text exposition for :class:`MetricsRegistry` snapshots.
+
+Renders the registry's plain-dict :meth:`~repro.metrics.registry
+.MetricsRegistry.snapshot` into the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ a
+Prometheus server scrapes:
+
+* counters become ``<name>_total`` samples with ``# TYPE ... counter``;
+* gauges become plain samples with ``# TYPE ... gauge``;
+* histograms become cumulative ``<name>_bucket{le="..."}`` series (the
+  registry's log-spaced buckets rendered monotone via
+  :meth:`~repro.metrics.registry.LatencyHistogram.cumulative_buckets`,
+  closed by ``le="+Inf"``), plus ``<name>_sum`` and ``<name>_count``.
+
+Registry names are dotted (``service.stage.search_seconds``); metric
+names are sanitized to the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset
+(everything else becomes ``_``), and label values are escaped per the
+format rules (backslash, double quote, newline). Rendering is pure
+string work over an already-materialized snapshot, so it never holds
+the registry lock while formatting.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Mapping
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an arbitrary registry name onto the Prometheus charset.
+
+    Invalid characters (dots, dashes, spaces, unicode) become ``_``; a
+    leading digit gets a ``_`` prefix. The mapping is stable but not
+    injective — two registry names that collide after sanitization will
+    render as one metric family, so keep registry names ASCII-ish.
+    """
+    sanitized = _NAME_OK.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def sanitize_label_name(name: str) -> str:
+    """Label names allow the metric charset minus colons."""
+    sanitized = _LABEL_NAME_OK.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash first,
+    then double quote and newline."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_block(labels: Mapping[str, str] | None) -> str:
+    if not labels:
+        return ""
+    parts = [
+        f'{sanitize_label_name(key)}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    ]
+    return "{" + ",".join(parts) + "}"
+
+
+def _merge_labels(
+    base: Mapping[str, str] | None, extra: Mapping[str, str]
+) -> dict[str, str]:
+    merged = dict(base) if base else {}
+    merged.update(extra)
+    return merged
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Any],
+    labels: Mapping[str, str] | None = None,
+) -> str:
+    """Render one registry snapshot as Prometheus text exposition.
+
+    ``labels`` (optional) are constant labels attached to every sample —
+    e.g. ``{"service": "repro"}`` for multi-service scrapes — escaped
+    per the format rules. Families are emitted name-sorted so the output
+    is deterministic and diffable; each family carries its ``# HELP`` /
+    ``# TYPE`` header exactly once.
+    """
+    lines: list[str] = []
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = sanitize_metric_name(name)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# HELP {metric} Monotonic counter {name!r}.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(
+            f"{metric}{_label_block(labels)} {_format_value(value)}"
+        )
+
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# HELP {metric} Gauge {name!r}.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(
+            f"{metric}{_label_block(labels)} {_format_value(value)}"
+        )
+
+    for name, histogram in sorted(snapshot.get("histograms", {}).items()):
+        metric = sanitize_metric_name(name)
+        lines.append(f"# HELP {metric} Latency histogram {name!r}.")
+        lines.append(f"# TYPE {metric} histogram")
+        count = int(histogram.get("count", 0))
+        total = float(histogram.get("sum", 0.0))
+        previous = 0
+        for bound, cumulative in histogram.get("buckets", []):
+            cumulative = int(cumulative)
+            # Defensive monotonicity clamp: a malformed snapshot (e.g.
+            # hand-built per-bucket counts) must never emit a decreasing
+            # le series, which Prometheus rejects wholesale.
+            cumulative = max(cumulative, previous)
+            previous = cumulative
+            bucket_labels = _merge_labels(
+                labels, {"le": _format_value(bound)}
+            )
+            lines.append(
+                f"{metric}_bucket{_label_block(bucket_labels)} {cumulative}"
+            )
+        inf_labels = _merge_labels(labels, {"le": "+Inf"})
+        lines.append(
+            f"{metric}_bucket{_label_block(inf_labels)} {max(count, previous)}"
+        )
+        lines.append(
+            f"{metric}_sum{_label_block(labels)} {_format_value(total)}"
+        )
+        lines.append(f"{metric}_count{_label_block(labels)} {count}")
+
+    return "\n".join(lines) + "\n" if lines else ""
