@@ -143,7 +143,10 @@ class CSVDIndex:
             raise IndexError_("k must be positive")
         target = self._query_vector(query)
 
-        # Max-heap of the k best (negated distance, row).
+        # Min-heap of (negated distance, -row): the root is the worst
+        # kept answer (largest distance; among distance-ties the largest
+        # row), matching the service-wide smallest-row-wins tie-break —
+        # see scan_top_k, the canonical idiom.
         best: list[tuple[float, int]] = []
 
         def kth_distance() -> float:
@@ -174,7 +177,17 @@ class CSVDIndex:
             lower_bounds = np.sqrt(projected_distances**2 + residual_gap**2)
 
             for local_index in np.argsort(lower_bounds):
-                if lower_bounds[local_index] >= kth_distance():
+                # The bound is mathematically <= the true distance but
+                # computed with different arithmetic, so it can land a
+                # few ulps above it. Prune with relative slack: a bound
+                # at (or negligibly above) the kth distance may hide an
+                # equal-distance candidate with a smaller row, which the
+                # tie-break must admit — survivors are confirmed exactly,
+                # so the slack only costs confirmations, never exactness.
+                # The absolute term covers kth distance exactly 0, where
+                # a tied candidate's bound can still be a positive ulp.
+                threshold = kth_distance()
+                if lower_bounds[local_index] > threshold * (1 + 1e-9) + 1e-12:
                     break
                 row = int(cluster.rows[local_index])
                 if counter is not None:
@@ -183,14 +196,16 @@ class CSVDIndex:
                 distance = float(
                     np.linalg.norm(self._points[row] - target)
                 )
-                entry = (-distance, row)
+                entry = (-distance, -row)
                 if len(best) < k:
                     heapq.heappush(best, entry)
                 elif entry > best[0]:
                     heapq.heapreplace(best, entry)
         return [
-            (row, -negated)
-            for negated, row in sorted(best, key=lambda e: (-e[0], e[1]))
+            (-neg_row, -negated)
+            for negated, neg_row in sorted(
+                best, key=lambda e: (-e[0], -e[1])
+            )
         ]
 
     def top_k_linear(
@@ -241,14 +256,18 @@ class CSVDIndex:
                         1, flops_each=2 * len(self.attributes)
                     )
                 score = float(signed @ self._points[row])
-                entry = (score, int(row))
+                # Canonical tie idiom (see scan_top_k): (score, -row)
+                # entries make equal-score smaller rows win eviction.
+                entry = (score, -int(row))
                 if len(best) < k:
                     heapq.heappush(best, entry)
                 elif entry > best[0]:
                     heapq.heapreplace(best, entry)
         return [
-            (row, sign * score)
-            for score, row in sorted(best, key=lambda e: (-e[0], e[1]))
+            (-neg_row, sign * score)
+            for score, neg_row in sorted(
+                best, key=lambda e: (-e[0], -e[1])
+            )
         ]
 
     def __repr__(self) -> str:

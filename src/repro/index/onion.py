@@ -153,7 +153,13 @@ class OnionIndex:
         weights = self._weights(model_weights)
         sign = 1.0 if maximize else -1.0
 
-        heap: list[tuple[float, int]] = []  # min-heap of (signed score, row)
+        # Min-heap of (signed score, -row): the root is the worst kept
+        # answer under the service-wide tie-break (lowest score; among
+        # score-equals the largest row), so a boundary-tying candidate
+        # with a smaller row wins the eviction comparison and replaces
+        # it. A strict score-only comparison here would keep whichever
+        # tied row arrived first — hull-layer order, not row order.
+        heap: list[tuple[float, int]] = []
         layers_needed = min(k, len(self._layers))
         if self._capped and k > len(self._layers) - 1:
             layers_needed = len(self._layers)  # include the interior bucket
@@ -168,13 +174,18 @@ class OnionIndex:
                     rows.size, flops_each=2 * len(self.attributes)
                 )
             for row, score in zip(rows, scores):
+                entry = (float(score), -int(row))
                 if len(heap) < k:
-                    heapq.heappush(heap, (float(score), int(row)))
-                elif score > heap[0][0]:
-                    heapq.heapreplace(heap, (float(score), int(row)))
+                    heapq.heappush(heap, entry)
+                elif entry > heap[0]:
+                    heapq.heapreplace(heap, entry)
 
         # Appended tuples live outside the layers until rebuild(): scan
-        # the delta buffer so queries stay exact.
+        # the delta buffer so queries stay exact. The buffer is one more
+        # structure unit visited — tallied as a node so cost accounting
+        # covers the same scanned tuples before and after rebuild().
+        if self._pending and counter is not None:
+            counter.add_nodes(1)
         base_rows = self._points.shape[0]
         for offset, point in enumerate(self._pending):
             score = sign * float(point @ weights)
@@ -183,14 +194,14 @@ class OnionIndex:
                 counter.add_model_evals(
                     1, flops_each=2 * len(self.attributes)
                 )
-            row = base_rows + offset
+            entry = (score, -(base_rows + offset))
             if len(heap) < k:
-                heapq.heappush(heap, (score, row))
-            elif score > heap[0][0]:
-                heapq.heapreplace(heap, (score, row))
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
 
-        ranked = sorted(heap, key=lambda item: (-item[0], item[1]))
-        return [(row, sign * score) for score, row in ranked]
+        ranked = sorted(heap, key=lambda item: (-item[0], -item[1]))
+        return [(-neg_row, sign * score) for score, neg_row in ranked]
 
     def __repr__(self) -> str:
         return (

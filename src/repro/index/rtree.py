@@ -461,24 +461,27 @@ class RStarTree:
             return []
         signed = weights if maximize else -weights
 
-        counter_tiebreak = itertools.count()
-        # Max-heap by upper bound (negate for heapq).
-        heap: list[tuple[float, int, _Entry | None, _Node | None]] = [
-            (-self._root.mbr().linear_upper_bound(signed), next(counter_tiebreak),
-             None, self._root)
+        node_sequence = itertools.count()
+        # Max-heap by upper bound (negate for heapq). Heap keys are
+        # (-bound, kind, key): kind 0 = internal node, kind 1 = point, so
+        # at equal bounds every node expands before any point emits —
+        # a tied point hiding inside a box is surfaced before the tie is
+        # consumed. Points carry their row as key, so equal-score points
+        # pop row-ascending, the service-wide tie-break (see scan_top_k);
+        # nodes use an insertion sequence, where order is free.
+        heap: list[tuple[float, int, int, _Entry | None, _Node | None]] = [
+            (-self._root.mbr().linear_upper_bound(signed), 0,
+             next(node_sequence), None, self._root)
         ]
         results: list[tuple[int, float]] = []
-        kth_best = float("-inf")
 
         while heap and len(results) < k:
-            bound_negated, _, entry, node = heapq.heappop(heap)
+            bound_negated, kind, _, entry, node = heapq.heappop(heap)
             bound = -bound_negated
-            if len(results) == k and bound <= kth_best:
-                break
-            if entry is not None and entry.row is not None:
+            if kind == 1:
+                assert entry is not None and entry.row is not None
                 score = bound  # for a point, the bound is the exact score
                 results.append((entry.row, score if maximize else -score))
-                kth_best = score
                 continue
             target = node if node is not None else entry.child  # type: ignore[union-attr]
             if counter is not None:
@@ -491,12 +494,12 @@ class RStarTree:
                         counter.add_model_evals(1, flops_each=2 * self.n_dims)
                     heapq.heappush(
                         heap,
-                        (-child_bound, next(counter_tiebreak), child_entry, None),
+                        (-child_bound, 1, child_entry.row, child_entry, None),
                     )
                 else:
                     heapq.heappush(
                         heap,
-                        (-child_bound, next(counter_tiebreak), None,
+                        (-child_bound, 0, next(node_sequence), None,
                          child_entry.child),
                     )
         return results

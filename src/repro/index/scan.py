@@ -29,12 +29,21 @@ def scan_top_k(
     index). Every row is read through the instrumented table API and
     scored with ``model.evaluate``, so ``counter`` records the full
     O(n*N) work the paper ascribes to unindexed retrieval.
+
+    This is the *differential oracle* for every table index: equal
+    signed scores rank by ascending row, the service-wide convention.
+    The canonical heap idiom — min-heap entries ``(signed_score, -row)``,
+    evict when ``entry > heap[0]``, final sort ``(-score, row)`` — is
+    what onion/csvd/rtree must reproduce bit-for-bit.
     """
     if k <= 0:
         raise QueryError("k must be positive")
     sign = 1.0 if maximize else -1.0
 
-    heap: list[tuple[float, int]] = []  # min-heap of (signed score, -row)
+    # Min-heap of (signed score, -row); the root is the worst kept
+    # answer (lowest score, largest row among ties), so an equal-score
+    # smaller-row candidate compares greater and replaces it.
+    heap: list[tuple[float, int]] = []
     for row_index in range(len(table)):
         attributes = table.row(row_index, counter)
         score = sign * model.evaluate(attributes)

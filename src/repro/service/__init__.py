@@ -16,6 +16,17 @@ every query carries a :class:`QueryTrace` (stage spans + per-shard
 pruning stats) aggregated into a process-wide
 :class:`~repro.metrics.registry.MetricsRegistry`.
 
+Strategy routing (``top_k(..., strategy="auto")``) puts the paper's
+model-specific indexes in the serving path: a cost-based
+:class:`QueryRouter` scores sequential scan, quadtree search, and
+Onion-layer linear top-K per query from archive/index statistics
+(refined online from observed latencies), builds missing Onion indexes
+lazily keyed on archive generation, and falls back to quadtree if a
+chosen index errors mid-query. Routed answers are bit-identical to every
+forced strategy; the decision is exported in trace metadata and the
+explain waterfall. :meth:`RetrievalService.composite_top_k` routes SPROC
+fuzzy composite queries the same way.
+
 For busy-archive traffic, :meth:`RetrievalService.top_k_batch` answers
 many queries at once: a :class:`BatchPlanner` groups same-region,
 interval-boundable queries and each group shares *one* archive
@@ -34,6 +45,16 @@ from repro.service.retrieval import (
     ServiceStats,
     SharedTopKHeap,
 )
+from repro.service.routing import (
+    COMPOSITE_STRATEGIES,
+    RASTER_STRATEGIES,
+    BuiltOnion,
+    CostModel,
+    OnionIndexCache,
+    QueryRouter,
+    RoutingDecision,
+    StrategyCandidate,
+)
 from repro.service.sharding import row_band_shards
 from repro.service.tracing import (
     BatchTrace,
@@ -46,14 +67,22 @@ __all__ = [
     "BatchPlan",
     "BatchPlanner",
     "BatchTrace",
+    "BuiltOnion",
+    "COMPOSITE_STRATEGIES",
     "CancellationToken",
+    "CostModel",
+    "OnionIndexCache",
     "PlannedQuery",
     "QueryCache",
+    "QueryRouter",
     "QueryTrace",
+    "RASTER_STRATEGIES",
     "RetrievalService",
+    "RoutingDecision",
     "ServiceStats",
     "SharedTopKHeap",
     "StageSpan",
+    "StrategyCandidate",
     "model_fingerprint",
     "query_fingerprint",
     "row_band_shards",

@@ -68,6 +68,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.engine import (
     BatchQuerySpec,
     RasterRetrievalEngine,
@@ -82,8 +84,17 @@ from repro.metrics.counters import CostCounter
 from repro.metrics.registry import MetricsRegistry, global_registry
 from repro.service.batching import BatchPlanner, PlannedQuery
 from repro.service.cache import QueryCache, query_fingerprint
+from repro.service.routing import (
+    BuiltOnion,
+    QueryRouter,
+    RoutingDecision,
+)
 from repro.service.sharding import row_band_shards
 from repro.service.tracing import BatchTrace, CancellationToken, QueryTrace
+from repro.sproc.dp import sproc_top_k
+from repro.sproc.fast import fast_top_k
+from repro.sproc.naive import naive_top_k
+from repro.sproc.query import Assignment, CompositeQuery
 from repro.telemetry.explain import ExplainReport, explain_result
 from repro.telemetry.export import TelemetrySink
 from repro.telemetry.server import MetricsServer
@@ -207,6 +218,10 @@ class RetrievalService:
         # _seen_generation read-compare-update.
         self._lock = threading.RLock()
         self._planner = BatchPlanner()
+        # Cost-based strategy router (ROADMAP item 1). Construction is
+        # cheap — Onion indexes inside its cache build lazily on the
+        # first query routed onto them, keyed on archive generation.
+        self.router = QueryRouter(stack, registry=self.registry)
         # Shared shard pool, created lazily on the first multi-band
         # query and reused for every later one (spinning a pool up per
         # query costs more than small queries themselves). The finalizer
@@ -312,11 +327,15 @@ class RetrievalService:
         return cls(archive.stack(layers), archive=archive, **kwargs)
 
     def invalidate(self) -> None:
-        """Explicitly drop every cached answer.
+        """Explicitly drop every cached answer and built index.
 
-        A no-op — including the ``invalidations`` tally — when caching
-        is disabled: there is nothing to invalidate.
+        The router's Onion indexes are dropped unconditionally (they are
+        derived from the archive exactly like cached answers); the
+        result cache part — including the ``invalidations`` tally — is a
+        no-op when caching is disabled, since there is nothing to
+        invalidate there.
         """
+        self.router.index_cache.invalidate()
         if self.cache is None:
             return
         self.cache.clear()
@@ -343,6 +362,7 @@ class RetrievalService:
         deadline_s: float | None = None,
         cancel: CancellationToken | None = None,
         explain: bool = False,
+        strategy: str = "quadtree",
     ) -> "RetrievalResult | ExplainReport":
         """Answer ``query`` through the cache and the shard pool.
 
@@ -353,6 +373,30 @@ class RetrievalService:
         compute it — and ``"-cached"`` appended to the strategy label;
         mutating any returned result never affects later hits.
 
+        ``strategy`` selects the execution structure:
+
+        * ``"quadtree"`` (default) — the existing sharded progressive
+          tile search, byte-for-byte the pre-router code path.
+        * ``"auto"`` — the cost-based :class:`~repro.service.routing
+          .QueryRouter` scores sequential scan, quadtree, and Onion-layer
+          top-K against each other and runs the cheapest eligible one.
+          Should the chosen index error mid-query, the service falls
+          back to the quadtree path and records the reason. Answers are
+          bit-identical to every forced strategy (property-tested);
+          the full decision — candidates with estimated costs, chosen
+          strategy, estimated vs actual seconds, fallback reason — rides
+          on ``result.trace.metadata["routing"]`` and in the
+          ``explain=True`` waterfall.
+        * ``"onion"`` / ``"scan"`` — force that structure (errors
+          propagate; no fallback). Forcing ``"onion"`` on a non-linear
+          model raises :class:`~repro.exceptions.QueryError`.
+
+        Routed strategies build any missing Onion index on first use
+        (cached per (region, attributes), keyed on archive generation —
+        an archive mutation transparently rebuilds). Index build time is
+        never charged to query counters, matching the paper's amortized
+        convention.
+
         ``deadline_s`` bounds the query's wall time: when it expires,
         every shard stops at its next loop check and the result comes
         back flagged ``complete=False`` with ``"-partial"`` appended to
@@ -360,6 +404,8 @@ class RetrievalService:
         score is exact). ``cancel`` hands in a caller-owned
         :class:`~repro.service.tracing.CancellationToken` for explicit
         cancellation; with both, whichever fires first stops the query.
+        (Onion/scan executions are single batched evaluations and run to
+        completion; deadlines bound only the quadtree path's loops.)
         Partial results are never cached. Every result carries a
         :class:`~repro.service.tracing.QueryTrace` on ``result.trace``.
 
@@ -369,6 +415,11 @@ class RetrievalService:
         counter (the underlying answer and counted work are unchanged;
         the result itself rides on ``report.result``).
         """
+        if strategy not in ("quadtree", "auto", "onion", "scan"):
+            raise QueryError(
+                f"unknown strategy {strategy!r}; expected 'quadtree', "
+                "'auto', 'onion', or 'scan'"
+            )
         trace = QueryTrace()
         if deadline_s is not None:
             if deadline_s <= 0:
@@ -378,17 +429,40 @@ class RetrievalService:
             cancel = CancellationToken(deadline_s=deadline_s, parent=cancel)
         with self._lock:
             self.stats.queries += 1
+
+        decision: RoutingDecision | None = None
+        resolved = "quadtree"
+        if strategy != "quadtree":
+            with trace.span("route"):
+                # Routing observes the *fresh* generation so a stale
+                # index can never be scored as already built.
+                self._check_archive_generation()
+                route_region = query.clip_region(self.engine.stack.shape)
+                decision = self.router.route(
+                    query,
+                    route_region,
+                    strategy=strategy,
+                    generation=self._seen_generation,
+                )
+                resolved = decision.chosen
+                trace.metadata["routing"] = decision.as_dict()
+
         cached: RetrievalResult | None = None
         with trace.span("cache_lookup"):
             self._check_archive_generation()
             region = query.clip_region(self.engine.stack.shape)
-            key = query_fingerprint(
-                query,
-                region,
-                use_model_levels=use_model_levels,
-                pruning=pruning,
-                heuristic_margin=heuristic_margin,
-            )
+            knobs = {
+                "use_model_levels": use_model_levels,
+                "pruning": pruning,
+                "heuristic_margin": heuristic_margin,
+            }
+            # A routed quadtree uses the legacy key so auto-routed and
+            # legacy callers share cache entries (the answers are
+            # identical); other strategies answer with different counted
+            # work and carry their own entries.
+            if resolved != "quadtree":
+                knobs["strategy"] = resolved
+            key = query_fingerprint(query, region, **knobs)
             if use_cache and self.cache is not None:
                 trace.cache_checked = True
                 cached = self.cache.get(key)
@@ -407,16 +481,69 @@ class RetrievalService:
         if use_cache and self.cache is not None:
             with self._lock:
                 self.stats.cache_misses += 1
-        result = self._execute(
-            query,
-            region,
-            self.n_shards if n_shards is None else n_shards,
-            use_model_levels,
-            pruning,
-            heuristic_margin,
-            cancel,
-            trace,
-        )
+
+        execute_started = time.perf_counter()
+        if resolved == "quadtree":
+            result = self._execute(
+                query,
+                region,
+                self.n_shards if n_shards is None else n_shards,
+                use_model_levels,
+                pruning,
+                heuristic_margin,
+                cancel,
+                trace,
+            )
+        else:
+            try:
+                if resolved == "onion":
+                    result = self._execute_onion(query, region, trace)
+                else:
+                    result = self._execute_scan(query, region, trace)
+            except Exception as error:
+                if strategy != "auto":
+                    # Forced strategies propagate: the caller asked for
+                    # this structure specifically.
+                    raise
+                # Graceful degradation: fall back to the always-capable
+                # quadtree path, recording why. The fallback result is
+                # cached under the *quadtree* key (that is what actually
+                # answered), never under the failed strategy's key.
+                assert decision is not None
+                decision.record_fallback(
+                    failed=resolved,
+                    reason=f"{type(error).__name__}: {error}",
+                    to="quadtree",
+                )
+                trace.metadata["routing"] = decision.as_dict()
+                resolved = "quadtree"
+                key = query_fingerprint(
+                    query,
+                    region,
+                    use_model_levels=use_model_levels,
+                    pruning=pruning,
+                    heuristic_margin=heuristic_margin,
+                )
+                result = self._execute(
+                    query,
+                    region,
+                    self.n_shards if n_shards is None else n_shards,
+                    use_model_levels,
+                    pruning,
+                    heuristic_margin,
+                    cancel,
+                    trace,
+                )
+        if decision is not None:
+            row0, col0, row1, col1 = region
+            self.router.observe(
+                decision,
+                seconds=time.perf_counter() - execute_started,
+                tuples_examined=_observed_tuples(result, query),
+                region_cells=(row1 - row0) * (col1 - col0),
+            )
+            trace.metadata["routing"] = decision.as_dict()
+
         if use_cache and self.cache is not None and result.complete:
             # Partial (deadline-truncated) answers must never be served
             # to a later query that had no deadline; the stored entry is
@@ -745,6 +872,181 @@ class RetrievalService:
             complete=complete,
         )
 
+    def _execute_onion(
+        self,
+        query: TopKQuery,
+        region: tuple[int, int, int, int],
+        trace: QueryTrace,
+    ) -> RetrievalResult:
+        """Onion-layer execution: candidate generation + exact re-score.
+
+        The index is used purely as a *candidate generator* — the union
+        of the outermost K hull layers, which the containment theorem
+        guarantees holds the true top-K of any linear objective. The
+        candidates are then re-scored through ``model.evaluate_batch``
+        and offered into the engine's :class:`TopKHeap`: the same
+        per-cell arithmetic and the same tie-break machinery as the
+        quadtree and scan paths, which is what makes routed answers
+        bit-identical to theirs.
+        """
+        model = query.model
+        with trace.span("index"):
+            built = self.router.index_cache.get(
+                region, tuple(model.attributes), self._seen_generation
+            )
+        counter = CostCounter()
+        with trace.span("search"):
+            with counter.timed():
+                candidates = built.candidate_rows(query.k)
+                layers = built.layers_needed(query.k)
+                counter.add_nodes(layers)
+                counter.add_tuples(int(candidates.size))
+                columns = {
+                    name: built.columns[name][candidates]
+                    for name in model.attributes
+                }
+                counter.add_data_points(
+                    int(candidates.size) * len(model.attributes)
+                )
+                scores = model.evaluate_batch(columns)
+                counter.add_model_evals(
+                    int(candidates.size), flops_each=model.complexity
+                )
+                sign = 1.0 if query.maximize else -1.0
+                heap = TopKHeap(query.k)
+                # Region-local row-major flattening: local flat order is
+                # global (row, col) lexicographic order restricted to
+                # the region, so decoding preserves tie semantics.
+                width = region[3] - region[1]
+                local_rows, local_cols = divmod(candidates, width)
+                heap.offer_block(
+                    sign * scores,
+                    region[0] + local_rows,
+                    region[1] + local_cols,
+                )
+        with trace.span("merge"):
+            answers = [
+                ScoredLocation(row=cell[0], col=cell[1], score=sign * signed)
+                for signed, cell in heap.ranked()
+            ]
+            counter.note("onion_layers", layers)
+            counter.note("onion_candidates", int(candidates.size))
+        return RetrievalResult(
+            answers=answers,
+            counter=counter,
+            audit=PruningAudit(),
+            strategy="onion",
+            complete=True,
+        )
+
+    def _execute_scan(
+        self,
+        query: TopKQuery,
+        region: tuple[int, int, int, int],
+        trace: QueryTrace,
+    ) -> RetrievalResult:
+        """Sequential-scan execution (the router's calibration oracle).
+
+        Mirrors :meth:`RasterRetrievalEngine.exhaustive_top_k` cell for
+        cell — full-window ``evaluate_batch`` into the engine's
+        :class:`TopKHeap` — with the service's trace spans and tuple
+        tallies added for the router's online cost refinement.
+        """
+        model = query.model
+        row0, col0, row1, col1 = region
+        counter = CostCounter()
+        with trace.span("search"):
+            with counter.timed():
+                columns = {
+                    name: self.engine.stack[name].read_window(
+                        row0, col0, row1, col1, counter
+                    )
+                    for name in model.attributes
+                }
+                scores = model.evaluate_batch(columns)
+                n_cells = scores.size
+                counter.add_tuples(n_cells)
+                counter.add_model_evals(n_cells, flops_each=model.complexity)
+                sign = 1.0 if query.maximize else -1.0
+                heap = TopKHeap(query.k)
+                flat = (sign * scores).reshape(-1)
+                flat_rows, flat_cols = divmod(
+                    np.arange(flat.size), col1 - col0
+                )
+                heap.offer_block(flat, row0 + flat_rows, col0 + flat_cols)
+        with trace.span("merge"):
+            answers = [
+                ScoredLocation(row=cell[0], col=cell[1], score=sign * signed)
+                for signed, cell in heap.ranked()
+            ]
+        return RetrievalResult(
+            answers=answers,
+            counter=counter,
+            audit=PruningAudit(),
+            strategy="scan",
+            complete=True,
+        )
+
+    def warm_index(
+        self,
+        attributes: "Sequence[str] | TopKQuery",
+        region: tuple[int, int, int, int] | None = None,
+    ) -> BuiltOnion:
+        """Pre-build the Onion index a routed query would use.
+
+        Accepts either the attribute names or a :class:`TopKQuery`
+        (whose model attributes and clipped region are taken). Building
+        ahead of traffic keeps the one-time construction out of the
+        first query's latency; the build is keyed on the current archive
+        generation like every lazy build.
+        """
+        self._check_archive_generation()
+        if isinstance(attributes, TopKQuery):
+            query = attributes
+            names = tuple(query.model.attributes)
+            region = query.clip_region(self.engine.stack.shape)
+        else:
+            names = tuple(attributes)
+            if region is None:
+                rows, cols = self.engine.stack.shape
+                region = (0, 0, rows, cols)
+        return self.router.index_cache.get(
+            region, names, self._seen_generation
+        )
+
+    def composite_top_k(
+        self,
+        query: CompositeQuery,
+        k: int,
+        strategy: str = "auto",
+    ) -> "tuple[list[tuple[Assignment, float]], RoutingDecision]":
+        """Answer a SPROC fuzzy composite query through the router.
+
+        ``strategy`` is ``"auto"`` (cost-routed among the three SPROC
+        implementations) or one of ``"naive"`` / ``"dp"`` / ``"fast"``.
+        Returns the ``(assignment, score)`` answers plus the
+        :class:`~repro.service.routing.RoutingDecision` that chose the
+        implementation (with estimated-vs-actual cost filled in). All
+        three implementations return the same answer sets; the routing
+        choice affects counted work only.
+        """
+        decision = self.router.route_composite(query, k, strategy=strategy)
+        executors = {
+            "naive": naive_top_k,
+            "dp": sproc_top_k,
+            "fast": fast_top_k,
+        }
+        counter = CostCounter()
+        started = time.perf_counter()
+        answers = executors[decision.chosen](query, k, counter=counter)
+        self.router.observe(
+            decision,
+            seconds=time.perf_counter() - started,
+            tuples_examined=counter.tuples_examined,
+        )
+        self.registry.inc("service.composite_queries")
+        return answers, decision
+
     def _record(self, trace: QueryTrace) -> None:
         """Fold one finished trace into the metrics registry and export
         it. Batch children are folded into the registry individually but
@@ -777,6 +1079,20 @@ class RetrievalService:
             f"n_shards={self.n_shards}, cached={cached}, "
             f"queries={self.stats.queries})"
         )
+
+
+def _observed_tuples(result: RetrievalResult, query: TopKQuery) -> int:
+    """Tuples a finished execution examined, for cost-model feedback.
+
+    Onion/scan executions tally ``tuples_examined`` directly; the
+    quadtree path counts window reads as data points, so its tuple
+    count is derived as data points per attribute.
+    """
+    counter = result.counter
+    if counter.tuples_examined:
+        return counter.tuples_examined
+    n_attrs = max(1, len(query.model.attributes))
+    return int(counter.data_points // n_attrs)
 
 
 def _broadcast(value, n_queries: int, name: str) -> list:

@@ -1,0 +1,698 @@
+"""Cost-based query routing over the paper's model-specific indexes.
+
+The paper's headline numbers come from *model-specific* access methods —
+Onion layers for linear top-K (ref [11], quoted at 13,000x over scan)
+and SPROC for fuzzy composite queries (refs [15, 16]) — yet a serving
+layer must pick a structure per query: the best choice depends on the
+model family, K, the region size, and whether an index is already built.
+This module is that chooser, in the score-candidates-and-explain shape
+of cost-based optimizers:
+
+* :class:`CostModel` — per-strategy cost curves. Each strategy's cost is
+  ``work_units x seconds_per_unit``: work units are estimated from
+  archive/index statistics (cells in the region, Onion layer widths,
+  SPROC's ``O(M*K*L^2)`` vs ``O(L^M)`` formulas), and seconds-per-unit
+  starts from a static seed and is refined online by an EWMA over
+  observed per-strategy latencies and tuple counts. Estimates and
+  observations are mirrored into a
+  :class:`~repro.metrics.registry.MetricsRegistry` (``router.*``).
+* :class:`OnionIndexCache` — build/refresh hook for per-(region,
+  attributes) Onion indexes, keyed on the archive generation so a
+  mutated archive transparently rebuilds.
+* :class:`QueryRouter` — scores every candidate strategy for a query
+  (including ineligible ones, with the reason), picks the cheapest
+  eligible one, and packages the whole comparison as a
+  :class:`RoutingDecision` that the service surfaces in trace metadata
+  and the explain waterfall.
+
+Routing never changes answers: every routable strategy is exact and
+shares the engine's tie-break convention (equal signed score -> smallest
+``(row, col)``), so the router's choice affects counted work and wall
+time only — property-tested bit-identical in
+``tests/test_service_routing.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.query import TopKQuery
+from repro.data.raster import RasterStack
+from repro.data.table import Table
+from repro.exceptions import QueryError
+from repro.index.onion import OnionIndex
+from repro.metrics.registry import MetricsRegistry, global_registry
+from repro.models.linear import LinearModel
+from repro.sproc.query import CompositeQuery
+
+#: Raster strategies the router arbitrates between, plus the composite
+#: family routed separately by :meth:`QueryRouter.route_composite`.
+RASTER_STRATEGIES = ("quadtree", "onion", "scan")
+COMPOSITE_STRATEGIES = ("naive", "dp", "fast")
+
+#: Static seconds-per-work-unit seeds. One work unit is roughly one
+#: tuple-attribute touch plus its share of model flops; the absolute
+#: scale hardly matters (routing compares strategies against each
+#: other), but quadtree work is charged a higher per-unit rate because
+#: its units flow through the Python branch-and-bound frontier while
+#: scan/onion units are batched NumPy evaluations. Online refinement
+#: replaces these within a few queries per strategy.
+_COST_SEEDS = {
+    "quadtree": 2e-8,
+    "onion": 5e-9,
+    "scan": 5e-9,
+    "naive": 2e-7,
+    "dp": 2e-7,
+    "fast": 4e-7,
+}
+
+#: Fraction of a region's cells the quadtree search is assumed to touch
+#: before any observation exists. Deliberately optimistic (envelope
+#: pruning usually works); refined per service from observed tuple
+#: counts.
+_VISIT_FRACTION_SEED = 0.25
+
+
+@dataclass(frozen=True)
+class StrategyCandidate:
+    """One strategy's scored bid for a query.
+
+    Ineligible candidates keep their ``reason`` so the routing decision
+    explains *why* a structure was passed over, not just that it was.
+    ``est_seconds`` is ``None`` for ineligible candidates (there is no
+    meaningful cost for a strategy that cannot run).
+    """
+
+    name: str
+    eligible: bool
+    reason: str | None = None
+    est_tuples: int = 0
+    est_work: float = 0.0
+    est_seconds: float | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "eligible": self.eligible,
+            "reason": self.reason,
+            "est_tuples": self.est_tuples,
+            "est_work": self.est_work,
+            "est_seconds": self.est_seconds,
+        }
+
+
+@dataclass
+class RoutingDecision:
+    """The router's full comparison for one query.
+
+    ``chosen`` is the strategy that ran (after any fallback);
+    ``routed`` is what the cost model originally picked. ``forced`` is
+    True when the caller named a strategy instead of asking for
+    ``"auto"`` — the candidates are still scored, so a forced choice is
+    just as explainable. ``actual_seconds`` / ``actual_tuples`` are
+    filled in after execution, giving the estimated-vs-actual view the
+    explain waterfall renders.
+    """
+
+    chosen: str
+    routed: str
+    candidates: list[StrategyCandidate]
+    forced: bool = False
+    generation: int | None = None
+    estimated_seconds: float | None = None
+    fallback_from: str | None = None
+    fallback_reason: str | None = None
+    actual_seconds: float | None = None
+    actual_tuples: int | None = None
+
+    def record_fallback(self, failed: str, reason: str, to: str) -> None:
+        """Note that ``failed`` errored and ``to`` answered instead."""
+        self.fallback_from = failed
+        self.fallback_reason = reason
+        self.chosen = to
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready view, exported verbatim in trace metadata."""
+        return {
+            "chosen": self.chosen,
+            "routed": self.routed,
+            "forced": self.forced,
+            "generation": self.generation,
+            "estimated_seconds": self.estimated_seconds,
+            "actual_seconds": self.actual_seconds,
+            "actual_tuples": self.actual_tuples,
+            "fallback_from": self.fallback_from,
+            "fallback_reason": self.fallback_reason,
+            "candidates": [c.as_dict() for c in self.candidates],
+        }
+
+
+class CostModel:
+    """Per-strategy cost curves: static seeds refined by observation.
+
+    ``estimate`` converts work units to seconds using the strategy's
+    current seconds-per-unit rate; ``observe`` folds a measured
+    (work, seconds) pair into that rate with an exponential moving
+    average, so the model tracks the machine it is running on without
+    ever forgetting faster than ``alpha`` allows. All rates and
+    observation counts are mirrored into the registry under
+    ``router.cost.<strategy>`` / ``router.observations.<strategy>`` so
+    operators can watch the model converge.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        alpha: float = 0.3,
+        seeds: dict[str, float] | None = None,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise QueryError(f"alpha must be in (0, 1], got {alpha}")
+        self.registry = registry if registry is not None else global_registry()
+        self.alpha = alpha
+        self._rates = dict(_COST_SEEDS)
+        if seeds:
+            self._rates.update(seeds)
+        self._observations: dict[str, int] = {}
+        self._visit_fraction = _VISIT_FRACTION_SEED
+        self._lock = threading.Lock()
+
+    def rate(self, strategy: str) -> float:
+        """Current seconds-per-work-unit for ``strategy``."""
+        with self._lock:
+            try:
+                return self._rates[strategy]
+            except KeyError:
+                raise QueryError(f"unknown strategy {strategy!r}") from None
+
+    def estimate(self, strategy: str, work_units: float) -> float:
+        """Estimated seconds for ``work_units`` of ``strategy`` work."""
+        return self.rate(strategy) * max(0.0, work_units)
+
+    @property
+    def visit_fraction(self) -> float:
+        """EWMA fraction of region cells the quadtree search touches."""
+        with self._lock:
+            return self._visit_fraction
+
+    def observe(
+        self, strategy: str, work_units: float, seconds: float
+    ) -> None:
+        """Fold one measured execution into the strategy's rate."""
+        if work_units <= 0 or seconds < 0:
+            return
+        observed_rate = seconds / work_units
+        with self._lock:
+            if strategy not in self._rates:
+                raise QueryError(f"unknown strategy {strategy!r}")
+            self._rates[strategy] = (
+                (1 - self.alpha) * self._rates[strategy]
+                + self.alpha * observed_rate
+            )
+            self._observations[strategy] = (
+                self._observations.get(strategy, 0) + 1
+            )
+            rate = self._rates[strategy]
+        self.registry.gauge(f"router.cost.{strategy}", rate)
+        self.registry.inc(f"router.observations.{strategy}")
+
+    def observe_visit_fraction(self, fraction: float) -> None:
+        """Fold one observed quadtree visited-cells fraction."""
+        fraction = min(1.0, max(0.0, fraction))
+        with self._lock:
+            self._visit_fraction = (
+                (1 - self.alpha) * self._visit_fraction
+                + self.alpha * fraction
+            )
+            value = self._visit_fraction
+        self.registry.gauge("router.visit_fraction", value)
+
+
+@dataclass
+class BuiltOnion:
+    """One built Onion index plus the flattened region it covers.
+
+    ``columns`` holds each attribute's region window flattened row-major,
+    so local row ``i`` maps to the global cell
+    ``(row0 + i // width, col0 + i % width)`` — region-local row-major
+    order *is* global ``(row, col)`` lexicographic order restricted to
+    the region, which is what keeps index-side tie-breaks aligned with
+    the engine's.
+    """
+
+    index: OnionIndex
+    columns: dict[str, np.ndarray]
+    region: tuple[int, int, int, int]
+    generation: int | None
+    build_seconds: float
+    n_cells: int
+
+    def candidate_rows(self, k: int) -> np.ndarray:
+        """Local rows guaranteed to contain the top-``k`` of any linear
+        objective: the union of the outermost ``k`` layers (containment
+        theorem), plus the interior bucket when a ``max_layers`` cap
+        means the bucket may hold deeper optima."""
+        return np.concatenate(
+            [self.index.layer(i) for i in range(self.layers_needed(k))]
+        )
+
+    def layers_needed(self, k: int) -> int:
+        """Layers a top-``k`` query must examine (cap-aware)."""
+        index = self.index
+        needed = min(k, index.n_layers)
+        if index._capped and k > index.n_layers - 1:
+            needed = index.n_layers
+        return needed
+
+    def candidate_count(self, k: int) -> int:
+        sizes = self.index.layer_sizes()
+        return int(sum(sizes[: self.layers_needed(k)]))
+
+
+class OnionIndexCache:
+    """Build/refresh hook for per-(region, attributes) Onion indexes.
+
+    Entries are keyed on the clipped region plus the attribute tuple and
+    stamped with the archive generation they were built against;
+    :meth:`get` transparently rebuilds when the generation moves, so a
+    mutated archive can never serve answers from a stale index. Build
+    cost (wall seconds, layer count) is recorded in the registry under
+    ``router.index.*`` — queries never pay it into their own counters,
+    matching the paper's convention that index construction is amortized.
+    """
+
+    def __init__(
+        self,
+        stack: RasterStack,
+        max_layers: int | None = 32,
+        max_entries: int = 8,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise QueryError(
+                f"max_entries must be positive, got {max_entries}"
+            )
+        self.stack = stack
+        self.max_layers = max_layers
+        self.max_entries = max_entries
+        self.registry = registry if registry is not None else global_registry()
+        self._entries: dict[tuple, BuiltOnion] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def invalidate(self) -> None:
+        """Drop every built index (explicit refresh hook)."""
+        with self._lock:
+            self._entries.clear()
+
+    def peek(
+        self,
+        region: tuple[int, int, int, int],
+        attributes: tuple[str, ...],
+        generation: int | None,
+    ) -> BuiltOnion | None:
+        """The cached index for this key if fresh, without building."""
+        key = (tuple(region), tuple(attributes))
+        with self._lock:
+            built = self._entries.get(key)
+        if built is not None and built.generation == generation:
+            return built
+        return None
+
+    def get(
+        self,
+        region: tuple[int, int, int, int],
+        attributes: tuple[str, ...],
+        generation: int | None,
+    ) -> BuiltOnion:
+        """The index for this key, building (or rebuilding) on miss."""
+        built = self.peek(region, attributes, generation)
+        if built is not None:
+            return built
+        built = self._build(tuple(region), tuple(attributes), generation)
+        key = (tuple(region), tuple(attributes))
+        with self._lock:
+            self._entries[key] = built
+            while len(self._entries) > self.max_entries:
+                # Oldest-inserted entry goes first; index builds are rare
+                # enough that plain FIFO beats carrying LRU bookkeeping.
+                self._entries.pop(next(iter(self._entries)))
+        return built
+
+    def _build(
+        self,
+        region: tuple[int, int, int, int],
+        attributes: tuple[str, ...],
+        generation: int | None,
+    ) -> BuiltOnion:
+        row0, col0, row1, col1 = region
+        start = time.perf_counter()
+        columns = {
+            name: np.ascontiguousarray(
+                self.stack[name].read_window(row0, col0, row1, col1)
+            ).reshape(-1)
+            for name in attributes
+        }
+        table = Table(f"region{region}", columns)
+        index = OnionIndex(
+            table, attributes=list(attributes), max_layers=self.max_layers
+        )
+        build_seconds = time.perf_counter() - start
+        n_cells = (row1 - row0) * (col1 - col0)
+        self.registry.inc("router.index.builds")
+        self.registry.observe("router.index.build_seconds", build_seconds)
+        self.registry.gauge("router.index.layers", float(index.n_layers))
+        return BuiltOnion(
+            index=index,
+            columns=columns,
+            region=region,
+            generation=generation,
+            build_seconds=build_seconds,
+            n_cells=n_cells,
+        )
+
+
+class QueryRouter:
+    """Scores candidate strategies per query and picks the cheapest.
+
+    The router owns a :class:`CostModel` and an :class:`OnionIndexCache`
+    (both injectable for tests). ``route`` handles raster top-K queries;
+    ``route_composite`` arbitrates the SPROC family for
+    :class:`~repro.sproc.query.CompositeQuery` objects. Every decision
+    is counted in the registry (``router.decisions.<strategy>``); the
+    caller reports execution outcomes back via :meth:`observe` so the
+    cost model keeps learning.
+    """
+
+    def __init__(
+        self,
+        stack: RasterStack,
+        cost_model: CostModel | None = None,
+        index_cache: OnionIndexCache | None = None,
+        registry: MetricsRegistry | None = None,
+        onion_max_layers: int | None = 32,
+        min_onion_cells: int = 256,
+    ) -> None:
+        self.registry = registry if registry is not None else global_registry()
+        self.cost_model = (
+            cost_model if cost_model is not None
+            else CostModel(registry=self.registry)
+        )
+        self.index_cache = (
+            index_cache if index_cache is not None
+            else OnionIndexCache(
+                stack, max_layers=onion_max_layers, registry=self.registry
+            )
+        )
+        self.stack = stack
+        self.min_onion_cells = min_onion_cells
+
+    # -- raster routing ---------------------------------------------------
+
+    def route(
+        self,
+        query: TopKQuery,
+        region: tuple[int, int, int, int],
+        strategy: str = "auto",
+        generation: int | None = None,
+    ) -> RoutingDecision:
+        """Score every raster strategy and choose (or validate) one.
+
+        ``strategy="auto"`` picks the cheapest eligible candidate; a
+        named strategy is validated for eligibility (raising
+        :class:`~repro.exceptions.QueryError` when the model family
+        cannot use it) and returned as a forced decision with the same
+        scored candidate list.
+        """
+        row0, col0, row1, col1 = region
+        n_cells = (row1 - row0) * (col1 - col0)
+        n_attrs = len(query.model.attributes)
+        complexity = max(1, getattr(query.model, "complexity", 2 * n_attrs))
+        unit_cost = n_attrs + complexity
+        candidates: list[StrategyCandidate] = []
+
+        scan_work = float(n_cells) * unit_cost
+        candidates.append(
+            StrategyCandidate(
+                name="scan",
+                eligible=True,
+                est_tuples=n_cells,
+                est_work=scan_work,
+                est_seconds=self.cost_model.estimate("scan", scan_work),
+            )
+        )
+
+        visit_fraction = self.cost_model.visit_fraction
+        quadtree_tuples = int(math.ceil(visit_fraction * n_cells))
+        quadtree_work = float(quadtree_tuples) * unit_cost
+        candidates.append(
+            StrategyCandidate(
+                name="quadtree",
+                eligible=True,
+                est_tuples=quadtree_tuples,
+                est_work=quadtree_work,
+                est_seconds=self.cost_model.estimate(
+                    "quadtree", quadtree_work
+                ),
+            )
+        )
+
+        candidates.append(self._onion_candidate(query, region, generation))
+        candidates.append(
+            StrategyCandidate(
+                name="sproc",
+                eligible=False,
+                reason=(
+                    "composite queries only — route CompositeQuery "
+                    "objects via composite_top_k"
+                ),
+            )
+        )
+
+        if strategy == "auto":
+            eligible = [c for c in candidates if c.eligible]
+            chosen = min(eligible, key=lambda c: c.est_seconds)
+            decision = RoutingDecision(
+                chosen=chosen.name,
+                routed=chosen.name,
+                candidates=candidates,
+                forced=False,
+                generation=generation,
+                estimated_seconds=chosen.est_seconds,
+            )
+        else:
+            if strategy not in RASTER_STRATEGIES:
+                raise QueryError(
+                    f"unknown strategy {strategy!r}; expected 'auto' or "
+                    f"one of {RASTER_STRATEGIES}"
+                )
+            match = next(c for c in candidates if c.name == strategy)
+            if not match.eligible:
+                raise QueryError(
+                    f"strategy {strategy!r} cannot answer this query: "
+                    f"{match.reason}"
+                )
+            decision = RoutingDecision(
+                chosen=strategy,
+                routed=strategy,
+                candidates=candidates,
+                forced=True,
+                generation=generation,
+                estimated_seconds=match.est_seconds,
+            )
+        self.registry.inc(f"router.decisions.{decision.chosen}")
+        return decision
+
+    def _onion_candidate(
+        self,
+        query: TopKQuery,
+        region: tuple[int, int, int, int],
+        generation: int | None,
+    ) -> StrategyCandidate:
+        model = query.model
+        if not isinstance(model, LinearModel):
+            return StrategyCandidate(
+                name="onion",
+                eligible=False,
+                reason=(
+                    "Onion layers bound linear objectives only; "
+                    f"{type(model).__name__} is not a LinearModel"
+                ),
+            )
+        row0, col0, row1, col1 = region
+        n_cells = (row1 - row0) * (col1 - col0)
+        if n_cells < self.min_onion_cells:
+            return StrategyCandidate(
+                name="onion",
+                eligible=False,
+                reason=(
+                    f"region has {n_cells} cells < min_onion_cells="
+                    f"{self.min_onion_cells}; index build cannot amortize"
+                ),
+            )
+        n_attrs = len(model.attributes)
+        unit_cost = n_attrs + max(1, model.complexity)
+        attributes = tuple(model.attributes)
+        built = self.index_cache.peek(region, attributes, generation)
+        if built is not None:
+            est_tuples = built.candidate_count(query.k)
+            est_work = float(est_tuples) * unit_cost
+        else:
+            # No index yet: estimate layer width from the hull of a
+            # uniform-ish point cloud (~sqrt scaling with cell count)
+            # and charge the one-time build as extra first-query work so
+            # a single small query never triggers a pointless build.
+            est_layer_width = max(32, int(4 * math.sqrt(n_cells)))
+            est_tuples = min(n_cells, query.k * est_layer_width)
+            build_work = float(n_cells) * n_attrs * 4.0
+            est_work = float(est_tuples) * unit_cost + build_work
+        return StrategyCandidate(
+            name="onion",
+            eligible=True,
+            est_tuples=est_tuples,
+            est_work=est_work,
+            est_seconds=self.cost_model.estimate("onion", est_work),
+        )
+
+    # -- composite routing ------------------------------------------------
+
+    def route_composite(
+        self, query: CompositeQuery, k: int, strategy: str = "auto"
+    ) -> RoutingDecision:
+        """Choose among the SPROC family for one composite query."""
+        n_objects = query.n_objects
+        n_components = query.n_components
+        candidates: list[StrategyCandidate] = []
+
+        # O(L^M) full Cartesian enumeration; the float cap keeps huge
+        # exponents comparable without overflow.
+        naive_tuples = min(
+            float(n_objects) ** n_components, 1e18
+        )
+        naive_work = naive_tuples * n_components
+        candidates.append(
+            StrategyCandidate(
+                name="naive",
+                eligible=True,
+                est_tuples=int(min(naive_tuples, 2**62)),
+                est_work=naive_work,
+                est_seconds=self.cost_model.estimate("naive", naive_work),
+            )
+        )
+        # SPROC DP: O(M * K * L^2).
+        dp_work = float(n_components) * k * n_objects * n_objects
+        candidates.append(
+            StrategyCandidate(
+                name="dp",
+                eligible=True,
+                est_tuples=int(min(dp_work, 2**62)),
+                est_work=dp_work,
+                est_seconds=self.cost_model.estimate("dp", dp_work),
+            )
+        )
+        # The [16] improvement: ~O(M*L*log L) sorting plus best-first
+        # expansion bounded by K.
+        log_l = math.log2(n_objects + 1)
+        fast_work = (
+            float(n_components) * n_objects * log_l
+            + float(k) * k * math.log2(k + 1)
+            + float(k) * n_components * n_objects
+        )
+        candidates.append(
+            StrategyCandidate(
+                name="fast",
+                eligible=True,
+                est_tuples=int(min(fast_work, 2**62)),
+                est_work=fast_work,
+                est_seconds=self.cost_model.estimate("fast", fast_work),
+            )
+        )
+
+        if strategy == "auto":
+            chosen = min(candidates, key=lambda c: c.est_seconds)
+            decision = RoutingDecision(
+                chosen=chosen.name,
+                routed=chosen.name,
+                candidates=candidates,
+                forced=False,
+                estimated_seconds=chosen.est_seconds,
+            )
+        else:
+            if strategy not in COMPOSITE_STRATEGIES:
+                raise QueryError(
+                    f"unknown composite strategy {strategy!r}; expected "
+                    f"'auto' or one of {COMPOSITE_STRATEGIES}"
+                )
+            match = next(c for c in candidates if c.name == strategy)
+            decision = RoutingDecision(
+                chosen=strategy,
+                routed=strategy,
+                candidates=candidates,
+                forced=True,
+                estimated_seconds=match.est_seconds,
+            )
+        self.registry.inc(f"router.decisions.{decision.chosen}")
+        return decision
+
+    # -- feedback ---------------------------------------------------------
+
+    def observe(
+        self,
+        decision: RoutingDecision,
+        seconds: float,
+        tuples_examined: int,
+        region_cells: int | None = None,
+    ) -> None:
+        """Report an execution outcome back into the cost model.
+
+        Updates the chosen strategy's seconds-per-work EWMA from the
+        measured latency and tuple count, the quadtree visit fraction
+        when applicable, and stamps the actuals onto the decision so
+        trace metadata carries estimated-vs-actual.
+        """
+        decision.actual_seconds = seconds
+        decision.actual_tuples = tuples_examined
+        chosen = decision.chosen
+        match = next(
+            (c for c in decision.candidates if c.name == chosen), None
+        )
+        if match is not None and match.est_tuples > 0 and tuples_examined > 0:
+            # Re-derive the work actually done at this strategy's
+            # per-tuple unit cost, so the rate EWMA converges on
+            # seconds-per-unit rather than absorbing estimation error
+            # in the tuple count.
+            unit_cost = match.est_work / max(1, match.est_tuples)
+            actual_work = tuples_examined * unit_cost
+        else:
+            actual_work = match.est_work if match is not None else 0.0
+        self.cost_model.observe(chosen, actual_work, seconds)
+        if chosen == "quadtree" and region_cells:
+            self.cost_model.observe_visit_fraction(
+                tuples_examined / region_cells
+            )
+        if decision.fallback_reason is not None:
+            self.registry.inc("router.fallbacks")
+        if decision.estimated_seconds and seconds > 0:
+            error = abs(decision.estimated_seconds - seconds) / seconds
+            self.registry.observe(f"router.estimate_error.{chosen}", error)
+
+
+__all__ = [
+    "BuiltOnion",
+    "COMPOSITE_STRATEGIES",
+    "CostModel",
+    "OnionIndexCache",
+    "QueryRouter",
+    "RASTER_STRATEGIES",
+    "RoutingDecision",
+    "StrategyCandidate",
+]

@@ -23,6 +23,12 @@ Two waterfalls:
 
 Both render as a plain dict (:meth:`ExplainReport.as_dict`) and as an
 aligned ASCII table (:meth:`ExplainReport.render`, also ``str()``).
+
+Queries answered with ``strategy != "quadtree"`` additionally carry a
+**routing** section — the cost router's scored candidates, the chosen
+strategy with estimated vs actual seconds, and any fallback — read from
+``result.trace.metadata["routing"]``
+(see :mod:`repro.service.routing`).
 """
 
 from __future__ import annotations
@@ -54,6 +60,10 @@ class ExplainReport:
     level_rows: list[dict[str, Any]] = field(default_factory=list)
     totals: dict[str, Any] = field(default_factory=dict)
     reasons: tuple[str, ...] = ()
+    #: The router's decision for this query (candidates, estimated vs
+    #: actual cost, fallback) when it ran with ``strategy != "quadtree"``;
+    #: ``None`` for legacy-path queries.
+    routing: dict[str, Any] | None = None
 
     # -- views -------------------------------------------------------------
 
@@ -63,6 +73,7 @@ class ExplainReport:
             "query": dict(self.query),
             "strategy": self.result.strategy,
             "complete": self.result.complete,
+            "routing": dict(self.routing) if self.routing else None,
             "tile_waterfall": [dict(row) for row in self.tile_rows],
             "level_waterfall": [dict(row) for row in self.level_rows],
             "totals": dict(self.totals),
@@ -82,6 +93,7 @@ class ExplainReport:
                 "  served from cache — the waterfall below is the work "
                 "recorded when the cached answer was computed"
             )
+        lines.extend(self._routing_lines())
         if self.tile_rows:
             columns = ["depth", "roots", "visited", *self.reasons, "resolved"]
             lines.append("  tile pyramid (coarse -> fine):")
@@ -121,6 +133,40 @@ class ExplainReport:
             f"{counter.partial_evals:,} partial evals)"
         )
         return "\n".join(lines)
+
+    def _routing_lines(self) -> list[str]:
+        """The routing section of the waterfall (empty without routing)."""
+        routing = self.routing
+        if not routing:
+            return []
+        mode = "forced" if routing.get("forced") else "auto"
+        parts = [f"  routing: chosen={routing.get('chosen')} ({mode})"]
+        estimated = routing.get("estimated_seconds")
+        actual = routing.get("actual_seconds")
+        if estimated is not None:
+            parts.append(f"est={_seconds(estimated)}")
+        if actual is not None:
+            parts.append(f"actual={_seconds(actual)}")
+        lines = [" ".join(parts)]
+        if routing.get("fallback_from"):
+            lines.append(
+                f"    fallback: {routing['fallback_from']} -> "
+                f"{routing.get('chosen')} "
+                f"({routing.get('fallback_reason')})"
+            )
+        for candidate in routing.get("candidates", []):
+            if candidate.get("eligible"):
+                lines.append(
+                    f"    candidate {candidate['name']}: "
+                    f"est_tuples={candidate.get('est_tuples', 0):,} "
+                    f"est={_seconds(candidate.get('est_seconds'))}"
+                )
+            else:
+                lines.append(
+                    f"    candidate {candidate['name']}: ineligible "
+                    f"({candidate.get('reason')})"
+                )
+        return lines
 
     def __str__(self) -> str:
         return self.render()
@@ -233,6 +279,9 @@ def explain_result(
         "maximize": query.maximize,
         "region": tuple(region),
     }
+    routing = None
+    if trace is not None:
+        routing = trace.metadata.get("routing")
     return ExplainReport(
         result=result,
         query=descriptor,
@@ -240,6 +289,7 @@ def explain_result(
         level_rows=level_rows,
         totals=totals,
         reasons=reasons,
+        routing=routing,
     )
 
 
@@ -276,3 +326,14 @@ def _cell(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)
+
+
+def _seconds(value: Any) -> str:
+    """Human-scale seconds for the routing section (``?`` if absent)."""
+    if not isinstance(value, (int, float)):
+        return "?"
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.0f}us"
