@@ -189,11 +189,105 @@ def _demo_telemetry() -> None:
     server.close()
 
 
+def _serve_main(argv: list[str]) -> None:
+    """``python -m repro serve``: a live fleet over a synthetic scene."""
+    import time
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Serve top-k retrieval over HTTP: an asyncio front end over "
+            "a shared-memory worker fleet (POST /query, POST /batch, "
+            "GET /metrics, GET /healthz)."
+        ),
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes in the fleet (default 2)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port; 0 picks an ephemeral port (default 8080)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=128,
+        help="synthetic scene edge length in cells (default 128)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="queued requests beyond which arrivals are shed 429 (default 64)",
+    )
+    parser.add_argument(
+        "--no-warm", action="store_true",
+        help="skip prebuilding the HPS Onion index at worker startup",
+    )
+    arguments = parser.parse_args(argv)
+
+    from repro.models.linear import hps_risk_model
+    from repro.serving import FleetConfig, ServingServer, WorkerFleet
+    from repro.synth.landsat import generate_scene
+    from repro.synth.terrain import generate_dem
+
+    size = (arguments.size, arguments.size)
+    dem = generate_dem(size, seed=1)
+    stack = generate_scene(size, seed=2, terrain=dem)
+    stack.add(dem)
+    warm = (
+        []
+        if arguments.no_warm
+        else [
+            {
+                "attributes": sorted(hps_risk_model().coefficients),
+                "region": None,
+            }
+        ]
+    )
+    fleet = WorkerFleet(
+        stack, FleetConfig(n_workers=arguments.workers, warm=warm)
+    )
+    print(
+        f"starting {arguments.workers} workers over a "
+        f"{arguments.size}x{arguments.size} scene "
+        f"({len(stack.names)} bands, shared memory)..."
+    )
+    fleet.start()
+    server = ServingServer(
+        fleet,
+        host=arguments.host,
+        port=arguments.port,
+        queue_depth=arguments.queue_depth,
+    ).start()
+    print(f"serving on {server.url}  (POST /query, POST /batch,")
+    print("                           GET /metrics, GET /healthz)")
+    print("Ctrl-C to stop.")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\nshutting down...")
+    finally:
+        server.close()
+        fleet.stop()
+
+
 def main(argv: list[str] | None = None) -> None:
-    """Run the requested demos (all by default)."""
+    """Run the requested demos (all by default), or the fleet server."""
+    import sys
+
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    if raw and raw[0] == "serve":
+        _serve_main(raw[1:])
+        return
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Model-based multi-modal retrieval: a one-minute tour.",
+        epilog=(
+            "Also: 'python -m repro serve --workers N --port P' starts the "
+            "multi-process HTTP serving fleet over a synthetic scene."
+        ),
     )
     parser.add_argument(
         "demo",

@@ -176,6 +176,104 @@ class MetricsRegistry:
             )
 
 
+def _merge_histograms(dicts: list[dict[str, Any]]) -> dict[str, Any]:
+    """Merge :meth:`LatencyHistogram.as_dict` views into one view.
+
+    Cumulative ``(bound, count)`` buckets are summed pairwise — every
+    histogram in this codebase uses :data:`DEFAULT_LATENCY_BUCKETS_S`,
+    and mismatched bounds raise rather than silently mis-merge.
+    Quantiles are recomputed from the merged buckets at the same
+    bucket resolution :meth:`LatencyHistogram.quantile` reports.
+    """
+    bounds: list[float] | None = None
+    counts: list[int] = []
+    total = 0
+    total_sum = 0.0
+    low = float("inf")
+    high = float("-inf")
+    for data in dicts:
+        buckets = data.get("buckets", [])
+        these_bounds = [float(bound) for bound, _ in buckets]
+        if bounds is None:
+            bounds = these_bounds
+            counts = [0] * len(bounds)
+        elif these_bounds != bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        for index, (_, cumulative) in enumerate(buckets):
+            counts[index] += int(cumulative)
+        total += int(data.get("count", 0))
+        total_sum += float(data.get("sum", 0.0))
+        if data.get("count", 0):
+            low = min(low, float(data["min"]))
+            high = max(high, float(data["max"]))
+    bounds = bounds or []
+    merged: dict[str, Any] = {
+        "count": total,
+        "sum": total_sum,
+        "buckets": list(zip(bounds, counts)),
+    }
+    if total == 0:
+        return merged
+    merged["mean"] = total_sum / total
+    merged["min"] = low
+    merged["max"] = high
+
+    def quantile(q: float) -> float:
+        rank = max(1, int(q * total + 0.5))
+        for bound, cumulative in zip(bounds, counts):
+            if cumulative >= rank:
+                return min(bound, high)
+        return high
+
+    merged["p50"] = quantile(0.50)
+    merged["p90"] = quantile(0.90)
+    merged["p99"] = quantile(0.99)
+    return merged
+
+
+def merge_snapshots(snapshots: "list[dict[str, Any]]") -> dict[str, Any]:
+    """Fold many :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    The fleet front end serves a single ``/metrics`` document for N
+    worker processes, each with its own in-process registry; this is the
+    aggregation rule it applies to their shipped snapshots:
+
+    * **counters** sum (event tallies are additive across processes);
+    * **gauges** average (per-worker levels like cache hit rate or
+      configured shard count read as the fleet-typical value — summing
+      a hit *rate* across workers would be meaningless);
+    * **histograms** merge bucket-wise (counts and sums add; quantiles
+      are recomputed from the merged cumulative buckets), preserving
+      Prometheus ``le`` semantics in the merged exposition.
+
+    Snapshots are plain dicts, so worker processes can ship them over an
+    IPC queue without sharing registry objects.
+    """
+    counters: dict[str, float] = {}
+    gauge_values: dict[str, list[float]] = {}
+    histograms: dict[str, list[dict[str, Any]]] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            gauge_values.setdefault(name, []).append(float(value))
+        for name, data in snapshot.get("histograms", {}).items():
+            histograms.setdefault(name, []).append(data)
+    return {
+        "counters": counters,
+        "gauges": {
+            name: sum(values) / len(values)
+            for name, values in gauge_values.items()
+        },
+        "histograms": {
+            name: _merge_histograms(dicts)
+            for name, dicts in histograms.items()
+        },
+    }
+
+
 _GLOBAL_REGISTRY = MetricsRegistry()
 
 

@@ -178,6 +178,16 @@ class RetrievalService:
         Tile-screen leaf window for the underlying engine.
     n_shards:
         Default row-band count per query (overridable per call).
+    pool_workers:
+        Thread count of the service-lifetime shard pool. The default
+        (``None``) resolves to ``max(8, 2 * n_shards)`` — enough threads
+        that two concurrent queries at the default shard count never
+        queue behind each other, independent of the machine's CPU count
+        (pool sizing is an explicit serving knob, never a silent
+        environment read). Both counts are published as the
+        ``service.n_shards`` / ``service.pool_workers`` gauges at
+        construction so an operator can read the fleet's configuration
+        off ``/metrics``.
     cache_size:
         LRU capacity in cached results; ``0`` disables caching.
     archive:
@@ -196,12 +206,17 @@ class RetrievalService:
         stack: RasterStack,
         leaf_size: int = 16,
         n_shards: int = 4,
+        pool_workers: int | None = None,
         cache_size: int = 128,
         archive: Archive | None = None,
         registry: MetricsRegistry | None = None,
     ) -> None:
         if n_shards < 1:
             raise QueryError(f"n_shards must be positive, got {n_shards}")
+        if pool_workers is not None and pool_workers < 1:
+            raise QueryError(
+                f"pool_workers must be positive, got {pool_workers}"
+            )
         self.engine = RasterRetrievalEngine(stack, leaf_size=leaf_size)
         self.n_shards = n_shards
         self.cache: QueryCache | None = (
@@ -228,12 +243,29 @@ class RetrievalService:
         # closes it when the service is collected — it must reference
         # the pool, never self, or the service would stay alive forever.
         self._pool: ThreadPoolExecutor | None = None
-        self._pool_workers = max(8, 2 * n_shards)
+        self._pool_workers = (
+            pool_workers if pool_workers is not None
+            else max(8, 2 * n_shards)
+        )
+        # Configuration gauges: the effective (not just requested)
+        # sizing knobs, readable off /metrics — a fleet operator should
+        # never have to infer pool shape from source defaults.
+        self.registry.gauge("service.n_shards", float(self.n_shards))
+        self.registry.gauge(
+            "service.pool_workers", float(self._pool_workers)
+        )
+        self.registry.gauge("service.cache_capacity", float(cache_size))
         # Telemetry export is opt-in: with no sink attached the hot path
         # pays one None check per query (the no-exporter fast path the
         # overhead benchmark pins).
         self._telemetry: TelemetrySink | None = None
         self._metrics_server: MetricsServer | None = None
+
+    @property
+    def pool_workers(self) -> int:
+        """Effective shard-pool thread count (the resolved default when
+        the constructor was given ``pool_workers=None``)."""
+        return self._pool_workers
 
     def _shard_pool(self) -> ThreadPoolExecutor:
         """The service-lifetime executor shard searches run on.
@@ -363,6 +395,7 @@ class RetrievalService:
         cancel: CancellationToken | None = None,
         explain: bool = False,
         strategy: str = "quadtree",
+        trace_id: str | None = None,
     ) -> "RetrievalResult | ExplainReport":
         """Answer ``query`` through the cache and the shard pool.
 
@@ -420,7 +453,10 @@ class RetrievalService:
                 f"unknown strategy {strategy!r}; expected 'quadtree', "
                 "'auto', 'onion', or 'scan'"
             )
-        trace = QueryTrace()
+        # ``trace_id`` lets a fronting process (the HTTP fleet) stamp
+        # its correlation id on the worker-side trace, so one id follows
+        # a request from admission through shard search in the exports.
+        trace = QueryTrace(trace_id=trace_id)
         if deadline_s is not None:
             if deadline_s <= 0:
                 raise QueryError(
@@ -576,6 +612,7 @@ class RetrievalService:
         cancel: (
             "CancellationToken | Sequence[CancellationToken | None] | None"
         ) = None,
+        trace_id: str | None = None,
     ) -> list[RetrievalResult]:
         """Answer many queries, sharing one archive traversal where legal.
 
@@ -631,7 +668,7 @@ class RetrievalService:
             for value, parent in zip(deadlines, cancels)
         ]
 
-        trace = BatchTrace(batch_size=n_queries)
+        trace = BatchTrace(batch_size=n_queries, trace_id=trace_id)
         with self._lock:
             self.stats.queries += n_queries
             self.stats.batches += 1

@@ -321,8 +321,10 @@ class BatchTrace(QueryTrace):
     the batch's ``wall_seconds`` (property-tested).
     """
 
-    def __init__(self, batch_size: int = 0) -> None:
-        super().__init__()
+    def __init__(
+        self, batch_size: int = 0, trace_id: str | None = None
+    ) -> None:
+        super().__init__(trace_id=trace_id)
         self.batch_size = batch_size
         self.children: list[QueryTrace] = []
 

@@ -1,0 +1,56 @@
+"""Multi-process serving: an asyncio HTTP front end over a worker fleet.
+
+The thread-pool shards inside one :class:`~repro.service.retrieval
+.RetrievalService` all share one GIL, so compute-bound throughput is
+capped at roughly one core no matter how many shards are configured.
+This package removes that ceiling with a process architecture:
+
+* :mod:`repro.serving.shm` — the archive's raster bands are exported
+  **once** into :mod:`multiprocessing.shared_memory` blocks and
+  re-wrapped zero-copy as numpy views in every worker process;
+* :mod:`repro.serving.worker` — the worker entrypoint: attach the
+  shared stack, build a private :class:`RetrievalService`, warm any
+  configured indexes, then answer requests over its own pipe pair;
+* :mod:`repro.serving.fleet` — :class:`WorkerFleet` spawns N workers,
+  dispatches requests with least-loaded placement, detects crashes and
+  respawns (in-flight requests are retried once or failed cleanly,
+  never hung), and aggregates per-worker metrics snapshots;
+* :mod:`repro.serving.http` — :class:`ServingServer`, the stdlib-only
+  asyncio front end: ``POST /query`` / ``POST /batch``, admission
+  control (bounded queue, per-client token buckets, 429 +
+  ``Retry-After`` load shedding), HTTP deadline headers propagated into
+  the worker-side :class:`~repro.service.tracing.CancellationToken`
+  machinery, and an in-flight coalescer that feeds concurrent
+  compatible queries through one shared-scan ``top_k_batch`` call;
+* :mod:`repro.serving.protocol` — the JSON wire format both sides
+  speak, plus the picklable IPC request/response records.
+
+Every answer a worker process returns is bit-identical to the
+in-process ``top_k`` / ``top_k_batch`` result for the same query
+(differential-tested): the workers run the same service code over the
+same float64 bits, and JSON float round-trips are exact.
+"""
+
+from repro.serving.fleet import FleetConfig, WorkerFleet
+from repro.serving.http import ServingServer
+from repro.serving.protocol import (
+    ProtocolError,
+    decode_query,
+    encode_model,
+    encode_query,
+    encode_result,
+)
+from repro.serving.shm import SharedStackExport, attach_stack
+
+__all__ = [
+    "FleetConfig",
+    "WorkerFleet",
+    "ServingServer",
+    "ProtocolError",
+    "decode_query",
+    "encode_model",
+    "encode_query",
+    "encode_result",
+    "SharedStackExport",
+    "attach_stack",
+]

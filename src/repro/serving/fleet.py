@@ -1,0 +1,617 @@
+"""The worker fleet: N processes over one shared-memory archive.
+
+:class:`WorkerFleet` owns the process architecture underneath the HTTP
+front end:
+
+* **one export, N attachments** — the raster stack is copied once into
+  shared memory (:class:`~repro.serving.shm.SharedStackExport`); every
+  worker re-wraps the same blocks zero-copy, so fleet RSS grows with
+  worker *code*, not archive size;
+* **per-worker pipes, no shared locks** — each worker talks over its
+  own pair of one-way :func:`multiprocessing.Pipe` connections (parent
+  writes requests, worker writes replies). ``multiprocessing.Queue``
+  is deliberately NOT used for replies: every writer of a queue funnels
+  through one shared feeder lock, and a worker that dies between
+  ``send_bytes`` and the lock release poisons the whole fleet — the
+  parent can even receive the final message before the sender releases,
+  so "READY arrived, then the worker crashed" leaves every *other*
+  worker's replies blocked forever. Single-writer/single-reader pipes
+  have no cross-process locks to orphan, and a crash costs only that
+  worker's pipes, which the respawn replaces with fresh ones;
+* **least-loaded dispatch** — :meth:`submit` places each
+  :class:`~repro.serving.protocol.WorkItem` with the worker holding the
+  fewest in-flight items and returns a :class:`concurrent.futures
+  .Future` that resolves to the worker's :class:`~repro.serving
+  .protocol.WorkReply` (always a reply — worker failures surface as
+  ``ok=False`` replies, never hung futures);
+* **crash recovery** — a monitor thread watches process sentinels; when
+  a worker dies the fleet respawns it on fresh pipes and every
+  unanswered item of that worker is either resubmitted once
+  (``retry_on_crash``, the default) or failed cleanly with
+  ``error_kind="crashed"``. Duplicate replies from a retried item the
+  dead worker also managed to answer are ignored by id;
+* **fleet-wide warm + stats** — :meth:`warm_index` broadcasts an index
+  build to every worker (the startup warm hook uses the same spec), and
+  :meth:`stats` gathers per-worker registry snapshots for the front
+  end's merged ``/metrics`` document.
+
+Workers are spawned (never forked): the parent runs threads, and fork
+plus threads is a deadlock lottery. Spawn also makes the worker entry
+importable-by-name, which is what keeps it testable in isolation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Any
+
+from repro.data.raster import RasterStack
+from repro.metrics.registry import (
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.serving.protocol import WorkItem, WorkReply
+from repro.serving.shm import SharedStackExport
+from repro.serving.worker import READY_ID, WorkerConfig, worker_main
+
+
+class FleetError(RuntimeError):
+    """Fleet lifecycle failure (startup timeout, submit after stop)."""
+
+
+@dataclass
+class FleetConfig:
+    """Fleet shape and worker knobs (one object, explicit defaults).
+
+    ``n_workers`` is an explicit argument with a documented default of
+    2 — never a silent CPU-count read — matching the service-side rule
+    that serving capacity is configuration, not environment sniffing.
+    """
+
+    n_workers: int = 2
+    n_shards: int = 2
+    pool_workers: int | None = None
+    cache_size: int = 128
+    leaf_size: int = 16
+    warm: list[dict[str, Any]] = field(default_factory=list)
+    debug_hooks: bool = False
+    retry_on_crash: bool = True
+    start_timeout_s: float = 120.0
+
+    def worker_config(self) -> WorkerConfig:
+        return WorkerConfig(
+            n_shards=self.n_shards,
+            pool_workers=self.pool_workers,
+            cache_size=self.cache_size,
+            leaf_size=self.leaf_size,
+            warm=list(self.warm),
+            debug_hooks=self.debug_hooks,
+        )
+
+
+@dataclass
+class _Inflight:
+    item: WorkItem
+    future: "Future[WorkReply]"
+    worker_id: int
+    retries: int = 0
+
+
+class WorkerFleet:
+    """Spawn, feed, watch, and drain N worker processes."""
+
+    def __init__(
+        self,
+        stack: RasterStack,
+        config: FleetConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config if config is not None else FleetConfig()
+        if self.config.n_workers < 1:
+            raise FleetError(
+                f"n_workers must be positive, got {self.config.n_workers}"
+            )
+        self._stack = stack
+        #: Fleet-side metrics (restarts, crash retries); the front end
+        #: passes its own registry so these merge into ``/metrics``.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._ctx = multiprocessing.get_context("spawn")
+        self._export: SharedStackExport | None = None
+        self._procs: list[Any] = []
+        #: Parent-side pipe ends. _request_conns[i] is written only
+        #: under _send_locks[i] (Connection.send is not thread-safe);
+        #: _reply_conns[i] is read only by the collector thread.
+        self._request_conns: list[Any] = []
+        self._reply_conns: list[Any] = []
+        self._send_locks: list[threading.Lock] = []
+        self._ready: list[threading.Event] = []
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._inflight: dict[int, _Inflight] = {}
+        self._load: list[int] = []
+        self._restarts = 0
+        self._started = False
+        self._stopping = False
+        self._collector: threading.Thread | None = None
+        self._monitor: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._started and not self._stopping
+
+    @property
+    def n_workers(self) -> int:
+        return self.config.n_workers
+
+    @property
+    def restarts(self) -> int:
+        """Workers respawned after a crash over the fleet's lifetime."""
+        with self._lock:
+            return self._restarts
+
+    def start(self) -> "WorkerFleet":
+        """Export the archive, spawn every worker, wait until all are
+        ready (attached + warmed). Idempotent."""
+        if self._started:
+            return self
+        self._export = SharedStackExport(self._stack)
+        self._procs = [None] * self.n_workers
+        self._request_conns = [None] * self.n_workers
+        self._reply_conns = [None] * self.n_workers
+        self._send_locks = [threading.Lock() for _ in range(self.n_workers)]
+        self._ready = [threading.Event() for _ in range(self.n_workers)]
+        self._load = [0] * self.n_workers
+        self._started = True
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-fleet-collect", daemon=True
+        )
+        self._collector.start()
+        for worker_id in range(self.n_workers):
+            self._spawn(worker_id)
+        deadline = time.monotonic() + self.config.start_timeout_s
+        for worker_id, event in enumerate(self._ready):
+            if not event.wait(max(0.0, deadline - time.monotonic())):
+                self.stop()
+                raise FleetError(
+                    f"worker {worker_id} did not become ready within "
+                    f"{self.config.start_timeout_s}s"
+                )
+        self._monitor = threading.Thread(
+            target=self._watch, name="repro-fleet-monitor", daemon=True
+        )
+        self._monitor.start()
+        self.registry.gauge("fleet.workers", float(self.n_workers))
+        return self
+
+    def _spawn(self, worker_id: int) -> None:
+        """Start (or restart) one worker on a fresh pair of pipes.
+
+        Fresh pipes on every respawn: a stale request pipe could hold a
+        half-delivered stream, and the old reply pipe died with its
+        writer. New file descriptors make the new worker's channel
+        state trivially clean.
+        """
+        assert self._export is not None
+        request_read, request_write = self._ctx.Pipe(duplex=False)
+        reply_read, reply_write = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                worker_id,
+                self._export.manifest,
+                request_read,
+                reply_write,
+                self.config.worker_config(),
+            ),
+            name=f"repro-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        # The child duplicated its ends at spawn; close ours so a
+        # worker death shows up as EOF instead of a silently-open pipe.
+        request_read.close()
+        reply_write.close()
+        with self._lock:
+            old_request = self._request_conns[worker_id]
+            self._procs[worker_id] = process
+            self._request_conns[worker_id] = request_write
+            self._reply_conns[worker_id] = reply_read
+        if old_request is not None:
+            try:
+                old_request.close()
+            except OSError:
+                pass
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Drain and terminate the fleet; unlink the shared archive."""
+        if not self._started or self._stopping:
+            return
+        self._stopping = True
+        for worker_id in range(self.n_workers):
+            try:
+                self._send(worker_id, WorkItem(kind="shutdown", request_id=0))
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + timeout_s
+        for process in self._procs:
+            if process is None:
+                continue
+            process.join(max(0.1, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(2.0)
+        # The collector exits on the stopping flag at its next wait
+        # timeout; no sentinel message is needed with pipes.
+        if self._collector is not None:
+            self._collector.join(5.0)
+        with self._lock:
+            pending = list(self._inflight.values())
+            self._inflight.clear()
+            conns = [*self._request_conns, *self._reply_conns]
+            self._request_conns = [None] * self.n_workers
+            self._reply_conns = [None] * self.n_workers
+        for entry in pending:
+            self._resolve_error(entry, "fleet stopped")
+        for conn in conns:
+            if conn is None:
+                continue
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._export is not None:
+            self._export.close()
+            self._export = None
+
+    def __enter__(self) -> "WorkerFleet":
+        return self.start()
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _send(self, worker_id: int, item: WorkItem) -> None:
+        """Write one item to a worker's request pipe."""
+        with self._send_locks[worker_id]:
+            conn = self._request_conns[worker_id]
+            if conn is None:
+                raise BrokenPipeError(
+                    f"worker {worker_id} has no request pipe"
+                )
+            conn.send(item)
+
+    def submit(self, item: WorkItem, worker_id: int | None = None) -> "Future[WorkReply]":
+        """Queue one work item and return its reply future.
+
+        ``worker_id`` pins the item to one worker (stats/warm
+        broadcasts); the default places it on the least-loaded worker.
+        The future always resolves to a :class:`WorkReply` — crashes
+        and shutdowns become ``ok=False`` replies, never exceptions or
+        hangs.
+        """
+        if not self.started:
+            raise FleetError("fleet is not running")
+        future: "Future[WorkReply]" = Future()
+        with self._lock:
+            if worker_id is None:
+                worker_id = min(
+                    range(self.n_workers), key=self._load.__getitem__
+                )
+            item.request_id = next(self._ids)
+            self._inflight[item.request_id] = _Inflight(
+                item=item, future=future, worker_id=worker_id
+            )
+            self._load[worker_id] += 1
+        try:
+            self._send(worker_id, item)
+        except (OSError, ValueError):
+            # The worker died mid-submit. The in-flight entry is already
+            # registered, so the monitor's orphan sweep retries or fails
+            # it — the future can never hang.
+            pass
+        return future
+
+    def submit_query(
+        self,
+        payload: dict[str, Any],
+        deadline_at: float | None = None,
+        trace_id: str | None = None,
+    ) -> "Future[WorkReply]":
+        return self.submit(
+            WorkItem(
+                kind="query",
+                request_id=0,
+                payload=payload,
+                deadline_at=deadline_at,
+                trace_id=trace_id,
+            )
+        )
+
+    def submit_batch(
+        self,
+        payloads: list[dict[str, Any]],
+        deadlines_at: "list[float | None] | None" = None,
+        trace_id: str | None = None,
+        coalesced: bool = False,
+    ) -> "Future[WorkReply]":
+        return self.submit(
+            WorkItem(
+                kind="batch",
+                request_id=0,
+                payload=list(payloads),
+                deadline_at=(
+                    list(deadlines_at) if deadlines_at is not None else None
+                ),
+                trace_id=trace_id,
+                coalesced=coalesced,
+            )
+        )
+
+    # -- background threads ------------------------------------------------
+
+    def _collect(self) -> None:
+        """Multiplex worker reply pipes, resolving futures by id."""
+        while not self._stopping:
+            with self._lock:
+                conns = [
+                    conn for conn in self._reply_conns if conn is not None
+                ]
+            if not conns:
+                time.sleep(0.02)
+                continue
+            try:
+                readable = connection_wait(conns, timeout=0.2)
+            except OSError:
+                # A pipe was closed out from under the wait (crash
+                # recovery swap); rebuild the snapshot and keep going.
+                continue
+            for conn in readable:
+                try:
+                    reply: WorkReply = conn.recv()
+                except (EOFError, OSError):
+                    # The worker died; the monitor owns recovery. Drop
+                    # the pipe so the wait loop stops spinning on it.
+                    with self._lock:
+                        for index, live in enumerate(self._reply_conns):
+                            if live is conn:
+                                self._reply_conns[index] = None
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                    continue
+                self._dispatch_reply(reply)
+
+    def _dispatch_reply(self, reply: WorkReply) -> None:
+        if reply.request_id == READY_ID:
+            if 0 <= reply.worker_id < len(self._ready):
+                self._ready[reply.worker_id].set()
+            return
+        with self._lock:
+            entry = self._inflight.pop(reply.request_id, None)
+            if entry is not None:
+                self._load[entry.worker_id] = max(
+                    0, self._load[entry.worker_id] - 1
+                )
+        # Unknown id: a duplicate from a crash-retried item that the
+        # dying worker also answered. First reply won; drop it.
+        if entry is not None:
+            entry.future.set_result(reply)
+
+    def _watch(self) -> None:
+        """Detect dead workers; respawn and retry/fail their items."""
+        while not self._stopping:
+            # Split the fleet into live (wait on their sentinels) and
+            # already-dead (recover right now). The second bucket is
+            # essential: a worker that dies in the gap between one wait
+            # timing out and the next snapshot would otherwise be in
+            # neither set and never recovered.
+            sentinels: dict[Any, int] = {}
+            dead_ids: list[int] = []
+            for worker_id, process in enumerate(self._procs):
+                if process is None:
+                    continue
+                if process.is_alive():
+                    sentinels[process.sentinel] = worker_id
+                else:
+                    dead_ids.append(worker_id)
+            for worker_id in dead_ids:
+                if self._stopping:
+                    return
+                self._recover(worker_id)
+            if dead_ids:
+                continue
+            if not sentinels:
+                time.sleep(0.05)
+                continue
+            try:
+                dead = connection_wait(list(sentinels), timeout=0.2)
+            except OSError:
+                continue
+            for sentinel in dead:
+                if self._stopping:
+                    return
+                self._recover(sentinels[sentinel])
+
+    def _recover(self, worker_id: int) -> None:
+        """Respawn a dead worker and disposition its unanswered items."""
+        process = self._procs[worker_id]
+        if process is None or process.is_alive():
+            return
+        process.join(0.1)
+        # Holding the worker's send lock across [orphan scan .. new
+        # pipe install] closes a race with submit(): a concurrent send
+        # either lands before the scan (its entry gets swept here) or
+        # blocks until the fresh pipe exists (and is delivered to the
+        # respawned worker) — never swallowed into a dead pipe after
+        # the sweep already ran.
+        with self._send_locks[worker_id]:
+            with self._lock:
+                if self._stopping:
+                    return
+                orphans = [
+                    entry
+                    for entry in self._inflight.values()
+                    if entry.worker_id == worker_id
+                ]
+                for entry in orphans:
+                    del self._inflight[entry.item.request_id]
+                self._load[worker_id] = 0
+                self._restarts += 1
+                self._ready[worker_id].clear()
+            self.registry.inc("fleet.restarts")
+            self._spawn(worker_id)
+        for entry in orphans:
+            retryable = (
+                self.config.retry_on_crash
+                and entry.retries < 1
+                and entry.item.kind in ("query", "batch", "stats", "warm")
+            )
+            if not retryable:
+                self._resolve_error(
+                    entry,
+                    f"worker {worker_id} crashed "
+                    f"(exitcode {process.exitcode})",
+                )
+                continue
+            self.registry.inc("fleet.crash_retries")
+            with self._lock:
+                # Re-enqueue under the same id (the reply collector
+                # drops whichever answer arrives second).
+                target = min(
+                    range(self.n_workers), key=self._load.__getitem__
+                )
+                entry.retries += 1
+                entry.worker_id = target
+                self._inflight[entry.item.request_id] = entry
+                self._load[target] += 1
+            try:
+                self._send(target, entry.item)
+            except (OSError, ValueError):
+                # The retry target died too; its own recovery pass
+                # sweeps this entry up (retries is now 1, so it fails
+                # cleanly instead of looping).
+                pass
+
+    def _resolve_error(self, entry: _Inflight, message: str) -> None:
+        if not entry.future.done():
+            entry.future.set_result(
+                WorkReply(
+                    request_id=entry.item.request_id,
+                    worker_id=entry.worker_id,
+                    ok=False,
+                    error=message,
+                    error_kind="crashed",
+                )
+            )
+
+    # -- fleet-wide operations ---------------------------------------------
+
+    def describe(self) -> list[dict[str, Any]]:
+        """Liveness/load view for ``/healthz``."""
+        with self._lock:
+            return [
+                {
+                    "worker": worker_id,
+                    "alive": bool(
+                        process is not None and process.is_alive()
+                    ),
+                    "pid": process.pid if process is not None else None,
+                    "inflight": self._load[worker_id],
+                }
+                for worker_id, process in enumerate(self._procs)
+            ]
+
+    def _broadcast(
+        self, kind: str, payload: Any, timeout_s: float
+    ) -> list[WorkReply]:
+        futures = [
+            self.submit(
+                WorkItem(kind=kind, request_id=0, payload=payload),
+                worker_id=worker_id,
+            )
+            for worker_id in range(self.n_workers)
+        ]
+        deadline = time.monotonic() + timeout_s
+        replies = []
+        for future in futures:
+            remaining = max(0.05, deadline - time.monotonic())
+            try:
+                replies.append(future.result(timeout=remaining))
+            except TimeoutError:
+                continue
+        return replies
+
+    def stats(self, timeout_s: float = 5.0) -> list[dict[str, Any]]:
+        """Per-worker stats payloads (workers that miss the timeout —
+        e.g. mid-respawn — are simply absent from the list)."""
+        return [
+            reply.value
+            for reply in self._broadcast("stats", None, timeout_s)
+            if reply.ok
+        ]
+
+    def warm_index(
+        self,
+        attributes: "list[str] | tuple[str, ...]",
+        region: tuple[int, int, int, int] | None = None,
+        timeout_s: float = 60.0,
+    ) -> list[WorkReply]:
+        """Build the named Onion index on **every** worker now.
+
+        The fleet-wide counterpart of
+        :meth:`RetrievalService.warm_index`, which can only ever warm
+        the calling process. Returns one reply per worker that finished
+        in time.
+        """
+        spec = {
+            "attributes": list(attributes),
+            "region": list(region) if region is not None else None,
+        }
+        return self._broadcast("warm", spec, timeout_s)
+
+    def merged_metrics(
+        self, timeout_s: float = 5.0, extra: "list[dict] | None" = None
+    ) -> dict[str, Any]:
+        """One merged snapshot: every worker's registry plus the
+        fleet's own (and any ``extra`` snapshots, e.g. the front end's).
+        """
+        snapshots = [
+            payload["registry"] for payload in self.stats(timeout_s)
+        ]
+        snapshots.append(self.registry.snapshot())
+        if extra:
+            snapshots.extend(extra)
+        merged = merge_snapshots(snapshots)
+        merged["gauges"]["fleet.workers_alive"] = float(
+            sum(1 for entry in self.describe() if entry["alive"])
+        )
+        merged["gauges"]["fleet.restarts"] = float(self.restarts)
+        return merged
+
+    def __repr__(self) -> str:
+        state = (
+            "stopped" if not self._started
+            else "stopping" if self._stopping
+            else "running"
+        )
+        return (
+            f"WorkerFleet(workers={self.n_workers}, {state}, "
+            f"restarts={self.restarts})"
+        )
+
+
+def fleet_for_stack(
+    stack: RasterStack, **config_kwargs: Any
+) -> WorkerFleet:
+    """Convenience: a started fleet over ``stack`` with config kwargs."""
+    return WorkerFleet(stack, FleetConfig(**config_kwargs)).start()

@@ -1,0 +1,654 @@
+"""The asyncio HTTP front end of the serving fleet.
+
+:class:`ServingServer` is the admission-controlled door in front of a
+:class:`~repro.serving.fleet.WorkerFleet`. It is stdlib-only — a
+hand-rolled HTTP/1.1 loop over :func:`asyncio.start_server` with
+keep-alive, the sibling of the thread-per-request
+:class:`~repro.telemetry.server.MetricsServer` (which stays the right
+tool for low-rate diagnostics; this one exists for query traffic).
+
+Routes:
+
+``POST /query``
+    One JSON query payload (:func:`~repro.serving.protocol
+    .decode_query` format). Validated at the edge — malformed bodies
+    are rejected with 400 *before* they consume queue or worker
+    capacity — then dispatched to the fleet. Response is the
+    :func:`~repro.serving.protocol.encode_result` document.
+``POST /batch``
+    ``{"queries": [payload, ...]}`` (or a bare list) sharing one set of
+    execution knobs; answered by one shared-scan ``top_k_batch`` call.
+``GET /metrics``
+    One merged Prometheus document: every worker's registry snapshot,
+    the fleet's, and the front end's own, folded with
+    :func:`~repro.metrics.registry.merge_snapshots`.
+``GET /healthz``
+    Liveness JSON with per-worker state, queue depth, and restarts.
+
+Admission control, in the order a request meets it:
+
+1. **Per-client token bucket** (``rate_limit`` requests/second with
+   ``rate_burst`` burst, keyed by ``X-Client-Id`` or the peer address)
+   — over-rate clients get ``429`` with a ``Retry-After`` telling them
+   when a token frees up.
+2. **Queue-depth shedding** — when more than ``queue_depth`` requests
+   are already waiting for a worker, new arrivals get ``429`` +
+   ``Retry-After`` instead of unbounded queueing. The internal queue
+   itself is unbounded so coalescer *requeues* can never be dropped;
+   only fresh arrivals are shed.
+
+Deadlines arrive as an ``X-Deadline-Ms`` header and become an absolute
+``time.monotonic()`` instant that rides the work item into the worker's
+:class:`~repro.service.tracing.CancellationToken` machinery — a request
+that spends its whole budget queueing still returns a prefix-sound
+partial (``complete: false``), exactly like an in-process deadline.
+
+``X-Trace-Id`` (or a generated id) is stamped on the worker-side trace,
+so one id follows a request from front-end log to worker waterfall.
+
+Dispatch runs through one lane task per worker. A lane that picks up a
+query opportunistically drains further queued queries with the same
+:func:`~repro.serving.protocol.batch_key` (up to ``coalesce_max``) and
+ships them as one ``top_k_batch`` call — under load, compatible
+concurrent clients share one archive traversal for free. Batch members
+are bit-identical to solo runs (the planner's contract), so coalescing
+is invisible in the answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.metrics.registry import MetricsRegistry, merge_snapshots
+from repro.serving.fleet import WorkerFleet
+from repro.serving.protocol import (
+    ProtocolError,
+    WorkReply,
+    batch_key,
+    decode_query,
+)
+from repro.telemetry.prometheus import CONTENT_TYPE, render_prometheus
+
+_TRACE_ID_OK = re.compile(r"^[0-9a-zA-Z_\-]{1,64}$")
+
+#: ``error_kind`` -> HTTP status for failed worker replies.
+_ERROR_STATUS = {"protocol": 400, "query": 400, "crashed": 503}
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    ``try_acquire`` returns ``0.0`` when a token was taken, else the
+    seconds until one becomes available (the ``Retry-After`` hint).
+    ``now`` is injectable so rate-limit tests run on a fake clock.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        now: Any = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._now = now
+        self._tokens = float(burst)
+        self._stamp = now()
+
+    def try_acquire(self, n: float = 1.0) -> float:
+        current = self._now()
+        self._tokens = min(
+            self.burst, self._tokens + (current - self._stamp) * self.rate
+        )
+        self._stamp = current
+        if self._tokens >= n:
+            self._tokens -= n
+            return 0.0
+        return (n - self._tokens) / self.rate
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting in the dispatch queue."""
+
+    kind: str  # "query" | "batch"
+    payload: Any
+    deadline_at: "float | list[float | None] | None"
+    trace_id: str
+    future: "asyncio.Future[WorkReply]"
+    key: tuple | None = None
+    members: int = 1
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class ServingServer:
+    """Asyncio HTTP front end over a started :class:`WorkerFleet`.
+
+    Parameters
+    ----------
+    fleet:
+        A **started** fleet; the server never owns its lifecycle.
+    queue_depth:
+        Admitted-but-undispatched requests beyond which new arrivals
+        are shed with 429 (default 64).
+    rate_limit / rate_burst:
+        Per-client steady rate (requests/second) and burst; ``None``
+        disables rate limiting (the default — most deployments shed on
+        queue depth alone).
+    coalesce / coalesce_max:
+        Enable in-flight query coalescing and cap the members one
+        shared-scan call may carry (default on, 8).
+    registry:
+        Front-end metrics registry (``frontend.*`` series); merged into
+        ``/metrics`` next to the workers' snapshots.
+    """
+
+    def __init__(
+        self,
+        fleet: WorkerFleet,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_depth: int = 64,
+        rate_limit: float | None = None,
+        rate_burst: float | None = None,
+        coalesce: bool = True,
+        coalesce_max: int = 8,
+        registry: MetricsRegistry | None = None,
+        labels: "dict[str, str] | None" = None,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be positive, got {queue_depth}")
+        if coalesce_max < 2:
+            raise ValueError(f"coalesce_max must be >= 2, got {coalesce_max}")
+        self.fleet = fleet
+        self.queue_depth = queue_depth
+        self.rate_limit = rate_limit
+        self.rate_burst = (
+            rate_burst if rate_burst is not None
+            else (rate_limit if rate_limit is not None else None)
+        )
+        self.coalesce = coalesce
+        self.coalesce_max = coalesce_max
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._labels = dict(labels) if labels else None
+        self._requested_host = host
+        self._requested_port = port
+        self._buckets: dict[str, TokenBucket] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._queue: "asyncio.Queue[_Pending] | None" = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._bound: tuple[str, int] | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ServingServer":
+        """Bind and serve on a dedicated event-loop thread (idempotent)."""
+        if self._thread is not None:
+            return self
+        if not self.fleet.started:
+            raise RuntimeError("fleet must be started before the server")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-serving-http", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(30.0)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"serving server failed to start: {self._startup_error}"
+            )
+        if self._bound is None:
+            raise RuntimeError("serving server did not bind within 30s")
+        return self
+
+    def close(self) -> None:
+        """Stop accepting, cancel lanes, join the loop thread."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and loop.is_running():
+            loop.call_soon_threadsafe(stop.set)
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+
+    @property
+    def host(self) -> str:
+        return self._bound[0] if self._bound else self._requested_host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` ephemeral binds)."""
+        return self._bound[1] if self._bound else self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "ServingServer":
+        return self.start()
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        except BaseException as error:  # noqa: BLE001 - surfaced via start()
+            self._startup_error = error
+            self._ready.set()
+        finally:
+            loop.close()
+
+    async def _serve(self) -> None:
+        self._queue = asyncio.Queue()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_client, self._requested_host, self._requested_port
+        )
+        sockname = server.sockets[0].getsockname()
+        self._bound = (sockname[0], sockname[1])
+        lanes = [
+            asyncio.create_task(self._lane(), name=f"repro-lane-{index}")
+            for index in range(self.fleet.n_workers)
+        ]
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for lane in lanes:
+                lane.cancel()
+            await asyncio.gather(*lanes, return_exceptions=True)
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        peer_host = peer[0] if isinstance(peer, tuple) else "unknown"
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    return
+                parts = request_line.decode("latin-1").split()
+                if len(parts) < 2:
+                    await self._respond(
+                        writer, 400, {"error": "malformed request line"}
+                    )
+                    return
+                method, path = parts[0].upper(), parts[1]
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", "0") or 0)
+                body = await reader.readexactly(length) if length else b""
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                started = time.monotonic()
+                self.registry.inc("frontend.requests")
+                (
+                    status,
+                    payload,
+                    content_type,
+                    extra_headers,
+                ) = await self._route(method, path, headers, body, peer_host)
+                self.registry.observe(
+                    "frontend.request_seconds", time.monotonic() - started
+                )
+                await self._respond(
+                    writer,
+                    status,
+                    payload,
+                    content_type=content_type,
+                    extra_headers=extra_headers,
+                    keep_alive=keep_alive,
+                )
+                if not keep_alive:
+                    return
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        content_type: str = "application/json",
+        extra_headers: "dict[str, str] | None" = None,
+        keep_alive: bool = True,
+    ) -> None:
+        if isinstance(payload, bytes):
+            body = payload
+        else:
+            body = json.dumps(payload, default=str).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 429: "Too Many Requests",
+                  500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "OK")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(
+            ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+        )
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        headers: dict[str, str],
+        body: bytes,
+        peer_host: str,
+    ) -> tuple:
+        route = path.split("?", 1)[0].rstrip("/") or "/"
+        if route == "/query" or route == "/batch":
+            if method != "POST":
+                return 405, {"error": f"{route} requires POST"}, "application/json", None
+            return await self._admit(route, headers, body, peer_host)
+        if route == "/metrics":
+            return await self._metrics()
+        if route == "/healthz":
+            return await self._healthz()
+        return (
+            404,
+            {
+                "error": "not found",
+                "routes": ["/query", "/batch", "/metrics", "/healthz"],
+            },
+            "application/json",
+            None,
+        )
+
+    async def _metrics(self) -> tuple:
+        assert self._loop is not None
+        frontend = self.registry.snapshot()
+        frontend["gauges"]["frontend.queue_depth"] = float(
+            self._queue.qsize() if self._queue is not None else 0
+        )
+        merged = await self._loop.run_in_executor(
+            None,
+            lambda: self.fleet.merged_metrics(extra=[frontend]),
+        )
+        text = render_prometheus(merged, labels=self._labels)
+        return 200, text.encode("utf-8"), CONTENT_TYPE, None
+
+    async def _healthz(self) -> tuple:
+        assert self._loop is not None
+        workers = await self._loop.run_in_executor(None, self.fleet.describe)
+        payload = {
+            "status": "ok" if any(w["alive"] for w in workers) else "degraded",
+            "workers": workers,
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "restarts": self.fleet.restarts,
+        }
+        return 200, payload, "application/json", None
+
+    # -- admission ---------------------------------------------------------
+
+    def _client_key(self, headers: dict[str, str], peer_host: str) -> str:
+        return headers.get("x-client-id", "") or peer_host
+
+    def _trace_id(self, headers: dict[str, str]) -> str:
+        supplied = headers.get("x-trace-id", "")
+        if supplied and _TRACE_ID_OK.match(supplied):
+            return supplied
+        return uuid.uuid4().hex[:16]
+
+    def _deadline_at(self, headers: dict[str, str]) -> float | None:
+        raw = headers.get("x-deadline-ms")
+        if raw is None:
+            return None
+        try:
+            millis = float(raw)
+        except ValueError as error:
+            raise ProtocolError(
+                f"X-Deadline-Ms must be a number, got {raw!r}"
+            ) from error
+        if millis <= 0:
+            raise ProtocolError(
+                f"X-Deadline-Ms must be positive, got {raw!r}"
+            )
+        return time.monotonic() + millis / 1000.0
+
+    async def _admit(
+        self,
+        route: str,
+        headers: dict[str, str],
+        body: bytes,
+        peer_host: str,
+    ) -> tuple:
+        assert self._queue is not None and self._loop is not None
+        # Rate limit first: an over-rate client is refused even when
+        # the queue is empty (protects other clients, not the fleet).
+        if self.rate_limit is not None:
+            client = self._client_key(headers, peer_host)
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(
+                    self.rate_limit, self.rate_burst or self.rate_limit
+                )
+            retry_after = bucket.try_acquire()
+            if retry_after > 0:
+                self.registry.inc("frontend.shed_rate")
+                return (
+                    429,
+                    {
+                        "error": "client rate limit exceeded",
+                        "retry_after_s": retry_after,
+                    },
+                    "application/json",
+                    {"Retry-After": str(max(1, int(retry_after + 0.999)))},
+                )
+        # Then queue depth: the fleet is saturated, shed the arrival.
+        depth = self._queue.qsize()
+        self.registry.gauge("frontend.queue_depth", float(depth))
+        if depth >= self.queue_depth:
+            self.registry.inc("frontend.shed_queue")
+            return (
+                429,
+                {"error": "server overloaded", "queued": depth},
+                "application/json",
+                {"Retry-After": "1"},
+            )
+        try:
+            parsed = json.loads(body.decode("utf-8")) if body else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, {"error": f"invalid JSON body: {error}"}, "application/json", None
+        try:
+            deadline_at = self._deadline_at(headers)
+            trace_id = self._trace_id(headers)
+            if route == "/query":
+                decode_query(parsed)  # edge validation -> 400 pre-queue
+                pending = _Pending(
+                    kind="query",
+                    payload=parsed,
+                    deadline_at=deadline_at,
+                    trace_id=trace_id,
+                    future=self._loop.create_future(),
+                    key=batch_key(parsed),
+                )
+            else:
+                queries = (
+                    parsed.get("queries")
+                    if isinstance(parsed, dict)
+                    else parsed
+                )
+                if not isinstance(queries, list) or not queries:
+                    raise ProtocolError(
+                        "batch body must be a non-empty list of query "
+                        "payloads (or {'queries': [...]})"
+                    )
+                for query in queries:
+                    decode_query(query)
+                keys = {batch_key(query) for query in queries}
+                if len(keys) > 1:
+                    raise ProtocolError(
+                        "batch members must share execution knobs"
+                    )
+                pending = _Pending(
+                    kind="batch",
+                    payload=queries,
+                    deadline_at=[deadline_at] * len(queries),
+                    trace_id=trace_id,
+                    future=self._loop.create_future(),
+                    members=len(queries),
+                )
+        except ProtocolError as error:
+            return 400, {"error": str(error)}, "application/json", None
+        self._queue.put_nowait(pending)
+        reply: WorkReply = await pending.future
+        return self._render_reply(route, pending, reply)
+
+    def _render_reply(
+        self, route: str, pending: _Pending, reply: WorkReply
+    ) -> tuple:
+        trace_headers = {"X-Trace-Id": pending.trace_id}
+        if not reply.ok:
+            status = _ERROR_STATUS.get(reply.error_kind or "", 500)
+            return (
+                status,
+                {"error": reply.error, "kind": reply.error_kind},
+                "application/json",
+                trace_headers,
+            )
+        if route == "/query":
+            return 200, reply.value, "application/json", trace_headers
+        return 200, {"results": reply.value}, "application/json", trace_headers
+
+    # -- dispatch lanes ----------------------------------------------------
+
+    async def _lane(self) -> None:
+        """One dispatch lane: take work, opportunistically coalesce,
+        ship to the fleet, distribute replies."""
+        assert self._queue is not None and self._loop is not None
+        while True:
+            pending = await self._queue.get()
+            group = [pending]
+            if (
+                self.coalesce
+                and pending.kind == "query"
+                and pending.key is not None
+                and pending.key[0] == "quadtree"
+            ):
+                group.extend(self._drain_compatible(pending.key))
+            try:
+                if len(group) == 1 and pending.kind == "batch":
+                    future = self.fleet.submit_batch(
+                        pending.payload,
+                        deadlines_at=pending.deadline_at,
+                        trace_id=pending.trace_id,
+                    )
+                elif len(group) == 1:
+                    future = self.fleet.submit_query(
+                        pending.payload,
+                        deadline_at=pending.deadline_at,
+                        trace_id=pending.trace_id,
+                    )
+                else:
+                    self.registry.inc("frontend.coalesced", len(group) - 1)
+                    future = self.fleet.submit_batch(
+                        [member.payload for member in group],
+                        deadlines_at=[
+                            member.deadline_at for member in group
+                        ],
+                        trace_id=group[0].trace_id,
+                        coalesced=True,
+                    )
+                reply = await asyncio.wrap_future(future, loop=self._loop)
+            except asyncio.CancelledError:
+                for member in group:
+                    if not member.future.done():
+                        member.future.cancel()
+                raise
+            except Exception as error:  # noqa: BLE001 - lane must survive
+                reply = WorkReply(
+                    request_id=0,
+                    worker_id=-1,
+                    ok=False,
+                    error=f"{type(error).__name__}: {error}",
+                    error_kind="internal",
+                )
+            self._distribute(group, reply)
+
+    def _drain_compatible(self, key: tuple) -> "list[_Pending]":
+        """Pull queued queries sharing ``key`` (requeue the rest)."""
+        assert self._queue is not None
+        taken: list[_Pending] = []
+        requeue: list[_Pending] = []
+        while len(taken) < self.coalesce_max - 1:
+            try:
+                candidate = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if candidate.kind == "query" and candidate.key == key:
+                taken.append(candidate)
+            else:
+                requeue.append(candidate)
+        for candidate in requeue:
+            self._queue.put_nowait(candidate)
+        return taken
+
+    def _distribute(
+        self, group: "list[_Pending]", reply: WorkReply
+    ) -> None:
+        """Fan one fleet reply back out to every member's future."""
+        if len(group) == 1:
+            if not group[0].future.done():
+                group[0].future.set_result(reply)
+            return
+        if not reply.ok or not isinstance(reply.value, list):
+            for member in group:
+                if not member.future.done():
+                    member.future.set_result(reply)
+            return
+        for member, value in zip(group, reply.value):
+            if not member.future.done():
+                member.future.set_result(
+                    WorkReply(
+                        request_id=reply.request_id,
+                        worker_id=reply.worker_id,
+                        ok=True,
+                        value=value,
+                    )
+                )

@@ -1,0 +1,218 @@
+"""Zero-copy archive sharing across worker processes.
+
+The parent exports each raster band of a :class:`~repro.data.raster
+.RasterStack` into one :class:`multiprocessing.shared_memory
+.SharedMemory` block — one float64 copy, made at export time — and
+hands workers a picklable :class:`StackManifest` naming the blocks.
+Each worker re-wraps the blocks as read-only numpy views
+(:func:`attach_stack`), so N workers serve one physical copy of the
+archive: worker RSS stays flat in the archive size, and every process
+reads byte-identical float64 values (the bit-identity contract the
+fleet differential tests pin).
+
+Lifecycle: the export owns the blocks. Workers ``close()`` their
+attachments (views die with them); only :meth:`SharedStackExport.close`
+unlinks the segments from the system. A ``weakref.finalize`` backstop
+unlinks on garbage collection so a crashed parent does not leak
+``/dev/shm`` segments within one interpreter lifetime.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.data.raster import RasterLayer, RasterStack
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One exported band: where it lives and how to re-wrap it."""
+
+    name: str
+    shm_name: str
+    rows: int
+    cols: int
+
+
+@dataclass(frozen=True)
+class StackManifest:
+    """Picklable description of an exported stack (order preserved)."""
+
+    layers: tuple[LayerSpec, ...]
+
+    @property
+    def names(self) -> list[str]:
+        return [spec.name for spec in self.layers]
+
+    @property
+    def nbytes(self) -> int:
+        """Total exported payload (float64 cells across all bands)."""
+        return sum(spec.rows * spec.cols * 8 for spec in self.layers)
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Detach ``shm`` from this process's resource tracker.
+
+    On Python < 3.13 every attach registers with the tracker, which
+    would unlink the segment when the *attaching* process exits —
+    yanking the archive out from under the rest of the fleet (and
+    spamming "leaked shared_memory" warnings). Ownership is explicit
+    here: only the exporting parent may unlink.
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        # Best-effort: a tracker API change must never break serving.
+        pass
+
+
+class SharedStackExport:
+    """Parent-side export of a raster stack into shared memory.
+
+    Creating the export copies each band once; :attr:`manifest` is the
+    picklable handle workers attach through. ``close()`` (or garbage
+    collection of the export) unlinks every segment.
+    """
+
+    def __init__(self, stack: RasterStack) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        specs: list[LayerSpec] = []
+        try:
+            for name in stack.names:
+                values = stack[name].values
+                rows, cols = values.shape
+                segment = shared_memory.SharedMemory(
+                    create=True, size=values.nbytes
+                )
+                view = np.ndarray(
+                    (rows, cols), dtype=np.float64, buffer=segment.buf
+                )
+                np.copyto(view, values)
+                self._segments.append(segment)
+                specs.append(
+                    LayerSpec(
+                        name=name,
+                        shm_name=segment.name,
+                        rows=rows,
+                        cols=cols,
+                    )
+                )
+        except BaseException:
+            for segment in self._segments:
+                segment.close()
+                segment.unlink()
+            raise
+        self.manifest = StackManifest(layers=tuple(specs))
+        self._closed = False
+        # Backstop only — explicit close() is the supported path. The
+        # finalizer must capture the segment list, never self.
+        self._finalizer = weakref.finalize(
+            self, _unlink_segments, list(self._segments)
+        )
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent). Workers must be gone."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _unlink_segments(self._segments)
+
+    def __enter__(self) -> "SharedStackExport":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"SharedStackExport(layers={len(self.manifest.layers)}, "
+            f"bytes={self.manifest.nbytes}, {state})"
+        )
+
+
+def _unlink_segments(segments: list[shared_memory.SharedMemory]) -> None:
+    for segment in segments:
+        try:
+            # Spawned workers share this process's resource tracker, and
+            # their attach-time unregister (see _untrack) also strips the
+            # parent's registration from the shared cache. Re-register
+            # (idempotent set-add) so unlink()'s own unregister balances.
+            resource_tracker.register(segment._name, "shared_memory")
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class AttachedStack:
+    """A worker-side view of an exported stack.
+
+    ``stack`` is a real :class:`RasterStack` whose layers wrap the
+    shared blocks **without copying** (``RasterLayer(..., copy=False)``)
+    — the arrays are read-only views directly over ``/dev/shm``.
+    Keep the attachment alive as long as the stack is in use; ``close()``
+    drops this process's mapping (never unlinks).
+    """
+
+    def __init__(
+        self,
+        stack: RasterStack,
+        segments: list[shared_memory.SharedMemory],
+    ) -> None:
+        self.stack = stack
+        self._segments = segments
+        self._closed = False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Dropping the numpy views before unmapping: the layers hold
+        # the only references besides ours, so clearing the stack makes
+        # close() safe (a live exported buffer would raise).
+        self.stack.layers.clear()
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:
+                # Someone still holds a view; leave the mapping to the
+                # process teardown rather than crash the worker.
+                pass
+
+    def __enter__(self) -> "AttachedStack":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+def attach_stack(manifest: StackManifest) -> AttachedStack:
+    """Attach this process to an exported stack, zero-copy.
+
+    Safe to call from the exporting process too (tests do): the views
+    alias the same physical pages either way.
+    """
+    segments: list[shared_memory.SharedMemory] = []
+    stack = RasterStack()
+    try:
+        for spec in manifest.layers:
+            segment = shared_memory.SharedMemory(name=spec.shm_name)
+            _untrack(segment)
+            segments.append(segment)
+            view = np.ndarray(
+                (spec.rows, spec.cols),
+                dtype=np.float64,
+                buffer=segment.buf,
+            )
+            stack.add(RasterLayer(spec.name, view, copy=False))
+    except BaseException:
+        for segment in segments:
+            segment.close()
+        raise
+    return AttachedStack(stack, segments)

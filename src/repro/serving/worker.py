@@ -1,0 +1,252 @@
+"""The worker-process entrypoint of the serving fleet.
+
+:func:`worker_main` is what each fleet process runs: attach the
+shared-memory archive (zero-copy), build a private
+:class:`~repro.service.retrieval.RetrievalService` over it, run the
+configured warm hooks, then loop answering :class:`~repro.serving
+.protocol.WorkItem` requests from the fleet over this worker's own
+request/reply pipe pair (single writer, single reader — no locks
+shared with other workers).
+
+Design points:
+
+* **Warm-at-startup** — every warm spec in :attr:`WorkerConfig.warm`
+  is built *before* the worker reports ready, so fleet-wide Onion
+  index construction happens during startup, never on a user's first
+  query (the fix for ``warm_index()`` only warming the calling
+  process).
+* **Deadlines** — requests carry absolute ``time.monotonic()``
+  deadlines; the worker converts to a remaining budget and hands it to
+  the service, which threads it into the existing
+  :class:`~repro.service.tracing.CancellationToken` machinery. A
+  request that expired in the queue still returns a prefix-sound
+  partial.
+* **Never dies on a bad request** — per-item exceptions become error
+  replies (``protocol`` / ``query`` / ``internal``); only
+  ``shutdown`` (or a fault-injection ``crash`` when ``debug_hooks``)
+  ends the loop.
+* **Own registry** — each worker aggregates into a private
+  :class:`~repro.metrics.registry.MetricsRegistry` and ships snapshots
+  on ``stats`` requests; the front end merges them into one
+  ``/metrics`` document.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import QueryError
+from repro.metrics.registry import MetricsRegistry
+from repro.serving.protocol import (
+    ProtocolError,
+    WorkItem,
+    WorkReply,
+    batch_key,
+    deadline_remaining_s,
+    decode_query,
+    encode_result,
+)
+from repro.serving.shm import StackManifest, attach_stack
+
+#: Reply ``request_id`` announcing a worker finished startup (attach +
+#: service build + warm hooks) and entered its serve loop.
+READY_ID = -1
+
+
+@dataclass
+class WorkerConfig:
+    """Per-worker service knobs, shipped picklable at spawn time."""
+
+    n_shards: int = 2
+    pool_workers: int | None = None
+    cache_size: int = 128
+    leaf_size: int = 16
+    #: Warm specs run before the worker reports ready:
+    #: ``{"attributes": [names...], "region": [r0,c0,r1,c1] | None}``.
+    warm: list[dict[str, Any]] = field(default_factory=list)
+    #: Enables the ``crash`` / ``sleep`` fault-injection request kinds
+    #: (recovery tests only; never set in real serving).
+    debug_hooks: bool = False
+
+
+def worker_main(
+    worker_id: int,
+    manifest: StackManifest,
+    requests: Any,
+    replies: Any,
+    config: WorkerConfig,
+) -> None:
+    """Serve loop of one fleet worker (runs in a child process)."""
+    attached = attach_stack(manifest)
+    registry = MetricsRegistry()
+    # Import here keeps the hot spawn path lean until it is needed and
+    # avoids a module-level serving -> service -> telemetry import web
+    # in every consumer of the protocol module.
+    from repro.service.retrieval import RetrievalService
+
+    service = RetrievalService(
+        attached.stack,
+        leaf_size=config.leaf_size,
+        n_shards=config.n_shards,
+        pool_workers=config.pool_workers,
+        cache_size=config.cache_size,
+        registry=registry,
+    )
+    registry.gauge("service.worker_id", float(worker_id))
+    for spec in config.warm:
+        _warm(service, spec)
+    registry.inc("service.worker_starts")
+    replies.send(
+        WorkReply(
+            request_id=READY_ID,
+            worker_id=worker_id,
+            ok=True,
+            value={"pid": os.getpid(), "warmed": len(config.warm)},
+        )
+    )
+    try:
+        while True:
+            try:
+                item: WorkItem = requests.recv()
+            except EOFError:
+                # Parent closed its end (or died): drain out cleanly.
+                break
+            if item.kind == "shutdown":
+                break
+            replies.send(_handle(service, registry, item, worker_id, config))
+    except (BrokenPipeError, KeyboardInterrupt):
+        pass
+    finally:
+        attached.close()
+
+
+def _warm(service: Any, spec: dict[str, Any]) -> dict[str, Any]:
+    """Run one warm spec; returns a small summary for warm replies."""
+    attributes = tuple(spec["attributes"])
+    region = spec.get("region")
+    built = service.warm_index(
+        attributes, tuple(region) if region is not None else None
+    )
+    return {
+        "attributes": list(attributes),
+        "region": list(built.region),
+        "layers": built.index.n_layers,
+        "build_seconds": built.build_seconds,
+    }
+
+
+def _handle(
+    service: Any,
+    registry: MetricsRegistry,
+    item: WorkItem,
+    worker_id: int,
+    config: WorkerConfig,
+) -> WorkReply:
+    """Answer one work item, mapping failures to typed error replies."""
+    try:
+        if item.kind == "query":
+            value = _run_query(service, item)
+        elif item.kind == "batch":
+            value = _run_batch(service, item)
+        elif item.kind == "stats":
+            value = {
+                "worker_id": worker_id,
+                "pid": os.getpid(),
+                "registry": registry.snapshot(),
+                "service": {
+                    "queries": service.stats.queries,
+                    "cache_hits": service.stats.cache_hits,
+                    "cache_misses": service.stats.cache_misses,
+                    "partial_results": service.stats.partial_results,
+                    "batches": service.stats.batches,
+                    "batched_queries": service.stats.batched_queries,
+                },
+                "onion_indexes": len(service.router.index_cache),
+            }
+        elif item.kind == "warm":
+            value = _warm(service, item.payload)
+        elif item.kind == "crash":
+            if not config.debug_hooks:
+                raise ProtocolError("crash hook disabled")
+            # Simulated hard failure: no reply, no cleanup — the fleet
+            # monitor must detect the death and recover.
+            os._exit(17)
+        elif item.kind == "sleep":
+            if not config.debug_hooks:
+                raise ProtocolError("sleep hook disabled")
+            time.sleep(float(item.payload))
+            value = {"slept": float(item.payload)}
+        else:
+            raise ProtocolError(f"unknown work kind {item.kind!r}")
+    except ProtocolError as error:
+        return _error(item, worker_id, "protocol", error)
+    except QueryError as error:
+        return _error(item, worker_id, "query", error)
+    except Exception as error:  # noqa: BLE001 - worker must survive
+        return _error(item, worker_id, "internal", error)
+    return WorkReply(
+        request_id=item.request_id, worker_id=worker_id, ok=True, value=value
+    )
+
+
+def _error(
+    item: WorkItem, worker_id: int, kind: str, error: Exception
+) -> WorkReply:
+    return WorkReply(
+        request_id=item.request_id,
+        worker_id=worker_id,
+        ok=False,
+        error=f"{type(error).__name__}: {error}",
+        error_kind=kind,
+    )
+
+
+def _run_query(service: Any, item: WorkItem) -> dict[str, Any]:
+    decoded = decode_query(item.payload)
+    result = service.top_k(
+        decoded.query,
+        n_shards=decoded.n_shards,
+        use_model_levels=decoded.use_model_levels,
+        pruning=decoded.pruning,
+        heuristic_margin=decoded.heuristic_margin,
+        use_cache=decoded.use_cache,
+        deadline_s=deadline_remaining_s(item.deadline_at),
+        strategy=decoded.strategy,
+        trace_id=item.trace_id,
+    )
+    return encode_result(result)
+
+
+def _run_batch(service: Any, item: WorkItem) -> list[dict[str, Any]]:
+    payloads = item.payload
+    if not isinstance(payloads, list) or not payloads:
+        raise ProtocolError("batch payload must be a non-empty list")
+    decoded = [decode_query(payload) for payload in payloads]
+    keys = {batch_key(payload) for payload in payloads}
+    if len(keys) > 1:
+        raise ProtocolError(
+            "batch members must share execution knobs "
+            "(strategy/pruning/heuristic_margin/use_cache/n_shards)"
+        )
+    if decoded[0].strategy != "quadtree":
+        raise ProtocolError(
+            "batch execution supports strategy 'quadtree' only"
+        )
+    deadlines = item.deadline_at
+    if deadlines is None:
+        deadlines = [None] * len(decoded)
+    remaining = [deadline_remaining_s(value) for value in deadlines]
+    results = service.top_k_batch(
+        [entry.query for entry in decoded],
+        n_shards=decoded[0].n_shards,
+        use_model_levels=[entry.use_model_levels for entry in decoded],
+        pruning=decoded[0].pruning,
+        heuristic_margin=decoded[0].heuristic_margin,
+        use_cache=decoded[0].use_cache,
+        deadline_s=remaining,
+        trace_id=item.trace_id,
+    )
+    return [encode_result(result) for result in results]

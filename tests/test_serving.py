@@ -1,0 +1,644 @@
+"""Serving-fleet suite: protocol, shared memory, fleet, HTTP front end.
+
+The headline contract is *bit-identity*: every answer a worker process
+returns over HTTP equals the in-process ``top_k`` / ``top_k_batch``
+result for the same query — same cells, same order, same float bits.
+A hypothesis differential drives that through the fleet, and
+deterministic scenarios cover the operational surface: deadline headers
+becoming prefix-sound partials, 429 shedding when the queue fills,
+per-client rate limits, worker-crash recovery (retried or failed
+cleanly, never hung), warm-at-startup, and the in-flight coalescer.
+
+Process-backed tests share one module-scoped 2-worker fleet (spawning
+is the expensive part); HTTP servers are per-test (a thread + socket).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import TopKQuery
+from repro.data.raster import RasterLayer, RasterStack
+from repro.exceptions import ArchiveError, QueryError
+from repro.metrics.registry import MetricsRegistry, merge_snapshots
+from repro.models.linear import LinearModel
+from repro.service import RetrievalService
+from repro.serving import (
+    FleetConfig,
+    ProtocolError,
+    ServingServer,
+    WorkerFleet,
+    attach_stack,
+    decode_query,
+    encode_query,
+    encode_result,
+)
+from repro.serving.http import TokenBucket
+from repro.serving.protocol import (
+    WorkItem,
+    batch_key,
+    deadline_remaining_s,
+)
+from repro.serving.shm import SharedStackExport
+from repro.telemetry.prometheus import render_prometheus
+
+SHAPE = (96, 96)
+LAYERS = ("band_a", "band_b", "tie_a", "tie_b")
+
+
+def _build_stack() -> RasterStack:
+    """Two smooth bands + two small-integer tie layers: enough cells
+    that deadlines can truncate, enough ties to stress ordering."""
+    generator = np.random.default_rng(4242)
+    stack = RasterStack()
+    for name in LAYERS[:2]:
+        stack.add(RasterLayer(name, generator.normal(size=SHAPE)))
+    for name in LAYERS[2:]:
+        stack.add(
+            RasterLayer(
+                name,
+                generator.integers(0, 3, size=SHAPE).astype(float),
+            )
+        )
+    return stack
+
+
+def _model(seed: int) -> LinearModel:
+    generator = np.random.default_rng(seed)
+    return LinearModel(
+        {
+            name: float(generator.choice([-2.0, -1.0, 1.0, 2.0]))
+            for name in LAYERS
+        },
+        intercept=0.25,
+        name=f"m{seed}",
+    )
+
+
+@pytest.fixture(scope="module")
+def serving_stack() -> RasterStack:
+    return _build_stack()
+
+
+@pytest.fixture(scope="module")
+def local_service(serving_stack) -> RetrievalService:
+    """In-process reference, configured exactly like the workers."""
+    return RetrievalService(
+        serving_stack,
+        leaf_size=16,
+        n_shards=2,
+        cache_size=128,
+        registry=MetricsRegistry(),
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet(serving_stack):
+    """One 2-worker fleet for the whole module (spawn is the cost)."""
+    fleet = WorkerFleet(
+        serving_stack,
+        FleetConfig(
+            n_workers=2,
+            debug_hooks=True,
+            warm=[{"attributes": ["band_a", "band_b"], "region": None}],
+        ),
+    )
+    fleet.start()
+    yield fleet
+    fleet.stop()
+
+
+def _post(server, path, payload, headers=None):
+    connection = http.client.HTTPConnection(
+        server.host, server.port, timeout=60
+    )
+    try:
+        connection.request(
+            "POST", path, body=json.dumps(payload).encode(), headers=headers or {}
+        )
+        response = connection.getresponse()
+        body = response.read()
+        return response.status, json.loads(body), dict(response.getheaders())
+    finally:
+        connection.close()
+
+
+def _get(server, path):
+    connection = http.client.HTTPConnection(
+        server.host, server.port, timeout=60
+    )
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+# -- protocol (no processes) -------------------------------------------------
+
+
+class TestProtocol:
+    def test_query_round_trip(self):
+        query = TopKQuery(
+            model=_model(3), k=7, maximize=False, region=(2, 3, 40, 50)
+        )
+        payload = encode_query(
+            query, strategy="auto", use_cache=False, heuristic_margin=0.5
+        )
+        decoded = decode_query(json.loads(json.dumps(payload)))
+        assert decoded.query.k == 7
+        assert decoded.query.maximize is False
+        assert decoded.query.region == (2, 3, 40, 50)
+        assert decoded.query.model.coefficients == query.model.coefficients
+        assert decoded.query.model.intercept == query.model.intercept
+        assert decoded.strategy == "auto"
+        assert decoded.use_cache is False
+        assert decoded.heuristic_margin == 0.5
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"k": 0},
+            {"k": True},
+            {"k": "ten"},
+            {"maximize": 1},
+            {"region": [1, 2, 3]},
+            {"region": [1, 2, 3, True]},
+            {"strategy": "warp"},
+            {"pruning": "vibes"},
+            {"heuristic_margin": float("nan")},
+            {"n_shards": 0},
+            {"bogus_field": 1},
+            {"model": {"type": "linear", "coefficients": {}}},
+            {"model": {"type": "svm"}},
+            {"model": {"type": "linear", "coefficients": {"band_a": "x"}}},
+        ],
+    )
+    def test_malformed_payloads_rejected(self, mutation):
+        payload = encode_query(TopKQuery(model=_model(1), k=3))
+        payload.update(mutation)
+        with pytest.raises(ProtocolError):
+            decode_query(payload)
+
+    def test_encode_query_rejects_unknown_knob(self):
+        with pytest.raises(ProtocolError):
+            encode_query(TopKQuery(model=_model(1), k=3), turbo=True)
+
+    def test_batch_key_groups_by_execution_knobs(self):
+        compatible_a = encode_query(TopKQuery(model=_model(1), k=3))
+        compatible_b = encode_query(TopKQuery(model=_model(2), k=9))
+        incompatible = encode_query(
+            TopKQuery(model=_model(1), k=3), use_cache=False
+        )
+        assert batch_key(compatible_a) == batch_key(compatible_b)
+        assert batch_key(compatible_a) != batch_key(incompatible)
+
+    def test_deadline_remaining_clamps_expired(self):
+        assert deadline_remaining_s(None) is None
+        remaining = deadline_remaining_s(100.0, now=250.0)
+        assert remaining == pytest.approx(1e-4)
+        assert deadline_remaining_s(105.0, now=100.0) == pytest.approx(5.0)
+
+
+class TestMergeSnapshots:
+    def test_counters_sum_gauges_average_histograms_merge(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.inc("service.queries", 3)
+        second.inc("service.queries", 5)
+        first.gauge("service.cache_hit_rate", 0.2)
+        second.gauge("service.cache_hit_rate", 0.6)
+        for value in (0.001, 0.010, 0.100):
+            first.observe("service.stage.search_seconds", value)
+        second.observe("service.stage.search_seconds", 0.010)
+        merged = merge_snapshots([first.snapshot(), second.snapshot()])
+        assert merged["counters"]["service.queries"] == 8
+        assert merged["gauges"]["service.cache_hit_rate"] == pytest.approx(0.4)
+        histogram = merged["histograms"]["service.stage.search_seconds"]
+        assert histogram["count"] == 4
+        assert histogram["sum"] == pytest.approx(0.121)
+        assert histogram["min"] == pytest.approx(0.001)
+        assert histogram["max"] == pytest.approx(0.100)
+        # The merged snapshot must render as valid exposition text.
+        text = render_prometheus(merged)
+        assert "service_queries_total 8" in text
+        assert 'service_stage_search_seconds_bucket{le="+Inf"} 4' in text
+
+    def test_mismatched_bucket_bounds_raise(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.01)
+        snapshot = registry.snapshot()
+        doctored = json.loads(json.dumps(snapshot))
+        doctored["histograms"]["h"]["buckets"] = [[0.5, 1]]
+        with pytest.raises(ValueError):
+            merge_snapshots([snapshot, doctored])
+
+
+class TestTokenBucket:
+    def test_burst_then_deny_then_refill(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=3.0, now=lambda: clock[0])
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        retry_after = bucket.try_acquire()
+        assert retry_after == pytest.approx(0.5)
+        clock[0] += 0.5  # one token refilled
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_burst_never_exceeds_capacity(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=lambda: clock[0])
+        clock[0] += 100.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+# -- shared memory -----------------------------------------------------------
+
+
+class TestSharedMemory:
+    def test_export_attach_bit_identity_and_read_only(self, serving_stack):
+        export = SharedStackExport(serving_stack)
+        try:
+            attached = attach_stack(export.manifest)
+            try:
+                assert attached.stack.names == serving_stack.names
+                for name in serving_stack.names:
+                    original = serving_stack[name].values
+                    view = attached.stack[name].values
+                    assert view.dtype == np.float64
+                    assert np.array_equal(
+                        view.view(np.uint64), original.view(np.uint64)
+                    ), f"layer {name} not bit-identical through shm"
+                    with pytest.raises((ValueError, RuntimeError)):
+                        view[0, 0] = 1.0
+            finally:
+                attached.close()
+        finally:
+            export.close()
+
+    def test_close_is_idempotent_and_unlinks(self, serving_stack):
+        export = SharedStackExport(serving_stack)
+        names = [spec.shm_name for spec in export.manifest.layers]
+        export.close()
+        export.close()
+        from multiprocessing import shared_memory
+
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_zero_copy_layer_requires_float64(self):
+        with pytest.raises(ArchiveError):
+            RasterLayer(
+                "bad", np.ones((4, 4), dtype=np.float32), copy=False
+            )
+
+
+# -- satellite 1: explicit service concurrency knobs -------------------------
+
+
+class TestServiceConcurrencyKnobs:
+    def test_pool_workers_default_and_override(self, serving_stack):
+        registry = MetricsRegistry()
+        service = RetrievalService(
+            serving_stack, n_shards=3, registry=registry
+        )
+        assert service.pool_workers == max(8, 2 * 3)
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"]["service.n_shards"] == 3.0
+        assert snapshot["gauges"]["service.pool_workers"] == 8.0
+        assert snapshot["gauges"]["service.cache_capacity"] == 128.0
+
+        explicit = RetrievalService(
+            serving_stack, n_shards=2, pool_workers=5
+        )
+        assert explicit.pool_workers == 5
+
+    def test_pool_workers_validation(self, serving_stack):
+        with pytest.raises(QueryError):
+            RetrievalService(serving_stack, pool_workers=0)
+
+
+# -- fleet differential ------------------------------------------------------
+
+
+class TestFleetDifferential:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        k=st.integers(min_value=1, max_value=25),
+        maximize=st.booleans(),
+        quarter=st.booleans(),
+    )
+    def test_worker_answers_bit_identical_to_in_process(
+        self, fleet, local_service, seed, k, maximize, quarter
+    ):
+        region = (0, 0, SHAPE[0] // 2, SHAPE[1] // 2) if quarter else None
+        query = TopKQuery(
+            model=_model(seed), k=k, maximize=maximize, region=region
+        )
+        reply = fleet.submit_query(encode_query(query)).result(timeout=60)
+        assert reply.ok, reply.error
+        local = encode_result(local_service.top_k(query))
+        assert reply.value["answers"] == local["answers"]
+        assert reply.value["complete"] is True
+
+    def test_batch_bit_identical_to_in_process(self, fleet, local_service):
+        queries = [TopKQuery(model=_model(seed), k=5) for seed in range(6)]
+        payloads = [encode_query(query) for query in queries]
+        reply = fleet.submit_batch(payloads).result(timeout=60)
+        assert reply.ok, reply.error
+        local = [
+            encode_result(result)
+            for result in local_service.top_k_batch(queries)
+        ]
+        assert [member["answers"] for member in reply.value] == [
+            member["answers"] for member in local
+        ]
+
+    def test_warm_hook_ran_at_startup(self, fleet):
+        stats = fleet.stats()
+        assert len(stats) == 2
+        assert all(entry["onion_indexes"] >= 1 for entry in stats)
+        assert all(
+            entry["registry"]["counters"]["service.worker_starts"] >= 1
+            for entry in stats
+        )
+
+    def test_fleet_warm_broadcast_reaches_every_worker(self, fleet):
+        replies = fleet.warm_index(["tie_a", "tie_b"])
+        assert len(replies) == 2
+        assert all(reply.ok for reply in replies)
+        assert all(reply.value["layers"] >= 1 for reply in replies)
+        stats = fleet.stats()
+        assert all(entry["onion_indexes"] >= 2 for entry in stats)
+
+
+# -- HTTP front end ----------------------------------------------------------
+
+
+class TestHttpFrontEnd:
+    def test_query_over_http_matches_local(self, fleet, local_service):
+        with ServingServer(fleet) as server:
+            query = TopKQuery(model=_model(77), k=9)
+            status, body, headers = _post(
+                server, "/query", encode_query(query),
+                headers={"X-Trace-Id": "trace-abc-123"},
+            )
+            assert status == 200
+            local = encode_result(local_service.top_k(query))
+            assert body["answers"] == local["answers"]
+            assert body["trace_id"] == "trace-abc-123"
+            assert headers["X-Trace-Id"] == "trace-abc-123"
+
+    def test_batch_over_http_matches_local(self, fleet, local_service):
+        with ServingServer(fleet) as server:
+            queries = [
+                TopKQuery(model=_model(seed), k=4) for seed in (11, 12, 13)
+            ]
+            status, body, _ = _post(
+                server,
+                "/batch",
+                {"queries": [encode_query(query) for query in queries]},
+            )
+            assert status == 200
+            local = [
+                encode_result(result)
+                for result in local_service.top_k_batch(queries)
+            ]
+            assert [member["answers"] for member in body["results"]] == [
+                member["answers"] for member in local
+            ]
+
+    def test_malformed_body_is_400_not_worker_work(self, fleet):
+        with ServingServer(fleet) as server:
+            status, body, _ = _post(server, "/query", {"k": 3})
+            assert status == 400
+            assert "model" in body["error"]
+            status, body, _ = _post(
+                server, "/batch", {"queries": []}
+            )
+            assert status == 400
+
+    def test_unknown_route_404_and_wrong_method_405(self, fleet):
+        with ServingServer(fleet) as server:
+            status, _ = _get(server, "/nope")
+            assert status == 404
+            status, _ = _get(server, "/query")
+            assert status == 405
+
+    def test_deadline_header_yields_prefix_sound_partial(self, fleet):
+        with ServingServer(fleet) as server:
+            query = TopKQuery(model=_model(991), k=40)
+            status, body, _ = _post(
+                server,
+                "/query",
+                encode_query(query, use_cache=False),
+                headers={"X-Deadline-Ms": "1"},
+            )
+            assert status == 200
+            assert body["complete"] is False
+            assert body["strategy"].endswith("-partial")
+            assert body["cancel_reason"] == "deadline"
+
+    def test_bad_deadline_header_is_400(self, fleet):
+        with ServingServer(fleet) as server:
+            query = encode_query(TopKQuery(model=_model(1), k=3))
+            for value in ("soon", "-5", "0"):
+                status, body, _ = _post(
+                    server, "/query", query,
+                    headers={"X-Deadline-Ms": value},
+                )
+                assert status == 400
+                assert "X-Deadline-Ms" in body["error"]
+
+    def test_metrics_document_merges_workers_and_frontend(self, fleet):
+        with ServingServer(fleet) as server:
+            _post(
+                server, "/query",
+                encode_query(TopKQuery(model=_model(5), k=3)),
+            )
+            status, text = _get(server, "/metrics")
+            assert status == 200
+            exposition = text.decode()
+            assert "service_worker_starts_total 2" in exposition
+            assert "frontend_requests_total" in exposition
+            assert "fleet_workers_alive 2" in exposition
+            status, health = _get(server, "/healthz")
+            assert status == 200
+            payload = json.loads(health)
+            assert payload["status"] == "ok"
+            assert len(payload["workers"]) == 2
+
+    def test_queue_full_sheds_429_with_retry_after(self, fleet):
+        with ServingServer(fleet, queue_depth=1, coalesce=False) as server:
+            # Pin both workers down so admitted queries cannot drain.
+            sleeps = [
+                fleet.submit(
+                    WorkItem(kind="sleep", request_id=0, payload=1.2),
+                    worker_id=worker_id,
+                )
+                for worker_id in range(2)
+            ]
+            payload = encode_query(
+                TopKQuery(model=_model(8), k=3), use_cache=False
+            )
+            results = []
+            lock = threading.Lock()
+
+            def fire():
+                status, _, headers = _post(server, "/query", payload)
+                with lock:
+                    results.append((status, headers.get("Retry-After")))
+
+            threads = [
+                threading.Thread(target=fire, daemon=True) for _ in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            for future in sleeps:
+                future.result(timeout=30)
+            statuses = sorted(status for status, _ in results)
+            assert 429 in statuses, statuses
+            assert all(status in (200, 429) for status, _ in results)
+            assert any(
+                retry is not None
+                for status, retry in results
+                if status == 429
+            )
+            shed = server.registry.snapshot()["counters"].get(
+                "frontend.shed_queue", 0
+            )
+            assert shed >= 1
+
+    def test_client_rate_limit_429(self, fleet):
+        with ServingServer(
+            fleet, rate_limit=1.0, rate_burst=1.0
+        ) as server:
+            payload = encode_query(TopKQuery(model=_model(9), k=3))
+            headers = {"X-Client-Id": "hammer"}
+            first, _, _ = _post(server, "/query", payload, headers=headers)
+            second, body, reply_headers = _post(
+                server, "/query", payload, headers=headers
+            )
+            assert first == 200
+            assert second == 429
+            assert "rate limit" in body["error"]
+            assert "Retry-After" in reply_headers
+            # A different client is untouched by the hammer's bucket.
+            other, _, _ = _post(
+                server, "/query", payload,
+                headers={"X-Client-Id": "polite"},
+            )
+            assert other == 200
+
+    def test_coalescer_groups_compatible_queries(self, fleet, local_service):
+        with ServingServer(fleet, coalesce=True, coalesce_max=8) as server:
+            # Hold both workers so concurrent arrivals pile up in the
+            # dispatch queue where the lanes can coalesce them.
+            sleeps = [
+                fleet.submit(
+                    WorkItem(kind="sleep", request_id=0, payload=0.8),
+                    worker_id=worker_id,
+                )
+                for worker_id in range(2)
+            ]
+            queries = [TopKQuery(model=_model(seed), k=6) for seed in range(60, 66)]
+            results: dict[int, dict] = {}
+            lock = threading.Lock()
+
+            def fire(index: int) -> None:
+                status, body, _ = _post(
+                    server, "/query", encode_query(queries[index])
+                )
+                with lock:
+                    results[index] = (status, body)
+
+            threads = [
+                threading.Thread(target=fire, args=(index,), daemon=True)
+                for index in range(len(queries))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            for future in sleeps:
+                future.result(timeout=30)
+            assert len(results) == len(queries)
+            for index, query in enumerate(queries):
+                status, body = results[index]
+                assert status == 200
+                local = encode_result(local_service.top_k(query))
+                assert body["answers"] == local["answers"], (
+                    f"coalesced answer {index} diverged from in-process"
+                )
+            coalesced = server.registry.snapshot()["counters"].get(
+                "frontend.coalesced", 0
+            )
+            assert coalesced >= 1, "no queries were coalesced under load"
+
+
+# -- crash recovery (last: it respawns a worker) -----------------------------
+
+
+class TestCrashRecovery:
+    def test_crash_is_failed_cleanly_and_inflight_retried(self, fleet):
+        before = fleet.restarts
+        # The query queued behind the crash dies with the worker; the
+        # monitor must resubmit it elsewhere, never hang its future.
+        crash = fleet.submit(
+            WorkItem(kind="crash", request_id=0), worker_id=0
+        )
+        queued = fleet.submit(
+            WorkItem(
+                kind="query",
+                request_id=0,
+                payload=encode_query(TopKQuery(model=_model(21), k=5)),
+            ),
+            worker_id=0,
+        )
+        crash_reply = crash.result(timeout=30)
+        assert crash_reply.ok is False
+        assert crash_reply.error_kind == "crashed"
+        queued_reply = queued.result(timeout=30)
+        assert queued_reply.ok, queued_reply.error
+        assert queued_reply.value["answers"]
+
+        deadline = time.monotonic() + 30
+        while fleet.restarts <= before and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert fleet.restarts == before + 1
+
+        # The respawned worker serves again (and re-ran its warm hook).
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            stats = fleet.stats()
+            if len(stats) == 2 and all(
+                entry["onion_indexes"] >= 1 for entry in stats
+            ):
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail("respawned worker never became serviceable")
+        reply = fleet.submit_query(
+            encode_query(TopKQuery(model=_model(22), k=3))
+        ).result(timeout=30)
+        assert reply.ok, reply.error
