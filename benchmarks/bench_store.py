@@ -1,0 +1,239 @@
+"""Bounded-memory serving benchmark for the on-disk archive store.
+
+The claim under test is the tentpole of the store layer: an archive
+persisted with :mod:`repro.data.store` is served through read-only
+memory maps, so the serving process's resident set is bounded by the
+pages its queries actually touch — not by archive size — while every
+answer (and every cost counter) stays bit-identical to the in-memory
+engine over the same values.
+
+Method: the archive is ingested by a **subprocess** (``python -m repro
+ingest``) so ``ru_maxrss`` of the measuring process — a lifetime
+high-water mark — never includes ingest-side buffers. The bench then
+opens the store (paging in only the persisted aggregates), runs one
+cold query per probe (page faults included; "cold" here means cold
+*mappings* — the page cache may still hold freshly written blocks) and
+repeats each probe warm, recording both latency curves and the final
+RSS ceiling. Probes are **region-scoped** (distinct windows of 1/8 the
+grid edge): that is the workload the boundedness claim is about — a
+global unselective scan over i.i.d. noise defeats envelope pruning and
+legitimately touches every page, so it measures the archive, not the
+store.
+
+Gates:
+
+* full mode only — RSS after serving must stay under half the archive's
+  on-disk byte size (on a freshly ingested multi-GiB store the touched
+  fraction is far smaller; the 0.5 factor absorbs interpreter + numpy
+  overhead on small machines);
+* quick mode adds a differential: answers and counted work over the
+  memory-mapped store must be bit-identical to an in-memory twin built
+  from the same synthetic generator.
+
+Outputs one ``store`` entry in ``BENCH_trajectory.json`` with ingest
+throughput, cold/warm latency, and the RSS-to-archive ratio.
+
+CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_store.py --quick
+
+Full mode (8192^2 x 4 bands, ~2 GiB store, RSS gate enforced)::
+
+    PYTHONPATH=src python benchmarks/bench_store.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from record import record_run
+
+from repro.core.engine import RasterRetrievalEngine
+from repro.core.query import TopKQuery
+from repro.data.store import open_archive, synthetic_stack
+from repro.models.linear import LinearModel
+
+SEED = 17
+
+
+def _ingest_subprocess(root: Path, size: int, bands: int) -> float:
+    """Run ``python -m repro ingest`` in a child; returns seconds."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    started = time.perf_counter()
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro", "ingest",
+            "--out", str(root),
+            "--size", str(size),
+            "--bands", str(bands),
+            "--seed", str(SEED),
+        ],
+        check=True,
+        env=env,
+    )
+    return time.perf_counter() - started
+
+
+def _store_bytes(root: Path) -> int:
+    return sum(p.stat().st_size for p in root.rglob("*") if p.is_file())
+
+
+def _probes(bands: int, size: int, k: int) -> list[TopKQuery]:
+    """Four region-scoped probes over distinct windows of the grid."""
+    rng = np.random.default_rng(5)
+    window = size // 8
+    corners = [(0, 0), (0, size - window), (size - window, 0),
+               (size // 2, size // 2)]
+    probes = []
+    for index, (row0, col0) in enumerate(corners):
+        weights = {
+            f"band{b}": float(rng.normal()) for b in range(bands)
+        }
+        probes.append(
+            TopKQuery(
+                model=LinearModel(weights, name=f"probe{index}"),
+                k=k,
+                region=(row0, col0, row0 + window, col0 + window),
+            )
+        )
+    return probes
+
+
+def _rss_bytes() -> int:
+    # ru_maxrss is KiB on Linux.
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="1024^2 x 2 bands + differential, no RSS gate (CI smoke)",
+    )
+    parser.add_argument(
+        "--keep", metavar="DIR", default=None,
+        help="ingest into DIR and keep it (default: temp dir, removed)",
+    )
+    arguments = parser.parse_args()
+
+    size = 1024 if arguments.quick else 8192
+    bands = 2 if arguments.quick else 4
+    k = 10
+
+    with tempfile.TemporaryDirectory(prefix="bench_store_") as scratch:
+        root = Path(arguments.keep) if arguments.keep else Path(scratch) / "store"
+        ingest_s = _ingest_subprocess(root, size, bands)
+        store_bytes = _store_bytes(root)
+        cells = size * size * bands
+        print(
+            f"ingested {size}x{size} x {bands} bands "
+            f"({store_bytes / 1e9:.2f} GB) in {ingest_s:.1f}s "
+            f"({cells / ingest_s / 1e6:.1f} Mcells/s, subprocess)"
+        )
+
+        rss_before = _rss_bytes()
+        archive = open_archive(root)
+        engine = RasterRetrievalEngine(
+            archive.stack([f"band{b}" for b in range(bands)]),
+            leaf_size=archive.screen_leaf_size,
+        )
+        probes = _probes(bands, size, k)
+
+        cold_ms, warm_ms = [], []
+        for query in probes:
+            started = time.perf_counter()
+            cold = engine.progressive_top_k(query)
+            cold_ms.append((time.perf_counter() - started) * 1e3)
+            started = time.perf_counter()
+            warm = engine.progressive_top_k(query)
+            warm_ms.append((time.perf_counter() - started) * 1e3)
+            assert [(a.row, a.col, a.score) for a in cold.answers] == [
+                (a.row, a.col, a.score) for a in warm.answers
+            ], "cold and warm answers diverged"
+
+        rss_after = _rss_bytes()
+        rss_ratio = rss_after / store_bytes
+        print(
+            f"cold {np.mean(cold_ms):.1f}ms  warm {np.mean(warm_ms):.1f}ms  "
+            f"(x{np.mean(cold_ms) / max(np.mean(warm_ms), 1e-9):.1f} "
+            "cold/warm)"
+        )
+        print(
+            f"rss {rss_after / 1e6:.0f} MB over a "
+            f"{store_bytes / 1e6:.0f} MB store "
+            f"(ratio {rss_ratio:.3f}, before-open rss "
+            f"{rss_before / 1e6:.0f} MB)"
+        )
+
+        differential_checked = False
+        if arguments.quick:
+            twin = synthetic_stack(size, n_bands=bands, seed=SEED)
+            plain = RasterRetrievalEngine(
+                twin.subset([f"band{b}" for b in range(bands)])
+            )
+            # Regional probes plus one global scan: broad coverage of
+            # the bit-identity contract, cheap at quick-mode scale.
+            checks = probes + [
+                TopKQuery(model=probes[0].model, k=k)
+            ]
+            for query in checks:
+                mapped = engine.progressive_top_k(query)
+                memory = plain.progressive_top_k(query)
+                assert [
+                    (a.row, a.col, a.score) for a in mapped.answers
+                ] == [(a.row, a.col, a.score) for a in memory.answers]
+                assert (
+                    mapped.counter.data_points == memory.counter.data_points
+                )
+                assert (
+                    mapped.counter.nodes_visited
+                    == memory.counter.nodes_visited
+                )
+            differential_checked = True
+            print("differential vs in-memory twin: bit-identical")
+
+        gate_ok = True
+        if not arguments.quick:
+            gate_ok = rss_after < store_bytes / 2
+            status = "PASS" if gate_ok else "FAIL"
+            print(
+                f"RSS gate ({status}): {rss_after / 1e6:.0f} MB "
+                f"< {store_bytes / 2e6:.0f} MB"
+            )
+
+        # Quick and full mode measure different scales; separate bench
+        # names keep the trajectory's regression baselines comparable.
+        record_run(
+            "store-quick" if arguments.quick else "store",
+            {
+                "ingest_mcells_per_s": round(cells / ingest_s / 1e6, 2),
+                "cold_ms": round(float(np.mean(cold_ms)), 2),
+                "warm_ms": round(float(np.mean(warm_ms)), 2),
+                "rss_over_store": round(rss_ratio, 4),
+            },
+            extra={
+                "quick": arguments.quick,
+                "size": size,
+                "bands": bands,
+                "store_bytes": store_bytes,
+                "rss_bytes": rss_after,
+                "differential_checked": differential_checked,
+                "rss_gate_ok": gate_ok,
+            },
+        )
+        return 0 if gate_ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

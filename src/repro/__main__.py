@@ -189,6 +189,84 @@ def _demo_telemetry() -> None:
     server.close()
 
 
+def _ingest_main(argv: list[str]) -> None:
+    """``python -m repro ingest``: stream an archive into a disk store."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro ingest",
+        description=(
+            "Ingest an archive into an on-disk memory-mapped store "
+            "directory (manifest.json + per-band value/aggregate files), "
+            "servable with 'python -m repro serve --store DIR'."
+        ),
+    )
+    parser.add_argument(
+        "--out", required=True, help="store directory to create"
+    )
+    parser.add_argument(
+        "--from-npz", default=None, metavar="PATH",
+        help=(
+            "serialize an existing .npz archive (see repro.data.io) "
+            "instead of generating synthetic bands"
+        ),
+    )
+    parser.add_argument(
+        "--size", type=int, default=1024,
+        help="synthetic grid edge length in cells (default 1024)",
+    )
+    parser.add_argument(
+        "--bands", type=int, default=4,
+        help="synthetic raster bands to generate (default 4)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="synthetic RNG seed (default 0)"
+    )
+    parser.add_argument(
+        "--tile-size", type=int, default=256,
+        help="row-strip granularity for streamed writes (default 256)",
+    )
+    parser.add_argument(
+        "--leaf-size", type=int, default=16,
+        help="screen leaf size the aggregates are built for (default 16)",
+    )
+    arguments = parser.parse_args(argv)
+
+    from repro.data.store import ArchiveWriter, ingest_synthetic
+
+    if arguments.from_npz is not None:
+        from repro.data.io import load_archive
+
+        archive = load_archive(arguments.from_npz)
+        writer = ArchiveWriter.create(
+            arguments.out,
+            archive,
+            tile_size=arguments.tile_size,
+            screen_leaf_size=arguments.leaf_size,
+        )
+        print(
+            f"ingested archive {archive.name!r} ({len(archive)} items) "
+            f"into {arguments.out}"
+        )
+    else:
+        writer = ingest_synthetic(
+            arguments.out,
+            size=arguments.size,
+            n_bands=arguments.bands,
+            seed=arguments.seed,
+            tile_size=arguments.tile_size,
+            screen_leaf_size=arguments.leaf_size,
+        )
+        print(
+            f"ingested synthetic {arguments.size}x{arguments.size} store "
+            f"({arguments.bands} bands, seed {arguments.seed}) "
+            f"into {arguments.out}"
+        )
+    print(
+        f"  generation {writer.generation}, leaf size "
+        f"{writer.screen_leaf_size}; serve with: "
+        f"python -m repro serve --store {arguments.out}"
+    )
+
+
 def _serve_main(argv: list[str]) -> None:
     """``python -m repro serve``: a live fleet over a synthetic scene."""
     import time
@@ -197,8 +275,17 @@ def _serve_main(argv: list[str]) -> None:
         prog="python -m repro serve",
         description=(
             "Serve top-k retrieval over HTTP: an asyncio front end over "
-            "a shared-memory worker fleet (POST /query, POST /batch, "
-            "GET /metrics, GET /healthz)."
+            "a worker fleet (POST /query, POST /batch, GET /metrics, "
+            "GET /healthz). Workers read either a shared-memory export "
+            "of a synthetic scene (default) or an on-disk store "
+            "(--store, memory-mapped read-only)."
+        ),
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help=(
+            "serve this on-disk store directory (from 'python -m repro "
+            "ingest') instead of generating a synthetic scene"
         ),
     )
     parser.add_argument(
@@ -228,31 +315,45 @@ def _serve_main(argv: list[str]) -> None:
 
     from repro.models.linear import hps_risk_model
     from repro.serving import FleetConfig, ServingServer, WorkerFleet
-    from repro.synth.landsat import generate_scene
-    from repro.synth.terrain import generate_dem
 
-    size = (arguments.size, arguments.size)
-    dem = generate_dem(size, seed=1)
-    stack = generate_scene(size, seed=2, terrain=dem)
-    stack.add(dem)
-    warm = (
-        []
-        if arguments.no_warm
-        else [
-            {
-                "attributes": sorted(hps_risk_model().coefficients),
-                "region": None,
-            }
-        ]
-    )
-    fleet = WorkerFleet(
-        stack, FleetConfig(n_workers=arguments.workers, warm=warm)
-    )
-    print(
-        f"starting {arguments.workers} workers over a "
-        f"{arguments.size}x{arguments.size} scene "
-        f"({len(stack.names)} bands, shared memory)..."
-    )
+    if arguments.store is not None:
+        # Store mode: no synthetic scene, no shared-memory export, no
+        # default warm hook (the store's bands need not match the HPS
+        # attribute names) — workers memory-map the store read-only.
+        fleet = WorkerFleet(
+            config=FleetConfig(n_workers=arguments.workers),
+            store_path=arguments.store,
+        )
+        print(
+            f"starting {arguments.workers} workers over on-disk store "
+            f"{arguments.store} (memory-mapped, read-only)..."
+        )
+    else:
+        from repro.synth.landsat import generate_scene
+        from repro.synth.terrain import generate_dem
+
+        size = (arguments.size, arguments.size)
+        dem = generate_dem(size, seed=1)
+        stack = generate_scene(size, seed=2, terrain=dem)
+        stack.add(dem)
+        warm = (
+            []
+            if arguments.no_warm
+            else [
+                {
+                    "attributes": sorted(hps_risk_model().coefficients),
+                    "region": None,
+                }
+            ]
+        )
+        fleet = WorkerFleet(
+            stack, FleetConfig(n_workers=arguments.workers, warm=warm)
+        )
+        print(
+            f"starting {arguments.workers} workers over a "
+            f"{arguments.size}x{arguments.size} scene "
+            f"({len(stack.names)} bands, shared memory)..."
+        )
     fleet.start()
     server = ServingServer(
         fleet,
@@ -281,12 +382,17 @@ def main(argv: list[str] | None = None) -> None:
     if raw and raw[0] == "serve":
         _serve_main(raw[1:])
         return
+    if raw and raw[0] == "ingest":
+        _ingest_main(raw[1:])
+        return
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Model-based multi-modal retrieval: a one-minute tour.",
         epilog=(
-            "Also: 'python -m repro serve --workers N --port P' starts the "
-            "multi-process HTTP serving fleet over a synthetic scene."
+            "Also: 'python -m repro ingest --out DIR' streams an archive "
+            "into an on-disk store, and 'python -m repro serve "
+            "[--store DIR] --workers N --port P' starts the multi-process "
+            "HTTP serving fleet."
         ),
     )
     parser.add_argument(

@@ -275,7 +275,7 @@ class _SharedLeafReads:
         key = (name, window)
         values = self._cells.get(key)
         if values is None:
-            values = self._stack[name].values[rows, cols]
+            values = self._stack[name].gather(rows, cols)
             values.setflags(write=False)
             self._cells[key] = values
         return values
@@ -1024,7 +1024,7 @@ class RasterRetrievalEngine:
         if reads is not None:
             values = reads.cells(first_attribute, window, rows, cols)
         else:
-            values = self.stack[first_attribute].values[rows, cols]
+            values = self.stack[first_attribute].gather(rows, cols)
         counter.add_data_points(values.size)
         partial = progressive.model.intercept + (
             coefficients[first_attribute] * values
@@ -1069,9 +1069,9 @@ class RasterRetrievalEngine:
                         if block_rows.size == 0:
                             break
                 audit.enter_level(level, block_rows.size)
-                layer_values = self.stack[attribute].values[
+                layer_values = self.stack[attribute].gather(
                     block_rows, block_cols
-                ]
+                )
                 counter.add_data_points(layer_values.size)
                 block_partial = block_partial + (
                     coefficients[attribute] * layer_values

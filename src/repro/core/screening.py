@@ -107,6 +107,31 @@ class TileScreen:
         """Grid shape."""
         return self.stack.shape
 
+    def refresh_region(self, region: tuple[int, int, int, int]) -> None:
+        """Re-aggregate every screened attribute over a dirty rectangle.
+
+        The region-scoped invalidation hook: after an in-place mutation
+        of the underlying layers (disk-store ``append_region``), each
+        attribute tree recomputes only the touched leaf aggregates and
+        re-derives its coarser grids, and the stacked per-depth envelope
+        arrays are re-stacked. Without this the screen would keep
+        pruning against pre-mutation envelopes — silently unsound.
+        """
+        for name in self.attributes:
+            self._trees[name].refresh_region(region)
+        self._level_mins = [
+            np.stack(
+                [self._trees[name].level_mins(depth) for name in self.attributes]
+            )
+            for depth in range(self._structure.n_depths)
+        ]
+        self._level_maxs = [
+            np.stack(
+                [self._trees[name].level_maxs(depth) for name in self.attributes]
+            )
+            for depth in range(self._structure.n_depths)
+        ]
+
     def _make_node(self, depth: int, i: int, j: int) -> ScreenNode:
         structure = self._structure
         return ScreenNode(

@@ -10,7 +10,9 @@ access layer so "data points touched" is measurable:
 * :mod:`repro.data.tiles` — fixed-size tiling of rasters,
 * :mod:`repro.data.table` — tabular record sets (credit records, tuples),
 * :mod:`repro.data.catalog` — metadata catalog (modalities, provenance),
-* :mod:`repro.data.archive` — the named collection tying it together.
+* :mod:`repro.data.archive` — the named collection tying it together,
+* :mod:`repro.data.store` — the on-disk, memory-mapped persistent form
+  (tiled band files + precomputed aggregates + incremental ingest).
 """
 
 from repro.data.archive import Archive
@@ -18,13 +20,22 @@ from repro.data.catalog import CatalogEntry, Modality
 from repro.data.io import load_archive, save_archive
 from repro.data.raster import RasterLayer, RasterStack
 from repro.data.series import DepthSeries, TimeSeries
+from repro.data.store import (
+    ArchiveWriter,
+    DiskArchive,
+    MemmapRasterLayer,
+    open_archive,
+)
 from repro.data.table import Table
 from repro.data.tiles import Tile, TileGrid
 
 __all__ = [
     "Archive",
+    "ArchiveWriter",
     "CatalogEntry",
     "DepthSeries",
+    "DiskArchive",
+    "MemmapRasterLayer",
     "Modality",
     "RasterLayer",
     "RasterStack",
@@ -33,5 +44,6 @@ __all__ = [
     "TileGrid",
     "TimeSeries",
     "load_archive",
+    "open_archive",
     "save_archive",
 ]

@@ -25,6 +25,12 @@ _DEFAULT_MODALITY: dict[type, Modality] = {
     Table: Modality.TABULAR,
 }
 
+#: Mutations kept in the archive's bounded log. Large enough that any
+#: realistic ingest burst between two queries fits; a consumer that
+#: fell further behind gets ``None`` from :meth:`Archive.mutations_since`
+#: and must invalidate everything (always sound, never silent).
+_MUTATION_LOG_SIZE = 256
+
 
 class Archive:
     """A named collection of multi-modal data items with a metadata catalog.
@@ -40,6 +46,13 @@ class Archive:
         self._items: dict[str, ArchiveItem] = {}
         self._catalog: dict[str, CatalogEntry] = {}
         self._generation = 0
+        # Bounded (generation, region) log behind mutations_since():
+        # region is a (row0, col0, row1, col1) rectangle for spatially
+        # scoped mutations (disk-store region ingest) or None for "could
+        # have changed anything" (add, series appends on the base class).
+        self._mutations: list[
+            tuple[int, tuple[int, int, int, int] | None]
+        ] = []
 
     @property
     def generation(self) -> int:
@@ -48,17 +61,61 @@ class Archive:
         Caching layers (:class:`repro.service.RetrievalService`) record
         the generation their entries were computed under and invalidate
         when it moves — cheap change detection without hashing contents.
+        :meth:`mutations_since` refines "it moved" into *where* it moved
+        for consumers that can invalidate region-scoped.
         """
         return self._generation
+
+    def _record_mutation(
+        self, region: tuple[int, int, int, int] | None
+    ) -> None:
+        """Bump the generation and log what the mutation touched."""
+        self._generation += 1
+        self._mutations.append((self._generation, region))
+        if len(self._mutations) > _MUTATION_LOG_SIZE:
+            del self._mutations[: -_MUTATION_LOG_SIZE]
+
+    def mutations_since(
+        self, generation: int
+    ) -> list[tuple[int, tuple[int, int, int, int] | None]] | None:
+        """Every mutation after ``generation``, oldest first.
+
+        Each entry is ``(new_generation, region)`` where ``region`` is
+        the dirty ``(row0, col0, row1, col1)`` rectangle of a spatially
+        scoped mutation or ``None`` for an unscoped one (item adds).
+        Returns ``None`` when the bounded log no longer covers the span —
+        the caller must then fall back to full invalidation. Every
+        mutation bumps the generation by exactly one, so coverage is a
+        simple count check.
+        """
+        if generation == self._generation:
+            return []
+        if generation > self._generation:
+            return None
+        entries = [
+            entry for entry in self._mutations if entry[0] > generation
+        ]
+        if len(entries) != self._generation - generation:
+            return None
+        return entries
 
     def add(self, item: ArchiveItem, entry: CatalogEntry | None = None) -> None:
         """Add an item under its own name with an optional catalog entry.
 
         When ``entry`` is omitted a default entry is synthesized from the
-        item's type.
+        item's type. Names containing ``/`` are rejected: persistence
+        flattens ``<kind>/<name>/<part>`` key paths, where a slash in the
+        name can collide with another item's keys and silently overwrite
+        its arrays on save.
         """
         if item.name in self._items:
             raise ArchiveError(f"duplicate archive item {item.name!r}")
+        if "/" in item.name:
+            raise ArchiveError(
+                f"archive item name {item.name!r} must not contain '/': "
+                "slashes collide with the <kind>/<name>/<part> key paths "
+                "the persistence layer flattens names into"
+            )
         if entry is None:
             modality = _DEFAULT_MODALITY.get(type(item), Modality.DERIVED)
             entry = CatalogEntry(name=item.name, modality=modality)
@@ -68,7 +125,7 @@ class Archive:
             )
         self._items[item.name] = item
         self._catalog[item.name] = entry
-        self._generation += 1
+        self._record_mutation(None)
 
     def __contains__(self, name: str) -> bool:
         return name in self._items
@@ -84,6 +141,15 @@ class Archive:
         """Catalog entry for an item."""
         self._require(name)
         return self._catalog[name]
+
+    def item(self, name: str) -> ArchiveItem:
+        """Fetch an item by name, whatever its kind.
+
+        The public untyped accessor — persistence and other whole-archive
+        consumers use this instead of reaching into private state; code
+        that expects a specific kind should prefer the typed accessors.
+        """
+        return self._require(name)
 
     def _require(self, name: str) -> ArchiveItem:
         try:

@@ -28,9 +28,46 @@ from repro.exceptions import ArchiveError
 _FORMAT_VERSION = 1
 
 
+def _normalize_npz_path(path: Path) -> Path:
+    """The path ``np.savez_compressed`` will actually write.
+
+    numpy silently appends ``.npz`` to any filename not already ending
+    in it, so ``save_archive("snap")`` writes ``snap.npz`` — and a
+    ``load_archive("snap")`` that took the caller's path literally would
+    raise "no archive file". Normalizing on both ends makes the
+    round trip honest for suffix-less (and differently-suffixed) paths.
+    """
+    if path.name.endswith(".npz"):
+        return path
+    return path.with_name(path.name + ".npz")
+
+
+def _reject_slash(kind: str, owner: str, name: str) -> None:
+    """Refuse part names that would collide in the flat key namespace.
+
+    Keys are ``<kind>/<owner>/<part>``; a ``/`` inside ``part`` makes
+    two distinct (owner, part) pairs produce the same flat key — e.g.
+    series ``"a"`` attribute ``"b/c"`` vs series ``"a/attr/b"``
+    attribute ``"c"`` — and ``np.savez`` would silently keep only one.
+    Item names are rejected at :meth:`Archive.add`; this guards the
+    attribute/column names items are built with directly.
+    """
+    if "/" in name:
+        raise ArchiveError(
+            f"{kind} name {name!r} of archive item {owner!r} must not "
+            "contain '/': it would collide with other items' flattened "
+            "npz keys and silently overwrite their arrays"
+        )
+
+
 def save_archive(archive: Archive, path: str | Path) -> None:
-    """Serialize an archive to ``path`` (a ``.npz`` file)."""
-    path = Path(path)
+    """Serialize an archive to ``path`` (a ``.npz`` file).
+
+    A ``.npz`` suffix is appended when missing (matching what numpy
+    writes); :func:`load_archive` applies the same normalization, so
+    ``save_archive(p)`` + ``load_archive(p)`` round-trips for any ``p``.
+    """
+    path = _normalize_npz_path(Path(path))
     arrays: dict[str, np.ndarray] = {}
     manifest: list[dict] = []
 
@@ -43,7 +80,7 @@ def save_archive(archive: Archive, path: str | Path) -> None:
             "tags": entry.tags,
             "units": entry.units,
         }
-        item = archive._require(name)
+        item = archive.item(name)
         if isinstance(item, RasterLayer):
             record["kind"] = "raster"
             arrays[f"raster/{name}/values"] = item.values
@@ -54,11 +91,13 @@ def save_archive(archive: Archive, path: str | Path) -> None:
             record["attributes"] = item.attribute_names
             arrays[f"series/{name}/axis"] = item.axis
             for attribute in item.attribute_names:
+                _reject_slash("attribute", name, attribute)
                 arrays[f"series/{name}/attr/{attribute}"] = item.values(attribute)
         elif isinstance(item, Table):
             record["kind"] = "table"
             record["columns"] = item.column_names
             for column in item.column_names:
+                _reject_slash("column", name, column)
                 arrays[f"table/{name}/col/{column}"] = item.column(column)
         else:  # pragma: no cover - archive enforces its item types
             raise ArchiveError(f"unserializable item type {type(item).__name__}")
@@ -76,8 +115,14 @@ def save_archive(archive: Archive, path: str | Path) -> None:
 
 
 def load_archive(path: str | Path) -> Archive:
-    """Reconstruct an archive saved by :func:`save_archive`."""
+    """Reconstruct an archive saved by :func:`save_archive`.
+
+    Accepts either the exact file path or the suffix-less path the
+    archive was saved under (normalized identically to the save side).
+    """
     path = Path(path)
+    if not path.exists():
+        path = _normalize_npz_path(path)
     if not path.exists():
         raise ArchiveError(f"no archive file at {path}")
     with np.load(path) as bundle:

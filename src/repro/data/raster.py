@@ -78,7 +78,19 @@ class RasterLayer:
         return self._values.size
 
     def read(self, row: int, col: int, counter: CostCounter | None = None) -> float:
-        """Read one cell, tallying one data point on ``counter``."""
+        """Read one cell, tallying one data point on ``counter``.
+
+        Out-of-range indices (including negative ones) raise instead of
+        wrapping around numpy-style: a single-cell read at ``(-1, 0)``
+        silently returning the last row's value — and tallying its cost —
+        would corrupt both answers and counted work.
+        """
+        rows, cols = self.shape
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise ArchiveError(
+                f"cell ({row}, {col}) outside grid {rows}x{cols} "
+                f"on layer {self.name!r}"
+            )
         value = float(self._values[row, col])
         if counter is not None:
             counter.add_data_points(1)
@@ -95,19 +107,43 @@ class RasterLayer:
         """Read the half-open window ``[row0:row1, col0:col1]``.
 
         Tallies the window size on ``counter``. Bounds are clipped to the
-        grid; an empty window raises.
+        grid; an empty window raises, reporting the caller's original
+        (pre-clip) bounds so the error points at what was actually asked.
         """
+        requested = (row0, col0, row1, col1)
         rows, cols = self.shape
         row0, row1 = max(0, row0), min(rows, row1)
         col0, col1 = max(0, col0), min(cols, col1)
         if row0 >= row1 or col0 >= col1:
             raise ArchiveError(
-                f"empty window [{row0}:{row1}, {col0}:{col1}] on layer {self.name!r}"
+                f"empty window [{requested[0]}:{requested[2]}, "
+                f"{requested[1]}:{requested[3]}] on layer {self.name!r} "
+                f"(grid {rows}x{cols})"
             )
         window = self._values[row0:row1, col0:col1]
         if counter is not None:
             counter.add_data_points(window.size)
         return window
+
+    def gather(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        counter: CostCounter | None = None,
+    ) -> np.ndarray:
+        """Fancy-index gather ``values[rows, cols]`` (tallied if counted).
+
+        The engine's leaf-evaluation cascade reads scattered surviving
+        cells through this accessor instead of touching ``.values``
+        directly, so a layer subclass may re-represent its storage (e.g.
+        the memory-mapped layers of :mod:`repro.data.store`) without the
+        engine knowing. Returns a fresh writable array (fancy indexing
+        always copies).
+        """
+        values = self._values[rows, cols]
+        if counter is not None:
+            counter.add_data_points(values.size)
+        return values
 
     def read_all(self, counter: CostCounter | None = None) -> np.ndarray:
         """Read the whole grid, tallying every cell."""

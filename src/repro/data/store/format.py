@@ -1,0 +1,120 @@
+"""Store layout: manifest schema, file paths, atomic manifest writes.
+
+The manifest is the single source of truth for what a store directory
+contains. Schema (JSON):
+
+.. code-block:: text
+
+    {
+      "format_version": 1,
+      "archive_name": "<name>",
+      "tile_size": 256,           # ingest granularity (rows per strip)
+      "screen_leaf_size": 16,     # leaf size the aggregates were built at
+      "generation": 7,            # bumped by every mutation
+      "items": [
+        {"name": ..., "kind": "raster", "modality": ..., "description":
+         ..., "tags": {...}, "units": ..., "dir": "bands/0",
+         "rows": 8192, "cols": 8192},
+        {"name": ..., "kind": "time_series"|"depth_series",
+         "attributes": [...], "file": "series/1.npz", ...},
+        {"name": ..., "kind": "table", "columns": [...],
+         "file": "tables/2.npz", ...}
+      ]
+    }
+
+Writes go through a temp file + ``os.replace`` so a reader never sees a
+half-written manifest; the manifest is written *last* during ingest, so
+a crashed ingest leaves a directory that fails loudly to open rather
+than half-loading. Reads fail loudly on every corruption mode we can
+detect: missing file, empty/truncated JSON, wrong version, missing
+required keys.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.exceptions import ArchiveError
+
+STORE_FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+_REQUIRED_KEYS = (
+    "format_version",
+    "archive_name",
+    "tile_size",
+    "screen_leaf_size",
+    "generation",
+    "items",
+)
+
+#: Filenames inside each band directory.
+VALUES_NAME = "values.npy"
+AGGREGATES_NAME = "aggregates.npz"
+
+
+def manifest_path(root: str | Path) -> Path:
+    return Path(root) / MANIFEST_NAME
+
+
+def write_manifest(root: str | Path, manifest: dict) -> None:
+    """Atomically (re)write the store manifest.
+
+    The temp-then-replace dance keeps concurrent readers safe: they see
+    either the old manifest or the new one, never a torn write.
+    """
+    target = manifest_path(root)
+    temp = target.with_name(target.name + ".tmp")
+    temp.write_text(json.dumps(manifest, indent=1), encoding="utf-8")
+    os.replace(temp, target)
+
+
+def read_manifest(root: str | Path) -> dict:
+    """Load and validate a store manifest, failing loudly on corruption."""
+    root = Path(root)
+    target = manifest_path(root)
+    if not target.exists():
+        raise ArchiveError(
+            f"no archive store at {root}: missing {MANIFEST_NAME} "
+            "(not a store directory, or an ingest crashed before "
+            "writing its manifest)"
+        )
+    text = target.read_text(encoding="utf-8")
+    try:
+        manifest = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ArchiveError(
+            f"corrupt store manifest at {target}: {error}"
+        ) from None
+    if not isinstance(manifest, dict):
+        raise ArchiveError(
+            f"corrupt store manifest at {target}: expected a JSON object, "
+            f"got {type(manifest).__name__}"
+        )
+    missing = [key for key in _REQUIRED_KEYS if key not in manifest]
+    if missing:
+        raise ArchiveError(
+            f"corrupt store manifest at {target}: missing keys {missing}"
+        )
+    if manifest["format_version"] != STORE_FORMAT_VERSION:
+        raise ArchiveError(
+            f"unsupported store format {manifest['format_version']!r} at "
+            f"{target} (this build reads version {STORE_FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def band_dir(root: str | Path, record: dict) -> Path:
+    """Directory of one raster record's chunk files."""
+    return Path(root) / record["dir"]
+
+
+def values_path(root: str | Path, record: dict) -> Path:
+    return band_dir(root, record) / VALUES_NAME
+
+
+def aggregates_path(root: str | Path, record: dict) -> Path:
+    return band_dir(root, record) / AGGREGATES_NAME

@@ -1,0 +1,292 @@
+"""Opening a store: memmap-backed layers and the live disk archive.
+
+:func:`open_archive` validates the manifest and materializes a
+:class:`DiskArchive` whose raster layers are
+:class:`MemmapRasterLayer` instances — the values array is an
+``np.load(..., mmap_mode="r")`` view, so *opening* an 8192^2 multi-band
+archive touches no pixel pages at all, and serving a query pages in
+only the tiles its branch-and-bound actually visits. Series and tables
+are tiny and loaded eagerly.
+
+The mapping is shared, not private: a writer appending through
+``mode="r+"`` to the same files is visible to already-open readers,
+which is what makes in-process incremental ingest
+(:meth:`DiskArchive.append_region`) coherent — the archive records a
+*region-scoped* mutation so the service layer refreshes screen
+aggregates over the dirty rectangle and keeps every cached answer that
+doesn't intersect it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.data.archive import Archive
+from repro.data.catalog import CatalogEntry, Modality
+from repro.data.raster import RasterLayer
+from repro.data.series import DepthSeries, TimeSeries
+from repro.data.store.format import (
+    aggregates_path,
+    read_manifest,
+    values_path,
+)
+from repro.data.table import Table
+from repro.exceptions import ArchiveError
+
+#: The dirty rectangle recorded for mutations that touch no raster cell
+#: (series appends): empty, so it intersects nothing and no spatial
+#: cache entry is invalidated — but the generation still moves.
+_EMPTY_REGION = (0, 0, 0, 0)
+
+
+class MemmapRasterLayer(RasterLayer):
+    """A raster layer whose values live on disk, paged in on demand.
+
+    Construction deliberately bypasses ``RasterLayer.__init__``: the
+    base class scans the whole array for non-finite values, which would
+    fault in every page of a bigger-than-RAM band. Finiteness is instead
+    enforced at the ingest boundary (:class:`ArchiveWriter` rejects
+    non-finite blocks), so only cheap structural checks run here.
+
+    The layer also carries the store's precomputed leaf aggregate grids
+    and exposes them through :meth:`quadtree_aggregates` — the
+    duck-typed hook :class:`~repro.pyramid.quadtree.QuadTree` probes, so
+    building a :class:`~repro.core.screening.TileScreen` over a disk
+    stack never reduces over raw pixels.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        path: str | Path,
+        screen_leaf_size: int | None = None,
+        aggregates: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        path = Path(path)
+        try:
+            values = np.load(path, mmap_mode="r")
+        except (OSError, ValueError) as error:
+            raise ArchiveError(
+                f"cannot map band {name!r} values at {path}: {error}"
+            ) from None
+        if values.ndim != 2:
+            raise ArchiveError(
+                f"layer {name!r} must be 2-D, got {values.ndim}-D"
+            )
+        if values.size == 0:
+            raise ArchiveError(f"layer {name!r} must be non-empty")
+        if values.dtype != np.float64:
+            raise ArchiveError(
+                f"stored band {name!r} must be float64, got {values.dtype}"
+            )
+        self.name = name
+        self._values = values
+        self._path = path
+        self._screen_leaf_size = screen_leaf_size
+        self._aggregates = aggregates
+
+    def quadtree_aggregates(
+        self, leaf_size: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Stored finest-level (mins, maxs, sums), if built at this size.
+
+        Returns ``None`` for any other leaf size — the quadtree then
+        falls back to a full reduction over the (memmapped) values,
+        which is correct but pages the whole band in.
+        """
+        if self._aggregates is None or leaf_size != self._screen_leaf_size:
+            return None
+        return self._aggregates
+
+    def _set_aggregates(
+        self, grids: tuple[np.ndarray, np.ndarray, np.ndarray]
+    ) -> None:
+        """Writer hook: adopt refreshed aggregate grids after an append."""
+        self._aggregates = grids
+
+    def __repr__(self) -> str:
+        return (
+            f"MemmapRasterLayer({self.name!r}, shape={self.shape}, "
+            f"path={str(self._path)!r})"
+        )
+
+
+class DiskArchive(Archive):
+    """An archive opened from a store directory.
+
+    Behaves exactly like :class:`~repro.data.archive.Archive` for
+    readers; additionally exposes the incremental-ingest surface
+    (:meth:`append_region`, :meth:`append_days`) by lazily binding an
+    :class:`~repro.data.store.writer.ArchiveWriter` to itself, so
+    mutations hit disk *and* flow back into this process as
+    region-scoped mutation records.
+    """
+
+    def __init__(self, root: Path, manifest: dict) -> None:
+        super().__init__(manifest["archive_name"])
+        self.root = Path(root)
+        self._manifest = manifest
+        self._writer: Any | None = None
+
+    @property
+    def tile_size(self) -> int:
+        """Row-strip granularity the store was ingested with."""
+        return int(self._manifest["tile_size"])
+
+    @property
+    def screen_leaf_size(self) -> int:
+        """Leaf size the stored aggregates were built for.
+
+        Serving layers should build their engines at this leaf size —
+        any other forfeits the precomputed aggregates and pages every
+        band in at startup.
+        """
+        return int(self._manifest["screen_leaf_size"])
+
+    def writer(self) -> Any:
+        """The bound writer (created on first use)."""
+        if self._writer is None:
+            # Imported here: writer.py must not be a load-time dependency
+            # of the read path (and the import is cyclic at module level).
+            from repro.data.store.writer import ArchiveWriter
+
+            self._writer = ArchiveWriter(
+                self.root, self._manifest, bound=self
+            )
+        return self._writer
+
+    def append_region(
+        self,
+        updates: dict[str, np.ndarray],
+        region: tuple[int, int, int, int],
+    ) -> None:
+        """Overwrite a rectangle of one or more bands, on disk and live."""
+        self.writer().append_region(updates, region)
+
+    def append_days(
+        self,
+        series_name: str,
+        axis: np.ndarray,
+        attributes: dict[str, np.ndarray],
+    ) -> None:
+        """Extend a stored series, on disk and live."""
+        self.writer().append_days(series_name, axis, attributes)
+
+    # -- writer callbacks --------------------------------------------------
+
+    def _apply_region_append(
+        self,
+        refreshed: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]],
+        region: tuple[int, int, int, int],
+    ) -> None:
+        for name, grids in refreshed.items():
+            layer = self.raster(name)
+            if isinstance(layer, MemmapRasterLayer):
+                layer._set_aggregates(grids)
+        # The memmaps themselves already see the new bytes (shared
+        # mapping of the same inode); only the mutation record is needed.
+        self._record_mutation(region)
+
+    def _apply_series_append(self, series: TimeSeries | DepthSeries) -> None:
+        self._items[series.name] = series
+        self._record_mutation(_EMPTY_REGION)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskArchive({self.name!r}, root={str(self.root)!r}, "
+            f"items={len(self)}, generation={self.generation})"
+        )
+
+
+def open_archive(path: str | Path) -> DiskArchive:
+    """Open a store directory as a live :class:`DiskArchive`.
+
+    Fails loudly (``ArchiveError``) on anything structurally wrong:
+    missing/empty/truncated manifest, unsupported format version,
+    unmappable band files, shape mismatches between manifest and data.
+    """
+    root = Path(path)
+    manifest = read_manifest(root)
+    archive = DiskArchive(root, manifest)
+    leaf_size = archive.screen_leaf_size
+    for record in manifest["items"]:
+        entry = CatalogEntry(
+            name=record["name"],
+            modality=Modality(record["modality"]),
+            description=record.get("description", ""),
+            tags=dict(record.get("tags", {})),
+            units=record.get("units", ""),
+        )
+        kind = record["kind"]
+        if kind == "raster":
+            grids = _load_aggregates(root, record)
+            layer = MemmapRasterLayer(
+                record["name"],
+                values_path(root, record),
+                screen_leaf_size=leaf_size,
+                aggregates=grids,
+            )
+            expected = (int(record["rows"]), int(record["cols"]))
+            if layer.shape != expected:
+                raise ArchiveError(
+                    f"band {record['name']!r} at {values_path(root, record)} "
+                    f"has shape {layer.shape}, manifest says {expected}"
+                )
+            archive.add(layer, entry)
+        elif kind in ("time_series", "depth_series"):
+            series_type = TimeSeries if kind == "time_series" else DepthSeries
+            target = root / record["file"]
+            with np.load(target) as bundle:
+                series = series_type(
+                    record["name"],
+                    bundle["axis"],
+                    {
+                        attribute: bundle[f"attr/{attribute}"]
+                        for attribute in record["attributes"]
+                    },
+                )
+            archive.add(series, entry)
+        elif kind == "table":
+            target = root / record["file"]
+            with np.load(target) as bundle:
+                table = Table(
+                    record["name"],
+                    {
+                        column: bundle[f"col/{column}"]
+                        for column in record["columns"]
+                    },
+                )
+            archive.add(table, entry)
+        else:
+            raise ArchiveError(
+                f"store manifest at {root} has unknown item kind {kind!r}"
+            )
+    # Load-time add() calls bumped the in-memory generation; reset it to
+    # the persisted one so it lines up with the manifest (and with any
+    # other process reading the same store).
+    archive._generation = int(manifest["generation"])
+    archive._mutations.clear()
+    return archive
+
+
+def _load_aggregates(
+    root: Path, record: dict
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    target = aggregates_path(root, record)
+    if not target.exists():
+        return None
+    try:
+        with np.load(target) as bundle:
+            return (
+                np.array(bundle["mins"]),
+                np.array(bundle["maxs"]),
+                np.array(bundle["sums"]),
+            )
+    except (OSError, ValueError, KeyError) as error:
+        raise ArchiveError(
+            f"corrupt aggregates for band {record['name']!r} at {target}: "
+            f"{error}"
+        ) from None

@@ -199,6 +199,91 @@ def _pad_axis(levels: list[_AxisLevel], n_depths: int) -> None:
         )
 
 
+def finest_intervals(
+    extent: int, leaf_size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(starts, lengths)`` of one axis's finest (leaf) intervals.
+
+    This is the leaf tiling a :class:`QuadTree` over the same extent and
+    leaf size bottoms out at — the shared vocabulary between the tree
+    and the on-disk store's precomputed aggregate grids
+    (:mod:`repro.data.store`), which must agree on it exactly.
+    """
+    if leaf_size <= 0:
+        raise ValueError(f"leaf_size must be positive, got {leaf_size}")
+    level = _axis_levels(extent, leaf_size)[-1]
+    return level.starts, level.lengths
+
+
+def finest_grids(
+    values: np.ndarray, row_starts: np.ndarray, col_starts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(mins, maxs, sums)`` leaf-aggregate grids over ``values``.
+
+    The exact double-``reduceat`` (columns first) the quadtree build
+    uses, exposed so the store's ingest writer produces bit-identical
+    grids — including the sum, whose sequential reduction order this
+    shares — without constructing a tree.
+    """
+    mins = np.minimum.reduceat(
+        np.minimum.reduceat(values, col_starts, axis=1), row_starts, axis=0
+    )
+    maxs = np.maximum.reduceat(
+        np.maximum.reduceat(values, col_starts, axis=1), row_starts, axis=0
+    )
+    sums = np.add.reduceat(
+        np.add.reduceat(values, col_starts, axis=1), row_starts, axis=0
+    )
+    return mins, maxs, sums
+
+
+def refresh_finest_grids(
+    values: np.ndarray,
+    row_starts: np.ndarray,
+    row_lengths: np.ndarray,
+    col_starts: np.ndarray,
+    col_lengths: np.ndarray,
+    mins: np.ndarray,
+    maxs: np.ndarray,
+    sums: np.ndarray,
+    region: tuple[int, int, int, int],
+) -> tuple[int, int, int, int]:
+    """Recompute, in place, every leaf-grid entry intersecting ``region``.
+
+    Only the leaf windows the dirty rectangle touches are re-reduced,
+    each over its *full* window (a leaf straddling the region boundary
+    needs its unchanged cells too). Because the per-window elements and
+    reduction order match the from-scratch build exactly, the refreshed
+    entries are bit-identical to rebuilding — the incremental-ingest
+    contract the store's differential tests pin. Returns the half-open
+    grid index window ``(i0, j0, i1, j1)`` that was recomputed.
+    """
+    row0, col0, row1, col1 = region
+    rows, cols = values.shape
+    row0, row1 = max(0, row0), min(rows, row1)
+    col0, col1 = max(0, col0), min(cols, col1)
+    if row0 >= row1 or col0 >= col1:
+        return (0, 0, 0, 0)
+    i0 = int(np.searchsorted(row_starts, row0, side="right")) - 1
+    i1 = int(np.searchsorted(row_starts, row1, side="left"))
+    j0 = int(np.searchsorted(col_starts, col0, side="right")) - 1
+    j1 = int(np.searchsorted(col_starts, col1, side="left"))
+    r_start = int(row_starts[i0])
+    r_end = int(row_starts[i1 - 1] + row_lengths[i1 - 1])
+    c_start = int(col_starts[j0])
+    c_end = int(col_starts[j1 - 1] + col_lengths[j1 - 1])
+    block = np.asarray(values[r_start:r_end, c_start:c_end])
+    local_rows = row_starts[i0:i1] - r_start
+    local_cols = col_starts[j0:j1] - c_start
+    block_mins, block_maxs, block_sums = finest_grids(
+        block, local_rows, local_cols
+    )
+    mins[i0:i1, j0:j1] = block_mins
+    maxs[i0:i1, j0:j1] = block_maxs
+    sums[i0:i1, j0:j1] = block_sums
+    return (i0, j0, i1, j1)
+
+
 class QuadTree:
     """Min/max/mean quadtree over a raster layer.
 
@@ -239,42 +324,37 @@ class QuadTree:
         self._sums: list[np.ndarray] = [np.empty(0)] * n_depths
         self._counts: list[np.ndarray] = [np.empty(0)] * n_depths
 
-        # Finest grid: one blockwise reduction over the raw raster.
+        # Finest grid: one blockwise reduction over the raw raster — or,
+        # when the layer carries precomputed leaf aggregates for this
+        # leaf size (the disk store's MemmapRasterLayer), those grids
+        # verbatim, skipping the full-raster pass entirely. The hook is
+        # duck-typed so plain layers pay nothing.
         finest = self.max_depth
-        values = layer.values
         row_starts = row_levels[finest].starts
         col_starts = col_levels[finest].starts
-        # Columns first: reduceat's inner loop is contiguous along
-        # axis 1, so the expensive pass over the raw raster runs there
-        # and the axis-0 pass only sees the already-narrow result.
-        self._mins[finest] = np.minimum.reduceat(
-            np.minimum.reduceat(values, col_starts, axis=1), row_starts, axis=0
-        )
-        self._maxs[finest] = np.maximum.reduceat(
-            np.maximum.reduceat(values, col_starts, axis=1), row_starts, axis=0
-        )
-        self._sums[finest] = np.add.reduceat(
-            np.add.reduceat(values, col_starts, axis=1), row_starts, axis=0
-        )
+        supplier = getattr(layer, "quadtree_aggregates", None)
+        precomputed = supplier(leaf_size) if supplier is not None else None
+        if precomputed is not None:
+            fmins, fmaxs, fsums = precomputed
+            expected = (row_starts.size, col_starts.size)
+            if fmins.shape != expected:  # pragma: no cover - store guards
+                raise ValueError(
+                    f"precomputed aggregate grid shape {fmins.shape} != "
+                    f"expected {expected} for leaf_size={leaf_size}"
+                )
+            self._mins[finest] = np.array(fmins, dtype=float)
+            self._maxs[finest] = np.array(fmaxs, dtype=float)
+            self._sums[finest] = np.array(fsums, dtype=float)
+        else:
+            values = layer.values
+            # Columns first: reduceat's inner loop is contiguous along
+            # axis 1, so the expensive pass over the raw raster runs
+            # there and the axis-0 pass only sees the narrow result.
+            self._mins[finest], self._maxs[finest], self._sums[finest] = (
+                finest_grids(values, row_starts, col_starts)
+            )
         # Coarser grids: combine children, never re-touching the raster.
-        for depth in range(finest - 1, -1, -1):
-            row_child = row_levels[depth].child_starts
-            col_child = col_levels[depth].child_starts
-            self._mins[depth] = np.minimum.reduceat(
-                np.minimum.reduceat(self._mins[depth + 1], col_child, axis=1),
-                row_child,
-                axis=0,
-            )
-            self._maxs[depth] = np.maximum.reduceat(
-                np.maximum.reduceat(self._maxs[depth + 1], col_child, axis=1),
-                row_child,
-                axis=0,
-            )
-            self._sums[depth] = np.add.reduceat(
-                np.add.reduceat(self._sums[depth + 1], col_child, axis=1),
-                row_child,
-                axis=0,
-            )
+        self._combine_coarser()
         for depth in range(n_depths):
             self._counts[depth] = np.outer(
                 row_levels[depth].lengths, col_levels[depth].lengths
@@ -292,6 +372,60 @@ class QuadTree:
             )
         self._n_nodes = n_nodes
         self._object_root: QuadTreeNode | None = None
+
+    def _combine_coarser(self) -> None:
+        """(Re)build every coarser grid from the finest, children-wise."""
+        for depth in range(self.max_depth - 1, -1, -1):
+            row_child = self._row_levels[depth].child_starts
+            col_child = self._col_levels[depth].child_starts
+            self._mins[depth] = np.minimum.reduceat(
+                np.minimum.reduceat(self._mins[depth + 1], col_child, axis=1),
+                row_child,
+                axis=0,
+            )
+            self._maxs[depth] = np.maximum.reduceat(
+                np.maximum.reduceat(self._maxs[depth + 1], col_child, axis=1),
+                row_child,
+                axis=0,
+            )
+            self._sums[depth] = np.add.reduceat(
+                np.add.reduceat(self._sums[depth + 1], col_child, axis=1),
+                row_child,
+                axis=0,
+            )
+
+    def refresh_region(self, region: tuple[int, int, int, int]) -> None:
+        """Re-aggregate after the layer's values changed inside ``region``.
+
+        Only finest-grid entries whose leaf windows intersect the dirty
+        rectangle are recomputed from raw values (each over its full
+        window, so boundary-straddling leaves stay correct); every
+        coarser grid is then rebuilt from the finest — cheap pure-array
+        work over the tiny aggregate grids, using the same reduction
+        code as construction, which keeps the refreshed tree
+        bit-identical to building from scratch on the mutated raster.
+        A no-op for regions that miss the grid entirely.
+        """
+        finest = self.max_depth
+        row = self._row_levels[finest]
+        col = self._col_levels[finest]
+        touched = refresh_finest_grids(
+            self.layer.values,
+            row.starts,
+            row.lengths,
+            col.starts,
+            col.lengths,
+            self._mins[finest],
+            self._maxs[finest],
+            self._sums[finest],
+            region,
+        )
+        if touched == (0, 0, 0, 0):
+            return
+        self._combine_coarser()
+        # The lazily materialized object tree (legacy walking API) holds
+        # stale copies of the aggregates; drop it for rebuild on demand.
+        self._object_root = None
 
     # -- array accessors (the kernel surface) ------------------------------
 

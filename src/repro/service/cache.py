@@ -89,6 +89,16 @@ def model_fingerprint(model: Model) -> Hashable:
     )
 
 
+def regions_intersect(
+    a: tuple[int, int, int, int], b: tuple[int, int, int, int]
+) -> bool:
+    """Whether two half-open ``(row0, col0, row1, col1)`` windows share
+    any cell. Empty windows intersect nothing."""
+    if a[0] >= a[2] or a[1] >= a[3] or b[0] >= b[2] or b[1] >= b[3]:
+        return False
+    return a[0] < b[2] and b[0] < a[2] and a[1] < b[3] and b[1] < a[3]
+
+
 def query_fingerprint(
     query: TopKQuery,
     region: tuple[int, int, int, int],
@@ -122,7 +132,13 @@ class QueryCache:
         if maxsize < 1:
             raise ValueError(f"cache maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
-        self._entries: OrderedDict[Hashable, RetrievalResult] = OrderedDict()
+        # Each entry carries the clipped region its answer was computed
+        # over, so region-scoped invalidation can keep answers that a
+        # dirty rectangle provably cannot have changed.
+        self._entries: OrderedDict[
+            Hashable,
+            tuple[RetrievalResult, tuple[int, int, int, int] | None],
+        ] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -131,7 +147,7 @@ class QueryCache:
         """The cached result for ``key``, or None (tallied either way)."""
         with self._lock:
             try:
-                result = self._entries[key]
+                result, _region = self._entries[key]
             except KeyError:
                 self.misses += 1
                 return None
@@ -139,10 +155,20 @@ class QueryCache:
             self.hits += 1
             return result
 
-    def put(self, key: Hashable, result: RetrievalResult) -> None:
-        """Store ``result``, evicting the oldest entries past capacity."""
+    def put(
+        self,
+        key: Hashable,
+        result: RetrievalResult,
+        region: tuple[int, int, int, int] | None = None,
+    ) -> None:
+        """Store ``result``, evicting the oldest entries past capacity.
+
+        ``region`` is the clipped window the result covers; ``None``
+        marks the entry as conservatively global (dropped by *every*
+        region invalidation).
+        """
         with self._lock:
-            self._entries[key] = result
+            self._entries[key] = (result, region)
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
@@ -151,6 +177,25 @@ class QueryCache:
         """Drop every entry (hit/miss tallies are kept)."""
         with self._lock:
             self._entries.clear()
+
+    def invalidate_region(self, region: tuple[int, int, int, int]) -> int:
+        """Drop entries whose window intersects a dirty rectangle.
+
+        Entries stored without a region are dropped too (no basis to
+        prove them unaffected). Returns how many entries were dropped —
+        an empty ``region`` drops nothing. Entries that survive are
+        *still valid*: their windows share no cell with the mutation.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key, (_result, entry_region) in self._entries.items()
+                if entry_region is None
+                or regions_intersect(entry_region, region)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
 
     def __len__(self) -> int:
         # Locked like every other accessor: len(dict) is atomic in

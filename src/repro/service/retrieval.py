@@ -374,14 +374,59 @@ class RetrievalService:
         with self._lock:
             self.stats.invalidations += 1
 
+    def invalidate_region(self, region: tuple[int, int, int, int]) -> None:
+        """Invalidate only what a dirty rectangle can have affected.
+
+        The precise counterpart of :meth:`invalidate`, used when the
+        watched archive reports a region-scoped mutation (the disk
+        store's ``append_region``). Three layers of derived state:
+
+        * the engine's screen aggregates are *re-derived in place* over
+          the rectangle — they are not a cache that may be dropped, they
+          are the pruning bounds, and serving from pre-mutation
+          envelopes would be silently unsound;
+        * built Onion indexes intersecting the rectangle are dropped,
+          the rest restamped to the new generation (their cells are
+          untouched, so they remain exact);
+        * cached answers whose query window intersects the rectangle
+          are dropped; every other entry provably never read a mutated
+          cell and survives.
+
+        An empty rectangle (series appends) touches no raster state and
+        invalidates nothing.
+        """
+        row0, col0, row1, col1 = region
+        if row0 >= row1 or col0 >= col1:
+            return
+        self.engine.screen.refresh_region(region)
+        self.router.index_cache.invalidate_region(
+            region, self._seen_generation
+        )
+        if self.cache is not None:
+            self.cache.invalidate_region(region)
+        with self._lock:
+            self.stats.invalidations += 1
+
     def _check_archive_generation(self) -> None:
         if self._archive is None:
             return
         with self._lock:
             generation = self._archive.generation
-            if generation != self._seen_generation:
-                self._seen_generation = generation
+            if generation == self._seen_generation:
+                return
+            mutations = self._archive.mutations_since(self._seen_generation)
+            self._seen_generation = generation
+            if mutations is None:
+                # The archive's bounded log no longer covers our lag (or
+                # cannot scope the change): full invalidation is the
+                # only sound answer.
                 self.invalidate()
+                return
+            for _mutation_generation, region in mutations:
+                if region is None:
+                    self.invalidate()
+                else:
+                    self.invalidate_region(region)
 
     def top_k(
         self,
@@ -585,7 +630,9 @@ class RetrievalService:
             # to a later query that had no deadline; the stored entry is
             # a copy, so the caller may freely mutate the returned one.
             with trace.span("cache_store"):
-                self.cache.put(key, _result_copy(result, result.strategy))
+                self.cache.put(
+                    key, _result_copy(result, result.strategy), region=region
+                )
         if not result.complete:
             with self._lock:
                 self.stats.partial_results += 1
@@ -781,6 +828,7 @@ class RetrievalService:
                         self.cache.put(
                             keys[index],
                             _result_copy(result, result.strategy),
+                            region=regions[index],
                         )
         for index in misses:
             result = results[index]

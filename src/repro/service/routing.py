@@ -49,6 +49,7 @@ from repro.exceptions import QueryError
 from repro.index.onion import OnionIndex
 from repro.metrics.registry import MetricsRegistry, global_registry
 from repro.models.linear import LinearModel
+from repro.service.cache import regions_intersect
 from repro.sproc.query import CompositeQuery
 
 #: Raster strategies the router arbitrates between, plus the composite
@@ -313,6 +314,32 @@ class OnionIndexCache:
         """Drop every built index (explicit refresh hook)."""
         with self._lock:
             self._entries.clear()
+
+    def invalidate_region(
+        self,
+        region: tuple[int, int, int, int],
+        generation: int | None,
+    ) -> int:
+        """Drop indexes intersecting a dirty rectangle; restamp the rest.
+
+        The region-scoped counterpart of :meth:`invalidate`: an index
+        over a window the mutation never touched is built from exactly
+        the same cell values before and after, so instead of dropping it
+        we restamp it to the post-mutation ``generation`` — otherwise
+        :meth:`peek`'s equality check would force a pointless rebuild.
+        Returns the number of entries dropped.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key, built in self._entries.items()
+                if regions_intersect(built.region, region)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            for built in self._entries.values():
+                built.generation = generation
+            return len(doomed)
 
     def peek(
         self,

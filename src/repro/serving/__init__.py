@@ -7,7 +7,11 @@ This package removes that ceiling with a process architecture:
 
 * :mod:`repro.serving.shm` — the archive's raster bands are exported
   **once** into :mod:`multiprocessing.shared_memory` blocks and
-  re-wrapped zero-copy as numpy views in every worker process;
+  re-wrapped zero-copy as numpy views in every worker process; for
+  archives persisted with :mod:`repro.data.store`, the fleet instead
+  skips the export entirely and every worker memory-maps the store's
+  band files read-only (one page-cache copy, RSS bounded by pages
+  actually touched);
 * :mod:`repro.serving.worker` — the worker entrypoint: attach the
   shared stack, build a private :class:`RetrievalService`, warm any
   configured indexes, then answer requests over its own pipe pair;
@@ -31,7 +35,12 @@ in-process ``top_k`` / ``top_k_batch`` result for the same query
 same float64 bits, and JSON float round-trips are exact.
 """
 
-from repro.serving.fleet import FleetConfig, WorkerFleet
+from repro.serving.fleet import (
+    FleetConfig,
+    WorkerFleet,
+    fleet_for_stack,
+    fleet_for_store,
+)
 from repro.serving.http import ServingServer
 from repro.serving.protocol import (
     ProtocolError,
@@ -41,10 +50,14 @@ from repro.serving.protocol import (
     encode_result,
 )
 from repro.serving.shm import SharedStackExport, attach_stack
+from repro.serving.worker import StoreArchiveManifest
 
 __all__ = [
     "FleetConfig",
+    "StoreArchiveManifest",
     "WorkerFleet",
+    "fleet_for_stack",
+    "fleet_for_store",
     "ServingServer",
     "ProtocolError",
     "decode_query",

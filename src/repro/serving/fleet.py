@@ -58,7 +58,12 @@ from repro.metrics.registry import (
 )
 from repro.serving.protocol import WorkItem, WorkReply
 from repro.serving.shm import SharedStackExport
-from repro.serving.worker import READY_ID, WorkerConfig, worker_main
+from repro.serving.worker import (
+    READY_ID,
+    StoreArchiveManifest,
+    WorkerConfig,
+    worker_main,
+)
 
 
 class FleetError(RuntimeError):
@@ -108,16 +113,28 @@ class WorkerFleet:
 
     def __init__(
         self,
-        stack: RasterStack,
+        stack: RasterStack | None = None,
         config: FleetConfig | None = None,
         registry: MetricsRegistry | None = None,
+        store_path: "str | None" = None,
+        store_layers: "tuple[str, ...] | None" = None,
     ) -> None:
         self.config = config if config is not None else FleetConfig()
         if self.config.n_workers < 1:
             raise FleetError(
                 f"n_workers must be positive, got {self.config.n_workers}"
             )
+        if (stack is None) == (store_path is None):
+            raise FleetError(
+                "exactly one of stack (shared-memory mode) or store_path "
+                "(on-disk store mode) is required"
+            )
         self._stack = stack
+        #: On-disk store mode: no shared-memory export at all — each
+        #: worker memory-maps the store's band files read-only, sharing
+        #: pages through the page cache instead of a shm segment.
+        self._store_path = store_path
+        self._store_layers = store_layers
         #: Fleet-side metrics (restarts, crash retries); the front end
         #: passes its own registry so these merge into ``/metrics``.
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -162,7 +179,8 @@ class WorkerFleet:
         ready (attached + warmed). Idempotent."""
         if self._started:
             return self
-        self._export = SharedStackExport(self._stack)
+        if self._stack is not None:
+            self._export = SharedStackExport(self._stack)
         self._procs = [None] * self.n_workers
         self._request_conns = [None] * self.n_workers
         self._reply_conns = [None] * self.n_workers
@@ -199,14 +217,20 @@ class WorkerFleet:
         writer. New file descriptors make the new worker's channel
         state trivially clean.
         """
-        assert self._export is not None
+        if self._store_path is not None:
+            manifest: Any = StoreArchiveManifest(
+                path=str(self._store_path), layers=self._store_layers
+            )
+        else:
+            assert self._export is not None
+            manifest = self._export.manifest
         request_read, request_write = self._ctx.Pipe(duplex=False)
         reply_read, reply_write = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=worker_main,
             args=(
                 worker_id,
-                self._export.manifest,
+                manifest,
                 request_read,
                 reply_write,
                 self.config.worker_config(),
@@ -615,3 +639,16 @@ def fleet_for_stack(
 ) -> WorkerFleet:
     """Convenience: a started fleet over ``stack`` with config kwargs."""
     return WorkerFleet(stack, FleetConfig(**config_kwargs)).start()
+
+
+def fleet_for_store(
+    store_path: str,
+    layers: "tuple[str, ...] | None" = None,
+    **config_kwargs: Any,
+) -> WorkerFleet:
+    """Convenience: a started fleet serving an on-disk store read-only."""
+    return WorkerFleet(
+        config=FleetConfig(**config_kwargs),
+        store_path=store_path,
+        store_layers=layers,
+    ).start()

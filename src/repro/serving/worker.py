@@ -56,6 +56,26 @@ from repro.serving.shm import StackManifest, attach_stack
 READY_ID = -1
 
 
+@dataclass(frozen=True)
+class StoreArchiveManifest:
+    """Spawn-time pointer to an on-disk store instead of shared memory.
+
+    The disk-backed sibling of :class:`~repro.serving.shm.StackManifest`:
+    instead of attaching exported shared-memory blocks, each worker
+    opens the store directory itself with
+    :func:`~repro.data.store.open_archive` — the band files are
+    memory-mapped read-only, so all workers still share one copy of the
+    archive (the page cache) and per-worker RSS stays bounded by the
+    pages their queries actually touch, not archive size.
+
+    ``layers`` selects which raster bands the service screens; ``None``
+    serves every raster in the store.
+    """
+
+    path: str
+    layers: tuple[str, ...] | None = None
+
+
 @dataclass
 class WorkerConfig:
     """Per-worker service knobs, shipped picklable at spawn time."""
@@ -74,25 +94,49 @@ class WorkerConfig:
 
 def worker_main(
     worker_id: int,
-    manifest: StackManifest,
+    manifest: "StackManifest | StoreArchiveManifest",
     requests: Any,
     replies: Any,
     config: WorkerConfig,
 ) -> None:
     """Serve loop of one fleet worker (runs in a child process)."""
-    attached = attach_stack(manifest)
     registry = MetricsRegistry()
     # Import here keeps the hot spawn path lean until it is needed and
     # avoids a module-level serving -> service -> telemetry import web
     # in every consumer of the protocol module.
     from repro.service.retrieval import RetrievalService
 
+    attached = None
+    if isinstance(manifest, StoreArchiveManifest):
+        from repro.data.raster import RasterLayer
+        from repro.data.store import open_archive
+
+        archive = open_archive(manifest.path)
+        layers = manifest.layers
+        if layers is None:
+            layers = tuple(
+                name
+                for name in archive.names()
+                if isinstance(archive.item(name), RasterLayer)
+            )
+        stack = archive.stack(list(layers))
+        # The store's leaf size, not the config's: any other size
+        # forfeits the precomputed aggregates and pages every band in
+        # during startup.
+        leaf_size = archive.screen_leaf_size
+        watch = archive
+    else:
+        attached = attach_stack(manifest)
+        stack = attached.stack
+        leaf_size = config.leaf_size
+        watch = None
     service = RetrievalService(
-        attached.stack,
-        leaf_size=config.leaf_size,
+        stack,
+        leaf_size=leaf_size,
         n_shards=config.n_shards,
         pool_workers=config.pool_workers,
         cache_size=config.cache_size,
+        archive=watch,
         registry=registry,
     )
     registry.gauge("service.worker_id", float(worker_id))
@@ -120,7 +164,8 @@ def worker_main(
     except (BrokenPipeError, KeyboardInterrupt):
         pass
     finally:
-        attached.close()
+        if attached is not None:
+            attached.close()
 
 
 def _warm(service: Any, spec: dict[str, Any]) -> dict[str, Any]:

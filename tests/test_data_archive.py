@@ -107,3 +107,47 @@ class TestArchive:
         assert len(archive) == 4
         assert "band" in archive
         assert archive.names() == ["band", "station", "well", "tuples"]
+
+
+class TestItemAccessor:
+    def test_item_returns_any_kind(self):
+        archive = _archive()
+        assert isinstance(archive.item("band"), RasterLayer)
+        assert isinstance(archive.item("station"), TimeSeries)
+        assert isinstance(archive.item("tuples"), Table)
+
+    def test_item_missing_raises(self):
+        with pytest.raises(ArchiveError, match="has no item"):
+            _archive().item("nope")
+
+
+class TestSlashInName:
+    def test_add_rejects_slash(self):
+        archive = Archive("x")
+        with pytest.raises(ArchiveError, match="must not contain '/'"):
+            archive.add(RasterLayer("a/b", np.zeros((2, 2))))
+
+
+class TestMutationLog:
+    def test_adds_record_unscoped_mutations(self):
+        archive = _archive()
+        assert archive.generation == 4
+        mutations = archive.mutations_since(2)
+        assert mutations == [(3, None), (4, None)]
+
+    def test_up_to_date_consumer_sees_empty_list(self):
+        archive = _archive()
+        assert archive.mutations_since(archive.generation) == []
+
+    def test_consumer_ahead_of_archive_gets_none(self):
+        archive = _archive()
+        assert archive.mutations_since(archive.generation + 1) is None
+
+    def test_overflowed_log_returns_none(self):
+        archive = Archive("x")
+        for index in range(300):
+            archive.add(Table(f"t{index}", {"x": np.zeros(1)}))
+        assert archive.mutations_since(0) is None
+        # The tail the log still covers remains available.
+        recent = archive.mutations_since(archive.generation - 5)
+        assert recent is not None and len(recent) == 5

@@ -186,3 +186,42 @@ class TestFailureInjection:
         np.savez(path, __manifest__=manifest)
         with pytest.raises(ArchiveError):
             load_archive(path)
+
+
+class TestSuffixNormalization:
+    def test_suffixless_path_round_trips(self, archive, tmp_path):
+        # numpy appends .npz when saving; loading through the same
+        # suffix-less path must find the file it actually wrote.
+        save_archive(archive, tmp_path / "snapshot")
+        assert (tmp_path / "snapshot.npz").exists()
+        loaded = load_archive(tmp_path / "snapshot")
+        assert loaded.names() == archive.names()
+
+    def test_exact_path_still_wins(self, archive, tmp_path):
+        save_archive(archive, tmp_path / "snapshot.npz")
+        loaded = load_archive(tmp_path / "snapshot.npz")
+        assert loaded.names() == archive.names()
+
+    def test_foreign_suffix_normalized_on_both_ends(self, archive, tmp_path):
+        save_archive(archive, tmp_path / "snapshot.dat")
+        assert (tmp_path / "snapshot.dat.npz").exists()
+        loaded = load_archive(tmp_path / "snapshot.dat")
+        assert loaded.names() == archive.names()
+
+
+class TestSlashRejection:
+    def test_series_attribute_with_slash_rejected(self, tmp_path):
+        built = Archive("bad")
+        built.add(
+            TimeSeries(
+                "station", np.arange(2.0), {"rain/mm": np.zeros(2)}
+            )
+        )
+        with pytest.raises(ArchiveError, match="must not contain '/'"):
+            save_archive(built, tmp_path / "bad.npz")
+
+    def test_table_column_with_slash_rejected(self, tmp_path):
+        built = Archive("bad")
+        built.add(Table("tuples", {"x/y": np.zeros(2)}))
+        with pytest.raises(ArchiveError, match="must not contain '/'"):
+            save_archive(built, tmp_path / "bad.npz")

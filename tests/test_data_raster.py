@@ -136,3 +136,35 @@ class TestNonFiniteRejection:
         values[0, 2] = np.inf
         with pytest.raises(ArchiveError):
             RasterLayer("bad", values)
+
+class TestReadBounds:
+    def test_negative_index_raises_instead_of_wrapping(self):
+        layer = RasterLayer("x", np.arange(6.0).reshape(2, 3))
+        counter = CostCounter()
+        with pytest.raises(ArchiveError, match="outside grid"):
+            layer.read(-1, 0, counter)
+        with pytest.raises(ArchiveError, match="outside grid"):
+            layer.read(0, -1, counter)
+        # A rejected read must not tally cost.
+        assert counter.data_points == 0
+
+    def test_past_end_index_raises(self):
+        layer = RasterLayer("x", np.zeros((2, 3)))
+        with pytest.raises(ArchiveError, match="outside grid"):
+            layer.read(2, 0)
+        with pytest.raises(ArchiveError, match="outside grid"):
+            layer.read(0, 3)
+
+    def test_empty_window_error_reports_preclip_bounds(self):
+        layer = RasterLayer("x", np.zeros((3, 3)))
+        with pytest.raises(ArchiveError, match=r"\[10:20, 10:20\]"):
+            layer.read_window(10, 10, 20, 20)
+
+    def test_gather_reads_and_tallies(self):
+        layer = RasterLayer("x", np.arange(12.0).reshape(3, 4))
+        counter = CostCounter()
+        values = layer.gather(np.array([0, 2]), np.array([1, 3]), counter)
+        assert values.tolist() == [1.0, 11.0]
+        assert counter.data_points == 2
+        values[0] = -1.0  # returned array is a private writable copy
+        assert layer.values[0, 1] == 1.0

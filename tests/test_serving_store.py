@@ -1,0 +1,101 @@
+"""Store-backed serving fleet: workers memory-map the archive from disk.
+
+Process-backed tests share one module-scoped 2-worker fleet over one
+module-scoped ingested store (spawning is the dominant cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import TopKQuery
+from repro.data.store import ingest_synthetic, open_archive, synthetic_stack
+from repro.models.linear import LinearModel
+from repro.serving import (
+    FleetConfig,
+    StoreArchiveManifest,
+    WorkerFleet,
+    fleet_for_store,
+)
+from repro.serving.protocol import encode_query, encode_result
+from repro.service.retrieval import RetrievalService
+
+SIZE = 128
+N_BANDS = 2
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serving_store") / "store"
+    ingest_synthetic(root, size=SIZE, n_bands=N_BANDS, seed=SEED)
+    return root
+
+
+@pytest.fixture(scope="module")
+def store_fleet(store_path):
+    fleet = WorkerFleet(
+        config=FleetConfig(n_workers=2),
+        store_path=str(store_path),
+    )
+    fleet.start()
+    yield fleet
+    fleet.stop()
+
+
+@pytest.fixture(scope="module")
+def local_service(store_path):
+    return RetrievalService.from_archive(
+        open_archive(store_path), ["band0", "band1"]
+    )
+
+
+def _query(seed: int, k: int = 5) -> TopKQuery:
+    rng = np.random.default_rng(seed)
+    weights = {f"band{i}": float(rng.normal()) for i in range(N_BANDS)}
+    return TopKQuery(model=LinearModel(weights), k=k)
+
+
+class TestStoreFleet:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_answers_bit_identical_to_in_process(
+        self, store_fleet, local_service, seed
+    ):
+        query = _query(seed)
+        reply = store_fleet.submit_query(encode_query(query)).result(
+            timeout=60
+        )
+        assert reply.ok, reply.error
+        local = encode_result(local_service.top_k(query, use_cache=False))
+        assert reply.value["answers"] == local["answers"]
+        assert reply.value["complete"] is True
+
+    def test_workers_match_synthetic_twin(self, store_fleet):
+        # The store was ingested strip-by-strip; the in-memory twin is
+        # built in one shot. Workers must serve the twin's answers.
+        stack = synthetic_stack(SIZE, n_bands=N_BANDS, seed=SEED)
+        twin = RetrievalService(stack, leaf_size=16)
+        query = _query(99)
+        reply = store_fleet.submit_query(encode_query(query)).result(
+            timeout=60
+        )
+        assert reply.ok, reply.error
+        local = encode_result(twin.top_k(query, use_cache=False))
+        assert reply.value["answers"] == local["answers"]
+
+    def test_stats_report_all_workers(self, store_fleet):
+        stats = store_fleet.stats(timeout_s=60)
+        assert len(stats) == 2
+
+
+class TestStoreFleetConstruction:
+    def test_exactly_one_source_required(self, store_path):
+        with pytest.raises(Exception, match="exactly one"):
+            WorkerFleet(config=FleetConfig(n_workers=1))
+
+    def test_fleet_for_store_builds_manifest(self, store_path):
+        fleet = fleet_for_store(str(store_path), n_workers=1)
+        manifest = StoreArchiveManifest(path=str(store_path))
+        assert fleet._store_path == manifest.path
+        assert fleet._stack is None

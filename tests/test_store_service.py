@@ -1,0 +1,190 @@
+"""Region-scoped cache invalidation over a disk-backed archive.
+
+Counters are only deterministic on the single-shard path (sharded
+execution shares one top-K heap across threads, so counted work is
+timing-dependent), so every service here runs ``n_shards=1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import TopKQuery
+from repro.data.archive import Archive
+from repro.data.raster import RasterLayer
+from repro.data.series import TimeSeries
+from repro.data.store import ArchiveWriter, open_archive
+from repro.models.linear import LinearModel
+from repro.service.cache import regions_intersect
+from repro.service.retrieval import RetrievalService
+
+
+def build_store(tmp_path, seed=1, size=256):
+    rng = np.random.default_rng(seed)
+    source = Archive("demo")
+    source.add(RasterLayer("a", rng.standard_normal((size, size))))
+    source.add(RasterLayer("b", rng.standard_normal((size, size))))
+    source.add(
+        TimeSeries("clock", np.arange(5.0), {"tick": np.arange(5.0)})
+    )
+    ArchiveWriter.create(tmp_path / "store", source, screen_leaf_size=16)
+    return open_archive(tmp_path / "store")
+
+
+def service_for(archive):
+    return RetrievalService.from_archive(archive, ["a", "b"], n_shards=1)
+
+
+def answers(result):
+    return [(a.row, a.col, a.score) for a in result.answers]
+
+
+class TestRegionsIntersect:
+    def test_half_open_semantics(self):
+        assert regions_intersect((0, 0, 10, 10), (5, 5, 15, 15))
+        assert not regions_intersect((0, 0, 10, 10), (10, 0, 20, 10))
+        assert not regions_intersect((0, 0, 10, 10), (0, 10, 10, 20))
+
+    def test_empty_region_intersects_nothing(self):
+        assert not regions_intersect((0, 0, 0, 0), (0, 0, 10, 10))
+        assert not regions_intersect((5, 5, 5, 9), (0, 0, 10, 10))
+
+
+class TestRegionScopedInvalidation:
+    def test_untouched_entries_survive_intersecting_drop(self, tmp_path):
+        disk = build_store(tmp_path)
+        service = service_for(disk)
+        model = LinearModel({"a": 1.0, "b": 0.5})
+        q_left = TopKQuery(model=model, k=3, region=(0, 0, 256, 100))
+        q_right = TopKQuery(model=model, k=3, region=(0, 150, 256, 256))
+        service.top_k(q_left)
+        service.top_k(q_right)
+        assert service.top_k(q_left).strategy.endswith("-cached")
+        assert service.top_k(q_right).strategy.endswith("-cached")
+
+        rng = np.random.default_rng(7)
+        disk.append_region(
+            {"a": rng.standard_normal((50, 50))}, (100, 200, 150, 250)
+        )
+
+        # Left never intersected the dirty rectangle: still served from
+        # cache. Right did: dropped and recomputed.
+        assert service.top_k(q_left).strategy.endswith("-cached")
+        recomputed = service.top_k(q_right)
+        assert not recomputed.strategy.endswith("-cached")
+
+        fresh = service_for(open_archive(tmp_path / "store"))
+        expected = fresh.top_k(q_right)
+        assert answers(recomputed) == answers(expected)
+        assert (
+            recomputed.counter.data_points == expected.counter.data_points
+        )
+        assert answers(service.top_k(q_left)) == answers(
+            fresh.top_k(q_left)
+        )
+
+    def test_surviving_onion_index_is_restamped_not_rebuilt(self, tmp_path):
+        disk = build_store(tmp_path)
+        service = service_for(disk)
+        model = LinearModel({"a": 1.0, "b": 0.5})
+        region = (0, 0, 128, 100)
+        service.top_k(
+            TopKQuery(model=model, k=3, region=region), strategy="onion"
+        )
+        built = service.router.index_cache.peek(
+            region, ("a", "b"), service._seen_generation
+        )
+        assert built is not None
+
+        rng = np.random.default_rng(7)
+        disk.append_region(
+            {"b": rng.standard_normal((20, 20))}, (200, 200, 220, 220)
+        )
+        service.top_k(TopKQuery(model=model, k=3, region=region))
+        survivor = service.router.index_cache.peek(
+            region, ("a", "b"), service._seen_generation
+        )
+        assert survivor is built
+
+    def test_intersecting_onion_index_is_dropped(self, tmp_path):
+        disk = build_store(tmp_path)
+        service = service_for(disk)
+        model = LinearModel({"a": 1.0, "b": 0.5})
+        region = (0, 0, 128, 100)
+        service.top_k(
+            TopKQuery(model=model, k=3, region=region), strategy="onion"
+        )
+        rng = np.random.default_rng(7)
+        disk.append_region(
+            {"a": rng.standard_normal((8, 8))}, (50, 50, 58, 58)
+        )
+        service.top_k(TopKQuery(model=model, k=3, region=region))
+        assert (
+            service.router.index_cache.peek(
+                region, ("a", "b"), service._seen_generation
+            )
+            is None
+        )
+
+    def test_screen_refreshed_answers_stay_sound(self, tmp_path):
+        # The mutation flips the region's extremes; stale screen
+        # envelopes would prune the new optimum away.
+        disk = build_store(tmp_path)
+        service = service_for(disk)
+        model = LinearModel({"a": 1.0})
+        query = TopKQuery(model=model, k=1)
+        service.top_k(query)
+        disk.append_region(
+            {"a": np.full((16, 16), 1e6)}, (64, 64, 80, 80)
+        )
+        top = service.top_k(query)
+        assert top.answers[0].score == pytest.approx(1e6)
+        assert 64 <= top.answers[0].row < 80
+
+    def test_series_append_invalidates_nothing_spatial(self, tmp_path):
+        disk = build_store(tmp_path)
+        service = service_for(disk)
+        model = LinearModel({"a": 1.0, "b": 0.5})
+        query = TopKQuery(model=model, k=3, region=(0, 0, 256, 100))
+        service.top_k(query)
+        assert service.top_k(query).strategy.endswith("-cached")
+        disk.append_days(
+            "clock", np.array([5.0, 6.0]), {"tick": np.array([5.0, 6.0])}
+        )
+        assert service.top_k(query).strategy.endswith("-cached")
+
+    def test_unscoped_add_still_fully_invalidates(self, tmp_path):
+        disk = build_store(tmp_path)
+        service = service_for(disk)
+        model = LinearModel({"a": 1.0, "b": 0.5})
+        query = TopKQuery(model=model, k=3, region=(0, 0, 256, 100))
+        service.top_k(query)
+        assert service.top_k(query).strategy.endswith("-cached")
+        disk.add(RasterLayer("c", np.ones((4, 4))))
+        assert not service.top_k(query).strategy.endswith("-cached")
+
+    def test_log_overflow_falls_back_to_full_invalidation(self, tmp_path):
+        rng = np.random.default_rng(3)
+        source = Archive("tiny")
+        source.add(RasterLayer("a", rng.standard_normal((64, 64))))
+        source.add(RasterLayer("b", rng.standard_normal((64, 64))))
+        ArchiveWriter.create(tmp_path / "store", source, screen_leaf_size=8)
+        disk = open_archive(tmp_path / "store")
+        service = service_for(disk)
+        model = LinearModel({"a": 1.0, "b": 0.5})
+        query = TopKQuery(model=model, k=3, region=(0, 0, 64, 8))
+        service.top_k(query)
+        assert service.top_k(query).strategy.endswith("-cached")
+
+        # Push the bounded mutation log past capacity with appends that
+        # never touch the cached region.
+        for _ in range(300):
+            disk.append_region(
+                {"b": rng.standard_normal((4, 4))}, (60, 60, 64, 64)
+            )
+        assert disk.mutations_since(service._seen_generation) is None
+
+        # The service cannot prove the cached region untouched, so the
+        # entry must go — soundness over retention.
+        assert not service.top_k(query).strategy.endswith("-cached")
