@@ -53,6 +53,7 @@ from repro.models.progressive_linear import (
 )
 
 if TYPE_CHECKING:  # polled duck-typed; no runtime core->service dep
+    from repro.embed.fusion import FusionSpec
     from repro.service.tracing import CancellationToken
 
 
@@ -113,7 +114,17 @@ class TopKHeap:
     def _offer_block_impl(
         self, scores: np.ndarray, rows: np.ndarray, cols: np.ndarray
     ) -> None:
-        scores = np.asarray(scores, dtype=float).reshape(-1)
+        scores = np.asarray(scores)
+        if scores.dtype != np.float64:
+            # Narrower float blocks (e.g. float32 embedding dot products)
+            # are widened *exactly* — every float32 is a float64 — so the
+            # threshold/partition comparisons below run in the heap's own
+            # dtype and the kept set is identical to offering the same
+            # values pre-widened. One astype also leaves the result
+            # contiguous, so non-contiguous views (strided slices, 2-D
+            # column views) pay at most this single copy.
+            scores = scores.astype(np.float64)
+        scores = scores.reshape(-1)
         if scores.size == 0:
             # Zero-length blocks are legal input: a shared-scan leaf whose
             # sibling candidates were all pruned offers an empty block
@@ -308,6 +319,11 @@ class RasterRetrievalEngine:
 
     def exhaustive_top_k(self, query: TopKQuery) -> RetrievalResult:
         """Sequential-scan baseline: full model on every cell."""
+        if query.fused:
+            raise QueryError(
+                "fused (similar_to) queries need embeddings; use "
+                "RetrievalService.top_k"
+            )
         counter = CostCounter()
         model = query.model
         row0, col0, row1, col1 = query.clip_region(self.stack.shape)
@@ -377,6 +393,11 @@ class RasterRetrievalEngine:
         may remain unexplored. Only the tile path polls; the
         ``use_tiles=False`` strategies evaluate one window and finish.
         """
+        if query.fused:
+            raise QueryError(
+                "fused (similar_to) queries need embeddings; use "
+                "RetrievalService.top_k"
+            )
         if pruning not in ("sound", "heuristic"):
             raise QueryError(f"unknown pruning mode {pruning!r}")
         if work_budget is not None:
@@ -503,12 +524,22 @@ class RasterRetrievalEngine:
         work_budget: int | None = None,
         roots: list[ScreenNode] | None = None,
         cancel: "CancellationToken | None" = None,
+        fusion: "FusionSpec | None" = None,
     ) -> tuple[float | None, bool]:
         """Best-first branch-and-bound over the tile screen.
 
         ``roots`` overrides the starting frontier (default: the global
         screen root); shard searches pass the minimal node cover of
         their sub-region so bands skip the shared upper tree levels.
+
+        ``fusion`` (a :class:`repro.embed.fusion.FusionSpec`, duck-typed
+        here to keep core free of an embed dependency) blends embedding
+        similarity into both the node bounds and the leaf scores; the
+        search then maximizes the combined objective
+        ``alpha * model + (1 - alpha) * cosine`` with bounds that stay
+        sound because both terms are bounded independently (DESIGN.md
+        §10). Fused search runs without a level cascade
+        (``progressive`` must be None).
 
         ``cancel`` is polled once per frontier pop (the loop check that
         makes shard searches cooperatively cancellable); when it fires
@@ -523,6 +554,11 @@ class RasterRetrievalEngine:
         """
         model = query.model
         tiebreak = itertools.count()
+        if fusion is not None and progressive is not None:
+            raise QueryError(
+                "fused search blends whole-model bounds; the level cascade "
+                "does not apply (run with use_model_levels=False)"
+            )
 
         def block_uppers(nodes: list[ScreenNode]) -> list[float]:
             """Signed upper bounds for a whole frontier batch.
@@ -541,6 +577,8 @@ class RasterRetrievalEngine:
             lows = {name: pair[0] for name, pair in envelopes.items()}
             highs = {name: pair[1] for name, pair in envelopes.items()}
             low, high = model.evaluate_interval_batch(lows, highs)
+            if fusion is not None:
+                low, high = fusion.combine_bounds(nodes, low, high, counter)
             uppers = high if sign > 0 else -low
             return uppers.tolist()
 
@@ -604,7 +642,8 @@ class RasterRetrievalEngine:
                     min(col1, region_col1),
                 )
                 self._evaluate_window(
-                    query, progressive, heap, sign, window, counter, audit
+                    query, progressive, heap, sign, window, counter, audit,
+                    fusion=fusion,
                 )
                 continue
             all_children = self.screen.children(node)
@@ -681,6 +720,7 @@ class RasterRetrievalEngine:
         pruning: str = "sound",
         heuristic_margin: float = 0.7,
         cancel: "CancellationToken | None" = None,
+        fusion: "FusionSpec | None" = None,
     ) -> bool:
         """Branch-and-bound restricted to ``region`` against a shared heap.
 
@@ -704,6 +744,7 @@ class RasterRetrievalEngine:
             query, progressive, heap, sign, region, counter, audit,
             pruning=pruning, heuristic_margin=heuristic_margin,
             roots=self.screen.region_roots(region), cancel=cancel,
+            fusion=fusion,
         )
         return complete
 
@@ -744,6 +785,11 @@ class RasterRetrievalEngine:
         if not specs:
             return
         for spec in specs:
+            if spec.query.fused:
+                raise QueryError(
+                    "shared-scan batches cannot blend embeddings; fused "
+                    "(similar_to) members are planned as singletons"
+                )
             if not spec.query.model.supports_intervals:
                 raise QueryError(
                     f"model {type(spec.query.model).__name__} cannot bound "
@@ -970,6 +1016,7 @@ class RasterRetrievalEngine:
         counter: CostCounter,
         audit: PruningAudit,
         reads: "_SharedLeafReads | None" = None,
+        fusion: "FusionSpec | None" = None,
     ) -> None:
         """Exact evaluation of a window, with optional level cascade.
 
@@ -978,6 +1025,11 @@ class RasterRetrievalEngine:
         of being recomputed, while ``counter`` is charged exactly as the
         uncached path charges — sharing saves wall clock, never counted
         work.
+
+        ``fusion`` blends the containing tile's embedding cosine into
+        every cell's score before the sign is applied; fused windows
+        arrive from the tile search, so each lies inside a single screen
+        leaf and shares one cosine.
         """
         row0, col0, row1, col1 = window
         if row0 >= row1 or col0 >= col1:
@@ -1003,9 +1055,11 @@ class RasterRetrievalEngine:
                     columns[name] = layer.read_window(
                         row0, col0, row1, col1, counter
                     )
-            scores = sign * model.evaluate_batch(columns).reshape(-1)
+            scores = model.evaluate_batch(columns).reshape(-1)
             counter.add_model_evals(scores.size, flops_each=model.complexity)
-            heap.offer_block(scores, rows, cols)
+            if fusion is not None:
+                scores = fusion.combine_window(window, scores, counter)
+            heap.offer_block(sign * scores, rows, cols)
             return
 
         # Level cascade: evaluate one contribution-ordered term at a time,

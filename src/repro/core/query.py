@@ -29,12 +29,24 @@ class TopKQuery:
     region:
         Optional half-open window ``(row0, col0, row1, col1)`` restricting
         the query to part of the grid; ``None`` means the whole grid.
+    similar_to:
+        Optional example cell ``(row, col)``: fuse the model score with
+        embedding similarity to the tile containing that cell
+        (query-by-example, DESIGN.md §10). The example cell may lie
+        outside ``region`` — answers still come from ``region`` only.
+    alpha:
+        Fusion weight in ``[0, 1]``: each cell scores
+        ``alpha * model + (1 - alpha) * cosine``. The default ``1.0``
+        disables fusion entirely — the query takes exactly the legacy
+        model-only path even when ``similar_to`` is set.
     """
 
     model: Model
     k: int
     maximize: bool = True
     region: tuple[int, int, int, int] | None = None
+    similar_to: tuple[int, int] | None = None
+    alpha: float = 1.0
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -43,6 +55,35 @@ class TopKQuery:
             row0, col0, row1, col1 = self.region
             if row0 >= row1 or col0 >= col1:
                 raise QueryError(f"empty query region {self.region}")
+        alpha = float(self.alpha)
+        if not (0.0 <= alpha <= 1.0) or alpha != alpha:
+            raise QueryError(f"alpha must lie in [0, 1], got {self.alpha}")
+        object.__setattr__(self, "alpha", alpha)
+        if self.similar_to is not None:
+            try:
+                row, col = self.similar_to
+                row, col = int(row), int(col)
+            except (TypeError, ValueError):
+                raise QueryError(
+                    f"similar_to must be a (row, col) cell, "
+                    f"got {self.similar_to!r}"
+                ) from None
+            if row < 0 or col < 0:
+                raise QueryError(
+                    f"similar_to cell must be non-negative, "
+                    f"got {self.similar_to}"
+                )
+            object.__setattr__(self, "similar_to", (int(row), int(col)))
+        elif alpha < 1.0:
+            raise QueryError(
+                f"alpha={alpha} weights embedding similarity but no "
+                "similar_to example cell was given"
+            )
+
+    @property
+    def fused(self) -> bool:
+        """Whether fusion actually shapes scores (example set, alpha<1)."""
+        return self.similar_to is not None and self.alpha < 1.0
 
     def clip_region(self, shape: tuple[int, int]) -> tuple[int, int, int, int]:
         """The effective window for a grid of the given shape."""

@@ -107,6 +107,18 @@ class TileScreen:
         """Grid shape."""
         return self.stack.shape
 
+    @property
+    def structure(self):
+        """The structural quadtree every aggregate grid is laid out on.
+
+        All screened attributes share one node geometry (same extent,
+        same leaf size), so the first attribute's tree doubles as the
+        screen's structural index. Consumers that need the node layout
+        without the aggregates — e.g. the tile embedder, which pools
+        statistics over exactly the screen's leaf tiles — read it here.
+        """
+        return self._structure
+
     def refresh_region(self, region: tuple[int, int, int, int]) -> None:
         """Re-aggregate every screened attribute over a dirty rectangle.
 

@@ -1,0 +1,18 @@
+"""Per-tile embeddings and fused model+similarity queries (DESIGN §10)."""
+
+from repro.embed.fusion import BLEND_FLOPS, FusionSpec
+from repro.embed.tiles import (
+    EMBEDDINGS_FORMAT,
+    TILE_STATS,
+    TileEmbedder,
+    TileEmbeddings,
+)
+
+__all__ = [
+    "BLEND_FLOPS",
+    "EMBEDDINGS_FORMAT",
+    "FusionSpec",
+    "TILE_STATS",
+    "TileEmbedder",
+    "TileEmbeddings",
+]

@@ -49,3 +49,7 @@ class QueryError(ReproError):
 
 class PlanError(ReproError):
     """Raised when a progressive execution plan cannot be constructed."""
+
+
+class EmbeddingError(ReproError):
+    """Raised for tile-embedding problems (config mismatches, bad loads)."""

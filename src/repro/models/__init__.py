@@ -18,6 +18,12 @@
 
 from repro.models.base import AttributeVector, Model
 from repro.models.bayes import BayesianNetwork, Variable
+from repro.models.embedding import (
+    embedding_attribute,
+    embedding_cells,
+    embedding_columns,
+    embedding_query_model,
+)
 from repro.models.bayes_infer import VariableElimination
 from repro.models.bayes_learn import fit_cpts
 from repro.models.bayes_mpe import most_probable_explanations
@@ -63,6 +69,10 @@ __all__ = [
     "VariableElimination",
     "analyze_contributions",
     "behavioural_distance",
+    "embedding_attribute",
+    "embedding_cells",
+    "embedding_columns",
+    "embedding_query_model",
     "fire_ants_model",
     "fit_cpts",
     "fit_linear_model",

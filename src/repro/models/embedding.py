@@ -1,0 +1,67 @@
+"""Embedding queries as linear models (the SARCH observation).
+
+An inner-product similarity query over D-dimensional embeddings *is* a
+:class:`~repro.models.linear.LinearModel` whose attributes are the D
+embedding components and whose coefficients are the query vector — so a
+query-by-example can ride every piece of machinery built for linear
+models (interval bounds, Onion indexes, the cost router, fingerprint
+caching) without a new model family. This module is that bridge: it
+names the pseudo-attributes, builds the model, and exposes a tile
+embedding grid as the attribute columns the model evaluates over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.linear import LinearModel
+
+
+def embedding_attribute(dimension: int) -> str:
+    """The pseudo-attribute name of one embedding component."""
+    return f"emb{dimension}"
+
+
+def embedding_query_model(
+    query_vector: np.ndarray, name: str = "embed-query"
+) -> LinearModel:
+    """A linear model computing ``ip(vector, query_vector)``.
+
+    Evaluating it over :func:`embedding_columns` scores every tile by
+    inner-product similarity; interval evaluation over per-component
+    envelopes yields sound similarity bounds — exactly the contract the
+    rest of the retrieval stack expects from a model.
+    """
+    flat = np.asarray(query_vector, dtype=np.float64).reshape(-1)
+    coefficients = {
+        embedding_attribute(d): float(flat[d]) for d in range(flat.size)
+    }
+    return LinearModel(coefficients, intercept=0.0, name=name)
+
+
+def embedding_columns(embeddings) -> dict[str, np.ndarray]:
+    """Per-component columns of a tile embedding grid.
+
+    Maps each pseudo-attribute to the flattened (row-major over the
+    tile grid) float64 column of that embedding dimension, ready for
+    any model's ``evaluate_batch``.
+    """
+    grid = np.asarray(embeddings.vectors, dtype=np.float64)
+    n_i, n_j, dim = grid.shape
+    flat = grid.reshape(n_i * n_j, dim)
+    return {
+        embedding_attribute(d): np.ascontiguousarray(flat[:, d])
+        for d in range(dim)
+    }
+
+
+def embedding_cells(embeddings) -> tuple[np.ndarray, np.ndarray]:
+    """``(rows, cols)`` tile-origin cells aligned with the columns."""
+    n_i, n_j, _ = embeddings.vectors.shape
+    rows = np.repeat(
+        np.asarray(embeddings.tile_row_starts, dtype=np.intp), n_j
+    )
+    cols = np.tile(
+        np.asarray(embeddings.tile_col_starts, dtype=np.intp), n_i
+    )
+    return rows, cols

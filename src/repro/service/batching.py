@@ -102,6 +102,13 @@ class BatchPlanner:
             return plan
         by_region: dict[tuple[int, int, int, int], list[PlannedQuery]] = {}
         for item in planned:
+            if item.query.fused:
+                # Fused members blend whole-model bounds with cosine
+                # caps; the shared scan's per-member level machinery
+                # does not apply, so they keep the singleton path (which
+                # knows how to build their FusionSpec).
+                plan.singletons.append(item)
+                continue
             if not item.query.model.supports_intervals:
                 # Unanswerable by tile search; the executor raises the
                 # same QueryError the single-query path raises. Routing

@@ -110,12 +110,16 @@ def query_fingerprint(
     an explicit whole-grid region hash identically. Shard count is
     deliberately absent: sharding changes the work split, never the
     answer set, so any shard count may serve any other's cached result.
+    The fusion pair ``(similar_to, alpha)`` is part of the key because
+    it is part of the score: two queries over the same model and region
+    but different example cells answer different questions.
     """
     return (
         model_fingerprint(query.model),
         query.k,
         query.maximize,
         region,
+        (query.similar_to, query.alpha),
         tuple(sorted(knobs.items())),
     )
 

@@ -79,7 +79,10 @@ from repro.core.query import TopKQuery
 from repro.core.results import PruningAudit, RetrievalResult, ScoredLocation
 from repro.data.archive import Archive
 from repro.data.raster import RasterStack
+from repro.embed.fusion import BLEND_FLOPS, FusionSpec
+from repro.embed.tiles import TileEmbeddings
 from repro.exceptions import QueryError
+from repro.index.vector import FlatIPIndex, IVFIPIndex
 from repro.metrics.counters import CostCounter
 from repro.metrics.registry import MetricsRegistry, global_registry
 from repro.service.batching import BatchPlanner, PlannedQuery
@@ -199,6 +202,10 @@ class RetrievalService:
         Where query counts, stage latencies, and the cache hit rate are
         aggregated; defaults to the process-wide
         :func:`~repro.metrics.registry.global_registry`.
+    embedding_dim / embedding_seed:
+        Configuration of the lazily built per-tile embedding grid that
+        fused (``similar_to``) queries and :meth:`similar_tiles` score
+        against; see :mod:`repro.embed`.
     """
 
     def __init__(
@@ -210,6 +217,8 @@ class RetrievalService:
         cache_size: int = 128,
         archive: Archive | None = None,
         registry: MetricsRegistry | None = None,
+        embedding_dim: int = 16,
+        embedding_seed: int = 0,
     ) -> None:
         if n_shards < 1:
             raise QueryError(f"n_shards must be positive, got {n_shards}")
@@ -233,6 +242,12 @@ class RetrievalService:
         # _seen_generation read-compare-update.
         self._lock = threading.RLock()
         self._planner = BatchPlanner()
+        # Tile embeddings build lazily on the first fused query (or
+        # explicit embeddings() call) and then follow the archive's
+        # mutation contract: region refreshes + generation restamps.
+        self._embedding_dim = int(embedding_dim)
+        self._embedding_seed = int(embedding_seed)
+        self._embeddings: TileEmbeddings | None = None
         # Cost-based strategy router (ROADMAP item 1). Construction is
         # cheap — Onion indexes inside its cache build lazily on the
         # first query routed onto them, keyed on archive generation.
@@ -361,13 +376,15 @@ class RetrievalService:
     def invalidate(self) -> None:
         """Explicitly drop every cached answer and built index.
 
-        The router's Onion indexes are dropped unconditionally (they are
-        derived from the archive exactly like cached answers); the
-        result cache part — including the ``invalidations`` tally — is a
-        no-op when caching is disabled, since there is nothing to
-        invalidate there.
+        The router's Onion indexes and the tile embedding grid are
+        dropped unconditionally (they are derived from the archive
+        exactly like cached answers); the result cache part — including
+        the ``invalidations`` tally — is a no-op when caching is
+        disabled, since there is nothing to invalidate there.
         """
         self.router.index_cache.invalidate()
+        with self._lock:
+            self._embeddings = None
         if self.cache is None:
             return
         self.cache.clear()
@@ -388,6 +405,9 @@ class RetrievalService:
         * built Onion indexes intersecting the rectangle are dropped,
           the rest restamped to the new generation (their cells are
           untouched, so they remain exact);
+        * the tile embedding grid (when built) re-embeds exactly the
+          tiles the rectangle touches and is restamped — surviving
+          tile vectors stay bitwise what the original build produced;
         * cached answers whose query window intersects the rectangle
           are dropped; every other entry provably never read a mutated
           cell and survives.
@@ -399,6 +419,11 @@ class RetrievalService:
         if row0 >= row1 or col0 >= col1:
             return
         self.engine.screen.refresh_region(region)
+        with self._lock:
+            embeddings = self._embeddings
+        if embeddings is not None:
+            embeddings.refresh_region(region)
+            embeddings.generation = self._seen_generation
         self.router.index_cache.invalidate_region(
             region, self._seen_generation
         )
@@ -427,6 +452,97 @@ class RetrievalService:
                     self.invalidate()
                 else:
                     self.invalidate_region(region)
+
+    def embeddings(self) -> TileEmbeddings:
+        """The per-tile embedding grid, built lazily and kept fresh.
+
+        The first call embeds every tile of the stack over the engine's
+        tile screen; later calls return the same grid, region-refreshed
+        by whatever archive mutations have been replayed in between.
+        The grid is stamped with the archive generation it reflects.
+        """
+        self._check_archive_generation()
+        with self._lock:
+            embeddings = self._embeddings
+            if embeddings is None:
+                embeddings = TileEmbeddings.build(
+                    self.engine.stack,
+                    self.engine.screen,
+                    dim=self._embedding_dim,
+                    seed=self._embedding_seed,
+                    generation=self._seen_generation,
+                )
+                self._embeddings = embeddings
+                self.registry.inc("service.embedding_builds")
+            elif embeddings.generation != self._seen_generation:
+                # Region mutations were already replayed tile-by-tile in
+                # invalidate_region; only raster-neutral mutations
+                # (series appends) can leave the stamp behind.
+                embeddings.generation = self._seen_generation
+            return embeddings
+
+    def similar_tiles(
+        self,
+        cell: tuple[int, int],
+        k: int = 5,
+        index: str = "flat",
+        nprobe: int | None = None,
+    ) -> list[ScoredLocation]:
+        """Pure query-by-example: tiles most similar to ``cell``'s tile.
+
+        Equivalent to ``top_k`` with ``alpha=0`` but at tile
+        granularity: answers are tile-origin cells scored by cosine.
+        ``index="flat"`` scans every tile vector (exact);
+        ``index="ivf"`` goes through the coarse quantizer — exact with
+        ``nprobe=None`` (cap-ordered probing with the threshold stop
+        rule), approximate with a fixed ``nprobe``.
+        """
+        embeddings = self.embeddings()
+        query_vector = embeddings.tile_vector(cell)
+        if index == "flat":
+            ranked = FlatIPIndex.from_embeddings(embeddings).search(
+                query_vector, k
+            )
+        elif index == "ivf":
+            ranked, _probed = IVFIPIndex.from_embeddings(embeddings).search(
+                query_vector, k, nprobe=nprobe
+            )
+        else:
+            raise QueryError(
+                f"unknown vector index {index!r}; expected 'flat' or 'ivf'"
+            )
+        return [
+            ScoredLocation(row=location[0], col=location[1], score=score)
+            for score, location in ranked
+        ]
+
+    def _fusion_spec(self, query: TopKQuery) -> FusionSpec:
+        """Resolve a fused query's example cell against fresh embeddings."""
+        return FusionSpec.build(
+            self.embeddings(), query.similar_to, query.alpha
+        )
+
+    def _cache_region(
+        self, query: TopKQuery, region: tuple[int, int, int, int]
+    ) -> tuple[int, int, int, int]:
+        """The rectangle a cached answer for ``query`` depends on.
+
+        A fused answer reads the query region *and* the example tile
+        (its vector is the similarity target), so the cache entry covers
+        their bounding box — a mutation under the example tile then
+        invalidates the entry. The bbox over-approximates (cells between
+        the two rectangles also hit it), which only costs extra
+        invalidation, never a stale answer.
+        """
+        if not query.fused:
+            return region
+        window = self.embeddings().tile_window(query.similar_to)
+        return (
+            min(region[0], window[0]),
+            min(region[1], window[1]),
+            max(region[2], window[2]),
+            max(region[3], window[3]),
+        )
 
     def top_k(
         self,
@@ -468,6 +584,13 @@ class RetrievalService:
         * ``"onion"`` / ``"scan"`` — force that structure (errors
           propagate; no fallback). Forcing ``"onion"`` on a non-linear
           model raises :class:`~repro.exceptions.QueryError`.
+        * ``"fused"`` / ``"embed-scan"`` — the fused pair, legal only
+          for queries carrying a ``similar_to`` example. A fused query
+          left on the default ``"quadtree"`` runs ``"fused"`` (the
+          progressive tile search with blended bounds); ``"auto"``
+          routes between the pair. ``"embed-scan"`` embeds/blends the
+          whole region exhaustively — the fused calibration oracle.
+          Model-only strategies cannot answer fused queries and raise.
 
         Routed strategies build any missing Onion index on first use
         (cached per (region, attributes), keyed on archive generation —
@@ -493,10 +616,28 @@ class RetrievalService:
         counter (the underlying answer and counted work are unchanged;
         the result itself rides on ``report.result``).
         """
-        if strategy not in ("quadtree", "auto", "onion", "scan"):
+        if strategy not in (
+            "quadtree", "auto", "onion", "scan", "fused", "embed-scan"
+        ):
             raise QueryError(
                 f"unknown strategy {strategy!r}; expected 'quadtree', "
-                "'auto', 'onion', or 'scan'"
+                "'auto', 'onion', 'scan', 'fused', or 'embed-scan'"
+            )
+        if query.fused:
+            if strategy in ("onion", "scan"):
+                raise QueryError(
+                    f"strategy {strategy!r} cannot answer a fused "
+                    "(similar_to) query; use 'fused', 'embed-scan', or "
+                    "'auto'"
+                )
+            if strategy == "quadtree":
+                # The default structure for a fused query *is* the fused
+                # tile search — same frontier, blended bounds.
+                strategy = "fused"
+        elif strategy in ("fused", "embed-scan"):
+            raise QueryError(
+                f"strategy {strategy!r} needs a similar_to example cell "
+                "(with alpha < 1) on the query"
             )
         # ``trace_id`` lets a fronting process (the HTTP fleet) stamp
         # its correlation id on the worker-side trace, so one id follows
@@ -539,9 +680,12 @@ class RetrievalService:
             }
             # A routed quadtree uses the legacy key so auto-routed and
             # legacy callers share cache entries (the answers are
-            # identical); other strategies answer with different counted
+            # identical); "fused" is likewise the default structure for
+            # fused queries (the similar_to/alpha pair in the
+            # fingerprint already separates them from model-only
+            # entries). Other strategies answer with different counted
             # work and carry their own entries.
-            if resolved != "quadtree":
+            if resolved not in ("quadtree", "fused"):
                 knobs["strategy"] = resolved
             key = query_fingerprint(query, region, **knobs)
             if use_cache and self.cache is not None:
@@ -564,7 +708,7 @@ class RetrievalService:
                 self.stats.cache_misses += 1
 
         execute_started = time.perf_counter()
-        if resolved == "quadtree":
+        if resolved in ("quadtree", "fused"):
             result = self._execute(
                 query,
                 region,
@@ -579,6 +723,8 @@ class RetrievalService:
             try:
                 if resolved == "onion":
                     result = self._execute_onion(query, region, trace)
+                elif resolved == "embed-scan":
+                    result = self._execute_embed_scan(query, region, trace)
                 else:
                     result = self._execute_scan(query, region, trace)
             except Exception as error:
@@ -587,17 +733,22 @@ class RetrievalService:
                     # this structure specifically.
                     raise
                 # Graceful degradation: fall back to the always-capable
-                # quadtree path, recording why. The fallback result is
-                # cached under the *quadtree* key (that is what actually
-                # answered), never under the failed strategy's key.
+                # path for the query family (quadtree, or the fused
+                # tile search for similar_to queries), recording why.
+                # The fallback result is cached under the *fallback*
+                # key (that is what actually answered), never under the
+                # failed strategy's key.
+                fallback = "fused" if query.fused else "quadtree"
+                if resolved == fallback:
+                    raise
                 assert decision is not None
                 decision.record_fallback(
                     failed=resolved,
                     reason=f"{type(error).__name__}: {error}",
-                    to="quadtree",
+                    to=fallback,
                 )
                 trace.metadata["routing"] = decision.as_dict()
-                resolved = "quadtree"
+                resolved = fallback
                 key = query_fingerprint(
                     query,
                     region,
@@ -631,7 +782,9 @@ class RetrievalService:
             # a copy, so the caller may freely mutate the returned one.
             with trace.span("cache_store"):
                 self.cache.put(
-                    key, _result_copy(result, result.strategy), region=region
+                    key,
+                    _result_copy(result, result.strategy),
+                    region=self._cache_region(query, region),
                 )
         if not result.complete:
             with self._lock:
@@ -770,9 +923,25 @@ class RetrievalService:
                     # runs, so a bad member can never leave the batch
                     # half-executed.
                     with children[index].span("plan"):
-                        progressive = self.engine.prepare_tile_query(
-                            queries[index], use_model_levels=levels[index]
-                        )
+                        if queries[index].fused:
+                            # Fused members run the singleton fused path
+                            # (_execute builds their FusionSpec); the
+                            # cascade never applies, but the interval
+                            # requirement is validated here so the whole
+                            # batch stays fail-fast.
+                            if not queries[index].model.supports_intervals:
+                                raise QueryError(
+                                    "model "
+                                    f"{type(queries[index].model).__name__} "
+                                    "cannot bound intervals; fused batch "
+                                    "members need evaluate_interval"
+                                )
+                            progressive = None
+                        else:
+                            progressive = self.engine.prepare_tile_query(
+                                queries[index],
+                                use_model_levels=levels[index],
+                            )
                     planned.append(
                         PlannedQuery(
                             index=index,
@@ -828,7 +997,9 @@ class RetrievalService:
                         self.cache.put(
                             keys[index],
                             _result_copy(result, result.strategy),
-                            region=regions[index],
+                            region=self._cache_region(
+                                queries[index], regions[index]
+                            ),
                         )
         for index in misses:
             result = results[index]
@@ -879,10 +1050,31 @@ class RetrievalService:
         if pruning not in ("sound", "heuristic"):
             raise QueryError(f"unknown pruning mode {pruning!r}")
         engine = self.engine
+        fusion: FusionSpec | None = None
         with trace.span("plan"):
-            progressive = engine.prepare_tile_query(
-                query, use_model_levels=use_model_levels
-            )
+            if query.fused:
+                # Fused queries blend *whole-model* interval bounds with
+                # cosine caps; the level cascade does not apply, so the
+                # use_model_levels knob is ignored rather than an error.
+                if not query.model.supports_intervals:
+                    raise QueryError(
+                        f"model {type(query.model).__name__} cannot "
+                        "bound intervals; the fused tile search needs "
+                        "evaluate_interval (use strategy='embed-scan')"
+                    )
+                progressive = None
+                fusion = self._fusion_spec(query)
+                trace.metadata["fusion"] = {
+                    "similar_to": list(query.similar_to),
+                    "alpha": query.alpha,
+                    "dim": fusion.dim,
+                    "example_window": list(fusion.example_window),
+                    "tiles": fusion.n_tiles,
+                }
+            else:
+                progressive = engine.prepare_tile_query(
+                    query, use_model_levels=use_model_levels
+                )
             bands = row_band_shards(region, n_shards)
             heap = SharedTopKHeap(query.k)
             counters = [CostCounter() for _ in bands]
@@ -901,6 +1093,7 @@ class RetrievalService:
                 query, band, heap, counter, audit,
                 progressive=progressive, pruning=pruning,
                 heuristic_margin=heuristic_margin, cancel=cancel,
+                fusion=fusion,
             )
             shard_complete[index] = ok
             # Trace-only timing: per-shard wall time is recorded beside
@@ -918,6 +1111,10 @@ class RetrievalService:
             )
 
         total = CostCounter()
+        if fusion is not None:
+            # The one-off cosine grid is charged once per query (not per
+            # shard), at the same rate embed-scan and the oracle charge.
+            fusion.charge_build(total)
         with trace.span("search"):
             with total.timed():
                 if len(bands) == 1:
@@ -946,7 +1143,12 @@ class RetrievalService:
                 for signed, cell in heap.ranked()
             ]
             complete = all(shard_complete)
-            strategy = "both" if use_model_levels else "data-progressive"
+            if fusion is not None:
+                strategy = "fused"
+            elif use_model_levels:
+                strategy = "both"
+            else:
+                strategy = "data-progressive"
             if pruning == "heuristic":
                 strategy += "-heuristic"
             strategy += f"-sharded[{len(bands)}]"
@@ -1069,6 +1271,72 @@ class RetrievalService:
             counter=counter,
             audit=PruningAudit(),
             strategy="scan",
+            complete=True,
+        )
+
+    def _execute_embed_scan(
+        self,
+        query: TopKQuery,
+        region: tuple[int, int, int, int],
+        trace: QueryTrace,
+    ) -> RetrievalResult:
+        """Exhaustive fused execution (the fused calibration oracle).
+
+        Embed-all-then-blend: evaluate the model on every cell of the
+        region, broadcast each tile's cosine to its cells, blend with
+        the exact per-cell op order the progressive leaf blend uses, and
+        offer everything into one heap. ``tests/oracles.py`` mirrors
+        this path counter for counter, and ``benchmarks/bench_embed.py``
+        gates the progressive fused path against it.
+        """
+        model = query.model
+        row0, col0, row1, col1 = region
+        with trace.span("index"):
+            fusion = self._fusion_spec(query)
+        trace.metadata["fusion"] = {
+            "similar_to": list(query.similar_to),
+            "alpha": query.alpha,
+            "dim": fusion.dim,
+            "example_window": list(fusion.example_window),
+            "tiles": fusion.n_tiles,
+        }
+        counter = CostCounter()
+        with trace.span("search"):
+            with counter.timed():
+                columns = {
+                    name: self.engine.stack[name].read_window(
+                        row0, col0, row1, col1, counter
+                    )
+                    for name in model.attributes
+                }
+                scores = model.evaluate_batch(columns)
+                n_cells = scores.size
+                counter.add_tuples(n_cells)
+                counter.add_model_evals(n_cells, flops_each=model.complexity)
+                fusion.charge_build(counter)
+                blended = fusion.blend(
+                    scores.reshape(-1),
+                    fusion.region_cosines(region).reshape(-1),
+                )
+                counter.add_partial_evals(n_cells, flops_each=BLEND_FLOPS)
+                sign = 1.0 if query.maximize else -1.0
+                heap = TopKHeap(query.k)
+                flat_rows, flat_cols = divmod(
+                    np.arange(blended.size), col1 - col0
+                )
+                heap.offer_block(
+                    sign * blended, row0 + flat_rows, col0 + flat_cols
+                )
+        with trace.span("merge"):
+            answers = [
+                ScoredLocation(row=cell[0], col=cell[1], score=sign * signed)
+                for signed, cell in heap.ranked()
+            ]
+        return RetrievalResult(
+            answers=answers,
+            counter=counter,
+            audit=PruningAudit(),
+            strategy="embed-scan",
             complete=True,
         )
 

@@ -57,6 +57,10 @@ from repro.sproc.query import CompositeQuery
 RASTER_STRATEGIES = ("quadtree", "onion", "scan")
 COMPOSITE_STRATEGIES = ("naive", "dp", "fast")
 
+#: Strategies for fused (``similar_to``) queries: the progressive tile
+#: search with blended bounds, and the exhaustive embed-all baseline.
+FUSED_STRATEGIES = ("fused", "embed-scan")
+
 #: Static seconds-per-work-unit seeds. One work unit is roughly one
 #: tuple-attribute touch plus its share of model flops; the absolute
 #: scale hardly matters (routing compares strategies against each
@@ -71,6 +75,11 @@ _COST_SEEDS = {
     "naive": 2e-7,
     "dp": 2e-7,
     "fast": 4e-7,
+    # Fused strategies mirror their model-only counterparts: the
+    # progressive fused search is quadtree-shaped Python frontier work,
+    # embed-scan is batched NumPy like scan.
+    "fused": 2e-8,
+    "embed-scan": 5e-9,
 }
 
 #: Fraction of a region's cells the quadtree search is assumed to touch
@@ -465,6 +474,18 @@ class QueryRouter:
         n_attrs = len(query.model.attributes)
         complexity = max(1, getattr(query.model, "complexity", 2 * n_attrs))
         unit_cost = n_attrs + complexity
+
+        if query.fused:
+            # Fused queries arbitrate between their own pair of exact
+            # strategies; the model-only structures cannot blend the
+            # similarity term and are listed only to explain why.
+            return self._route_scored(
+                strategy,
+                self._fused_candidates(query, n_cells, unit_cost),
+                FUSED_STRATEGIES,
+                generation,
+            )
+
         candidates: list[StrategyCandidate] = []
 
         scan_work = float(n_cells) * unit_cost
@@ -505,6 +526,18 @@ class QueryRouter:
             )
         )
 
+        return self._route_scored(
+            strategy, candidates, RASTER_STRATEGIES, generation
+        )
+
+    def _route_scored(
+        self,
+        strategy: str,
+        candidates: list[StrategyCandidate],
+        valid: tuple[str, ...],
+        generation: int | None,
+    ) -> RoutingDecision:
+        """Pick (or validate) a strategy from a scored candidate list."""
         if strategy == "auto":
             eligible = [c for c in candidates if c.eligible]
             chosen = min(eligible, key=lambda c: c.est_seconds)
@@ -517,10 +550,10 @@ class QueryRouter:
                 estimated_seconds=chosen.est_seconds,
             )
         else:
-            if strategy not in RASTER_STRATEGIES:
+            if strategy not in valid:
                 raise QueryError(
                     f"unknown strategy {strategy!r}; expected 'auto' or "
-                    f"one of {RASTER_STRATEGIES}"
+                    f"one of {valid}"
                 )
             match = next(c for c in candidates if c.name == strategy)
             if not match.eligible:
@@ -538,6 +571,69 @@ class QueryRouter:
             )
         self.registry.inc(f"router.decisions.{decision.chosen}")
         return decision
+
+    def _fused_candidates(
+        self, query: TopKQuery, n_cells: int, unit_cost: float
+    ) -> list[StrategyCandidate]:
+        """Score the fused strategy pair (plus explain-only rejects).
+
+        The blend and the one-off cosine grid are cheap against the
+        model evaluation they ride on, so the model-only unit cost
+        stands in for the fused unit cost; what separates the pair is
+        the visit fraction (envelope pruning) versus the full region.
+        """
+        candidates: list[StrategyCandidate] = []
+        if getattr(query.model, "supports_intervals", False):
+            visit_fraction = self.cost_model.visit_fraction
+            fused_tuples = int(math.ceil(visit_fraction * n_cells))
+            fused_work = float(fused_tuples) * unit_cost
+            candidates.append(
+                StrategyCandidate(
+                    name="fused",
+                    eligible=True,
+                    est_tuples=fused_tuples,
+                    est_work=fused_work,
+                    est_seconds=self.cost_model.estimate(
+                        "fused", fused_work
+                    ),
+                )
+            )
+        else:
+            candidates.append(
+                StrategyCandidate(
+                    name="fused",
+                    eligible=False,
+                    reason=(
+                        f"{type(query.model).__name__} cannot bound "
+                        "intervals; the fused tile search prunes on "
+                        "blended envelopes"
+                    ),
+                )
+            )
+        scan_work = float(n_cells) * unit_cost
+        candidates.append(
+            StrategyCandidate(
+                name="embed-scan",
+                eligible=True,
+                est_tuples=n_cells,
+                est_work=scan_work,
+                est_seconds=self.cost_model.estimate(
+                    "embed-scan", scan_work
+                ),
+            )
+        )
+        for name in ("quadtree", "onion", "scan"):
+            candidates.append(
+                StrategyCandidate(
+                    name=name,
+                    eligible=False,
+                    reason=(
+                        "model-only strategy; it cannot blend embedding "
+                        "similarity into the score"
+                    ),
+                )
+            )
+        return candidates
 
     def _onion_candidate(
         self,
@@ -702,7 +798,7 @@ class QueryRouter:
         else:
             actual_work = match.est_work if match is not None else 0.0
         self.cost_model.observe(chosen, actual_work, seconds)
-        if chosen == "quadtree" and region_cells:
+        if chosen in ("quadtree", "fused") and region_cells:
             self.cost_model.observe_visit_fraction(
                 tuples_examined / region_cells
             )
@@ -717,6 +813,7 @@ __all__ = [
     "BuiltOnion",
     "COMPOSITE_STRATEGIES",
     "CostModel",
+    "FUSED_STRATEGIES",
     "OnionIndexCache",
     "QueryRouter",
     "RASTER_STRATEGIES",

@@ -44,7 +44,7 @@ class ProtocolError(ValueError):
 
 
 #: Strategies a remote query may request (the service's set).
-STRATEGIES = ("quadtree", "auto", "onion", "scan")
+STRATEGIES = ("quadtree", "auto", "onion", "scan", "fused", "embed-scan")
 #: Smallest deadline budget forwarded to the engine: an already-expired
 #: request still runs with a token that fires at its first loop check,
 #: yielding a prefix-sound (possibly empty) partial instead of an error.
@@ -140,7 +140,8 @@ def decode_query(payload: Any) -> DecodedQuery:
             f"query must be an object, got {type(payload).__name__}"
         )
     unknown = set(payload) - {
-        "model", "k", "maximize", "region", *KNOB_DEFAULTS
+        "model", "k", "maximize", "region", "similar_to", "alpha",
+        *KNOB_DEFAULTS,
     }
     if unknown:
         raise ProtocolError(f"unknown query fields: {sorted(unknown)}")
@@ -152,6 +153,10 @@ def decode_query(payload: Any) -> DecodedQuery:
     if not isinstance(maximize, bool):
         raise ProtocolError(f"maximize must be a boolean, got {maximize!r}")
     region = _decode_region(payload.get("region"))
+    similar_to = _decode_similar_to(payload.get("similar_to"))
+    alpha = _finite_number(payload.get("alpha", 1.0), "alpha")
+    if not 0.0 <= alpha <= 1.0:
+        raise ProtocolError(f"alpha must be in [0, 1], got {alpha!r}")
     strategy = payload.get("strategy", "quadtree")
     if strategy not in STRATEGIES:
         raise ProtocolError(
@@ -179,7 +184,14 @@ def decode_query(payload: Any) -> DecodedQuery:
     if not isinstance(use_cache, bool):
         raise ProtocolError("use_cache must be a boolean")
     try:
-        query = TopKQuery(model=model, k=k, maximize=maximize, region=region)
+        query = TopKQuery(
+            model=model,
+            k=k,
+            maximize=maximize,
+            region=region,
+            similar_to=similar_to,
+            alpha=alpha,
+        )
     except Exception as error:  # QueryError -> client error
         raise ProtocolError(str(error)) from None
     return DecodedQuery(
@@ -208,6 +220,20 @@ def _decode_region(value: Any) -> tuple[int, int, int, int] | None:
     return (value[0], value[1], value[2], value[3])
 
 
+def _decode_similar_to(value: Any) -> tuple[int, int] | None:
+    if value is None:
+        return None
+    if (
+        not isinstance(value, (list, tuple))
+        or len(value) != 2
+        or any(isinstance(v, bool) or not isinstance(v, int) for v in value)
+    ):
+        raise ProtocolError(
+            f"similar_to must be null or [row, col] integers, got {value!r}"
+        )
+    return (value[0], value[1])
+
+
 def encode_query(query: TopKQuery, **knobs: Any) -> dict[str, Any]:
     """The JSON payload for a query (client-side helper; round-trips
     through :func:`decode_query`). ``knobs`` are the optional execution
@@ -221,6 +247,10 @@ def encode_query(query: TopKQuery, **knobs: Any) -> dict[str, Any]:
         "maximize": query.maximize,
         "region": list(query.region) if query.region is not None else None,
     }
+    if query.similar_to is not None:
+        payload["similar_to"] = list(query.similar_to)
+    if query.alpha != 1.0:
+        payload["alpha"] = query.alpha
     payload.update(knobs)
     return payload
 

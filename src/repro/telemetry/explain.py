@@ -64,6 +64,10 @@ class ExplainReport:
     #: actual cost, fallback) when it ran with ``strategy != "quadtree"``;
     #: ``None`` for legacy-path queries.
     routing: dict[str, Any] | None = None
+    #: The fused-query blend (example cell, alpha, embedding dim) for
+    #: ``similar_to`` queries; ``None`` for model-only queries. Read
+    #: from ``result.trace.metadata["fusion"]``.
+    fusion: dict[str, Any] | None = None
 
     # -- views -------------------------------------------------------------
 
@@ -74,6 +78,7 @@ class ExplainReport:
             "strategy": self.result.strategy,
             "complete": self.result.complete,
             "routing": dict(self.routing) if self.routing else None,
+            "fusion": dict(self.fusion) if self.fusion else None,
             "tile_waterfall": [dict(row) for row in self.tile_rows],
             "level_waterfall": [dict(row) for row in self.level_rows],
             "totals": dict(self.totals),
@@ -94,6 +99,7 @@ class ExplainReport:
                 "recorded when the cached answer was computed"
             )
         lines.extend(self._routing_lines())
+        lines.extend(self._fusion_lines())
         if self.tile_rows:
             columns = ["depth", "roots", "visited", *self.reasons, "resolved"]
             lines.append("  tile pyramid (coarse -> fine):")
@@ -167,6 +173,20 @@ class ExplainReport:
                     f"({candidate.get('reason')})"
                 )
         return lines
+
+    def _fusion_lines(self) -> list[str]:
+        """The fused-blend section of the waterfall (empty if model-only)."""
+        fusion = self.fusion
+        if not fusion:
+            return []
+        alpha = fusion.get("alpha")
+        beta = None if alpha is None else 1.0 - alpha
+        return [
+            f"  fusion: score = {alpha}*model + {beta}*cosine "
+            f"(example cell {tuple(fusion.get('similar_to', ()))}, "
+            f"tile window {tuple(fusion.get('example_window', ()))}, "
+            f"{fusion.get('tiles')} tiles x dim {fusion.get('dim')})"
+        ]
 
     def __str__(self) -> str:
         return self.render()
@@ -280,8 +300,10 @@ def explain_result(
         "region": tuple(region),
     }
     routing = None
+    fusion = None
     if trace is not None:
         routing = trace.metadata.get("routing")
+        fusion = trace.metadata.get("fusion")
     return ExplainReport(
         result=result,
         query=descriptor,
@@ -290,6 +312,7 @@ def explain_result(
         totals=totals,
         reasons=reasons,
         routing=routing,
+        fusion=fusion,
     )
 
 

@@ -1,0 +1,133 @@
+"""Brute-force reference implementations the differential suites pin to.
+
+Every oracle here is deliberately *dumb*: score everything densely,
+rank with numpy's lexsort under the library-wide tie-break convention
+(descending score, then ascending ``(row, col)``), and — where counted
+work is part of the contract — recompute the expected counter ledger
+from first principles. The production paths must match these bitwise:
+
+* :func:`flat_ip_oracle` — dense inner-product top-K over a vector set,
+  the reference for :class:`repro.index.vector.FlatIPIndex` (and, via
+  probe-everything, :class:`~repro.index.vector.IVFIPIndex`).
+* :func:`exhaustive_fused` — score every cell of a region as
+  ``alpha * model + (1 - alpha) * cosine`` and rank, plus the exact
+  counter dict the service's ``embed-scan`` strategy must produce.
+
+The oracles reuse the library's *scoring* primitives (term-order inner
+products, the fusion blend) on purpose — the bitwise contract is about
+search/pruning/tie-break machinery, and sharing the leaf arithmetic is
+what makes "bit-identical" a meaningful demand rather than a tolerance
+in disguise. The *ranking* is independent: lexsort, no heaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embed.fusion import BLEND_FLOPS, FusionSpec
+from repro.embed.tiles import TileEmbeddings
+from repro.index.vector import ip_scores
+
+#: Counter fields the work-ledger contracts compare (wall_seconds and
+#: notes are environment-dependent bookkeeping, not counted work).
+COUNTER_FIELDS = (
+    "data_points",
+    "model_evals",
+    "partial_evals",
+    "flops",
+    "tuples_examined",
+    "nodes_visited",
+)
+
+
+def counter_dict(counter) -> dict[str, int]:
+    """The counted-work fields of a :class:`CostCounter`, as a dict."""
+    return {name: getattr(counter, name) for name in COUNTER_FIELDS}
+
+
+def rank_top_k(
+    scores: np.ndarray, rows: np.ndarray, cols: np.ndarray, k: int
+) -> list[tuple[float, tuple[int, int]]]:
+    """Dense top-``k`` under the library tie-break, heap-free.
+
+    Descending score; equal scores break to the smallest ``(row, col)``.
+    ``lexsort`` keys are least-significant first, so the sign-flipped
+    score (exact for floats) is the last key.
+    """
+    order = np.lexsort((cols, rows, -np.asarray(scores)))[:k]
+    return [
+        (float(scores[i]), (int(rows[i]), int(cols[i])))
+        for i in order.tolist()
+    ]
+
+
+def flat_ip_oracle(
+    vectors: np.ndarray, cells: np.ndarray, query: np.ndarray, k: int
+) -> list[tuple[float, tuple[int, int]]]:
+    """Reference answer for the flat inner-product index."""
+    cells = np.asarray(cells)
+    return rank_top_k(
+        ip_scores(vectors, query), cells[:, 0], cells[:, 1], k
+    )
+
+
+def exhaustive_fused(
+    stack,
+    embeddings: TileEmbeddings | None,
+    query,
+    region: tuple[int, int, int, int],
+) -> tuple[list[tuple[int, int, float]], dict[str, int]]:
+    """Reference answers + work ledger for one (possibly fused) query.
+
+    Scores every cell of ``region`` densely — model evaluation plus,
+    for fused queries, the per-tile cosine against the example tile —
+    and ranks with :func:`rank_top_k`. The returned counter dict is the
+    ledger the service's exhaustive strategies must match exactly:
+    ``embed-scan`` for fused queries, ``scan`` for model-only ones.
+    """
+    row0, col0, row1, col1 = region
+    model = query.model
+    columns = {
+        name: stack[name].read_window(row0, col0, row1, col1, None)
+        for name in model.attributes
+    }
+    scores = model.evaluate_batch(columns).reshape(-1)
+    n_cells = scores.size
+    if query.fused:
+        fusion = FusionSpec.build(embeddings, query.similar_to, query.alpha)
+        blended = fusion.blend(
+            scores, fusion.region_cosines(region).reshape(-1)
+        )
+    else:
+        fusion = None
+        blended = scores
+    sign = 1.0 if query.maximize else -1.0
+    flat = np.arange(n_cells)
+    rows = row0 + flat // (col1 - col0)
+    cols = col0 + flat % (col1 - col0)
+    ranked = rank_top_k(sign * blended, rows, cols, query.k)
+    # Decode exactly as the service does: the stored signed score times
+    # the sign again (an exact double flip).
+    answers = [
+        (cell[0], cell[1], sign * signed) for signed, cell in ranked
+    ]
+    expected = {
+        "data_points": n_cells * len(model.attributes),
+        "model_evals": n_cells,
+        "partial_evals": 0,
+        "flops": n_cells * model.complexity,
+        "tuples_examined": n_cells,
+        "nodes_visited": 0,
+    }
+    if fusion is not None:
+        expected["partial_evals"] = embeddings.n_tiles + n_cells
+        expected["flops"] += (
+            embeddings.n_tiles * 2 * embeddings.dim
+            + n_cells * BLEND_FLOPS
+        )
+    return answers, expected
+
+
+def exact_answers(result) -> list[tuple[int, int, float]]:
+    """A result's answers as exact (unrounded) triples."""
+    return [(a.row, a.col, a.score) for a in result.answers]

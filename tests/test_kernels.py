@@ -624,3 +624,77 @@ class TestNaiveSinglePass:
         machine = fire_ants_model()
         run = run_fsm(machine, events)
         assert naive_window_match(series) == list(run.acceptance_times)
+
+
+class TestOfferBlockViews:
+    """``offer_block`` must accept any array the engine hands it —
+    float32 embedding scores, strided slices, 2-D column views — and
+    land on exactly the heap state per-cell ``offer`` calls produce."""
+
+    @staticmethod
+    def _reference(scores, rows, cols, k):
+        heap = TopKHeap(k)
+        for score, row, col in zip(
+            np.asarray(scores, dtype=np.float64).reshape(-1).tolist(),
+            np.asarray(rows).reshape(-1).tolist(),
+            np.asarray(cols).reshape(-1).tolist(),
+        ):
+            heap.offer(score, (int(row), int(col)))
+        return heap.ranked()
+
+    @given(
+        n=st.integers(1, 60),
+        k=st.integers(1, 12),
+        seed=st.integers(0, 200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_float32_block_matches_scalar_offers(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        # Quantized so float32 blocks carry genuine score ties.
+        scores = rng.integers(-3, 4, size=n).astype(np.float32) / 2
+        rows = rng.integers(0, 8, size=n)
+        cols = rng.integers(0, 8, size=n)
+        heap = TopKHeap(k)
+        heap.offer_block(scores, rows, cols)
+        assert heap.ranked() == self._reference(scores, rows, cols, k)
+
+    @given(
+        n=st.integers(2, 60),
+        k=st.integers(1, 12),
+        seed=st.integers(0, 200),
+        step=st.integers(2, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_strided_view_matches_contiguous(self, n, k, seed, step):
+        rng = np.random.default_rng(seed)
+        dense = rng.standard_normal(n * step)
+        strided = dense[::step]
+        assert not strided.flags["C_CONTIGUOUS"]
+        rows = np.arange(n)
+        cols = np.arange(n)[::-1].copy()
+        heap = TopKHeap(k)
+        heap.offer_block(strided, rows, cols)
+        contiguous = TopKHeap(k)
+        contiguous.offer_block(strided.copy(), rows, cols)
+        assert heap.ranked() == contiguous.ranked()
+        assert heap.ranked() == self._reference(strided, rows, cols, k)
+
+    def test_2d_column_view_float32(self):
+        """The shape engine code actually produces: a column sliced out
+        of a float32 matrix — non-contiguous AND narrow."""
+        matrix = np.arange(24, dtype=np.float32).reshape(6, 4)
+        column = matrix[:, 1]
+        assert not column.flags["OWNDATA"]
+        heap = TopKHeap(3)
+        heap.offer_block(column, np.arange(6), np.zeros(6, dtype=int))
+        assert heap.ranked() == self._reference(
+            column, np.arange(6), np.zeros(6, dtype=int), 3
+        )
+
+    def test_empty_block_is_a_noop(self):
+        heap = TopKHeap(2)
+        heap.offer(1.0, (0, 0))
+        heap.offer_block(np.empty(0, dtype=np.float32), [], [])
+        heap.offer(2.0, (1, 1))
+        heap.offer_block(np.empty((0, 3)), np.empty(0), np.empty(0))
+        assert heap.ranked() == [(2.0, (1, 1)), (1.0, (0, 0))]

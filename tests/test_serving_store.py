@@ -99,3 +99,58 @@ class TestStoreFleetConstruction:
         manifest = StoreArchiveManifest(path=str(store_path))
         assert fleet._store_path == manifest.path
         assert fleet._stack is None
+
+
+class TestStoreFleetFused:
+    def _fused(self, seed: int, alpha: float = 0.5) -> TopKQuery:
+        rng = np.random.default_rng(seed)
+        weights = {f"band{i}": float(rng.normal()) for i in range(N_BANDS)}
+        return TopKQuery(
+            model=LinearModel(weights),
+            k=5,
+            similar_to=(int(rng.integers(0, SIZE)), int(rng.integers(0, SIZE))),
+            alpha=alpha,
+        )
+
+    @pytest.mark.parametrize("seed,alpha", [(0, 0.0), (1, 0.5), (2, 0.25)])
+    def test_fused_answers_match_in_process(
+        self, store_fleet, local_service, seed, alpha
+    ):
+        """similar_to queries cross the wire protocol and the worker
+        boundary without losing bitwise identity."""
+        query = self._fused(seed, alpha)
+        reply = store_fleet.submit_query(encode_query(query)).result(
+            timeout=60
+        )
+        assert reply.ok, reply.error
+        local = encode_result(local_service.top_k(query, use_cache=False))
+        assert reply.value["answers"] == local["answers"]
+        assert reply.value["complete"] is True
+
+    def test_forced_embed_scan_matches_in_process(
+        self, store_fleet, local_service
+    ):
+        query = self._fused(7)
+        payload = encode_query(query)
+        payload["strategy"] = "embed-scan"
+        reply = store_fleet.submit_query(payload).result(timeout=60)
+        assert reply.ok, reply.error
+        local = encode_result(
+            local_service.top_k(
+                query, strategy="embed-scan", use_cache=False
+            )
+        )
+        assert reply.value["answers"] == local["answers"]
+        assert reply.value["strategy"] == "embed-scan"
+
+    def test_alpha_one_round_trips_as_plain_query(
+        self, store_fleet, local_service
+    ):
+        query = self._fused(3, alpha=1.0)
+        payload = encode_query(query)
+        assert "alpha" not in payload
+        reply = store_fleet.submit_query(payload).result(timeout=60)
+        assert reply.ok, reply.error
+        plain = TopKQuery(model=query.model, k=query.k)
+        local = encode_result(local_service.top_k(plain, use_cache=False))
+        assert reply.value["answers"] == local["answers"]

@@ -12,7 +12,7 @@ import pytest
 
 from repro.core.query import TopKQuery
 from repro.data.archive import Archive
-from repro.data.raster import RasterLayer
+from repro.data.raster import RasterLayer, RasterStack
 from repro.data.series import TimeSeries
 from repro.data.store import ArchiveWriter, open_archive
 from repro.models.linear import LinearModel
@@ -188,3 +188,122 @@ class TestRegionScopedInvalidation:
         # The service cannot prove the cached region untouched, so the
         # entry must go — soundness over retention.
         assert not service.top_k(query).strategy.endswith("-cached")
+
+
+def fused_query(model, region=None, cell=(10, 10), alpha=0.5, k=3):
+    return TopKQuery(
+        model=model, k=k, region=region, similar_to=cell, alpha=alpha
+    )
+
+
+class TestEmbeddingStoreIntegration:
+    def test_memmap_twin_embeds_bit_identically(self, tmp_path):
+        """A disk-backed (memory-mapped) archive and its in-memory twin
+        must produce the same embedding grid to the last bit — the
+        term-order discipline crossing the mmap boundary."""
+        disk = build_store(tmp_path, seed=1)
+        rng = np.random.default_rng(1)
+        twin_stack = RasterStack(
+            {
+                "a": RasterLayer("a", rng.standard_normal((256, 256))),
+                "b": RasterLayer("b", rng.standard_normal((256, 256))),
+            }
+        )
+        on_disk = service_for(disk).embeddings()
+        in_memory = RetrievalService(
+            twin_stack, leaf_size=16, n_shards=1
+        ).embeddings()
+        assert np.array_equal(on_disk.vectors, in_memory.vectors)
+        assert on_disk.grid_shape == in_memory.grid_shape
+
+    def test_embeddings_save_load_round_trip(self, tmp_path):
+        disk = build_store(tmp_path, seed=2)
+        service = service_for(disk)
+        embeddings = service.embeddings()
+        path = tmp_path / "tiles.npz"
+        embeddings.save(path)
+        reloaded = type(embeddings).load(
+            path, service.engine.stack, service.engine.screen
+        )
+        assert np.array_equal(reloaded.vectors, embeddings.vectors)
+        assert reloaded.generation == embeddings.generation
+        assert reloaded.dim == embeddings.dim
+        assert reloaded.embedder.seed == embeddings.embedder.seed
+
+    def test_append_region_refreshes_only_dirty_tiles(self, tmp_path):
+        """A region-scoped mutation restamps the surviving embedding
+        grid in place: same object, surviving vectors untouched bitwise,
+        only the dirty tile block re-embedded, generation current."""
+        disk = build_store(tmp_path, seed=3)
+        service = service_for(disk)
+        embeddings = service.embeddings()
+        n_tiles = embeddings.n_tiles
+        assert embeddings.embedded_tiles == n_tiles
+        before = embeddings.vectors.copy()
+
+        rng = np.random.default_rng(7)
+        disk.append_region(
+            {"a": rng.standard_normal((32, 32))}, (64, 64, 96, 96)
+        )
+        refreshed = service.embeddings()
+        assert refreshed is embeddings
+        assert refreshed.generation == service._seen_generation
+        # leaf_size=16: rows 64..96 and cols 64..96 are a 2x2 tile block.
+        assert refreshed.embedded_tiles == n_tiles + 4
+        changed = ~np.all(refreshed.vectors == before, axis=-1)
+        i0 = 64 // 16
+        assert changed[:i0, :].sum() == 0 and changed[i0 + 2:, :].sum() == 0
+        assert changed[:, :i0].sum() == 0 and changed[:, i0 + 2:].sum() == 0
+
+        # And the refreshed grid equals what a cold service would build.
+        fresh = service_for(open_archive(tmp_path / "store")).embeddings()
+        assert np.array_equal(refreshed.vectors, fresh.vectors)
+
+    def test_fused_answers_track_mutations(self, tmp_path):
+        disk = build_store(tmp_path, seed=4)
+        service = service_for(disk)
+        model = LinearModel({"a": 1.0, "b": 0.5})
+        query = fused_query(model, cell=(70, 70))
+        stale = service.top_k(query)
+        assert service.top_k(query).strategy.endswith("-cached")
+
+        rng = np.random.default_rng(9)
+        disk.append_region(
+            {"a": rng.standard_normal((32, 32))}, (64, 64, 96, 96)
+        )
+        # The mutation dirtied the example tile: the cached fused answer
+        # must go, and the recomputation must match a cold service.
+        recomputed = service.top_k(query)
+        assert not recomputed.strategy.endswith("-cached")
+        fresh = service_for(open_archive(tmp_path / "store"))
+        assert answers(recomputed) == answers(fresh.top_k(query))
+        assert answers(recomputed) != answers(stale) or np.array_equal(
+            service.embeddings().vectors, fresh.embeddings().vectors
+        )
+
+    def test_fused_cache_entry_scopes_to_example_tile(self, tmp_path):
+        """A fused entry's cache region covers the example tile too: a
+        mutation touching only that tile (not the query region) still
+        drops the entry."""
+        disk = build_store(tmp_path, seed=5)
+        service = service_for(disk)
+        model = LinearModel({"a": 1.0, "b": 0.5})
+        query = fused_query(
+            model, region=(0, 0, 64, 64), cell=(200, 200)
+        )
+        service.top_k(query)
+        assert service.top_k(query).strategy.endswith("-cached")
+        rng = np.random.default_rng(11)
+        disk.append_region(
+            {"b": rng.standard_normal((8, 8))}, (196, 196, 204, 204)
+        )
+        assert not service.top_k(query).strategy.endswith("-cached")
+
+    def test_unscoped_add_drops_embeddings_entirely(self, tmp_path):
+        disk = build_store(tmp_path, seed=6)
+        service = service_for(disk)
+        first = service.embeddings()
+        disk.add(RasterLayer("c", np.ones((4, 4))))
+        model = LinearModel({"a": 1.0})
+        service.top_k(TopKQuery(model=model, k=1))
+        assert service.embeddings() is not first
