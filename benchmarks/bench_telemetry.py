@@ -25,6 +25,13 @@ variants (cache misses, the expensive path). Full mode enforces the
 workload for CI smoke, skips the gate (CI runners are too noisy), and
 still records the trajectory entry.
 
+PR 10 adds the distributed half: the same HPS workload through a real
+2-worker serving fleet over HTTP, with cross-process span shipping off
+vs on. The two fleets are alive simultaneously and rounds alternate
+between them, so page-cache drift doesn't masquerade as shipping cost.
+``span_ship_overhead_fraction`` lands in the same trajectory entry and
+is gated <5% in full mode.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_telemetry.py [--quick]
@@ -111,6 +118,92 @@ def _run_mode(
     return statistics.mean(timings)
 
 
+def _serving_mean_s(server, payloads) -> float:
+    """Mean per-query seconds POSTing every payload to one server."""
+    import http.client
+
+    timings = []
+    for payload in payloads:
+        body = json.dumps(payload).encode()
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=120
+        )
+        try:
+            start = time.perf_counter()
+            connection.request(
+                "POST",
+                "/query",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            data = response.read()
+            timings.append(time.perf_counter() - start)
+            assert response.status == 200, (response.status, data[:200])
+        finally:
+            connection.close()
+    return statistics.mean(timings)
+
+
+def _bench_span_shipping(
+    stack, models, quick: bool
+) -> dict[str, float]:
+    """HPS over a live 2-worker fleet, span shipping off vs on."""
+    from repro.serving import (
+        FleetConfig,
+        ServingServer,
+        WorkerFleet,
+        encode_query,
+    )
+
+    payloads = [
+        encode_query(TopKQuery(model=model, k=10), use_cache=False)
+        for model in models
+    ]
+    fleets = {}
+    servers = {}
+    try:
+        for mode, ship in (("ship_off", False), ("ship_on", True)):
+            fleet = WorkerFleet(
+                stack, FleetConfig(n_workers=2, ship_spans=ship)
+            )
+            fleet.start()
+            fleets[mode] = fleet
+            servers[mode] = ServingServer(fleet).start()
+        rounds = 1 if quick else 3
+        means = {mode: float("inf") for mode in servers}
+        # Warm-up: first query per fleet pays worker-side first-touch.
+        for server in servers.values():
+            _serving_mean_s(server, payloads[:1])
+        for round_index in range(rounds):
+            order = (
+                ("ship_off", "ship_on")
+                if round_index % 2 == 0
+                else ("ship_on", "ship_off")
+            )
+            for mode in order:
+                means[mode] = min(
+                    means[mode],
+                    _serving_mean_s(servers[mode], payloads),
+                )
+    finally:
+        for server in servers.values():
+            server.close()
+        for fleet in fleets.values():
+            fleet.stop()
+    overhead = means["ship_on"] / means["ship_off"] - 1.0
+    print(
+        f"  serving ship_off: {means['ship_off'] * 1e3:.2f} ms/query, "
+        f"ship_on: {means['ship_on'] * 1e3:.2f} ms/query "
+        f"({overhead:+.1%})"
+    )
+    return {
+        "ship_off_query_s": round(means["ship_off"], 6),
+        "ship_on_query_s": round(means["ship_on"], 6),
+        "span_ship_overhead_fraction": round(overhead, 4),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -160,12 +253,16 @@ def main() -> None:
         f"{'enforced' if not args.quick else 'report-only in quick mode'})"
     )
 
+    print("  span shipping over a live 2-worker fleet:")
+    shipping = _bench_span_shipping(stack, models, args.quick)
+
     metrics = {
         "baseline_query_s": round(means["baseline"], 6),
         "sink_query_s": round(means["sink"], 6),
         "jsonl_query_s": round(means["jsonl"], 6),
         "sink_overhead_fraction": round(overhead_sink, 4),
         "jsonl_overhead_fraction": round(overhead_jsonl, 4),
+        **shipping,
     }
     record_run(
         "telemetry_overhead",
@@ -187,12 +284,23 @@ def main() -> None:
             + "\n"
         )
         print(f"wrote {OUTPUT_PATH}")
+        failed = False
         if overhead_sink > OVERHEAD_GATE:
             print(
                 f"FAIL: sink overhead {overhead_sink:.1%} exceeds "
                 f"{OVERHEAD_GATE:.0%} gate",
                 file=sys.stderr,
             )
+            failed = True
+        if shipping["span_ship_overhead_fraction"] > OVERHEAD_GATE:
+            print(
+                "FAIL: span-shipping overhead "
+                f"{shipping['span_ship_overhead_fraction']:.1%} exceeds "
+                f"{OVERHEAD_GATE:.0%} gate",
+                file=sys.stderr,
+            )
+            failed = True
+        if failed:
             sys.exit(1)
 
 

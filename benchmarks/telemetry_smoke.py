@@ -12,6 +12,18 @@ non-zero if any observable artifact is malformed:
    well-formed parent-linked ``traceEvents`` array;
 5. ``GET /healthz`` and check the stats add up.
 
+Then the fleet half (PR 10): start a real 2-worker serving fleet with
+span shipping on, answer one query over HTTP, and check that
+
+6. the merged ``/traces/chrome`` document contains events from **two or
+   more distinct pids** with parent links closed (the cross-process
+   stitching acceptance check);
+7. ``/metrics`` lints clean and contains ``slo_*`` and ``events_*``
+   series;
+8. ``/events`` shows both front-end and drained worker events, and
+   ``/slo`` returns a well-formed verdict;
+9. ``python -m repro top --once`` renders against the live server.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/telemetry_smoke.py
@@ -131,8 +143,132 @@ def main() -> None:
     print(f"/healthz: {health}")
 
     server.close()
-    print("telemetry smoke OK")
+    print("solo telemetry smoke OK")
+
+
+def fleet_main() -> None:
+    """The distributed half: fleet span shipping, SLOs, events, console."""
+    from repro.serving import (
+        FleetConfig,
+        ServingServer,
+        WorkerFleet,
+        encode_query,
+    )
+    from repro.telemetry.console import main as top_main
+
+    dem = generate_dem((64, 64), seed=1)
+    stack = generate_scene((64, 64), seed=2, terrain=dem)
+    stack.add(dem)
+    fleet = WorkerFleet(
+        stack,
+        FleetConfig(
+            n_workers=2,
+            ship_spans=True,
+            warm=[
+                {
+                    "attributes": sorted(hps_risk_model().coefficients),
+                    "region": None,
+                }
+            ],
+        ),
+    )
+    fleet.start()
+    server = ServingServer(fleet).start()
+    print(f"fleet serving on {server.url} (2 workers, span shipping on)")
+    try:
+        payload = json.dumps(
+            encode_query(TopKQuery(model=hps_risk_model(), k=5))
+        ).encode()
+        request = urllib.request.Request(
+            server.url + "/query",
+            data=payload,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as reply:
+            trace_id = reply.headers["X-Trace-Id"]
+            json.loads(reply.read())
+        if not trace_id:
+            _fail("POST /query reply missing X-Trace-Id")
+
+        def fetch(path: str) -> bytes:
+            with urllib.request.urlopen(
+                server.url + path, timeout=30
+            ) as reply:
+                return reply.read()
+
+        # 6. Multi-pid merged Chrome trace with closed parent links.
+        document = json.loads(fetch("/traces/chrome"))
+        events = [
+            event
+            for event in document["traceEvents"]
+            if event["args"].get("trace_id") == trace_id
+        ]
+        if not events:
+            _fail("merged chrome trace is missing the query's events")
+        pids = {event["pid"] for event in events}
+        if len(pids) < 2:
+            _fail(
+                f"expected >=2 pids in the merged chrome trace, got {pids}"
+            )
+        span_ids = {
+            (event["args"]["trace_id"], event["args"]["span_id"])
+            for event in events
+        }
+        for event in events:
+            parent = event["args"].get("parent_id")
+            if parent and (trace_id, parent) not in span_ids:
+                _fail(f"dangling parent link in merged trace: {event!r}")
+        print(
+            f"/traces/chrome: {len(events)} events across pids "
+            f"{sorted(pids)}, parent links closed"
+        )
+
+        # 7. Promtext lint + the new series families.
+        json.loads(fetch("/slo"))  # prime an SLO observation
+        promtext = fetch("/metrics").decode("utf-8")
+        samples = lint_promtext(promtext)
+        for needle in (
+            "slo_availability_status",
+            "slo_latency_p99_burn_rate_300s",
+            "events_emitted_total",
+            "frontend_traces_kept_total",
+        ):
+            if needle not in promtext:
+                _fail(f"/metrics is missing the {needle} series")
+        print(f"/metrics: {samples} samples, slo_*/events_* present")
+
+        # 8. Events from both sides of the process boundary; /slo shape.
+        events_doc = json.loads(fetch("/events?limit=512"))
+        names = {event["event"] for event in events_doc["events"]}
+        if "worker.spawn" not in names:
+            _fail(f"no worker.spawn in /events, saw {sorted(names)}")
+        if "index.onion_build" not in names:
+            _fail(
+                "no worker-side index.onion_build drained into /events, "
+                f"saw {sorted(names)}"
+            )
+        slo_doc = json.loads(fetch("/slo"))
+        if {result["name"] for result in slo_doc["slos"]} != {
+            "availability",
+            "latency_p99",
+            "shed_rate",
+        }:
+            _fail(f"bad /slo document: {slo_doc!r}")
+        print(
+            f"/events: {len(events_doc['events'])} events "
+            f"({len(names)} kinds); /slo status {slo_doc['status']!r}"
+        )
+
+        # 9. The ops console against the live server.
+        if top_main(["--once", "--url", server.url]) != 0:
+            _fail("repro top --once failed against the live server")
+        print("repro top --once OK")
+    finally:
+        server.close()
+        fleet.stop()
+    print("fleet telemetry smoke OK")
 
 
 if __name__ == "__main__":
     main()
+    fleet_main()

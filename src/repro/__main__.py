@@ -311,6 +311,13 @@ def _serve_main(argv: list[str]) -> None:
         "--no-warm", action="store_true",
         help="skip prebuilding the HPS Onion index at worker startup",
     )
+    parser.add_argument(
+        "--no-ship-spans", action="store_true",
+        help=(
+            "disable cross-process span shipping (merged multi-pid "
+            "traces at /traces/chrome; <5%% overhead, on by default)"
+        ),
+    )
     arguments = parser.parse_args(argv)
 
     from repro.models.linear import hps_risk_model
@@ -321,7 +328,10 @@ def _serve_main(argv: list[str]) -> None:
         # default warm hook (the store's bands need not match the HPS
         # attribute names) — workers memory-map the store read-only.
         fleet = WorkerFleet(
-            config=FleetConfig(n_workers=arguments.workers),
+            config=FleetConfig(
+                n_workers=arguments.workers,
+                ship_spans=not arguments.no_ship_spans,
+            ),
             store_path=arguments.store,
         )
         print(
@@ -347,7 +357,12 @@ def _serve_main(argv: list[str]) -> None:
             ]
         )
         fleet = WorkerFleet(
-            stack, FleetConfig(n_workers=arguments.workers, warm=warm)
+            stack,
+            FleetConfig(
+                n_workers=arguments.workers,
+                warm=warm,
+                ship_spans=not arguments.no_ship_spans,
+            ),
         )
         print(
             f"starting {arguments.workers} workers over a "
@@ -362,7 +377,9 @@ def _serve_main(argv: list[str]) -> None:
         queue_depth=arguments.queue_depth,
     ).start()
     print(f"serving on {server.url}  (POST /query, POST /batch,")
-    print("                           GET /metrics, GET /healthz)")
+    print("                           GET /metrics, /healthz, /slo,")
+    print("                           /events, /traces, /traces/chrome)")
+    print(f"watch it live: python -m repro top --url {server.url}")
     print("Ctrl-C to stop.")
     try:
         while True:
@@ -385,14 +402,19 @@ def main(argv: list[str] | None = None) -> None:
     if raw and raw[0] == "ingest":
         _ingest_main(raw[1:])
         return
+    if raw and raw[0] == "top":
+        from repro.telemetry.console import main as top_main
+
+        raise SystemExit(top_main(raw[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Model-based multi-modal retrieval: a one-minute tour.",
         epilog=(
             "Also: 'python -m repro ingest --out DIR' streams an archive "
-            "into an on-disk store, and 'python -m repro serve "
+            "into an on-disk store, 'python -m repro serve "
             "[--store DIR] --workers N --port P' starts the multi-process "
-            "HTTP serving fleet."
+            "HTTP serving fleet, and 'python -m repro top --url URL' "
+            "opens a live ops console against a running fleet."
         ),
     )
     parser.add_argument(

@@ -57,6 +57,15 @@ from repro.pyramid.quadtree import (
 STRIP_ROWS = 1024
 
 
+def _event_log():
+    # Imported lazily: repro.data.store loads during ``repro`` package
+    # init (via repro.models), before repro.telemetry — whose package
+    # init imports repro.core — can be imported without a cycle.
+    from repro.telemetry.events import global_event_log
+
+    return global_event_log()
+
+
 def _catalog_record(name: str, entry: CatalogEntry) -> dict:
     return {
         "name": name,
@@ -315,6 +324,12 @@ class ArchiveWriter:
             refreshed[name] = (mins, maxs, sums)
         self._manifest["generation"] = self.generation + 1
         write_manifest(self.root, self._manifest)
+        _event_log().emit(
+            "store.append_region",
+            region=list(region),
+            bands=sorted(updates),
+            generation=self.generation,
+        )
         if self._bound is not None:
             self._bound._apply_region_append(refreshed, region)
 
@@ -381,6 +396,12 @@ class ArchiveWriter:
         )
         self._manifest["generation"] = self.generation + 1
         write_manifest(self.root, self._manifest)
+        _event_log().emit(
+            "store.append_days",
+            series=series_name,
+            appended=int(axis.size),
+            generation=self.generation,
+        )
         if self._bound is not None:
             self._bound._apply_series_append(series)
 
@@ -535,13 +556,31 @@ def ingest_synthetic(
         tile_size=tile_size,
         screen_leaf_size=screen_leaf_size,
     )
-    for row0 in range(0, size, STRIP_ROWS):
+    n_strips = -(-size // STRIP_ROWS)
+    _event_log().emit(
+        "store.ingest_start",
+        path=str(path),
+        size=size,
+        bands=n_bands,
+        strips=n_strips,
+    )
+    for strip, row0 in enumerate(range(0, size, STRIP_ROWS), start=1):
         n_rows = min(STRIP_ROWS, size - row0)
         updates = {
             f"band{i}": _strip_values(seed, i, row0, n_rows, size)
             for i in range(n_bands)
         }
         writer.append_region(updates, (row0, 0, row0 + n_rows, size))
+        _event_log().emit(
+            "store.ingest_progress",
+            severity="debug",
+            strip=strip,
+            strips=n_strips,
+            rows_done=row0 + n_rows,
+        )
+    _event_log().emit(
+        "store.ingest_complete", path=str(path), size=size
+    )
     return writer
 
 

@@ -241,9 +241,15 @@ def merge_snapshots(snapshots: "list[dict[str, Any]]") -> dict[str, Any]:
     aggregation rule it applies to their shipped snapshots:
 
     * **counters** sum (event tallies are additive across processes);
-    * **gauges** average (per-worker levels like cache hit rate or
-      configured shard count read as the fleet-typical value — summing
-      a hit *rate* across workers would be meaningless);
+    * **gauges** average in the ``"gauges"`` map (per-worker levels like
+      cache hit rate read as the fleet-typical value — summing a hit
+      *rate* across workers would be meaningless) — but an average
+      alone silently flattens per-worker skew, so the merged snapshot
+      also carries ``"gauge_agg"``: per-gauge ``{avg, min, max, n}``
+      whenever more than one snapshot contributed a value. Exporters
+      label the spread (``agg="avg"|"min"|"max"``) so a queue depth of
+      0 on one worker and 40 on another no longer reads as a
+      meaningless 20;
     * **histograms** merge bucket-wise (counts and sums add; quantiles
       are recomputed from the merged cumulative buckets), preserving
       Prometheus ``le`` semantics in the merged exposition.
@@ -266,6 +272,16 @@ def merge_snapshots(snapshots: "list[dict[str, Any]]") -> dict[str, Any]:
         "gauges": {
             name: sum(values) / len(values)
             for name, values in gauge_values.items()
+        },
+        "gauge_agg": {
+            name: {
+                "avg": sum(values) / len(values),
+                "min": min(values),
+                "max": max(values),
+                "n": len(values),
+            }
+            for name, values in gauge_values.items()
+            if len(values) > 1
         },
         "histograms": {
             name: _merge_histograms(dicts)

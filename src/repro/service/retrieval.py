@@ -98,6 +98,7 @@ from repro.sproc.dp import sproc_top_k
 from repro.sproc.fast import fast_top_k
 from repro.sproc.naive import naive_top_k
 from repro.sproc.query import Assignment, CompositeQuery
+from repro.telemetry.events import global_event_log
 from repro.telemetry.explain import ExplainReport, explain_result
 from repro.telemetry.export import TelemetrySink
 from repro.telemetry.server import MetricsServer
@@ -385,6 +386,9 @@ class RetrievalService:
         self.router.index_cache.invalidate()
         with self._lock:
             self._embeddings = None
+        global_event_log().emit(
+            "cache.invalidate", scope="full"
+        )
         if self.cache is None:
             return
         self.cache.clear()
@@ -431,6 +435,11 @@ class RetrievalService:
             self.cache.invalidate_region(region)
         with self._lock:
             self.stats.invalidations += 1
+        global_event_log().emit(
+            "cache.invalidate",
+            scope="region",
+            region=list(region),
+        )
 
     def _check_archive_generation(self) -> None:
         if self._archive is None:
@@ -465,6 +474,7 @@ class RetrievalService:
         with self._lock:
             embeddings = self._embeddings
             if embeddings is None:
+                build_start = time.perf_counter()
                 embeddings = TileEmbeddings.build(
                     self.engine.stack,
                     self.engine.screen,
@@ -474,6 +484,11 @@ class RetrievalService:
                 )
                 self._embeddings = embeddings
                 self.registry.inc("service.embedding_builds")
+                global_event_log().emit(
+                    "index.embedding_build",
+                    dim=self._embedding_dim,
+                    build_seconds=time.perf_counter() - build_start,
+                )
             elif embeddings.generation != self._seen_generation:
                 # Region mutations were already replayed tile-by-tile in
                 # invalidate_region; only raster-neutral mutations

@@ -51,6 +51,7 @@ from repro.metrics.registry import MetricsRegistry, global_registry
 from repro.models.linear import LinearModel
 from repro.service.cache import regions_intersect
 from repro.sproc.query import CompositeQuery
+from repro.telemetry.events import global_event_log
 
 #: Raster strategies the router arbitrates between, plus the composite
 #: family routed separately by :meth:`QueryRouter.route_composite`.
@@ -407,6 +408,13 @@ class OnionIndexCache:
         self.registry.inc("router.index.builds")
         self.registry.observe("router.index.build_seconds", build_seconds)
         self.registry.gauge("router.index.layers", float(index.n_layers))
+        global_event_log().emit(
+            "index.onion_build",
+            attributes=list(attributes),
+            region=list(region),
+            layers=index.n_layers,
+            build_seconds=build_seconds,
+        )
         return BuiltOnion(
             index=index,
             columns=columns,

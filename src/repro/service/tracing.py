@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import contextlib
 import itertools
+import os
 import threading
 import time
 import uuid
@@ -172,6 +173,10 @@ class QueryTrace:
         #: Root span of the owning batch for batch children; ``None``
         #: for top-level traces.
         self.parent_span_id: int | None = None
+        #: Process that produced this trace. Worker traces shipped to the
+        #: fleet front end keep their origin pid, so merged Chrome
+        #: exports render each process as its own lane.
+        self.pid = os.getpid()
         self._current_span_id = self.span_id
         self.spans: list[StageSpan] = []
         self.shards: list[dict[str, Any]] = []
@@ -288,6 +293,7 @@ class QueryTrace:
             "trace_id": self.trace_id,
             "span_id": self.span_id,
             "parent_span_id": self.parent_span_id,
+            "pid": self.pid,
             "started_unix": self.started_unix,
             "wall_seconds": self.wall_seconds,
             "complete": self.complete,

@@ -43,6 +43,7 @@ from repro.serving.fleet import (
 )
 from repro.serving.http import ServingServer
 from repro.serving.protocol import (
+    REPLY_TRACE_KEY,
     ProtocolError,
     decode_query,
     encode_model,
@@ -60,6 +61,7 @@ __all__ = [
     "fleet_for_store",
     "ServingServer",
     "ProtocolError",
+    "REPLY_TRACE_KEY",
     "decode_query",
     "encode_model",
     "encode_query",

@@ -64,6 +64,7 @@ from repro.serving.worker import (
     WorkerConfig,
     worker_main,
 )
+from repro.telemetry.events import EventLog, global_event_log
 
 
 class FleetError(RuntimeError):
@@ -88,6 +89,12 @@ class FleetConfig:
     debug_hooks: bool = False
     retry_on_crash: bool = True
     start_timeout_s: float = 120.0
+    #: Workers ship each completed span tree on the reply so the front
+    #: end can merge frontend + worker spans into one trace.
+    ship_spans: bool = False
+    #: Whole-tree span budget per shipped reply (see
+    #: :func:`repro.telemetry.distributed.ship_trace`).
+    max_ship_spans: int = 512
 
     def worker_config(self) -> WorkerConfig:
         return WorkerConfig(
@@ -97,6 +104,8 @@ class FleetConfig:
             leaf_size=self.leaf_size,
             warm=list(self.warm),
             debug_hooks=self.debug_hooks,
+            ship_spans=self.ship_spans,
+            max_ship_spans=self.max_ship_spans,
         )
 
 
@@ -118,6 +127,7 @@ class WorkerFleet:
         registry: MetricsRegistry | None = None,
         store_path: "str | None" = None,
         store_layers: "tuple[str, ...] | None" = None,
+        event_log: EventLog | None = None,
     ) -> None:
         self.config = config if config is not None else FleetConfig()
         if self.config.n_workers < 1:
@@ -138,6 +148,15 @@ class WorkerFleet:
         #: Fleet-side metrics (restarts, crash retries); the front end
         #: passes its own registry so these merge into ``/metrics``.
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: Structured lifecycle events (spawn/crash/respawn/orphan
+        #: disposition) land here; worker-side events drained by
+        #: :meth:`poll_events` are folded in too.
+        self.event_log = (
+            event_log if event_log is not None else global_event_log()
+        )
+        #: Per-worker event-log cursors for :meth:`poll_events`; reset
+        #: to 0 on respawn (a fresh worker restarts its seq at 1).
+        self._event_cursors: list[int] = []
         self._ctx = multiprocessing.get_context("spawn")
         self._export: SharedStackExport | None = None
         self._procs: list[Any] = []
@@ -187,6 +206,7 @@ class WorkerFleet:
         self._send_locks = [threading.Lock() for _ in range(self.n_workers)]
         self._ready = [threading.Event() for _ in range(self.n_workers)]
         self._load = [0] * self.n_workers
+        self._event_cursors = [0] * self.n_workers
         self._started = True
         self._collector = threading.Thread(
             target=self._collect, name="repro-fleet-collect", daemon=True
@@ -253,6 +273,9 @@ class WorkerFleet:
                 old_request.close()
             except OSError:
                 pass
+        self.event_log.emit(
+            "worker.spawn", worker_id=worker_id, pid=process.pid
+        )
 
     def stop(self, timeout_s: float = 10.0) -> None:
         """Drain and terminate the fleet; unlink the shared archive."""
@@ -472,6 +495,13 @@ class WorkerFleet:
         if process is None or process.is_alive():
             return
         process.join(0.1)
+        self.event_log.emit(
+            "worker.crash",
+            severity="error",
+            worker_id=worker_id,
+            pid=process.pid,
+            exitcode=process.exitcode,
+        )
         # Holding the worker's send lock across [orphan scan .. new
         # pipe install] closes a race with submit(): a concurrent send
         # either lands before the scan (its entry gets swept here) or
@@ -492,8 +522,13 @@ class WorkerFleet:
                 self._load[worker_id] = 0
                 self._restarts += 1
                 self._ready[worker_id].clear()
+                # A fresh worker restarts its event seq at 1.
+                self._event_cursors[worker_id] = 0
             self.registry.inc("fleet.restarts")
             self._spawn(worker_id)
+        self.event_log.emit(
+            "worker.respawn", worker_id=worker_id, orphans=len(orphans)
+        )
         for entry in orphans:
             retryable = (
                 self.config.retry_on_crash
@@ -506,8 +541,23 @@ class WorkerFleet:
                     f"worker {worker_id} crashed "
                     f"(exitcode {process.exitcode})",
                 )
+                self.event_log.emit(
+                    "worker.orphan_failed",
+                    severity="error",
+                    trace_id=entry.item.trace_id,
+                    worker_id=worker_id,
+                    kind=entry.item.kind,
+                    retries=entry.retries,
+                )
                 continue
             self.registry.inc("fleet.crash_retries")
+            self.event_log.emit(
+                "worker.orphan_retry",
+                severity="warning",
+                trace_id=entry.item.trace_id,
+                worker_id=worker_id,
+                kind=entry.item.kind,
+            )
             with self._lock:
                 # Re-enqueue under the same id (the reply collector
                 # drops whichever answer arrives second).
@@ -574,6 +624,55 @@ class WorkerFleet:
             except TimeoutError:
                 continue
         return replies
+
+    def poll_events(self, timeout_s: float = 2.0) -> int:
+        """Drain each worker's event log into the fleet's.
+
+        Uses a per-worker cursor so each event crosses the pipe exactly
+        once; cursors reset on respawn (a fresh worker restarts its
+        sequence). Returns the number of events folded in. Workers that
+        miss the timeout are simply skipped until the next poll.
+        """
+        if not self.started:
+            return 0
+        with self._lock:
+            cursors = list(self._event_cursors)
+        futures = {
+            worker_id: self.submit(
+                WorkItem(
+                    kind="events",
+                    request_id=0,
+                    payload=cursors[worker_id],
+                ),
+                worker_id=worker_id,
+            )
+            for worker_id in range(self.n_workers)
+        }
+        deadline = time.monotonic() + timeout_s
+        ingested = 0
+        for worker_id, future in futures.items():
+            try:
+                reply = future.result(
+                    timeout=max(0.05, deadline - time.monotonic())
+                )
+            except TimeoutError:
+                continue
+            if not reply.ok or not isinstance(reply.value, dict):
+                continue
+            for record in reply.value.get("events", ()):
+                record = dict(record)
+                record["attrs"] = {
+                    **record.get("attrs", {}),
+                    "worker_id": worker_id,
+                }
+                self.event_log.ingest(record)
+                ingested += 1
+            with self._lock:
+                self._event_cursors[worker_id] = max(
+                    self._event_cursors[worker_id],
+                    int(reply.value.get("cursor", 0)),
+                )
+        return ingested
 
     def stats(self, timeout_s: float = 5.0) -> list[dict[str, Any]]:
         """Per-worker stats payloads (workers that miss the timeout —

@@ -66,15 +66,20 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.metrics.registry import MetricsRegistry, merge_snapshots
+from repro.metrics.registry import MetricsRegistry
 from repro.serving.fleet import WorkerFleet
 from repro.serving.protocol import (
+    REPLY_TRACE_KEY,
     ProtocolError,
     WorkReply,
     batch_key,
     decode_query,
 )
+from repro.service.tracing import QueryTrace
+from repro.telemetry.distributed import FleetTraceCollector, TailSampler
+from repro.telemetry.export import chrome_trace_document
 from repro.telemetry.prometheus import CONTENT_TYPE, render_prometheus
+from repro.telemetry.slo import DEFAULT_SLOS, SLOMonitor, SLOSpec
 
 _TRACE_ID_OK = re.compile(r"^[0-9a-zA-Z_\-]{1,64}$")
 
@@ -128,6 +133,9 @@ class _Pending:
     key: tuple | None = None
     members: int = 1
     enqueued_at: float = field(default_factory=time.monotonic)
+    #: Front-end request trace (root of the merged cross-process tree).
+    trace: QueryTrace | None = None
+    dispatched_at: float | None = None
 
 
 class ServingServer:
@@ -164,6 +172,9 @@ class ServingServer:
         coalesce_max: int = 8,
         registry: MetricsRegistry | None = None,
         labels: "dict[str, str] | None" = None,
+        trace_capacity: int = 256,
+        trace_sample_rate: float = 1.0,
+        slo_specs: "tuple[SLOSpec, ...] | None" = None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be positive, got {queue_depth}")
@@ -180,6 +191,20 @@ class ServingServer:
         self.coalesce_max = coalesce_max
         self.registry = registry if registry is not None else MetricsRegistry()
         self._labels = dict(labels) if labels else None
+        #: Merged frontend+worker traces (tail-sampled) for ``/traces``.
+        self.collector = FleetTraceCollector(
+            capacity=trace_capacity,
+            sampler=TailSampler(sample_rate=trace_sample_rate),
+        )
+        #: The fleet's event log (worker lifecycle, sheds, SLO
+        #: transitions) — what ``GET /events`` serves. Wiring in the
+        #: front-end registry makes emit counts visible in ``/metrics``.
+        self.event_log = fleet.event_log
+        self.event_log.registry = self.registry
+        self.slo = SLOMonitor(
+            specs=slo_specs if slo_specs is not None else DEFAULT_SLOS,
+            event_log=self.event_log,
+        )
         self._requested_host = host
         self._requested_port = port
         self._buckets: dict[str, TokenBucket] = {}
@@ -291,7 +316,12 @@ class ServingServer:
                 parts = request_line.decode("latin-1").split()
                 if len(parts) < 2:
                     await self._respond(
-                        writer, 400, {"error": "malformed request line"}
+                        writer,
+                        400,
+                        {"error": "malformed request line"},
+                        extra_headers={
+                            "X-Trace-Id": uuid.uuid4().hex[:16]
+                        },
                     )
                     return
                 method, path = parts[0].upper(), parts[1]
@@ -308,16 +338,28 @@ class ServingServer:
                     headers.get("connection", "keep-alive").lower() != "close"
                 )
                 started = time.monotonic()
+                trace_id = self._trace_id(headers)
                 self.registry.inc("frontend.requests")
                 (
                     status,
                     payload,
                     content_type,
                     extra_headers,
-                ) = await self._route(method, path, headers, body, peer_host)
+                ) = await self._route(
+                    method, path, headers, body, peer_host, trace_id
+                )
                 self.registry.observe(
                     "frontend.request_seconds", time.monotonic() - started
                 )
+                if status >= 500:
+                    self.registry.inc("frontend.errors")
+                # Every response — success, 400, 429, 5xx — carries the
+                # request's trace id so it correlates with the event log
+                # and any sampled trace.
+                extra_headers = {
+                    "X-Trace-Id": trace_id,
+                    **(extra_headers or {}),
+                }
                 await self._respond(
                     writer,
                     status,
@@ -380,38 +422,117 @@ class ServingServer:
         headers: dict[str, str],
         body: bytes,
         peer_host: str,
+        trace_id: str,
     ) -> tuple:
         route = path.split("?", 1)[0].rstrip("/") or "/"
         if route == "/query" or route == "/batch":
             if method != "POST":
                 return 405, {"error": f"{route} requires POST"}, "application/json", None
-            return await self._admit(route, headers, body, peer_host)
+            return await self._admit(route, headers, body, peer_host, trace_id)
         if route == "/metrics":
             return await self._metrics()
         if route == "/healthz":
             return await self._healthz()
+        if route == "/traces":
+            return self._traces(path, chrome=False)
+        if route == "/traces/chrome":
+            return self._traces(path, chrome=True)
+        if route == "/events":
+            return await self._events(path)
+        if route == "/slo":
+            return await self._slo()
         return (
             404,
             {
                 "error": "not found",
-                "routes": ["/query", "/batch", "/metrics", "/healthz"],
+                "routes": [
+                    "/query", "/batch", "/metrics", "/healthz",
+                    "/traces", "/traces/chrome", "/events", "/slo",
+                ],
             },
             "application/json",
             None,
         )
 
-    async def _metrics(self) -> tuple:
+    async def _merged_snapshot(self) -> dict[str, Any]:
         assert self._loop is not None
         frontend = self.registry.snapshot()
         frontend["gauges"]["frontend.queue_depth"] = float(
             self._queue.qsize() if self._queue is not None else 0
         )
-        merged = await self._loop.run_in_executor(
+        return await self._loop.run_in_executor(
             None,
             lambda: self.fleet.merged_metrics(extra=[frontend]),
         )
+
+    async def _metrics(self) -> tuple:
+        merged = await self._merged_snapshot()
+        # Every scrape doubles as an SLO observation, so burn-rate
+        # windows fill at scrape cadence with no extra thread.
+        self.slo.observe(merged)
+        merged["gauges"].update(self.slo.gauges())
+        collector = self.collector.stats()
+        merged["gauges"]["frontend.traces_buffered"] = float(
+            collector["buffered"]
+        )
+        merged["counters"]["frontend.traces_kept"] = float(
+            collector["kept"]
+        )
+        merged["counters"]["frontend.traces_sampled_out"] = float(
+            collector["sampled_out"]
+        )
         text = render_prometheus(merged, labels=self._labels)
         return 200, text.encode("utf-8"), CONTENT_TYPE, None
+
+    @staticmethod
+    def _limit_param(path: str, default: int | None = None) -> int | None:
+        if "?" not in path:
+            return default
+        for part in path.split("?", 1)[1].split("&"):
+            if part.startswith("limit="):
+                try:
+                    return max(1, int(part[len("limit="):]))
+                except ValueError:
+                    return default
+        return default
+
+    def _traces(self, path: str, chrome: bool) -> tuple:
+        limit = self._limit_param(path)
+        traces = self.collector.recent(limit)
+        if chrome:
+            return (
+                200,
+                chrome_trace_document(traces),
+                "application/json",
+                None,
+            )
+        return (
+            200,
+            {"traces": traces, "stats": self.collector.stats()},
+            "application/json",
+            None,
+        )
+
+    async def _events(self, path: str) -> tuple:
+        assert self._loop is not None
+        # Drain worker-side events first so the response reflects the
+        # whole fleet, not just what the front end emitted itself.
+        await self._loop.run_in_executor(None, self.fleet.poll_events)
+        limit = self._limit_param(path, default=256)
+        return (
+            200,
+            {
+                "events": self.event_log.snapshot(limit),
+                "dropped": self.event_log.dropped,
+            },
+            "application/json",
+            None,
+        )
+
+    async def _slo(self) -> tuple:
+        merged = await self._merged_snapshot()
+        self.slo.observe(merged)
+        return 200, self.slo.verdict(), "application/json", None
 
     async def _healthz(self) -> tuple:
         assert self._loop is not None
@@ -451,14 +572,42 @@ class ServingServer:
             )
         return time.monotonic() + millis / 1000.0
 
+    def _record_rejection(
+        self,
+        route: str,
+        trace_id: str,
+        status: int,
+        reason: str,
+        shed: str | None = None,
+    ) -> None:
+        """Give a rejected request a minimal front-end trace (so tail
+        sampling keeps it) and, for sheds, an event-log entry."""
+        trace = QueryTrace(trace_id=trace_id)
+        trace.metadata["route"] = route
+        trace.metadata["status"] = status
+        trace.metadata["error"] = reason
+        if shed is not None:
+            trace.metadata["shed"] = shed
+            self.event_log.emit(
+                "frontend.shed",
+                severity="warning",
+                trace_id=trace_id,
+                reason=shed,
+                route=route,
+            )
+        trace.finish()
+        self.collector.record_request(trace.as_dict())
+
     async def _admit(
         self,
         route: str,
         headers: dict[str, str],
         body: bytes,
         peer_host: str,
+        trace_id: str,
     ) -> tuple:
         assert self._queue is not None and self._loop is not None
+        admit_started = time.monotonic()
         # Rate limit first: an over-rate client is refused even when
         # the queue is empty (protects other clients, not the fleet).
         if self.rate_limit is not None:
@@ -471,6 +620,10 @@ class ServingServer:
             retry_after = bucket.try_acquire()
             if retry_after > 0:
                 self.registry.inc("frontend.shed_rate")
+                self._record_rejection(
+                    route, trace_id, 429,
+                    "client rate limit exceeded", shed="rate",
+                )
                 return (
                     429,
                     {
@@ -485,6 +638,9 @@ class ServingServer:
         self.registry.gauge("frontend.queue_depth", float(depth))
         if depth >= self.queue_depth:
             self.registry.inc("frontend.shed_queue")
+            self._record_rejection(
+                route, trace_id, 429, "server overloaded", shed="queue"
+            )
             return (
                 429,
                 {"error": "server overloaded", "queued": depth},
@@ -494,10 +650,12 @@ class ServingServer:
         try:
             parsed = json.loads(body.decode("utf-8")) if body else None
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._record_rejection(
+                route, trace_id, 400, f"invalid JSON body: {error}"
+            )
             return 400, {"error": f"invalid JSON body: {error}"}, "application/json", None
         try:
             deadline_at = self._deadline_at(headers)
-            trace_id = self._trace_id(headers)
             if route == "/query":
                 decode_query(parsed)  # edge validation -> 400 pre-queue
                 pending = _Pending(
@@ -535,10 +693,41 @@ class ServingServer:
                     members=len(queries),
                 )
         except ProtocolError as error:
+            self._record_rejection(route, trace_id, 400, str(error))
             return 400, {"error": str(error)}, "application/json", None
+        trace = QueryTrace(trace_id=trace_id)
+        trace.metadata["route"] = route
+        trace.record_span("admit", time.monotonic() - admit_started)
+        pending.trace = trace
         self._queue.put_nowait(pending)
         reply: WorkReply = await pending.future
         return self._render_reply(route, pending, reply)
+
+    def _finish_trace(
+        self, pending: _Pending, reply: WorkReply, status: int
+    ) -> None:
+        """Close the front-end request trace, graft the shipped worker
+        span tree (if any) under it, and buffer the merged result."""
+        trace = pending.trace
+        if trace is None:
+            return
+        if pending.dispatched_at is not None:
+            trace.record_span(
+                "worker", time.monotonic() - pending.dispatched_at
+            )
+        trace.metadata["status"] = status
+        if not reply.ok:
+            trace.metadata["error"] = reply.error
+            trace.metadata["error_kind"] = reply.error_kind
+        complete, cancel = True, None
+        if isinstance(reply.value, dict):
+            complete = bool(reply.value.get("complete", True))
+            cancel = reply.value.get("cancel_reason")
+        trace.finish(complete=complete, cancel_reason=cancel)
+        shipped = reply.metadata.get(REPLY_TRACE_KEY)
+        self.collector.record_request(
+            trace.as_dict(), [shipped] if shipped else None
+        )
 
     def _render_reply(
         self, route: str, pending: _Pending, reply: WorkReply
@@ -546,12 +735,14 @@ class ServingServer:
         trace_headers = {"X-Trace-Id": pending.trace_id}
         if not reply.ok:
             status = _ERROR_STATUS.get(reply.error_kind or "", 500)
+            self._finish_trace(pending, reply, status)
             return (
                 status,
                 {"error": reply.error, "kind": reply.error_kind},
                 "application/json",
                 trace_headers,
             )
+        self._finish_trace(pending, reply, 200)
         if route == "/query":
             return 200, reply.value, "application/json", trace_headers
         return 200, {"results": reply.value}, "application/json", trace_headers
@@ -572,6 +763,15 @@ class ServingServer:
                 and pending.key[0] == "quadtree"
             ):
                 group.extend(self._drain_compatible(pending.key))
+            dispatch_now = time.monotonic()
+            for member in group:
+                member.dispatched_at = dispatch_now
+                if member.trace is not None:
+                    member.trace.record_span(
+                        "queue_wait", dispatch_now - member.enqueued_at
+                    )
+                    if len(group) > 1:
+                        member.trace.metadata["coalesced"] = len(group)
             try:
                 if len(group) == 1 and pending.kind == "batch":
                     future = self.fleet.submit_batch(
@@ -642,7 +842,7 @@ class ServingServer:
                 if not member.future.done():
                     member.future.set_result(reply)
             return
-        for member, value in zip(group, reply.value):
+        for index, (member, value) in enumerate(zip(group, reply.value)):
             if not member.future.done():
                 member.future.set_result(
                     WorkReply(
@@ -650,5 +850,9 @@ class ServingServer:
                         worker_id=reply.worker_id,
                         ok=True,
                         value=value,
+                        # The shipped span tree covers the whole shared
+                        # scan; graft it under the group leader only,
+                        # so the merged buffer holds it exactly once.
+                        metadata=reply.metadata if index == 0 else {},
                     )
                 )

@@ -305,12 +305,20 @@ def encode_result(result: RetrievalResult) -> dict[str, Any]:
 
 # -- IPC records -------------------------------------------------------------
 
-#: ``WorkItem.kind`` values workers accept. ``crash`` and ``sleep`` are
-#: fault-injection hooks for the recovery tests, enabled only when the
-#: fleet config sets ``debug_hooks=True``.
+#: ``WorkItem.kind`` values workers accept. ``events`` drains the
+#: worker's structured event log from a cursor (payload: last seq the
+#: fleet has seen). ``crash`` and ``sleep`` are fault-injection hooks
+#: for the recovery tests, enabled only when the fleet config sets
+#: ``debug_hooks=True``.
 WORK_KINDS = (
-    "query", "batch", "stats", "warm", "shutdown", "crash", "sleep"
+    "query", "batch", "stats", "warm", "events",
+    "shutdown", "crash", "sleep",
 )
+
+#: ``WorkReply.metadata`` key carrying a shipped span tree (the compact
+#: dict :func:`repro.telemetry.distributed.ship_trace` produces) when
+#: the worker runs with ``ship_spans=True``.
+REPLY_TRACE_KEY = "trace"
 
 
 @dataclass

@@ -41,6 +41,7 @@ from typing import Any
 from repro.exceptions import QueryError
 from repro.metrics.registry import MetricsRegistry
 from repro.serving.protocol import (
+    REPLY_TRACE_KEY,
     ProtocolError,
     WorkItem,
     WorkReply,
@@ -50,6 +51,8 @@ from repro.serving.protocol import (
     encode_result,
 )
 from repro.serving.shm import StackManifest, attach_stack
+from repro.telemetry.distributed import ship_trace
+from repro.telemetry.events import global_event_log
 
 #: Reply ``request_id`` announcing a worker finished startup (attach +
 #: service build + warm hooks) and entered its serve loop.
@@ -90,6 +93,13 @@ class WorkerConfig:
     #: Enables the ``crash`` / ``sleep`` fault-injection request kinds
     #: (recovery tests only; never set in real serving).
     debug_hooks: bool = False
+    #: Ship each completed query/batch span tree back on the reply
+    #: (``WorkReply.metadata["trace"]``) so the front end can merge it
+    #: under the request's front-end trace.
+    ship_spans: bool = False
+    #: Whole-tree span budget per shipped reply; excess spans are cut
+    #: and counted in the shipped dict's ``spans_dropped``.
+    max_ship_spans: int = 512
 
 
 def worker_main(
@@ -101,6 +111,10 @@ def worker_main(
 ) -> None:
     """Serve loop of one fleet worker (runs in a child process)."""
     registry = MetricsRegistry()
+    # Library code (store ingest, index builds, cache invalidation)
+    # emits into the process-global event log; wiring this worker's
+    # registry in makes those emissions visible in merged /metrics.
+    global_event_log().registry = registry
     # Import here keeps the hot spawn path lean until it is needed and
     # avoids a module-level serving -> service -> telemetry import web
     # in every consumer of the protocol module.
@@ -191,11 +205,16 @@ def _handle(
     config: WorkerConfig,
 ) -> WorkReply:
     """Answer one work item, mapping failures to typed error replies."""
+    trace = None
     try:
         if item.kind == "query":
-            value = _run_query(service, item)
+            value, trace = _run_query(service, item)
         elif item.kind == "batch":
-            value = _run_batch(service, item)
+            value, trace = _run_batch(service, item)
+        elif item.kind == "events":
+            cursor = int(item.payload or 0)
+            records, new_cursor = global_event_log().since(cursor)
+            value = {"events": records, "cursor": new_cursor}
         elif item.kind == "stats":
             value = {
                 "worker_id": worker_id,
@@ -232,9 +251,14 @@ def _handle(
         return _error(item, worker_id, "query", error)
     except Exception as error:  # noqa: BLE001 - worker must survive
         return _error(item, worker_id, "internal", error)
-    return WorkReply(
+    reply = WorkReply(
         request_id=item.request_id, worker_id=worker_id, ok=True, value=value
     )
+    if config.ship_spans and trace is not None:
+        reply.metadata[REPLY_TRACE_KEY] = ship_trace(
+            trace, max_spans=config.max_ship_spans
+        )
+    return reply
 
 
 def _error(
@@ -249,7 +273,7 @@ def _error(
     )
 
 
-def _run_query(service: Any, item: WorkItem) -> dict[str, Any]:
+def _run_query(service: Any, item: WorkItem) -> tuple[dict[str, Any], Any]:
     decoded = decode_query(item.payload)
     result = service.top_k(
         decoded.query,
@@ -262,10 +286,12 @@ def _run_query(service: Any, item: WorkItem) -> dict[str, Any]:
         strategy=decoded.strategy,
         trace_id=item.trace_id,
     )
-    return encode_result(result)
+    return encode_result(result), result.trace
 
 
-def _run_batch(service: Any, item: WorkItem) -> list[dict[str, Any]]:
+def _run_batch(
+    service: Any, item: WorkItem
+) -> tuple[list[dict[str, Any]], Any]:
     payloads = item.payload
     if not isinstance(payloads, list) or not payloads:
         raise ProtocolError("batch payload must be a non-empty list")
@@ -294,4 +320,11 @@ def _run_batch(service: Any, item: WorkItem) -> list[dict[str, Any]]:
         deadline_s=remaining,
         trace_id=item.trace_id,
     )
-    return [encode_result(result) for result in results]
+    # Ship the batch trace (children included) when available — each
+    # member's trace hangs off its parent BatchTrace.
+    trace = None
+    for result in results:
+        if result.trace is not None:
+            trace = result.trace.parent or result.trace
+            break
+    return [encode_result(result) for result in results], trace

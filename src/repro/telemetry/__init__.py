@@ -16,12 +16,37 @@ actually look at:
 * :mod:`repro.telemetry.explain` — per-query pruning waterfalls
   (``top_k(..., explain=True)``) tying the paper's progressive-pruning
   claim to exact audit tallies.
+* :mod:`repro.telemetry.distributed` — cross-process trace shipping:
+  workers serialize completed span trees onto their replies, the front
+  end re-parents them under its own request span, and a tail-based
+  sampler decides what the bounded fleet buffer keeps.
+* :mod:`repro.telemetry.events` — a process-safe structured event log
+  (worker lifecycle, shedding, cache invalidations, index builds,
+  ingest progress) drained to the front end and served at ``/events``.
+* :mod:`repro.telemetry.slo` — declarative SLO specs evaluated as
+  multi-window burn rates over merged metrics snapshots, exported as
+  ``slo_*`` gauges and ``GET /slo``.
+* :mod:`repro.telemetry.console` — ``python -m repro top``, a live
+  stdlib-only terminal dashboard over ``/healthz`` + ``/slo`` +
+  ``/events``.
 
 Everything is overhead-bounded: with no sink attached the serving hot
 path pays one ``None`` check per query (benchmarked <5% end to end in
 ``benchmarks/bench_telemetry.py`` with exporters *enabled*).
 """
 
+from repro.telemetry.distributed import (
+    FleetTraceCollector,
+    TailSampler,
+    count_spans,
+    reparent_shipped,
+    ship_trace,
+)
+from repro.telemetry.events import (
+    EventLog,
+    global_event_log,
+    set_global_event_log,
+)
 from repro.telemetry.explain import ExplainReport, explain_result
 from repro.telemetry.export import (
     JsonlTraceExporter,
@@ -38,19 +63,35 @@ from repro.telemetry.prometheus import (
     sanitize_metric_name,
 )
 from repro.telemetry.server import MetricsServer
+from repro.telemetry.slo import (
+    DEFAULT_SLOS,
+    SLOMonitor,
+    SLOSpec,
+)
 
 __all__ = [
     "CONTENT_TYPE",
+    "DEFAULT_SLOS",
+    "EventLog",
     "ExplainReport",
+    "FleetTraceCollector",
     "JsonlTraceExporter",
     "MetricsServer",
+    "SLOMonitor",
+    "SLOSpec",
+    "TailSampler",
     "TelemetrySink",
     "TraceBuffer",
     "chrome_trace_document",
     "chrome_trace_events",
+    "count_spans",
     "escape_label_value",
     "explain_result",
     "export_chrome_trace",
+    "global_event_log",
     "render_prometheus",
+    "reparent_shipped",
     "sanitize_metric_name",
+    "set_global_event_log",
+    "ship_trace",
 ]

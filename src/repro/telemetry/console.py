@@ -1,0 +1,162 @@
+"""``python -m repro top`` — a live terminal dashboard for the fleet.
+
+Polls a running :class:`~repro.serving.http.ServingServer`'s
+``/healthz`` + ``/slo`` + ``/events`` endpoints and renders a
+refreshing plain-ASCII view: traffic (QPS, p50/p99, availability, shed
+fraction), per-SLO burn rates and statuses, per-worker liveness/load,
+and the most recent operational events. Stdlib-only (urllib + ANSI
+clear), so it runs anywhere the server does.
+
+``--once`` prints a single snapshot and exits — what the CI smoke job
+runs against a live server to prove the whole pipeline (metrics merge →
+SLO evaluation → event shipping → console rendering) end-to-end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+_STATUS_MARK = {"ok": "OK", "warning": "WARN", "critical": "CRIT"}
+
+
+def fetch_json(url: str, timeout_s: float = 5.0) -> dict[str, Any]:
+    """GET one JSON document (raises ``urllib.error.URLError``)."""
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_dashboard(
+    healthz: dict[str, Any],
+    slo: dict[str, Any],
+    events: dict[str, Any],
+    url: str,
+    n_events: int = 8,
+) -> str:
+    """The full dashboard as one string (pure function — testable)."""
+    lines: list[str] = []
+    traffic = slo.get("traffic", {})
+    status = slo.get("status", "ok")
+    lines.append(
+        f"repro top — {url}   "
+        f"[{_STATUS_MARK.get(status, status.upper())}]"
+    )
+    lines.append("=" * 72)
+    lines.append(
+        f"qps {traffic.get('qps', 0.0):8.1f}   "
+        f"p50 {traffic.get('p50_ms', 0.0):7.1f}ms   "
+        f"p99 {traffic.get('p99_ms', 0.0):7.1f}ms   "
+        f"avail {traffic.get('availability', 1.0) * 100:6.2f}%   "
+        f"shed {traffic.get('shed_fraction', 0.0) * 100:5.2f}%"
+    )
+    lines.append(
+        f"queue {healthz.get('queue_depth', 0):4d}   "
+        f"restarts {healthz.get('restarts', 0):3d}   "
+        f"fleet status {healthz.get('status', '?')}"
+    )
+    lines.append("")
+    lines.append("SLO              status  burn    windows")
+    for result in slo.get("slos", ()):  # one row per objective
+        windows = "  ".join(
+            f"{int(window['window_s'])}s={window['burn_rate']:.2f}"
+            for window in result.get("windows", ())
+        )
+        lines.append(
+            f"{result['name']:<16} "
+            f"{_STATUS_MARK.get(result['status'], '?'):<7} "
+            f"{result.get('burn_rate', 0.0):<7.2f} {windows}"
+        )
+    lines.append("")
+    lines.append("worker  alive  pid      inflight  load")
+    for worker in healthz.get("workers", ()):
+        inflight = int(worker.get("inflight", 0))
+        lines.append(
+            f"{worker.get('worker', '?'):<7} "
+            f"{'yes' if worker.get('alive') else 'NO ':<6} "
+            f"{str(worker.get('pid', '-')):<8} "
+            f"{inflight:<9d} {_bar(inflight / 8.0)}"
+        )
+    lines.append("")
+    recent = list(events.get("events", ()))[-n_events:]
+    lines.append(f"recent events ({len(recent)})")
+    for event in recent:
+        stamp = time.strftime(
+            "%H:%M:%S", time.localtime(float(event.get("ts", 0.0)))
+        )
+        attrs = event.get("attrs") or {}
+        detail = " ".join(
+            f"{key}={value}" for key, value in list(attrs.items())[:4]
+        )
+        lines.append(
+            f"  {stamp} [{event.get('severity', 'info'):<7}] "
+            f"{event.get('event', '?'):<24} {detail}"
+        )
+    return "\n".join(lines)
+
+
+def snapshot(url: str, timeout_s: float = 5.0) -> str:
+    """Fetch all three endpoints and render one dashboard frame."""
+    healthz = fetch_json(f"{url}/healthz", timeout_s)
+    slo = fetch_json(f"{url}/slo", timeout_s)
+    events = fetch_json(f"{url}/events?limit=64", timeout_s)
+    return render_dashboard(healthz, slo, events, url)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Live ops console for a running repro serving fleet.",
+    )
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="base URL of the serving front end",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh interval in seconds",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (CI mode)",
+    )
+    args = parser.parse_args(argv)
+    url = args.url.rstrip("/")
+    if args.once:
+        try:
+            print(snapshot(url))
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            print(f"repro top: cannot reach {url}: {error}", file=sys.stderr)
+            return 1
+        return 0
+    try:
+        while True:
+            try:
+                frame = snapshot(url)
+            except (urllib.error.URLError, OSError, ValueError) as error:
+                frame = f"repro top: cannot reach {url}: {error}"
+            # ANSI clear + home keeps the refresh flicker-free without
+            # pulling in curses.
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            time.sleep(max(0.2, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,183 @@
+"""Structured operational event log.
+
+Traces answer "where did this query's time go"; events answer "what did
+the *system* do" — worker spawns/crashes/respawns, 429 shedding, cache
+region invalidations, index builds, store ingest progress, SLO
+breaches. Each event is one compact dict::
+
+    {"seq": 42, "ts": 1754700000.1, "pid": 1234,
+     "event": "worker.crash", "severity": "error",
+     "trace_id": "deadbeef...", "attrs": {"worker_id": 1}}
+
+* ``seq`` increments per :class:`EventLog`, so consumers (the fleet
+  front end pulling worker events, the ops console tailing ``/events``)
+  can resume from a cursor via :meth:`EventLog.since`.
+* ``trace_id`` correlates operational events with the query that
+  triggered them (a shed 429 carries the request's trace id even though
+  no trace was ever started for it).
+* Severity is one of ``debug``/``info``/``warning``/``error``.
+
+The log is a bounded drop-oldest ring (same policy as
+:class:`~repro.telemetry.export.TraceBuffer`): an event storm can never
+grow memory without bound, and recent events are what an operator
+debugging a live incident needs. An optional JSONL tee reuses
+:class:`~repro.telemetry.export.JsonlTraceExporter` (it serializes any
+dict, not just traces), so the hot path never blocks on disk.
+
+Worker processes emit into their own :func:`global_event_log`; the
+fleet drains them over the ``"events"`` work kind and folds them into
+the front end's log, which is what ``GET /events`` serves.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.telemetry.export import JsonlTraceExporter
+
+SEVERITIES = ("debug", "info", "warning", "error")
+
+
+class EventLog:
+    """Bounded, thread-safe, cursor-addressable ring of event dicts."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        jsonl_path: str | Path | None = None,
+        registry: Any = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: deque[dict[str, Any]] = deque()
+        self._seq = 0
+        self.dropped = 0
+        #: Optional MetricsRegistry: every emit bumps ``events.emitted``
+        #: and ``events.severity.<severity>``.
+        self.registry = registry
+        self.jsonl: JsonlTraceExporter | None = (
+            JsonlTraceExporter(jsonl_path, capacity=max(capacity, 4))
+            if jsonl_path is not None
+            else None
+        )
+
+    def emit(
+        self,
+        event: str,
+        severity: str = "info",
+        trace_id: str | None = None,
+        **attrs: Any,
+    ) -> dict[str, Any]:
+        """Record one event; returns the stored record (with its seq)."""
+        if severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {severity!r}"
+            )
+        record = {
+            "seq": 0,
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "event": event,
+            "severity": severity,
+            "trace_id": trace_id,
+            "attrs": dict(attrs),
+        }
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            if len(self._events) >= self.capacity:
+                self._events.popleft()
+                self.dropped += 1
+            self._events.append(record)
+        if self.registry is not None:
+            self.registry.inc("events.emitted")
+            self.registry.inc(f"events.severity.{severity}")
+        if self.jsonl is not None:
+            self.jsonl.record(record)
+        return record
+
+    def ingest(self, record: Mapping[str, Any]) -> dict[str, Any]:
+        """Fold a foreign event record (e.g. shipped from a worker's own
+        log) into this log under a fresh local seq. The original pid,
+        timestamp, and attrs are preserved; ``origin_seq`` keeps the
+        remote cursor visible for debugging.
+        """
+        stored = dict(record)
+        stored["origin_seq"] = stored.pop("seq", None)
+        with self._lock:
+            self._seq += 1
+            stored["seq"] = self._seq
+            if len(self._events) >= self.capacity:
+                self._events.popleft()
+                self.dropped += 1
+            self._events.append(stored)
+        if self.jsonl is not None:
+            self.jsonl.record(stored)
+        return stored
+
+    def since(self, cursor: int) -> tuple[list[dict[str, Any]], int]:
+        """Events with ``seq > cursor`` plus the new cursor (the latest
+        seq seen, or ``cursor`` unchanged when nothing is newer). Events
+        that fell off the ring before being read are simply missed —
+        the cursor still advances past them.
+        """
+        with self._lock:
+            fresh = [
+                dict(event)
+                for event in self._events
+                if event["seq"] > cursor
+            ]
+            latest = self._seq
+        return fresh, max(cursor, latest)
+
+    def snapshot(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """Most-recent-last list of buffered events (up to ``limit``)."""
+        with self._lock:
+            events = [dict(event) for event in self._events]
+        if limit is not None:
+            events = events[-limit:]
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def close(self) -> None:
+        if self.jsonl is not None:
+            self.jsonl.close()
+
+
+_GLOBAL_LOCK = threading.Lock()
+_GLOBAL_LOG: EventLog | None = None
+
+
+def global_event_log() -> EventLog:
+    """The process-wide event log.
+
+    Library code (store ingest, index builds, cache invalidation) emits
+    here without plumbing a log handle through every signature; the
+    serving layer reads it back out — the front end serves its own
+    global log at ``/events`` and drains each worker's over IPC.
+    """
+    global _GLOBAL_LOG
+    with _GLOBAL_LOCK:
+        if _GLOBAL_LOG is None:
+            _GLOBAL_LOG = EventLog()
+        return _GLOBAL_LOG
+
+
+def set_global_event_log(log: EventLog | None) -> EventLog | None:
+    """Swap the process-wide log (tests, workers wiring a registry);
+    returns the previous one."""
+    global _GLOBAL_LOG
+    with _GLOBAL_LOCK:
+        previous = _GLOBAL_LOG
+        _GLOBAL_LOG = log
+    return previous

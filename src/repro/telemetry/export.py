@@ -70,6 +70,10 @@ def _emit_trace_events(
     tids: "itertools.count[int]",
 ) -> None:
     tid = next(tids)
+    # Traces shipped across processes carry their origin pid; each pid
+    # renders as its own Chrome/Perfetto lane group. Local traces that
+    # predate pid stamping fall back to a single shared lane.
+    pid = int(trace.get("pid") or 1)
     base_us = (float(trace.get("started_unix", origin)) - origin) * 1e6
     children = trace.get("children") or []
     kind = "batch" if children else "query"
@@ -92,7 +96,7 @@ def _emit_trace_events(
             "ph": "X",
             "ts": base_us,
             "dur": float(trace.get("wall_seconds", 0.0)) * 1e6,
-            "pid": 1,
+            "pid": pid,
             "tid": tid,
             "args": root_args,
         }
@@ -105,7 +109,7 @@ def _emit_trace_events(
                 "ph": "X",
                 "ts": base_us + float(span.get("started_s", 0.0)) * 1e6,
                 "dur": float(span.get("duration_s", 0.0)) * 1e6,
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
                 "args": {
                     "trace_id": trace_id,
@@ -129,7 +133,7 @@ def _emit_trace_events(
                 "ph": "X",
                 "ts": base_us + float(shard.get("started_s", 0.0)) * 1e6,
                 "dur": float(shard.get("wall_seconds", 0.0)) * 1e6,
-                "pid": 1,
+                "pid": pid,
                 # Shards run concurrently — each gets its own lane so
                 # overlapping windows render side by side.
                 "tid": next(tids),

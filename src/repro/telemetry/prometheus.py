@@ -118,13 +118,30 @@ def render_prometheus(
             f"{metric}{_label_block(labels)} {_format_value(value)}"
         )
 
+    gauge_agg = snapshot.get("gauge_agg") or {}
     for name, value in sorted(snapshot.get("gauges", {}).items()):
         metric = sanitize_metric_name(name)
-        lines.append(f"# HELP {metric} Gauge {name!r}.")
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(
-            f"{metric}{_label_block(labels)} {_format_value(value)}"
-        )
+        agg = gauge_agg.get(name)
+        if agg and int(agg.get("n", 1)) > 1:
+            # Merged multi-process gauge: an average alone hides
+            # per-worker skew, so expose the spread as labeled samples.
+            lines.append(
+                f"# HELP {metric} Gauge {name!r} "
+                f"(merged across {int(agg['n'])} processes)."
+            )
+            lines.append(f"# TYPE {metric} gauge")
+            for stat in ("avg", "min", "max"):
+                stat_labels = _merge_labels(labels, {"agg": stat})
+                lines.append(
+                    f"{metric}{_label_block(stat_labels)} "
+                    f"{_format_value(agg[stat])}"
+                )
+        else:
+            lines.append(f"# HELP {metric} Gauge {name!r}.")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(
+                f"{metric}{_label_block(labels)} {_format_value(value)}"
+            )
 
     for name, histogram in sorted(snapshot.get("histograms", {}).items()):
         metric = sanitize_metric_name(name)

@@ -1,0 +1,434 @@
+"""Declarative SLOs evaluated as multi-window burn rates.
+
+An :class:`SLOSpec` states an objective over the serving stack's merged
+metrics — "99.9% of requests succeed", "99% of requests finish under
+250 ms", "under 1% of traffic is shed" — and :class:`SLOMonitor` turns
+the stream of merged registry snapshots into verdicts:
+
+* :meth:`SLOMonitor.observe` samples the counters/histogram the specs
+  reference (requests, errors, sheds, the request-latency cumulative
+  buckets) into a bounded time series.
+* :meth:`SLOMonitor.evaluate` computes, per spec and per window, the
+  **burn rate**: the fraction of events that violated the objective in
+  that window, divided by the objective's error budget
+  (``1 - objective``). Burn 1.0 means the budget is being spent exactly
+  at the sustainable rate; burn 10 means ten times too fast.
+* A spec's status is the classic multi-window AND: ``critical`` only
+  when *every* window burns at ``burn_critical`` or faster (a short
+  spike over an idle hour stays ``warning``), ``warning`` when every
+  window reaches ``burn_warning``. Status *transitions* are emitted to
+  the event log (``slo.breach`` / ``slo.warning`` / ``slo.recovered``)
+  so alerts fire once per episode, not once per scrape.
+* :meth:`SLOMonitor.gauges` exports ``slo.<name>.burn_rate_<w>s`` /
+  ``slo.<name>.status`` / ``slo.<name>.objective`` gauges for the
+  Prometheus exposition, and :meth:`SLOMonitor.verdict` builds the
+  ``GET /slo`` JSON document (specs, burns, statuses, plus derived
+  traffic stats — QPS, p50/p99, availability — that the ops console
+  renders without parsing promtext).
+
+Windows shorter than the observed history evaluate against the oldest
+available sample and report the actual coverage (``window_covered_s``),
+so a freshly-started server degrades to "since start" rather than
+fabricating rates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.telemetry.events import EventLog
+
+SLO_KINDS = ("availability", "latency", "shed_rate")
+
+STATUS_OK = "ok"
+STATUS_WARNING = "warning"
+STATUS_CRITICAL = "critical"
+_STATUS_CODE = {STATUS_OK: 0, STATUS_WARNING: 1, STATUS_CRITICAL: 2}
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective.
+
+    ``kind`` selects what counts as a *bad event*:
+
+    * ``availability`` — a request that errored (5xx / worker crash);
+    * ``latency`` — a request slower than ``threshold_s`` (required);
+    * ``shed_rate`` — a request rejected with 429 before dispatch.
+
+    ``objective`` is the good fraction (0.999 = "three nines").
+    ``windows_s`` are the burn-rate windows; all must burn for the spec
+    to alert. ``burn_warning``/``burn_critical`` are the thresholds.
+    """
+
+    name: str
+    kind: str
+    objective: float
+    threshold_s: float | None = None
+    windows_s: tuple[float, ...] = (300.0, 3600.0)
+    burn_warning: float = 2.0
+    burn_critical: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ValueError(
+                f"kind must be one of {SLO_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.kind == "latency" and self.threshold_s is None:
+            raise ValueError("latency SLOs require threshold_s")
+        if not self.windows_s:
+            raise ValueError("at least one window is required")
+        if self.burn_critical < self.burn_warning:
+            raise ValueError(
+                "burn_critical must be >= burn_warning"
+            )
+
+    @property
+    def budget(self) -> float:
+        """The allowed bad fraction (``1 - objective``)."""
+        return 1.0 - self.objective
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "threshold_s": self.threshold_s,
+            "windows_s": list(self.windows_s),
+            "burn_warning": self.burn_warning,
+            "burn_critical": self.burn_critical,
+        }
+
+
+DEFAULT_SLOS: tuple[SLOSpec, ...] = (
+    SLOSpec(name="availability", kind="availability", objective=0.999),
+    SLOSpec(
+        name="latency_p99",
+        kind="latency",
+        objective=0.99,
+        threshold_s=0.25,
+    ),
+    SLOSpec(name="shed_rate", kind="shed_rate", objective=0.99),
+)
+
+
+@dataclass(frozen=True)
+class _Sample:
+    t: float
+    requests: float
+    errors: float
+    shed: float
+    lat_count: float
+    lat_buckets: tuple[tuple[float, float], ...]
+    lat_sum: float = 0.0
+    raw_buckets: tuple[tuple[float, float], ...] = field(default=())
+
+
+def _extract_buckets(
+    histogram: Mapping[str, Any] | None,
+) -> tuple[tuple[float, float], ...]:
+    if not histogram:
+        return ()
+    return tuple(
+        (float(bound), float(cumulative))
+        for bound, cumulative in histogram.get("buckets", ())
+    )
+
+
+class SLOMonitor:
+    """Evaluates :class:`SLOSpec` objectives over observed snapshots.
+
+    Metric-source names default to the fleet front end's registry
+    (``frontend.requests`` / ``frontend.errors`` /
+    ``frontend.shed_rate`` + ``frontend.shed_queue`` /
+    ``frontend.request_seconds``) but are constructor-overridable so
+    the monitor also works against a solo ``RetrievalService``.
+    """
+
+    def __init__(
+        self,
+        specs: tuple[SLOSpec, ...] | list[SLOSpec] = DEFAULT_SLOS,
+        event_log: EventLog | None = None,
+        history: int = 720,
+        requests_counter: str = "frontend.requests",
+        errors_counter: str = "frontend.errors",
+        shed_counters: tuple[str, ...] = (
+            "frontend.shed_rate",
+            "frontend.shed_queue",
+        ),
+        latency_histogram: str = "frontend.request_seconds",
+    ) -> None:
+        self.specs = tuple(specs)
+        self.event_log = event_log
+        self.requests_counter = requests_counter
+        self.errors_counter = errors_counter
+        self.shed_counters = tuple(shed_counters)
+        self.latency_histogram = latency_histogram
+        self._lock = threading.Lock()
+        self._samples: deque[_Sample] = deque(maxlen=max(2, history))
+        self._last_status: dict[str, str] = {
+            spec.name: STATUS_OK for spec in self.specs
+        }
+
+    # ------------------------------------------------------------------
+    # sampling
+
+    def observe(
+        self, snapshot: Mapping[str, Any], now: float | None = None
+    ) -> None:
+        """Fold one merged registry snapshot into the time series."""
+        counters = snapshot.get("counters", {})
+        histograms = snapshot.get("histograms", {})
+        histogram = histograms.get(self.latency_histogram)
+        sample = _Sample(
+            t=time.time() if now is None else float(now),
+            requests=float(counters.get(self.requests_counter, 0.0)),
+            errors=float(counters.get(self.errors_counter, 0.0)),
+            shed=sum(
+                float(counters.get(name, 0.0))
+                for name in self.shed_counters
+            ),
+            lat_count=float((histogram or {}).get("count", 0.0)),
+            lat_buckets=_extract_buckets(histogram),
+            lat_sum=float((histogram or {}).get("sum", 0.0)),
+        )
+        with self._lock:
+            self._samples.append(sample)
+
+    # ------------------------------------------------------------------
+    # evaluation
+
+    def _window_pair(
+        self, window_s: float, now: float
+    ) -> tuple[_Sample, _Sample] | None:
+        """Newest sample plus the newest sample at least ``window_s``
+        old (falling back to the oldest available)."""
+        if len(self._samples) < 2:
+            return None
+        newest = self._samples[-1]
+        cutoff = now - window_s
+        older = self._samples[0]
+        for sample in self._samples:
+            if sample.t <= cutoff:
+                older = sample
+            else:
+                break
+        if older.t >= newest.t:
+            return None
+        return older, newest
+
+    @staticmethod
+    def _bad_good_totals(
+        spec: SLOSpec, older: _Sample, newest: _Sample
+    ) -> tuple[float, float]:
+        """(bad_events, total_events) for the window delta."""
+        requests = max(0.0, newest.requests - older.requests)
+        if spec.kind == "availability":
+            bad = max(0.0, newest.errors - older.errors)
+            return bad, requests
+        if spec.kind == "shed_rate":
+            # frontend.requests counts every arrival, shed ones
+            # included, so the shed fraction is shed / requests.
+            shed = max(0.0, newest.shed - older.shed)
+            return shed, max(requests, shed)
+        # latency: observations above threshold_s in the delta, from
+        # the cumulative-bucket deltas (bucket-resolution: the first
+        # bound >= threshold defines "fast enough").
+        count = max(0.0, newest.lat_count - older.lat_count)
+        threshold = float(spec.threshold_s or 0.0)
+        good = 0.0
+        older_map = dict(older.lat_buckets)
+        for bound, cumulative in newest.lat_buckets:
+            if bound >= threshold:
+                good = max(
+                    0.0, cumulative - older_map.get(bound, 0.0)
+                )
+                break
+        else:
+            good = count
+        return max(0.0, count - good), count
+
+    def evaluate(self, now: float | None = None) -> dict[str, Any]:
+        """Per-spec burn rates, statuses, and the overall worst status.
+
+        Emits status-transition events into the attached event log.
+        """
+        now = time.time() if now is None else float(now)
+        with self._lock:
+            results: list[dict[str, Any]] = []
+            for spec in self.specs:
+                windows: list[dict[str, Any]] = []
+                burns: list[float] = []
+                for window_s in spec.windows_s:
+                    pair = self._window_pair(window_s, now)
+                    if pair is None:
+                        windows.append(
+                            {
+                                "window_s": window_s,
+                                "burn_rate": 0.0,
+                                "bad": 0.0,
+                                "total": 0.0,
+                                "window_covered_s": 0.0,
+                            }
+                        )
+                        burns.append(0.0)
+                        continue
+                    older, newest = pair
+                    bad, total = self._bad_good_totals(
+                        spec, older, newest
+                    )
+                    bad_fraction = bad / total if total > 0 else 0.0
+                    burn = bad_fraction / spec.budget
+                    burns.append(burn)
+                    windows.append(
+                        {
+                            "window_s": window_s,
+                            "burn_rate": burn,
+                            "bad": bad,
+                            "total": total,
+                            "window_covered_s": newest.t - older.t,
+                        }
+                    )
+                floor_burn = min(burns) if burns else 0.0
+                if floor_burn >= spec.burn_critical:
+                    status = STATUS_CRITICAL
+                elif floor_burn >= spec.burn_warning:
+                    status = STATUS_WARNING
+                else:
+                    status = STATUS_OK
+                results.append(
+                    {
+                        "name": spec.name,
+                        "kind": spec.kind,
+                        "objective": spec.objective,
+                        "threshold_s": spec.threshold_s,
+                        "status": status,
+                        "burn_rate": floor_burn,
+                        "windows": windows,
+                    }
+                )
+            transitions = self._note_transitions(results)
+        # Emit outside the lock: the event log has its own lock and may
+        # tee to a JSONL exporter.
+        for record in transitions:
+            if self.event_log is not None:
+                self.event_log.emit(**record)
+        worst = max(
+            (result["status"] for result in results),
+            key=lambda status: _STATUS_CODE[status],
+            default=STATUS_OK,
+        )
+        return {"status": worst, "slos": results}
+
+    def _note_transitions(
+        self, results: list[dict[str, Any]]
+    ) -> list[dict[str, Any]]:
+        transitions: list[dict[str, Any]] = []
+        for result in results:
+            name = result["name"]
+            status = result["status"]
+            previous = self._last_status.get(name, STATUS_OK)
+            if status == previous:
+                continue
+            self._last_status[name] = status
+            if status == STATUS_CRITICAL:
+                event, severity = "slo.breach", "error"
+            elif status == STATUS_WARNING:
+                event, severity = "slo.warning", "warning"
+            else:
+                event, severity = "slo.recovered", "info"
+            transitions.append(
+                {
+                    "event": event,
+                    "severity": severity,
+                    "slo": name,
+                    "status": status,
+                    "previous": previous,
+                    "burn_rate": result["burn_rate"],
+                }
+            )
+        return transitions
+
+    # ------------------------------------------------------------------
+    # export
+
+    def gauges(self, now: float | None = None) -> dict[str, float]:
+        """``slo.*`` gauge values for the Prometheus exposition."""
+        verdict = self.evaluate(now)
+        gauges: dict[str, float] = {}
+        for result in verdict["slos"]:
+            prefix = f"slo.{result['name']}"
+            gauges[f"{prefix}.objective"] = float(result["objective"])
+            gauges[f"{prefix}.status"] = float(
+                _STATUS_CODE[result["status"]]
+            )
+            for window in result["windows"]:
+                gauges[
+                    f"{prefix}.burn_rate_{int(window['window_s'])}s"
+                ] = float(window["burn_rate"])
+        return gauges
+
+    def traffic_stats(self, window_s: float = 60.0) -> dict[str, Any]:
+        """Derived short-window traffic numbers for the ops console:
+        QPS, availability, shed fraction, p50/p99 (bucket resolution)
+        over roughly the last ``window_s`` seconds."""
+        with self._lock:
+            pair = self._window_pair(window_s, time.time())
+            if pair is None:
+                return {
+                    "window_s": 0.0,
+                    "qps": 0.0,
+                    "availability": 1.0,
+                    "shed_fraction": 0.0,
+                    "p50_ms": 0.0,
+                    "p99_ms": 0.0,
+                }
+            older, newest = pair
+        elapsed = max(1e-9, newest.t - older.t)
+        requests = max(0.0, newest.requests - older.requests)
+        errors = max(0.0, newest.errors - older.errors)
+        shed = max(0.0, newest.shed - older.shed)
+        count = max(0.0, newest.lat_count - older.lat_count)
+        older_map = dict(older.lat_buckets)
+        deltas = [
+            (bound, max(0.0, cumulative - older_map.get(bound, 0.0)))
+            for bound, cumulative in newest.lat_buckets
+        ]
+
+        def quantile_ms(q: float) -> float:
+            if count <= 0:
+                return 0.0
+            rank = max(1.0, q * count)
+            for bound, cumulative in deltas:
+                if cumulative >= rank:
+                    return bound * 1e3
+            return deltas[-1][0] * 1e3 if deltas else 0.0
+
+        return {
+            "window_s": elapsed,
+            "qps": requests / elapsed,
+            "availability": (
+                1.0 - errors / requests if requests > 0 else 1.0
+            ),
+            "shed_fraction": (
+                shed / max(requests, shed) if requests + shed > 0 else 0.0
+            ),
+            "p50_ms": quantile_ms(0.50),
+            "p99_ms": quantile_ms(0.99),
+        }
+
+    def verdict(self, now: float | None = None) -> dict[str, Any]:
+        """The ``GET /slo`` JSON document."""
+        result = self.evaluate(now)
+        result["specs"] = [spec.as_dict() for spec in self.specs]
+        result["traffic"] = self.traffic_stats()
+        result["samples"] = len(self._samples)
+        return result

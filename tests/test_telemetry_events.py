@@ -1,0 +1,176 @@
+"""Structured event log: ring semantics, cursors, cross-process folds."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.metrics.registry import MetricsRegistry
+from repro.telemetry.events import (
+    SEVERITIES,
+    EventLog,
+    global_event_log,
+    set_global_event_log,
+)
+
+
+class TestEmit:
+    def test_record_shape(self):
+        log = EventLog()
+        record = log.emit(
+            "worker.spawn", trace_id="abc123", worker_id=1, pid=42
+        )
+        assert record["seq"] == 1
+        assert record["event"] == "worker.spawn"
+        assert record["severity"] == "info"
+        assert record["trace_id"] == "abc123"
+        assert record["attrs"] == {"worker_id": 1, "pid": 42}
+        assert record["ts"] > 0
+        assert record["pid"] > 0
+
+    def test_seq_monotonic(self):
+        log = EventLog()
+        seqs = [log.emit(f"e{i}")["seq"] for i in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    @pytest.mark.parametrize("severity", SEVERITIES)
+    def test_valid_severities(self, severity):
+        assert EventLog().emit("x", severity=severity)["severity"] == severity
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            EventLog().emit("x", severity="fatal")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventLog(capacity=0)
+
+    def test_capacity_drops_oldest(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit(f"e{i}")
+        events = log.snapshot()
+        assert [e["event"] for e in events] == ["e2", "e3", "e4"]
+        assert log.dropped == 2
+        assert len(log) == 3
+
+    def test_registry_counters(self):
+        registry = MetricsRegistry()
+        log = EventLog(registry=registry)
+        log.emit("a")
+        log.emit("b", severity="error")
+        counters = registry.snapshot()["counters"]
+        assert counters["events.emitted"] == 2
+        assert counters["events.severity.info"] == 1
+        assert counters["events.severity.error"] == 1
+
+
+class TestCursor:
+    def test_since_returns_only_fresh(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        fresh, cursor = log.since(0)
+        assert [e["event"] for e in fresh] == ["a", "b"]
+        assert cursor == 2
+        fresh, cursor = log.since(cursor)
+        assert fresh == []
+        assert cursor == 2
+        log.emit("c")
+        fresh, cursor = log.since(cursor)
+        assert [e["event"] for e in fresh] == ["c"]
+        assert cursor == 3
+
+    def test_cursor_advances_past_dropped_events(self):
+        log = EventLog(capacity=2)
+        for i in range(6):
+            log.emit(f"e{i}")
+        fresh, cursor = log.since(0)
+        # e0..e3 fell off the ring before being read; the cursor still
+        # lands on the latest seq so the next poll sees nothing stale.
+        assert [e["event"] for e in fresh] == ["e4", "e5"]
+        assert cursor == 6
+
+    def test_ingest_preserves_origin(self):
+        worker = EventLog()
+        frontend = EventLog()
+        frontend.emit("local")
+        shipped = worker.emit("worker.crash", severity="error", worker_id=1)
+        stored = frontend.ingest(shipped)
+        assert stored["seq"] == 2  # fresh local seq
+        assert stored["origin_seq"] == 1
+        assert stored["event"] == "worker.crash"
+        assert stored["severity"] == "error"
+        assert stored["ts"] == shipped["ts"]
+
+    def test_worker_drain_round_trip(self):
+        """The fleet's poll loop in miniature: drain with a cursor, fold
+        into the front-end log, repeat — no duplicates, no losses."""
+        worker = EventLog()
+        frontend = EventLog()
+        cursor = 0
+        worker.emit("a")
+        worker.emit("b")
+        records, cursor = worker.since(cursor)
+        for record in records:
+            frontend.ingest(record)
+        worker.emit("c")
+        records, cursor = worker.since(cursor)
+        for record in records:
+            frontend.ingest(record)
+        assert [e["event"] for e in frontend.snapshot()] == ["a", "b", "c"]
+
+
+class TestConcurrency:
+    def test_concurrent_emitters_unique_seqs(self):
+        log = EventLog(capacity=4096)
+        n_threads, per_thread = 8, 200
+
+        def hammer(k: int) -> None:
+            for i in range(per_thread):
+                log.emit(f"t{k}.{i}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(k,))
+            for k in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = log.snapshot()
+        assert len(events) == n_threads * per_thread
+        seqs = [e["seq"] for e in events]
+        assert len(set(seqs)) == len(seqs)
+        assert sorted(seqs) == list(range(1, n_threads * per_thread + 1))
+
+
+class TestJsonlTee:
+    def test_events_land_on_disk(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(jsonl_path=path)
+        log.emit("a", worker_id=3)
+        log.emit("b", severity="warning")
+        log.close()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line
+        ]
+        assert [rec["event"] for rec in lines] == ["a", "b"]
+        assert lines[0]["attrs"] == {"worker_id": 3}
+
+
+class TestGlobal:
+    def test_singleton_and_swap(self):
+        original = set_global_event_log(None)
+        try:
+            log = global_event_log()
+            assert global_event_log() is log
+            replacement = EventLog()
+            assert set_global_event_log(replacement) is log
+            assert global_event_log() is replacement
+        finally:
+            set_global_event_log(original)

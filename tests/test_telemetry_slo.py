@@ -1,0 +1,284 @@
+"""SLO burn rates: window math, multi-window AND, transition events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.registry import MetricsRegistry, merge_snapshots
+from repro.telemetry.events import EventLog
+from repro.telemetry.slo import (
+    DEFAULT_SLOS,
+    STATUS_CRITICAL,
+    STATUS_OK,
+    STATUS_WARNING,
+    SLOMonitor,
+    SLOSpec,
+)
+
+
+def _snapshot(
+    requests=0.0,
+    errors=0.0,
+    shed=0.0,
+    latencies=(),
+) -> dict:
+    """A merged-registry-shaped snapshot built from real histograms."""
+    registry = MetricsRegistry()
+    for _ in range(int(requests)):
+        registry.inc("frontend.requests")
+    for _ in range(int(errors)):
+        registry.inc("frontend.errors")
+    for _ in range(int(shed)):
+        registry.inc("frontend.shed_queue")
+    for value in latencies:
+        registry.observe("frontend.request_seconds", value)
+    return registry.snapshot()
+
+
+class TestSpec:
+    def test_budget(self):
+        spec = SLOSpec(name="a", kind="availability", objective=0.999)
+        assert spec.budget == pytest.approx(0.001)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "uptime", "objective": 0.9},
+            {"kind": "availability", "objective": 0.0},
+            {"kind": "availability", "objective": 1.0},
+            {"kind": "latency", "objective": 0.9},  # no threshold_s
+            {"kind": "availability", "objective": 0.9, "windows_s": ()},
+            {
+                "kind": "availability",
+                "objective": 0.9,
+                "burn_warning": 5.0,
+                "burn_critical": 2.0,
+            },
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SLOSpec(name="bad", **kwargs)
+
+    def test_defaults_cover_three_kinds(self):
+        assert {spec.kind for spec in DEFAULT_SLOS} == {
+            "availability", "latency", "shed_rate",
+        }
+
+
+class TestBurnMath:
+    def _monitor(self, **kwargs) -> SLOMonitor:
+        spec = SLOSpec(
+            name="availability",
+            kind="availability",
+            objective=0.99,
+            windows_s=(60.0,),
+            **kwargs,
+        )
+        return SLOMonitor(specs=(spec,))
+
+    def test_burn_one_at_budget_rate(self):
+        monitor = self._monitor()
+        monitor.observe(_snapshot(requests=0, errors=0), now=1000.0)
+        # 1000 requests, 10 errors -> bad fraction 0.01 = exactly the
+        # 1% budget -> burn 1.0.
+        monitor.observe(_snapshot(requests=1000, errors=10), now=1060.0)
+        verdict = monitor.evaluate(now=1060.0)
+        result = verdict["slos"][0]
+        assert result["burn_rate"] == pytest.approx(1.0)
+        assert result["status"] == STATUS_OK
+        assert result["windows"][0]["bad"] == pytest.approx(10.0)
+        assert result["windows"][0]["total"] == pytest.approx(1000.0)
+
+    def test_burn_scales_with_error_rate(self):
+        monitor = self._monitor()
+        monitor.observe(_snapshot(), now=1000.0)
+        monitor.observe(_snapshot(requests=100, errors=25), now=1060.0)
+        result = monitor.evaluate(now=1060.0)["slos"][0]
+        assert result["burn_rate"] == pytest.approx(25.0)
+        assert result["status"] == STATUS_CRITICAL
+
+    def test_no_traffic_is_ok(self):
+        monitor = self._monitor()
+        monitor.observe(_snapshot(), now=1000.0)
+        monitor.observe(_snapshot(), now=1060.0)
+        result = monitor.evaluate(now=1060.0)["slos"][0]
+        assert result["burn_rate"] == 0.0
+        assert result["status"] == STATUS_OK
+
+    def test_single_sample_is_ok(self):
+        monitor = self._monitor()
+        monitor.observe(_snapshot(requests=10, errors=10), now=1000.0)
+        assert monitor.evaluate(now=1000.0)["status"] == STATUS_OK
+
+    def test_shed_rate_uses_arrival_total(self):
+        """frontend.requests counts every arrival including shed ones,
+        so 10 sheds out of 100 arrivals is a 10% shed fraction — not
+        10/110."""
+        spec = SLOSpec(
+            name="shed_rate",
+            kind="shed_rate",
+            objective=0.9,
+            windows_s=(60.0,),
+        )
+        monitor = SLOMonitor(specs=(spec,))
+        monitor.observe(_snapshot(), now=0.0)
+        monitor.observe(_snapshot(requests=100, shed=10), now=60.0)
+        window = monitor.evaluate(now=60.0)["slos"][0]["windows"][0]
+        assert window["bad"] == pytest.approx(10.0)
+        assert window["total"] == pytest.approx(100.0)
+
+    def test_latency_bucket_math(self):
+        spec = SLOSpec(
+            name="lat",
+            kind="latency",
+            objective=0.9,
+            threshold_s=0.25,
+            windows_s=(60.0,),
+        )
+        monitor = SLOMonitor(specs=(spec,))
+        monitor.observe(_snapshot(), now=0.0)
+        # 8 fast (50 ms), 2 slow (1 s): 20% over threshold against a
+        # 10% budget -> burn 2.0.
+        monitor.observe(
+            _snapshot(requests=10, latencies=[0.05] * 8 + [1.0] * 2),
+            now=60.0,
+        )
+        result = monitor.evaluate(now=60.0)["slos"][0]
+        assert result["burn_rate"] == pytest.approx(2.0)
+        assert result["status"] == STATUS_WARNING
+
+
+class TestMultiWindow:
+    def _monitor(self) -> SLOMonitor:
+        spec = SLOSpec(
+            name="availability",
+            kind="availability",
+            objective=0.99,
+            windows_s=(60.0, 600.0),
+        )
+        return SLOMonitor(specs=(spec,))
+
+    def test_short_spike_over_quiet_long_window_does_not_page(self):
+        """The multi-window AND: a burst that burns the short window hot
+        but leaves the long window healthy stays below critical."""
+        monitor = self._monitor()
+        monitor.observe(_snapshot(), now=0.0)
+        # Nine minutes of clean traffic...
+        monitor.observe(_snapshot(requests=10000), now=540.0)
+        # ...then a one-minute error burst.
+        monitor.observe(
+            _snapshot(requests=10100, errors=50), now=600.0
+        )
+        result = monitor.evaluate(now=600.0)["slos"][0]
+        by_window = {w["window_s"]: w["burn_rate"] for w in result["windows"]}
+        assert by_window[60.0] > 10.0  # short window burns hot
+        assert by_window[600.0] < 1.0  # long window absorbs it
+        assert result["status"] == STATUS_OK
+
+    def test_sustained_burn_pages(self):
+        monitor = self._monitor()
+        monitor.observe(_snapshot(), now=0.0)
+        for minute in range(1, 11):
+            monitor.observe(
+                _snapshot(
+                    requests=1000 * minute, errors=200 * minute
+                ),
+                now=60.0 * minute,
+            )
+        result = monitor.evaluate(now=600.0)["slos"][0]
+        assert all(w["burn_rate"] > 10.0 for w in result["windows"])
+        assert result["status"] == STATUS_CRITICAL
+
+
+class TestTransitions:
+    def test_breach_and_recovery_emit_once(self):
+        log = EventLog()
+        spec = SLOSpec(
+            name="availability",
+            kind="availability",
+            objective=0.99,
+            windows_s=(60.0,),
+        )
+        monitor = SLOMonitor(specs=(spec,), event_log=log)
+        monitor.observe(_snapshot(), now=0.0)
+        monitor.observe(_snapshot(requests=100, errors=50), now=60.0)
+        monitor.evaluate(now=60.0)
+        monitor.evaluate(now=60.0)  # steady state: no re-fire
+        monitor.observe(_snapshot(requests=10100, errors=50), now=120.0)
+        monitor.evaluate(now=120.0)
+        monitor.evaluate(now=120.0)
+        names = [e["event"] for e in log.snapshot()]
+        assert names == ["slo.breach", "slo.recovered"]
+        breach = log.snapshot()[0]
+        assert breach["severity"] == "error"
+        assert breach["attrs"]["slo"] == "availability"
+        assert breach["attrs"]["previous"] == STATUS_OK
+
+
+class TestExport:
+    def test_gauges_cover_every_spec_and_window(self):
+        monitor = SLOMonitor()
+        monitor.observe(_snapshot(), now=0.0)
+        monitor.observe(_snapshot(requests=10), now=60.0)
+        gauges = monitor.gauges(now=60.0)
+        for spec in DEFAULT_SLOS:
+            assert gauges[f"slo.{spec.name}.objective"] == spec.objective
+            assert f"slo.{spec.name}.status" in gauges
+            for window_s in spec.windows_s:
+                assert (
+                    f"slo.{spec.name}.burn_rate_{int(window_s)}s" in gauges
+                )
+
+    def test_verdict_document_shape(self):
+        monitor = SLOMonitor()
+        monitor.observe(_snapshot(requests=5, latencies=[0.01] * 5))
+        verdict = monitor.verdict()
+        assert verdict["status"] in ("ok", "warning", "critical")
+        assert len(verdict["slos"]) == len(DEFAULT_SLOS)
+        assert len(verdict["specs"]) == len(DEFAULT_SLOS)
+        assert set(verdict["traffic"]) >= {
+            "qps", "availability", "shed_fraction", "p50_ms", "p99_ms",
+        }
+        assert verdict["samples"] == 1
+
+
+class TestMergeSnapshotsGaugeAgg:
+    """PR-10 satellite: merged gauges carry min/max/avg hints."""
+
+    def _snapshots(self):
+        values = (0.2, 0.8, 0.5)
+        snapshots = []
+        for value in values:
+            registry = MetricsRegistry()
+            registry.gauge("service.cache_hit_rate", value)
+            registry.inc("service.queries", 10)
+            snapshots.append(registry.snapshot())
+        return snapshots
+
+    def test_gauge_agg_min_max_avg(self):
+        merged = merge_snapshots(self._snapshots())
+        agg = merged["gauge_agg"]["service.cache_hit_rate"]
+        assert agg["min"] == pytest.approx(0.2)
+        assert agg["max"] == pytest.approx(0.8)
+        assert agg["avg"] == pytest.approx(0.5)
+        assert agg["n"] == 3
+        # The flat gauges map keeps the average (back-compat).
+        assert merged["gauges"]["service.cache_hit_rate"] == pytest.approx(
+            0.5
+        )
+
+    def test_single_contributor_has_no_agg_entry(self):
+        registry = MetricsRegistry()
+        registry.gauge("solo.gauge", 1.5)
+        merged = merge_snapshots([registry.snapshot()])
+        assert "solo.gauge" not in merged.get("gauge_agg", {})
+        assert merged["gauges"]["solo.gauge"] == pytest.approx(1.5)
+
+    def test_prometheus_renders_agg_labels(self):
+        from repro.telemetry.prometheus import render_prometheus
+
+        text = render_prometheus(merge_snapshots(self._snapshots()))
+        assert 'service_cache_hit_rate{agg="avg"} 0.5' in text
+        assert 'service_cache_hit_rate{agg="min"} 0.2' in text
+        assert 'service_cache_hit_rate{agg="max"} 0.8' in text
